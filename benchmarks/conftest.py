@@ -1,0 +1,41 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures (as text
+series), saves it under ``benchmarks/results/`` and asserts the shape
+properties the paper reports.  Timings come from pytest-benchmark; the
+heavy experiment body runs once via ``benchmark.pedantic``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.system.machine import Machine
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """One calibrated platform shared by all benches."""
+    return Machine()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Persist a reproduced artifact and echo it to stdout."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _report
+
+
+def run_once(benchmark, func):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

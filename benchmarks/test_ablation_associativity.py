@@ -1,0 +1,78 @@
+"""Ablation — tagged associative PHT vs hashed direct-mapped table.
+
+The paper implements the PHT in software with full tags, associative
+search and LRU ages (Figure 1), noting only that a 1024-entry
+associative search "may be undesirable".  A hardware implementation
+would use an untagged direct-mapped table indexed by a history hash.
+This ablation quantifies what the software design buys: at equal
+capacity the tagged table wins wherever histories collide, and on the
+most pattern-rich benchmark the untagged table still trails at 8x the
+entries — aliasing error does not simply wash out with capacity.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.accuracy import evaluate_suite
+from repro.analysis.reporting import format_table
+from repro.core.predictors import GPHTPredictor
+from repro.core.predictors.direct_mapped import DirectMappedGPHTPredictor
+from repro.workloads.spec2000 import VARIABLE_BENCHMARKS, benchmark
+
+N_INTERVALS = 1000
+
+
+def run_sweep():
+    factories = [
+        lambda: GPHTPredictor(8, 128),
+        lambda: DirectMappedGPHTPredictor(8, 128),
+        lambda: DirectMappedGPHTPredictor(8, 1024),
+        lambda: DirectMappedGPHTPredictor(8, 4096),
+    ]
+    series = {
+        name: benchmark(name).mem_series(N_INTERVALS)
+        for name in VARIABLE_BENCHMARKS
+    }
+    return evaluate_suite(factories, series)
+
+
+def test_ablation_associativity(benchmark, report):
+    results = run_once(benchmark, run_sweep)
+
+    columns = [
+        "GPHT_8_128",
+        "DMGPHT_8_128",
+        "DMGPHT_8_1024",
+        "DMGPHT_8_4096",
+    ]
+    rows = [
+        [name] + [round(results[name][c].accuracy * 100, 1) for c in columns]
+        for name in VARIABLE_BENCHMARKS
+    ]
+    report(
+        "ablation_associativity",
+        format_table(
+            ["benchmark"] + columns,
+            rows,
+            title=(
+                "Ablation: tagged associative PHT vs untagged "
+                "direct-mapped table, accuracy (%)."
+            ),
+        ),
+    )
+
+    for name in VARIABLE_BENCHMARKS:
+        acc = {c: results[name][c].accuracy for c in columns}
+
+        # At equal capacity, tags+LRU never lose to hashing.
+        assert acc["GPHT_8_128"] >= acc["DMGPHT_8_128"] - 0.01, name
+
+        # Capacity relieves conflicts monotonically (up to noise).
+        assert acc["DMGPHT_8_4096"] >= acc["DMGPHT_8_128"] - 0.02, name
+
+    # The headline: the tagged 128-entry table matches or beats the
+    # untagged table even at 8x the entries on every variable
+    # benchmark, with a clear gap on the most pattern-rich one.
+    for name in VARIABLE_BENCHMARKS:
+        acc = {c: results[name][c].accuracy for c in columns}
+        assert acc["GPHT_8_128"] >= acc["DMGPHT_8_4096"] - 0.005, name
+    applu = {c: results["applu_in"][c].accuracy for c in columns}
+    assert applu["GPHT_8_128"] > applu["DMGPHT_8_4096"] + 0.03

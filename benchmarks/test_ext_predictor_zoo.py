@@ -1,0 +1,102 @@
+"""Extension — where does the GPHT's advantage come from?
+
+Decomposes the gap between last-value prediction and the GPHT using two
+intermediate predictors the paper's related work suggests:
+
+* ``Markov1`` — learns one-step phase transitions (how much is gained
+  just by learning *any* transition structure);
+* ``Duration`` — learns run lengths and successors, the style of the
+  paper's reference [14] (how much is gained by knowing *when* a phase
+  ends);
+* ``GPHT`` — deep global pattern history (the paper's contribution);
+* ``ConfGPHT`` / ``Tournament`` — branch-predictor-inspired refinements
+  (hysteresis; chooser-arbitrated hybrid with last-value);
+* ``Oracle`` — the information-theoretic ceiling.
+
+Expected shape on the variable benchmarks: LastValue < Markov1 <=
+Duration < GPHT <= Oracle — each additional piece of structure helps,
+and deep history captures what one-step models cannot.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.accuracy import evaluate_predictor
+from repro.analysis.reporting import format_table
+from repro.core.phases import PhaseTable
+from repro.core.predictors import (
+    GPHTPredictor,
+    LastValuePredictor,
+    MarkovPredictor,
+    OraclePredictor,
+)
+from repro.core.predictors.confidence import ConfidenceGPHTPredictor
+from repro.core.predictors.duration import DurationPredictor
+from repro.core.predictors.hybrid import TournamentPredictor
+from repro.workloads.spec2000 import VARIABLE_BENCHMARKS, benchmark
+
+N_INTERVALS = 1000
+TABLE = PhaseTable()
+
+
+def run_zoo():
+    results = {}
+    for name in VARIABLE_BENCHMARKS:
+        series = benchmark(name).mem_series(N_INTERVALS)
+        phases = TABLE.classify_series(series)
+        results[name] = {
+            "LastValue": evaluate_predictor(LastValuePredictor(), series),
+            "Markov1": evaluate_predictor(MarkovPredictor(), series),
+            "Duration": evaluate_predictor(DurationPredictor(), series),
+            "GPHT_8_128": evaluate_predictor(GPHTPredictor(8, 128), series),
+            "ConfGPHT": evaluate_predictor(
+                ConfidenceGPHTPredictor(8, 128), series
+            ),
+            "Tournament": evaluate_predictor(
+                TournamentPredictor(8, 128), series
+            ),
+            "Oracle": evaluate_predictor(OraclePredictor(phases), series),
+        }
+    return results
+
+
+def test_ext_predictor_zoo(benchmark, report):
+    results = run_once(benchmark, run_zoo)
+
+    columns = [
+        "LastValue", "Markov1", "Duration",
+        "GPHT_8_128", "ConfGPHT", "Tournament", "Oracle",
+    ]
+    rows = [
+        [name] + [round(results[name][c].accuracy * 100, 1) for c in columns]
+        for name in VARIABLE_BENCHMARKS
+    ]
+    report(
+        "ext_predictor_zoo",
+        format_table(
+            ["benchmark"] + columns,
+            rows,
+            title=(
+                "Extension: decomposing the GPHT advantage on the "
+                "variable benchmarks (accuracy %)."
+            ),
+        ),
+    )
+
+    for name in VARIABLE_BENCHMARKS:
+        acc = {c: results[name][c].accuracy for c in columns}
+
+        # The oracle is the ceiling for everything.
+        for column in columns[:-1]:
+            assert acc[column] <= acc["Oracle"] + 1e-9, (name, column)
+
+        # Deep global history dominates every one-step learner.
+        assert acc["GPHT_8_128"] > acc["Markov1"] + 0.03, name
+        assert acc["GPHT_8_128"] > acc["Duration"] + 0.03, name
+
+        # One-step structure is still worth something over raw
+        # persistence on these pattern-heavy applications.
+        assert acc["Duration"] >= acc["LastValue"] - 0.03, name
+
+        # The branch-predictor refinements stay within a small band of
+        # the plain GPHT — refinements, not fixes.
+        assert abs(acc["ConfGPHT"] - acc["GPHT_8_128"]) < 0.06, name
+        assert acc["Tournament"] >= acc["GPHT_8_128"] - 0.06, name

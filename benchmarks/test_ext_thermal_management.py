@@ -1,0 +1,99 @@
+"""Extension — dynamic thermal management via runtime phase prediction.
+
+The paper names dynamic thermal management as a target application of
+its framework without evaluating one.  This bench closes the loop: a
+CPU-bound workload that drives the unmanaged die past a 70 degC trip
+point is run under (a) no management, (b) plain GPHT EDP management and
+(c) the thermally-wrapped GPHT governor, comparing peak temperature,
+performance and energy.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.core.governor import PhasePredictionGovernor, StaticGovernor
+from repro.core.predictors import GPHTPredictor
+from repro.core.thermal_governor import ThermalManagedGovernor
+from repro.power.thermal import ThermalModel
+from repro.system.machine import Machine
+from repro.workloads.segments import uniform_trace
+
+N_INTERVALS = 600
+TRIP_C = 70.0
+
+
+def run_variants():
+    machine = Machine()
+    # CPU-bound: the worst case thermally, and the case plain DVFS-for-
+    # energy never slows down (phase 1 maps to full speed).
+    trace = uniform_trace(
+        "hot_loop", [(0.0, 1.8)] * N_INTERVALS, uops_per_segment=100_000_000
+    )
+    outcomes = {}
+
+    thermal = ThermalModel()
+    baseline = machine.run(
+        trace, StaticGovernor(machine.speedstep.fastest), thermal=thermal
+    )
+    outcomes["unmanaged"] = (baseline, thermal.peak_temperature_c)
+
+    thermal = ThermalModel()
+    gpht = machine.run(
+        trace,
+        PhasePredictionGovernor(GPHTPredictor(8, 128)),
+        thermal=thermal,
+    )
+    outcomes["GPHT (EDP)"] = (gpht, thermal.peak_temperature_c)
+
+    thermal = ThermalModel()
+    governor = ThermalManagedGovernor(
+        PhasePredictionGovernor(GPHTPredictor(8, 128)),
+        thermal,
+        trip_c=TRIP_C,
+    )
+    dtm = machine.run(trace, governor, thermal=thermal)
+    outcomes["GPHT + DTM"] = (dtm, thermal.peak_temperature_c)
+    return outcomes, baseline
+
+
+def test_ext_thermal_management(benchmark, report):
+    outcomes, baseline = run_once(benchmark, run_variants)
+
+    rows = []
+    for label, (result, peak) in outcomes.items():
+        rows.append(
+            (
+                label,
+                round(peak, 1),
+                round(result.bips, 3),
+                round(result.average_power_w, 2),
+                round(result.total_energy_j, 1),
+            )
+        )
+    report(
+        "ext_thermal_management",
+        format_table(
+            ["system", "peak temp C", "BIPS", "avg power W", "energy J"],
+            rows,
+            title=(
+                "Extension: dynamic thermal management "
+                f"(trip {TRIP_C:g} degC) on a CPU-bound workload."
+            ),
+        ),
+    )
+
+    unmanaged_peak = outcomes["unmanaged"][1]
+    gpht_peak = outcomes["GPHT (EDP)"][1]
+    dtm_result, dtm_peak = outcomes["GPHT + DTM"]
+
+    # Plain EDP management cannot help a phase-1 workload: it runs at
+    # full speed and gets exactly as hot as the unmanaged system.
+    assert abs(gpht_peak - unmanaged_peak) < 1.0
+    assert unmanaged_peak > 80.0
+
+    # The thermal governor bounds the excursion near the trip point.
+    assert dtm_peak < TRIP_C + 3.0
+
+    # Thermal safety costs performance — but far less than pinning the
+    # whole run at the capped frequency would (full cap would be 2.5x).
+    slowdown = baseline.bips / dtm_result.bips
+    assert 1.0 < slowdown < 2.0

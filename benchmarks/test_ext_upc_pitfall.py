@@ -1,0 +1,157 @@
+"""Extension — quantifying Section 4's pitfall: UPC-based phases under
+dynamic management.
+
+The paper justifies its Mem/Uop choice by showing UPC is strongly
+frequency-dependent (Figure 7) and warning that UPC-classified phases
+"vary with different power management settings".  This bench closes the
+argument by actually *deploying* a UPC-classified governor and measuring
+the damage:
+
+* **action-dependent phases** — between the baseline and managed runs,
+  the Mem/Uop-classified phase sequence stays identical while the
+  UPC-classified one diverges on a large fraction of intervals;
+* **wrong fixed points** — on a perfectly stable memory-bound workload
+  (swim) the invariant governor settles at the correct 600 MHz setting,
+  while the UPC governor's classification shifts under its own slowdown
+  and it converges to a faster, less efficient setting, surrendering a
+  large slice of the achievable EDP improvement.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.core.dvfs_policy import DVFSPolicy
+from repro.core.governor import (
+    PhasePredictionGovernor,
+    StaticGovernor,
+)
+from repro.core.predictors import LastValuePredictor
+from repro.core.upc_phases import upc_phase_table, upc_slack_metric
+from repro.system.machine import Machine
+from repro.workloads.spec2000 import benchmark as spec_benchmark
+
+N_INTERVALS = 200
+
+
+def build_upc_governor():
+    """A reactive governor classifying on UPC slack instead of Mem/Uop."""
+    policy = DVFSPolicy.paper_default(upc_phase_table())
+    return PhasePredictionGovernor(
+        LastValuePredictor(),
+        policy,
+        name="UPC_reactive",
+        metric=upc_slack_metric,
+    )
+
+
+def run_experiment():
+    machine = Machine()
+    outcomes = {}
+    for name in ("swim_in", "applu_in"):
+        trace = spec_benchmark(name).trace(n_intervals=N_INTERVALS)
+        baseline = machine.run(
+            trace, StaticGovernor(machine.speedstep.fastest)
+        )
+        mem_managed = machine.run(
+            trace,
+            PhasePredictionGovernor(
+                LastValuePredictor(), name="MemUop_reactive"
+            ),
+        )
+        upc_baseline = machine.run(trace, build_upc_governor_static())
+        upc_managed = machine.run(trace, build_upc_governor())
+        outcomes[name] = {
+            "baseline": baseline,
+            "mem_managed": mem_managed,
+            "upc_baseline": upc_baseline,
+            "upc_managed": upc_managed,
+        }
+    return outcomes
+
+
+def build_upc_governor_static():
+    """Static run that *logs* UPC phases (for the divergence check)."""
+    from repro.cpu.frequency import SpeedStepTable
+
+    policy = DVFSPolicy(
+        upc_phase_table(),
+        {p: SpeedStepTable().fastest for p in upc_phase_table().phase_ids},
+        name="upc_static",
+    )
+    return PhasePredictionGovernor(
+        LastValuePredictor(), policy, name="UPC_static",
+        metric=upc_slack_metric,
+    )
+
+
+def divergence(a, b):
+    """Fraction of intervals whose classified phase differs."""
+    pairs = list(zip(a.actual_phases(), b.actual_phases()))
+    return sum(1 for x, y in pairs if x != y) / len(pairs)
+
+
+def test_ext_upc_pitfall(benchmark, report):
+    outcomes = run_once(benchmark, run_experiment)
+
+    from repro.system.metrics import ComparisonMetrics
+
+    rows = []
+    for name, runs in outcomes.items():
+        mem_divergence = divergence(runs["baseline"], runs["mem_managed"])
+        upc_divergence = divergence(runs["upc_baseline"], runs["upc_managed"])
+        mem_edp = ComparisonMetrics(
+            baseline=runs["baseline"], managed=runs["mem_managed"]
+        ).edp_improvement
+        upc_edp = ComparisonMetrics(
+            baseline=runs["baseline"], managed=runs["upc_managed"]
+        ).edp_improvement
+        rows.append(
+            (
+                name,
+                f"{mem_divergence:.1%}",
+                f"{upc_divergence:.1%}",
+                f"{mem_edp:.1%}",
+                f"{upc_edp:.1%}",
+            )
+        )
+    report(
+        "ext_upc_pitfall",
+        format_table(
+            [
+                "benchmark",
+                "phase divergence (Mem/Uop)",
+                "phase divergence (UPC)",
+                "EDP impr (Mem/Uop)",
+                "EDP impr (UPC)",
+            ],
+            rows,
+            title=(
+                "Extension: UPC-classified phases are altered by the "
+                "governor's own DVFS actions; Mem/Uop phases are not "
+                "(paper Section 4)."
+            ),
+        ),
+    )
+
+    for name, runs in outcomes.items():
+        # Mem/Uop phases are identical with and without management.
+        assert divergence(runs["baseline"], runs["mem_managed"]) == 0.0, name
+        # UPC phases are action-dependent: a large fraction diverges.
+        assert divergence(
+            runs["upc_baseline"], runs["upc_managed"]
+        ) > 0.25, name
+
+    # The wrong fixed point on the *stable* workload: the invariant
+    # governor settles at 600 MHz after one transition; the slowed-down
+    # die looks more CPU-bound to the UPC governor, which converges to
+    # a faster setting and surrenders EDP improvement.
+    swim = outcomes["swim_in"]
+    assert swim["mem_managed"].transition_count <= 2
+    assert swim["mem_managed"].frequency_series()[-1] == 600
+    assert swim["upc_managed"].frequency_series()[-1] > 600
+    mem_edp = ComparisonMetrics(
+        baseline=swim["baseline"], managed=swim["mem_managed"]
+    ).edp_improvement
+    upc_edp = ComparisonMetrics(
+        baseline=swim["baseline"], managed=swim["upc_managed"]
+    ).edp_improvement
+    assert upc_edp < mem_edp - 0.05

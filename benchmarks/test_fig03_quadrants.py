@@ -1,0 +1,71 @@
+"""Figure 3 — benchmark categories based on stability and power saving
+potentials.
+
+Places every SPEC2000 benchmark on the (savings potential, sample
+variation) plane and reports its quadrant, asserting the paper's
+categorisation of the named benchmarks.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.workloads.quadrants import Quadrant, place_all
+from repro.workloads.spec2000 import SPEC2000_BENCHMARKS
+
+N_INTERVALS = 400
+
+PAPER_QUADRANTS = {
+    "swim_in": Quadrant.Q2,
+    "mcf_inp": Quadrant.Q2,
+    "applu_in": Quadrant.Q3,
+    "equake_in": Quadrant.Q3,
+    "mgrid_in": Quadrant.Q3,
+    "bzip2_program": Quadrant.Q4,
+    "bzip2_source": Quadrant.Q4,
+    "bzip2_graphic": Quadrant.Q4,
+    "crafty_in": Quadrant.Q1,
+    "gzip_log": Quadrant.Q1,
+    "mesa_ref": Quadrant.Q1,
+}
+
+
+def place():
+    return place_all(SPEC2000_BENCHMARKS, n_intervals=N_INTERVALS)
+
+
+def test_fig03_quadrants(benchmark, report):
+    placements = run_once(benchmark, place)
+
+    ordered = sorted(
+        placements.values(),
+        key=lambda p: (p.quadrant.name, -p.variability_pct),
+    )
+    rows = [
+        (
+            p.name,
+            round(p.savings_potential, 4),
+            round(p.variability_pct, 1),
+            p.quadrant.name,
+        )
+        for p in ordered
+    ]
+    report(
+        "fig03_quadrants",
+        format_table(
+            ["benchmark", "mean Mem/Uop", "sample variation %", "quadrant"],
+            rows,
+            title=(
+                "Figure 3. Benchmark categories based on stability and "
+                "power saving potentials."
+            ),
+        ),
+    )
+
+    for name, expected in PAPER_QUADRANTS.items():
+        assert placements[name].quadrant == expected, name
+
+    # 'Many of the SPEC applications lie very close to the origin.'
+    q1 = [p for p in placements.values() if p.quadrant == Quadrant.Q1]
+    assert len(q1) >= 20
+
+    # mcf is the far-right outlier of the figure (x ~ 0.10-0.12).
+    assert placements["mcf_inp"].savings_potential > 0.09

@@ -1,0 +1,103 @@
+"""Figure 4 — phase prediction accuracies for all experimented
+prediction techniques across the 33 SPEC2000 benchmark/input pairs.
+
+Regenerates the full predictor-by-benchmark accuracy matrix: last value,
+fixed windows (8, 128), variable windows (128 entries, thresholds 0.005
+and 0.030) and the GPHT (depth 8, 1024 entries), and asserts the
+figure's structure.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.accuracy import evaluate_suite
+from repro.analysis.reporting import format_table
+from repro.core.predictors import (
+    FixedWindowPredictor,
+    GPHTPredictor,
+    LastValuePredictor,
+    VariableWindowPredictor,
+)
+from repro.workloads.spec2000 import (
+    FIG4_BENCHMARK_ORDER,
+    VARIABLE_BENCHMARKS,
+    benchmark,
+)
+
+N_INTERVALS = 1000
+
+PREDICTOR_FACTORIES = [
+    LastValuePredictor,
+    lambda: FixedWindowPredictor(8),
+    lambda: FixedWindowPredictor(128),
+    lambda: VariableWindowPredictor(128, 0.005),
+    lambda: VariableWindowPredictor(128, 0.030),
+    lambda: GPHTPredictor(8, 1024),
+]
+
+COLUMNS = [
+    "LastValue",
+    "FixWindow_8",
+    "FixWindow_128",
+    "VarWindow_128_0.005",
+    "VarWindow_128_0.03",
+    "GPHT_8_1024",
+]
+
+
+def run_matrix():
+    series = {
+        name: benchmark(name).mem_series(N_INTERVALS)
+        for name in FIG4_BENCHMARK_ORDER
+    }
+    return evaluate_suite(PREDICTOR_FACTORIES, series)
+
+
+def test_fig04_prediction_accuracy(benchmark, report):
+    results = run_once(benchmark, run_matrix)
+
+    rows = []
+    for name in FIG4_BENCHMARK_ORDER:
+        per = results[name]
+        rows.append(
+            [name]
+            + [round(per[column].accuracy * 100, 1) for column in COLUMNS]
+        )
+    report(
+        "fig04_prediction_accuracy",
+        format_table(
+            ["benchmark"] + COLUMNS,
+            rows,
+            title=(
+                "Figure 4. Phase prediction accuracies (%) for "
+                "experimented prediction techniques."
+            ),
+        ),
+    )
+
+    accuracy = {
+        name: {column: results[name][column].accuracy for column in COLUMNS}
+        for name in FIG4_BENCHMARK_ORDER
+    }
+
+    # Stable benchmarks: 'almost all approaches perform very well,
+    # achieving above 80% prediction accuracies'; last value and GPHT
+    # 'perform almost equivalently'.
+    for name in FIG4_BENCHMARK_ORDER[:16]:
+        assert accuracy[name]["LastValue"] > 0.80, name
+        assert abs(
+            accuracy[name]["GPHT_8_1024"] - accuracy[name]["LastValue"]
+        ) < 0.05, name
+
+    # Variable benchmarks: statistical approaches drop, GPHT sustains.
+    for name in VARIABLE_BENCHMARKS:
+        statistical_best = max(
+            accuracy[name][c] for c in COLUMNS if c != "GPHT_8_1024"
+        )
+        assert accuracy[name]["GPHT_8_1024"] > statistical_best + 0.05, name
+
+    # GPHT stays above 80% even on the hardest benchmarks.
+    for name in VARIABLE_BENCHMARKS:
+        assert accuracy[name]["GPHT_8_1024"] > 0.80, name
+
+    # applu: last value > 50% mispredictions (paper: 53%), GPHT < 10%.
+    assert accuracy["applu_in"]["LastValue"] < 0.5
+    assert accuracy["applu_in"]["GPHT_8_1024"] > 0.9

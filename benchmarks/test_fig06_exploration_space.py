@@ -1,0 +1,93 @@
+"""Figure 6 — observed (UPC, Mem/Uop) pairs for all experimented
+applications, the maximum-UPC boundary, and the IPCxMEM coverage grid.
+
+Sweeps every SPEC benchmark's behaviour through the timing model to
+collect observed (UPC, Mem/Uop) points, solves the IPCxMEM grid, and
+asserts the geometric facts the figure shows: all observations lie under
+the boundary, and the grid covers the space the applications occupy.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.cpu.frequency import SpeedStepTable
+from repro.cpu.timing import TimingModel
+from repro.workloads.ipcxmem import ipcxmem_grid
+from repro.workloads.spec2000 import SPEC2000_BENCHMARKS
+from repro.workloads.segments import SegmentSpec
+
+N_INTERVALS = 200
+TIMING = TimingModel()
+FASTEST = SpeedStepTable().fastest
+
+
+def collect_space():
+    spec_points = []
+    for spec in SPEC2000_BENCHMARKS.values():
+        behavior = spec.behavior(N_INTERVALS)
+        for mem, upc_core in behavior[::10]:
+            segment = SegmentSpec(
+                uops=1_000_000,
+                mem_per_uop=float(mem),
+                upc_core=float(upc_core),
+                mem_overlap=spec.mem_overlap,
+            )
+            observed_upc = TIMING.upc(segment, FASTEST)
+            spec_points.append((observed_upc, float(mem)))
+    grid = ipcxmem_grid()
+    return spec_points, grid
+
+
+def test_fig06_exploration_space(benchmark, report):
+    spec_points, grid = run_once(benchmark, collect_space)
+
+    mem_levels = np.linspace(0.0, 0.055, 12)
+    boundary_rows = [
+        (round(float(m), 4), round(TIMING.max_upc_boundary(float(m), FASTEST), 3))
+        for m in mem_levels
+    ]
+    lines = [
+        format_table(
+            ["Mem/Uop", "max UPC (SPEC boundary)"],
+            boundary_rows,
+            title=(
+                "Figure 6. (UPC, Mem/Uop) exploration space: boundary, "
+                f"{len(spec_points)} SPEC sample points, "
+                f"{len(grid)} IPCxMEM grid configurations."
+            ),
+        ),
+        "",
+        "IPCxMEM grid coverage:",
+    ]
+    grid_rows = [
+        (c.target_upc, c.target_mem_per_uop,
+         round(c.segment.upc_core, 3), round(c.segment.mem_overlap, 3))
+        for c in grid[:12]
+    ]
+    lines.append(
+        format_table(
+            ["target UPC", "target Mem/Uop", "solved upc_core", "overlap"],
+            grid_rows,
+        )
+    )
+    report("fig06_exploration_space", "\n".join(lines))
+
+    # Every observed SPEC point lies under the boundary at its Mem/Uop.
+    for observed_upc, mem in spec_points:
+        boundary = TIMING.max_upc_boundary(mem, FASTEST)
+        assert observed_upc <= boundary + 1e-9
+
+    # The applications cover a wide range of operating points.
+    upcs = [p[0] for p in spec_points]
+    mems = [p[1] for p in spec_points]
+    assert max(upcs) > 1.4 and min(upcs) < 0.2
+    assert max(mems) > 0.05
+
+    # The paper runs ~50 grid configurations.
+    assert 40 <= len(grid) <= 110
+
+    # The grid spans the same region the applications occupy.
+    grid_mems = {c.target_mem_per_uop for c in grid}
+    assert min(grid_mems) == 0.0
+    assert max(grid_mems) >= 0.0475

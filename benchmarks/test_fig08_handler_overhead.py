@@ -1,0 +1,61 @@
+"""Figure 8 — the PMI handler's flow of operation and its overhead.
+
+The figure documents the handler control flow; the paper's claim is that
+the whole loop — stop/read counters, classify, update predictor, predict,
+translate, program DVFS, restart counters — runs 'with no observable
+overheads' at 100M-instruction granularity (handler work on the order of
+10-100 us against ~100 ms intervals).
+
+This bench times the handler decision path itself (pytest-benchmark's
+one real timing measurement in this suite) and verifies the end-to-end
+overhead fraction on a full machine run.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_percent
+from repro.core.governor import IntervalCounters, PhasePredictionGovernor
+from repro.core.predictors import GPHTPredictor
+from repro.system.machine import Machine
+from repro.workloads.spec2000 import benchmark as spec_benchmark
+
+
+def test_fig08_handler_decision_latency(benchmark, report):
+    """Time one governor decision — the software core of the handler."""
+    governor = PhasePredictionGovernor(GPHTPredictor(8, 128))
+    counters = IntervalCounters(
+        uops=1e8, mem_transactions=1.8e6, instructions=8e7, tsc_cycles=1.2e8
+    )
+
+    benchmark(governor.decide, counters)
+
+    stats = benchmark.stats.stats
+    mean_us = stats.mean * 1e6
+    report(
+        "fig08_handler_overhead",
+        "Figure 8. PMI handler decision path latency: "
+        f"mean {mean_us:.2f} us per invocation "
+        "(paper budget: 10-100 us against ~100 ms intervals).",
+    )
+    # One decision must fit comfortably inside the paper's overhead
+    # budget; even a slow interpreter run is far below 1 ms.
+    assert stats.mean < 1e-3
+
+
+def test_fig08_end_to_end_overhead_fraction(benchmark, report):
+    """The handler's share of total run time is invisible (< 0.1%)."""
+
+    def run():
+        machine = Machine()
+        trace = spec_benchmark("applu_in").trace(n_intervals=100)
+        governor = PhasePredictionGovernor(GPHTPredictor(8, 128))
+        return machine.run(trace, governor)
+
+    result = run_once(benchmark, run)
+    fraction = result.handler_overhead_fraction
+    report(
+        "fig08_overhead_fraction",
+        "Figure 8 (end to end). Handler time fraction of execution: "
+        f"{format_percent(fraction, 4)} over {len(result.intervals)} "
+        "intervals including DVFS transitions.",
+    )
+    assert fraction < 1e-3

@@ -1,0 +1,116 @@
+"""Figure 12 — EDP improvement and performance degradation with GPHT and
+last-value (reactive) management for the Q2, Q3 and Q4 benchmarks.
+
+Runs both governors over the figure's benchmark set and asserts its
+message: proactive GPHT management achieves superior EDP improvements on
+the variable benchmarks with comparable or less performance degradation,
+while the two approaches coincide on the stable Q2 pair.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_percent, format_table
+from repro.core.governor import PhasePredictionGovernor, ReactiveGovernor
+from repro.core.predictors import GPHTPredictor
+from repro.system.experiment import run_suite
+from repro.system.metrics import mean
+from repro.workloads.spec2000 import FIG12_BENCHMARKS, VARIABLE_BENCHMARKS
+
+N_INTERVALS = 300
+
+
+def run_both(machine):
+    gpht = run_suite(
+        FIG12_BENCHMARKS,
+        lambda: PhasePredictionGovernor(GPHTPredictor(8, 128)),
+        machine,
+        n_intervals=N_INTERVALS,
+    )
+    reactive = run_suite(
+        FIG12_BENCHMARKS,
+        lambda: ReactiveGovernor(),
+        machine,
+        n_intervals=N_INTERVALS,
+    )
+    return gpht, reactive
+
+
+def test_fig12_gpht_vs_reactive(benchmark, report, machine):
+    gpht, reactive = run_once(benchmark, lambda: run_both(machine))
+
+    rows = []
+    for name in FIG12_BENCHMARKS:
+        g = gpht[name].comparison
+        r = reactive[name].comparison
+        rows.append(
+            (
+                name,
+                format_percent(r.edp_improvement),
+                format_percent(g.edp_improvement),
+                format_percent(r.performance_degradation),
+                format_percent(g.performance_degradation),
+            )
+        )
+    report(
+        "fig12_gpht_vs_reactive",
+        format_table(
+            [
+                "benchmark",
+                "EDP impr (LastValue)",
+                "EDP impr (GPHT)",
+                "perf degr (LastValue)",
+                "perf degr (GPHT)",
+            ],
+            rows,
+            title=(
+                "Figure 12. EDP improvement and performance degradation: "
+                "GPHT vs last-value reactive management."
+            ),
+        ),
+    )
+
+    # (a) Variable benchmarks: GPHT-based proactive management achieves
+    # superior EDP improvements.
+    for name in VARIABLE_BENCHMARKS:
+        assert (
+            gpht[name].comparison.edp_improvement
+            > reactive[name].comparison.edp_improvement
+        ), name
+
+    # swim: 'virtually no variability — both approaches achieve almost
+    # identical results.'
+    swim_gap = abs(
+        gpht["swim_in"].comparison.edp_improvement
+        - reactive["swim_in"].comparison.edp_improvement
+    )
+    assert swim_gap < 0.02
+
+    # mcf: small variability — GPHT achieves slightly better EDP and no
+    # more degradation.
+    assert (
+        gpht["mcf_inp"].comparison.edp_improvement
+        >= reactive["mcf_inp"].comparison.edp_improvement - 0.005
+    )
+
+    # Q2 pair shows the largest improvements of the figure (60-70%).
+    for name in ("swim_in", "mcf_inp"):
+        assert gpht[name].comparison.edp_improvement > 0.5, name
+
+    # Averages: GPHT strictly better EDP than reactive, with comparable
+    # performance degradation (paper: 27% vs 20% EDP, 5% vs 6% degr).
+    gpht_edp = mean(
+        [gpht[n].comparison.edp_improvement for n in FIG12_BENCHMARKS]
+    )
+    reactive_edp = mean(
+        [reactive[n].comparison.edp_improvement for n in FIG12_BENCHMARKS]
+    )
+    gpht_deg = mean(
+        [gpht[n].comparison.performance_degradation for n in FIG12_BENCHMARKS]
+    )
+    reactive_deg = mean(
+        [
+            reactive[n].comparison.performance_degradation
+            for n in FIG12_BENCHMARKS
+        ]
+    )
+    assert gpht_edp > reactive_edp + 0.01
+    assert gpht_deg < reactive_deg + 0.02

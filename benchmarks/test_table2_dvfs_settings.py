@@ -1,0 +1,49 @@
+"""Table 2 — translation of phases to DVFS settings.
+
+Regenerates the phase-to-(frequency, voltage) look-up table used by the
+deployed PMI handler and checks it verbatim against the paper.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.core.dvfs_policy import DVFSPolicy
+
+PAPER_TABLE_2 = {
+    1: (1500, 1484),
+    2: (1400, 1452),
+    3: (1200, 1356),
+    4: (1000, 1228),
+    5: (800, 1116),
+    6: (600, 956),
+}
+
+
+def build_policy():
+    return DVFSPolicy.paper_default()
+
+
+def test_table2_dvfs_settings(benchmark, report):
+    policy = run_once(benchmark, build_policy)
+
+    rows = []
+    for definition in policy.phase_table.definitions:
+        point = policy.setting_for(definition.phase_id)
+        rows.append(
+            (
+                definition.phase_id,
+                f"({point.frequency_mhz} MHz, {point.voltage_mv} mV)",
+            )
+        )
+    report(
+        "table2_dvfs_settings",
+        format_table(
+            ["Phase #", "DVFS Setting"],
+            rows,
+            title="Table 2. Translation of phases to DVFS settings.",
+        ),
+    )
+
+    for phase_id, (mhz, mv) in PAPER_TABLE_2.items():
+        point = policy.setting_for(phase_id)
+        assert (point.frequency_mhz, point.voltage_mv) == (mhz, mv)
+    assert policy.is_monotonic()

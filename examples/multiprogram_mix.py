@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""System-wide management of a multiprogrammed workload.
+
+The paper's predictor is deployed system-wide: the PMI observes whatever
+the processor runs, context switches included.  This example
+co-schedules a CPU-bound application (crafty) with a memory-bound one
+(swim) under a round-robin quantum and compares three systems: the
+unmanaged baseline, reactive (last-value) management, and the GPHT
+governor — which learns the scheduler's alternation and reconfigures the
+processor *before* each context switch.
+
+Run with:  python examples/multiprogram_mix.py
+"""
+
+from repro import (
+    GPHTPredictor,
+    Machine,
+    PhasePredictionGovernor,
+    ReactiveGovernor,
+    StaticGovernor,
+)
+from repro.analysis import format_table
+from repro.system.metrics import ComparisonMetrics
+from repro.workloads import benchmark, round_robin
+
+N_INTERVALS = 150
+QUANTUM_UOPS = 200_000_000  # two 100M-uop sampling intervals per slice
+
+
+def main() -> None:
+    machine = Machine()
+    mix = round_robin(
+        [
+            benchmark("crafty_in").trace(n_intervals=N_INTERVALS),
+            benchmark("swim_in").trace(n_intervals=N_INTERVALS),
+        ],
+        quantum_uops=QUANTUM_UOPS,
+    )
+    print(f"workload: {mix.name}, {mix.total_uops // 10**9} billion uops")
+    print()
+
+    baseline = machine.run(mix, StaticGovernor(machine.speedstep.fastest))
+
+    rows = []
+    for governor in (
+        ReactiveGovernor(),
+        PhasePredictionGovernor(GPHTPredictor(8, 128)),
+    ):
+        managed = machine.run(mix, governor)
+        comparison = ComparisonMetrics(baseline=baseline, managed=managed)
+        rows.append(
+            (
+                managed.governor_name,
+                f"{managed.prediction_accuracy():.1%}",
+                f"{managed.average_power_w:.2f} W",
+                f"{comparison.performance_degradation:.1%}",
+                f"{comparison.edp_improvement:.1%}",
+            )
+        )
+    print(
+        format_table(
+            [
+                "governor",
+                "online accuracy",
+                "avg power",
+                "perf degr",
+                "EDP impr",
+            ],
+            rows,
+            title=(
+                f"crafty + swim, round-robin at "
+                f"{QUANTUM_UOPS // 1_000_000}M-uop quanta "
+                f"(baseline {baseline.average_power_w:.2f} W)"
+            ),
+        )
+    )
+    print()
+    print(
+        "Reactive management is always one quantum late at every context\n"
+        "switch; the GPHT learns the scheduler's deterministic pattern\n"
+        "and flips the DVFS setting proactively."
+    )
+
+
+if __name__ == "__main__":
+    main()

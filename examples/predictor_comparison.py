@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Compare phase predictors across workload stability classes.
+
+Replays one benchmark from each of the paper's Figure 3 quadrants
+through the full predictor suite of Figure 4 (last value, fixed and
+variable windows, GPHT) plus the oracle upper bound, and prints the
+accuracy matrix.
+
+Run with:  python examples/predictor_comparison.py
+"""
+
+from repro import PhaseTable, paper_predictor_suite
+from repro.analysis import evaluate_predictor, format_table
+from repro.core.predictors import OraclePredictor
+from repro.workloads import benchmark
+
+#: One representative per quadrant, plus the two headline Q3 apps.
+WORKLOADS = [
+    ("crafty_in", "Q1: stable, CPU-bound"),
+    ("swim_in", "Q2: stable, memory-bound"),
+    ("mgrid_in", "Q3: variable, memory-bound"),
+    ("applu_in", "Q3: the paper's running example"),
+    ("equake_in", "Q3: most variable"),
+    ("bzip2_graphic", "Q4: variable, CPU-bound-ish"),
+]
+
+N_INTERVALS = 1000
+
+
+def main() -> None:
+    table = PhaseTable()
+    predictor_names = [p.name for p in paper_predictor_suite()] + ["Oracle"]
+
+    rows = []
+    for name, description in WORKLOADS:
+        series = benchmark(name).mem_series(N_INTERVALS)
+        accuracies = []
+        for predictor in paper_predictor_suite():
+            result = evaluate_predictor(predictor, series, table)
+            accuracies.append(round(result.accuracy * 100, 1))
+        phases = table.classify_series(series)
+        oracle = evaluate_predictor(OraclePredictor(phases), series, table)
+        accuracies.append(round(oracle.accuracy * 100, 1))
+        rows.append([name] + accuracies)
+        print(f"{name:16s} {description}")
+
+    print()
+    print(
+        format_table(
+            ["benchmark"] + predictor_names,
+            rows,
+            title=f"Prediction accuracy (%) over {N_INTERVALS} intervals",
+        )
+    )
+    print()
+    print(
+        "Note how the statistical predictors collapse on the variable\n"
+        "benchmarks while the GPHT stays close to the oracle — the\n"
+        "paper's Figure 4 in miniature."
+    )
+
+
+if __name__ == "__main__":
+    main()

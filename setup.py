@@ -1,0 +1,6 @@
+"""Setup shim for environments whose pip cannot build PEP 660 editable
+wheels offline (no ``wheel`` package available)."""
+
+from setuptools import setup
+
+setup()

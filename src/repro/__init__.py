@@ -1,0 +1,111 @@
+"""repro — reproduction of Isci, Contreras & Martonosi (MICRO 2006),
+"Live, Runtime Phase Monitoring and Prediction on Real Systems with
+Application to Dynamic Power Management".
+
+The package provides:
+
+* :mod:`repro.core` — the paper's contribution: ``Mem/Uop`` phase
+  classification, the Global Phase History Table (GPHT) predictor with
+  its statistical baselines, phase-to-DVFS policies, and governors;
+* :mod:`repro.cpu`, :mod:`repro.pmc`, :mod:`repro.power` — the simulated
+  Pentium-M platform: SpeedStep operating points, analytic timing,
+  performance counters with a PMI, the CMOS power model and the DAQ
+  measurement path;
+* :mod:`repro.workloads` — synthetic SPEC2000 benchmark behaviours and
+  the IPCxMEM exploration suite;
+* :mod:`repro.system` — the wired-up machine, kernel-module analogue,
+  and experiment harnesses;
+* :mod:`repro.analysis` — predictor evaluation and reporting helpers.
+
+Quickstart::
+
+    from repro import GPHTPredictor, Machine, PhasePredictionGovernor
+    from repro.workloads import benchmark
+
+    machine = Machine()
+    trace = benchmark("applu_in").trace(n_intervals=200)
+    governor = PhasePredictionGovernor(GPHTPredictor(8, 128))
+    result = machine.run(trace, governor)
+    print(result.bips, result.average_power_w, result.edp)
+"""
+
+from repro.core import (
+    DVFSPolicy,
+    FixedWindowPredictor,
+    Governor,
+    GPHTPredictor,
+    IntervalCounters,
+    LastValuePredictor,
+    OraclePredictor,
+    PhaseObservation,
+    PhasePredictionGovernor,
+    PhasePredictor,
+    PhaseTable,
+    ReactiveGovernor,
+    StaticGovernor,
+    ThermalManagedGovernor,
+    VariableWindowPredictor,
+    derive_bounded_policy,
+    derive_objective_policy,
+    derive_power_capped_policy,
+    paper_predictor_suite,
+)
+from repro.cpu import OperatingPoint, SpeedStepTable, TimingModel
+from repro.errors import ConfigurationError, ReproError, SimulationError
+from repro.power import DataAcquisitionSystem, LoggingMachine, PowerModel, ThermalModel
+from repro.system import (
+    ComparisonMetrics,
+    Machine,
+    RunResult,
+    run_comparison,
+    run_suite,
+)
+from repro.workloads import SegmentSpec, WorkloadTrace, benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    # core
+    "PhaseTable",
+    "PhasePredictor",
+    "PhaseObservation",
+    "LastValuePredictor",
+    "FixedWindowPredictor",
+    "VariableWindowPredictor",
+    "GPHTPredictor",
+    "OraclePredictor",
+    "paper_predictor_suite",
+    "DVFSPolicy",
+    "derive_bounded_policy",
+    "derive_objective_policy",
+    "derive_power_capped_policy",
+    "Governor",
+    "IntervalCounters",
+    "PhasePredictionGovernor",
+    "ReactiveGovernor",
+    "StaticGovernor",
+    "ThermalManagedGovernor",
+    # platform
+    "OperatingPoint",
+    "SpeedStepTable",
+    "TimingModel",
+    "PowerModel",
+    "ThermalModel",
+    "DataAcquisitionSystem",
+    "LoggingMachine",
+    # workloads
+    "SegmentSpec",
+    "WorkloadTrace",
+    "benchmark",
+    # system
+    "Machine",
+    "RunResult",
+    "ComparisonMetrics",
+    "run_comparison",
+    "run_suite",
+]

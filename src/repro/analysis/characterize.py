@@ -1,0 +1,141 @@
+"""Whole-benchmark characterisation reports.
+
+Bundles the workload-analysis machinery — variability, quadrant
+placement, phase occupancy, run-length statistics and predictability —
+into a single summary per benchmark, the kind of table a workload
+characterisation study (or this repository's CLI) prints per
+application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.accuracy import evaluate_predictor
+from repro.analysis.durations import DurationStatistics
+from repro.analysis.variability import sample_variation_pct
+from repro.core.phases import PhaseTable
+from repro.core.predictors import GPHTPredictor, LastValuePredictor
+from repro.workloads.quadrants import Quadrant, categorize
+from repro.workloads.spec2000 import BenchmarkSpec
+
+
+@dataclass(frozen=True)
+class BenchmarkCharacterization:
+    """Everything the analysis layer knows about one benchmark.
+
+    Attributes:
+        name: Benchmark label.
+        n_intervals: Samples the characterisation was computed over.
+        mean_mem_per_uop: Average phase metric (savings potential).
+        variability_pct: Sample-variation percentage (Figure 3 y-axis).
+        quadrant: Figure 3 quadrant.
+        phase_occupancy: Fraction of intervals spent in each phase.
+        mean_run_length: Mean phase run length per phase (intervals).
+        last_value_accuracy: Last-value predictability.
+        gpht_accuracy: GPHT(8, 1024) predictability.
+    """
+
+    name: str
+    n_intervals: int
+    mean_mem_per_uop: float
+    variability_pct: float
+    quadrant: Quadrant
+    phase_occupancy: Dict[int, float]
+    mean_run_length: Dict[int, float]
+    last_value_accuracy: float
+    gpht_accuracy: float
+
+    @property
+    def dominant_phase(self) -> int:
+        """The phase the benchmark spends the most intervals in."""
+        return max(self.phase_occupancy, key=self.phase_occupancy.get)
+
+    @property
+    def predictability_gain(self) -> float:
+        """GPHT accuracy minus last-value accuracy (pattern payoff)."""
+        return self.gpht_accuracy - self.last_value_accuracy
+
+
+def characterize(
+    spec: BenchmarkSpec,
+    n_intervals: int = 1000,
+    phase_table: Optional[PhaseTable] = None,
+) -> BenchmarkCharacterization:
+    """Compute the full characterisation of one benchmark.
+
+    Args:
+        spec: The benchmark to characterise.
+        n_intervals: Trace length to analyse.
+        phase_table: Phase definitions (default: paper Table 1).
+    """
+    table = phase_table if phase_table is not None else PhaseTable()
+    series = spec.mem_series(n_intervals)
+    phases = table.classify_series(series)
+
+    occupancy: Dict[int, float] = {}
+    for phase_id in table.phase_ids:
+        count = sum(1 for p in phases if p == phase_id)
+        if count:
+            occupancy[phase_id] = count / len(phases)
+
+    durations = DurationStatistics.from_sequence(phases)
+    mean_runs = {
+        phase_id: durations.mean_duration(phase_id)
+        for phase_id in durations.observed_phases()
+    }
+
+    last = evaluate_predictor(LastValuePredictor(), series, table)
+    gpht = evaluate_predictor(GPHTPredictor(8, 1024), series, table)
+    variability = sample_variation_pct(series)
+    mean_mem = float(series.mean())
+
+    return BenchmarkCharacterization(
+        name=spec.name,
+        n_intervals=n_intervals,
+        mean_mem_per_uop=mean_mem,
+        variability_pct=variability,
+        quadrant=categorize(variability, mean_mem),
+        phase_occupancy=occupancy,
+        mean_run_length=mean_runs,
+        last_value_accuracy=last.accuracy,
+        gpht_accuracy=gpht.accuracy,
+    )
+
+
+def characterization_rows(
+    characterization: BenchmarkCharacterization,
+) -> Tuple[Tuple[str, str], ...]:
+    """Render a characterisation as (label, value) text rows."""
+    occupancy = ", ".join(
+        f"P{phase}:{fraction:.0%}"
+        for phase, fraction in sorted(
+            characterization.phase_occupancy.items()
+        )
+    )
+    runs = ", ".join(
+        f"P{phase}:{length:.1f}"
+        for phase, length in sorted(
+            characterization.mean_run_length.items()
+        )
+    )
+    return (
+        ("benchmark", characterization.name),
+        ("intervals analysed", str(characterization.n_intervals)),
+        ("mean Mem/Uop", f"{characterization.mean_mem_per_uop:.4f}"),
+        ("sample variation", f"{characterization.variability_pct:.1f}%"),
+        ("quadrant", characterization.quadrant.name),
+        ("phase occupancy", occupancy),
+        ("mean run length", runs),
+        ("dominant phase", str(characterization.dominant_phase)),
+        (
+            "last-value accuracy",
+            f"{characterization.last_value_accuracy:.1%}",
+        ),
+        ("GPHT accuracy", f"{characterization.gpht_accuracy:.1%}"),
+        (
+            "predictability gain",
+            f"{characterization.predictability_gain:+.1%}",
+        ),
+    )

@@ -1,0 +1,112 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The benches regenerate the paper's tables and figure series as aligned
+text so the rows/series the paper reports can be compared directly in a
+terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are shown with four significant decimals; other values use
+    ``str``.  Column widths adapt to content.
+
+    Args:
+        headers: Column names.
+        rows: Row cell values; every row must match ``headers`` length.
+        title: Optional title line printed above the table.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        rendered_rows.append([_cell(value) for value in row])
+
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_percent(value: float, decimals: int = 1) -> str:
+    """Render a fraction as a percentage string (0.341 -> '34.1%')."""
+    return f"{value * 100.0:.{decimals}f}%"
+
+
+def format_series(name: str, values: Sequence[float], decimals: int = 4) -> str:
+    """Render a named numeric series on one line."""
+    body = ", ".join(f"{v:.{decimals}f}" for v in values)
+    return f"{name}: [{body}]"
+
+
+#: Block characters for eight-level sparklines, lowest first.
+_SPARK_LEVELS = " \u2581\u2582\u2583\u2584\u2585\u2586\u2587\u2588"
+
+
+def sparkline(values: Sequence[float], lo: float = None, hi: float = None) -> str:
+    """Render a numeric series as a one-line block-character sparkline.
+
+    Gives the text figures (e.g. Figure 2/10 trace dumps) a visual
+    shape without any plotting dependency.
+
+    Args:
+        values: The series (non-empty).
+        lo: Value mapped to the lowest block (default: series minimum).
+        hi: Value mapped to the highest block (default: series maximum).
+    """
+    if not values:
+        raise ConfigurationError("sparkline of an empty series")
+    low = min(values) if lo is None else lo
+    high = max(values) if hi is None else hi
+    span = high - low
+    characters = []
+    for value in values:
+        if span == 0:
+            level = 4
+        else:
+            fraction = (value - low) / span
+            level = int(round(fraction * 8))
+            level = min(max(level, 0), 8)
+        characters.append(_SPARK_LEVELS[level])
+    return "".join(characters)
+
+
+def phase_timeline(phases: Sequence[int], num_phases: int = 6) -> str:
+    """Render a phase-id sequence as a sparkline scaled to the table.
+
+    Phase 1 (CPU-bound) renders low, phase ``num_phases`` renders high —
+    visually matching the paper's phase plots.
+    """
+    if not phases:
+        raise ConfigurationError("timeline of an empty phase sequence")
+    return sparkline(list(phases), lo=1.0, hi=float(num_phases))
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,138 @@
+"""Parameter-sweep helpers for predictor and system studies.
+
+The paper's evaluation is built from sweeps — PHT sizes (Figure 5),
+frequencies (Figure 7), benchmarks (Figures 4/11).  This module packages
+the recurring sweep shapes behind one call each, returning plain nested
+dictionaries so callers (benches, notebooks, the CLI) can print or test
+them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.analysis.accuracy import evaluate_predictor
+from repro.core.governor import Governor, StaticGovernor
+from repro.core.phases import PhaseTable
+from repro.core.predictors import GPHTPredictor
+from repro.errors import ConfigurationError
+from repro.system.machine import Machine
+from repro.system.metrics import ComparisonMetrics
+from repro.workloads.spec2000 import benchmark
+
+
+def sweep_pht_entries(
+    benchmark_names: Sequence[str],
+    pht_sizes: Sequence[int],
+    gphr_depth: int = 8,
+    n_intervals: int = 1000,
+    phase_table: Optional[PhaseTable] = None,
+) -> Dict[str, Dict[int, float]]:
+    """GPHT accuracy per benchmark per PHT capacity (Figure 5's sweep).
+
+    Returns:
+        ``{benchmark: {pht_size: accuracy}}``.
+    """
+    if not pht_sizes:
+        raise ConfigurationError("pht_sizes must not be empty")
+    results: Dict[str, Dict[int, float]] = {}
+    for name in benchmark_names:
+        series = benchmark(name).mem_series(n_intervals)
+        per_size: Dict[int, float] = {}
+        for size in pht_sizes:
+            predictor = GPHTPredictor(gphr_depth, size)
+            per_size[size] = evaluate_predictor(
+                predictor, series, phase_table
+            ).accuracy
+        results[name] = per_size
+    return results
+
+
+def sweep_gphr_depth(
+    benchmark_names: Sequence[str],
+    depths: Sequence[int],
+    pht_entries: int = 1024,
+    n_intervals: int = 1000,
+    phase_table: Optional[PhaseTable] = None,
+) -> Dict[str, Dict[int, float]]:
+    """GPHT accuracy per benchmark per history depth.
+
+    Returns:
+        ``{benchmark: {depth: accuracy}}``.
+    """
+    if not depths:
+        raise ConfigurationError("depths must not be empty")
+    results: Dict[str, Dict[int, float]] = {}
+    for name in benchmark_names:
+        series = benchmark(name).mem_series(n_intervals)
+        per_depth: Dict[int, float] = {}
+        for depth in depths:
+            predictor = GPHTPredictor(depth, pht_entries)
+            per_depth[depth] = evaluate_predictor(
+                predictor, series, phase_table
+            ).accuracy
+        results[name] = per_depth
+    return results
+
+
+def sweep_granularity(
+    benchmark_name: str,
+    granularities: Sequence[int],
+    governor_factory: Callable[[], Governor],
+    segment_uops: int = 25_000_000,
+    n_segments: int = 800,
+) -> Dict[int, ComparisonMetrics]:
+    """Baseline-vs-managed comparison per PMI granularity.
+
+    The workload's intrinsic behaviour (segment size) is held fixed so
+    the sweep isolates the sampling effect, exactly as in the
+    granularity ablation bench.
+
+    Returns:
+        ``{granularity_uops: ComparisonMetrics}``.
+    """
+    if not granularities:
+        raise ConfigurationError("granularities must not be empty")
+    trace = benchmark(benchmark_name).trace(
+        n_intervals=n_segments, uops_per_interval=segment_uops
+    )
+    results: Dict[int, ComparisonMetrics] = {}
+    for granularity in granularities:
+        machine = Machine(granularity_uops=granularity)
+        baseline = machine.run(
+            trace, StaticGovernor(machine.speedstep.fastest)
+        )
+        managed = machine.run(trace, governor_factory())
+        results[granularity] = ComparisonMetrics(
+            baseline=baseline, managed=managed
+        )
+    return results
+
+
+def sweep_frequencies(
+    benchmark_name: str,
+    n_intervals: int = 50,
+    machine: Optional[Machine] = None,
+) -> Dict[int, Dict[str, float]]:
+    """Run a benchmark pinned at every operating point (Figure 7 style).
+
+    Returns:
+        ``{frequency_mhz: {"bips": ..., "power_w": ..., "upc": ...,
+        "mem_per_uop": ...}}`` with per-run aggregates.
+    """
+    machine = machine if machine is not None else Machine()
+    trace = benchmark(benchmark_name).trace(n_intervals=n_intervals)
+    results: Dict[int, Dict[str, float]] = {}
+    for point in machine.speedstep:
+        run = machine.run(
+            trace, StaticGovernor(point), initial_point=point
+        )
+        records = [m.record for m in run.intervals]
+        results[point.frequency_mhz] = {
+            "bips": run.bips,
+            "power_w": run.average_power_w,
+            "upc": sum(r.upc for r in records) / len(records),
+            "mem_per_uop": sum(r.mem_per_uop for r in records)
+            / len(records),
+        }
+    return results

@@ -1,0 +1,55 @@
+"""Sample-variation metrics (the y-axis of the paper's Figure 3).
+
+The paper quantifies how "unstable" a benchmark is as the percentage of
+consecutive sample pairs whose ``Mem/Uop`` differs by more than 0.005 at
+the 100M-instruction sampling granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: The paper's variation threshold at 100M-instruction granularity.
+DEFAULT_VARIATION_DELTA = 0.005
+
+
+def sample_variation_pct(
+    mem_series: Sequence[float], delta: float = DEFAULT_VARIATION_DELTA
+) -> float:
+    """Percentage of consecutive samples changing by more than ``delta``.
+
+    Args:
+        mem_series: Per-interval ``Mem/Uop`` values (at least two).
+        delta: Change magnitude that counts as a variation.
+
+    Returns:
+        A percentage in ``[0, 100]``.
+    """
+    series = np.asarray(mem_series, dtype=float)
+    if series.size < 2:
+        raise ConfigurationError(
+            f"variation needs >= 2 samples, got {series.size}"
+        )
+    if delta <= 0:
+        raise ConfigurationError(f"delta must be > 0, got {delta}")
+    changes = np.abs(np.diff(series)) > delta
+    return float(changes.mean() * 100.0)
+
+
+def phase_transition_rate(phases: Sequence[int]) -> float:
+    """Fraction of consecutive samples whose phase id differs.
+
+    The complement of this rate is exactly the accuracy a last-value
+    predictor achieves on the sequence, which makes it a useful analytic
+    cross-check in tests.
+    """
+    series = np.asarray(phases)
+    if series.size < 2:
+        raise ConfigurationError(
+            f"transition rate needs >= 2 samples, got {series.size}"
+        )
+    return float((np.diff(series) != 0).mean())

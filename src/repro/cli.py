@@ -1,0 +1,311 @@
+"""Command-line interface to the reproduction.
+
+Exposes the common experiments without writing Python::
+
+    python -m repro list                      # benchmark registry
+    python -m repro run applu_in              # baseline vs managed run
+    python -m repro run mcf_inp --governor reactive --intervals 500
+    python -m repro run applu_in --policy bounded --json
+    python -m repro accuracy applu_in equake_in
+    python -m repro quadrants
+
+Every command prints aligned text; ``run --json`` and ``run --csv`` emit
+machine-readable exports instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.accuracy import evaluate_predictor
+from repro.analysis.characterize import characterization_rows, characterize
+from repro.analysis.reporting import format_percent, format_table
+from repro.analysis.witnesses import spec_phase_witnesses
+from repro.core.dvfs_policy import DVFSPolicy, derive_bounded_policy
+from repro.core.governor import (
+    Governor,
+    PhasePredictionGovernor,
+    ReactiveGovernor,
+    StaticGovernor,
+)
+from repro.core.objectives import derive_objective_policy
+from repro.core.predictors import paper_predictor_suite
+from repro.core.predictors.gpht import GPHTPredictor
+from repro.errors import ReproError
+from repro.system.export import run_to_csv, run_to_json
+from repro.system.machine import Machine
+from repro.system.metrics import ComparisonMetrics
+from repro.workloads.quadrants import place_all
+from repro.workloads.spec2000 import (
+    SPEC2000_BENCHMARKS,
+    benchmark,
+    benchmark_names,
+)
+
+#: Policies constructible by name from the command line.
+POLICY_BUILDERS = {
+    "table2": lambda: DVFSPolicy.paper_default(),
+    "bounded": lambda: derive_bounded_policy(
+        0.05, witnesses_by_phase=spec_phase_witnesses()
+    ),
+    "energy": lambda: derive_objective_policy("energy"),
+    "edp": lambda: derive_objective_policy("edp"),
+    "ed2p": lambda: derive_objective_policy("ed2p"),
+}
+
+
+def _build_governor(name: str, policy: DVFSPolicy) -> Governor:
+    if name == "gpht":
+        return PhasePredictionGovernor(GPHTPredictor(8, 128), policy)
+    if name == "reactive":
+        return ReactiveGovernor(policy)
+    raise ReproError(f"unknown governor {name!r}")
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in benchmark_names():
+        spec = SPEC2000_BENCHMARKS[name]
+        rows.append((name, spec.description))
+    print(
+        format_table(
+            ["benchmark", "description"],
+            rows,
+            title="SPEC2000 synthetic benchmark registry (Figure 4 order)",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = benchmark(args.benchmark)
+    machine = Machine()
+    trace = spec.trace(n_intervals=args.intervals)
+    policy = POLICY_BUILDERS[args.policy]()
+    governor = _build_governor(args.governor, policy)
+
+    baseline = machine.run(trace, StaticGovernor(machine.speedstep.fastest))
+    managed = machine.run(trace, governor)
+
+    if args.json:
+        print(run_to_json(managed))
+        return 0
+    if args.csv:
+        print(run_to_csv(managed), end="")
+        return 0
+
+    comparison = ComparisonMetrics(baseline=baseline, managed=managed)
+    rows = [
+        ("governor", managed.governor_name),
+        ("policy", policy.name),
+        ("intervals", str(len(managed.intervals))),
+        ("baseline power", f"{baseline.average_power_w:.2f} W"),
+        ("managed power", f"{managed.average_power_w:.2f} W"),
+        ("baseline BIPS", f"{baseline.bips:.3f}"),
+        ("managed BIPS", f"{managed.bips:.3f}"),
+        ("prediction accuracy", format_percent(managed.prediction_accuracy())),
+        ("DVFS transitions", str(managed.transition_count)),
+        ("power savings", format_percent(comparison.power_savings)),
+        ("energy savings", format_percent(comparison.energy_savings)),
+        (
+            "performance degradation",
+            format_percent(comparison.performance_degradation),
+        ),
+        ("EDP improvement", format_percent(comparison.edp_improvement)),
+    ]
+    print(
+        format_table(
+            ["metric", "value"], rows, title=f"run: {args.benchmark}"
+        )
+    )
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    names = args.benchmarks or list(benchmark_names())
+    suite = paper_predictor_suite()
+    columns = [p.name for p in suite]
+    rows = []
+    for name in names:
+        series = benchmark(name).mem_series(args.intervals)
+        accuracies = []
+        for predictor in paper_predictor_suite():
+            result = evaluate_predictor(predictor, series)
+            accuracies.append(round(result.accuracy * 100, 1))
+        rows.append([name] + accuracies)
+    print(
+        format_table(
+            ["benchmark"] + columns,
+            rows,
+            title=f"prediction accuracy (%) over {args.intervals} intervals",
+        )
+    )
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    for name in args.benchmarks:
+        result = characterize(benchmark(name), n_intervals=args.intervals)
+        print(
+            format_table(
+                ["property", "value"],
+                characterization_rows(result),
+                title=f"characterisation: {name}",
+            )
+        )
+        print()
+    return 0
+
+
+def _cmd_export_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.serialization import trace_to_json
+
+    trace = benchmark(args.benchmark).trace(n_intervals=args.intervals)
+    print(trace_to_json(trace))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.paper_report import measure_claims, render_report
+
+    claims = measure_claims(
+        n_accuracy=args.accuracy_intervals,
+        n_intervals=args.intervals,
+    )
+    print(render_report(claims))
+    return 0 if all(claim.holds for claim in claims) else 1
+
+
+def _cmd_quadrants(args: argparse.Namespace) -> int:
+    placements = place_all(SPEC2000_BENCHMARKS, n_intervals=args.intervals)
+    rows = [
+        (
+            p.name,
+            round(p.savings_potential, 4),
+            round(p.variability_pct, 1),
+            p.quadrant.name,
+        )
+        for p in sorted(
+            placements.values(), key=lambda p: (p.quadrant.name, p.name)
+        )
+    ]
+    print(
+        format_table(
+            ["benchmark", "mean Mem/Uop", "variation %", "quadrant"],
+            rows,
+            title="Figure 3 quadrant placement",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Runtime phase monitoring and prediction with application to "
+            "dynamic power management (MICRO 2006 reproduction)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list the benchmark registry"
+    )
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one benchmark, baseline vs managed"
+    )
+    run_parser.add_argument("benchmark", help="benchmark name (see 'list')")
+    run_parser.add_argument(
+        "--governor",
+        choices=("gpht", "reactive"),
+        default="gpht",
+        help="managed governor (default: gpht)",
+    )
+    run_parser.add_argument(
+        "--policy",
+        choices=sorted(POLICY_BUILDERS),
+        default="table2",
+        help="phase-to-DVFS policy (default: the paper's Table 2)",
+    )
+    run_parser.add_argument(
+        "--intervals", type=int, default=300,
+        help="trace length in 100M-uop intervals",
+    )
+    run_parser.add_argument(
+        "--json", action="store_true", help="emit the managed run as JSON"
+    )
+    run_parser.add_argument(
+        "--csv", action="store_true",
+        help="emit the managed run's interval log as CSV",
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    accuracy_parser = subparsers.add_parser(
+        "accuracy", help="evaluate the Figure 4 predictor suite"
+    )
+    accuracy_parser.add_argument(
+        "benchmarks", nargs="*",
+        help="benchmarks to evaluate (default: all 33)",
+    )
+    accuracy_parser.add_argument("--intervals", type=int, default=1000)
+    accuracy_parser.set_defaults(func=_cmd_accuracy)
+
+    characterize_parser = subparsers.add_parser(
+        "characterize", help="full workload characterisation report"
+    )
+    characterize_parser.add_argument(
+        "benchmarks", nargs="+", help="benchmarks to characterise"
+    )
+    characterize_parser.add_argument("--intervals", type=int, default=1000)
+    characterize_parser.set_defaults(func=_cmd_characterize)
+
+    export_parser = subparsers.add_parser(
+        "export-trace",
+        help="emit a benchmark's workload trace as portable JSON",
+    )
+    export_parser.add_argument("benchmark", help="benchmark name")
+    export_parser.add_argument("--intervals", type=int, default=300)
+    export_parser.set_defaults(func=_cmd_export_trace)
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="re-measure the paper's headline claims (exit 1 if any fails)",
+    )
+    report_parser.add_argument(
+        "--intervals", type=int, default=300,
+        help="trace length for management claims",
+    )
+    report_parser.add_argument(
+        "--accuracy-intervals", type=int, default=1000,
+        help="trace length for prediction claims",
+    )
+    report_parser.set_defaults(func=_cmd_report)
+
+    quadrant_parser = subparsers.add_parser(
+        "quadrants", help="place every benchmark on the Figure 3 plane"
+    )
+    quadrant_parser.add_argument("--intervals", type=int, default=400)
+    quadrant_parser.set_defaults(func=_cmd_quadrants)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

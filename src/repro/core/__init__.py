@@ -1,0 +1,57 @@
+"""The paper's contribution: phase definitions, predictors, DVFS policy
+translation, and the management governors."""
+
+from repro.core.dvfs_policy import DVFSPolicy, derive_bounded_policy
+from repro.core.objectives import (
+    OBJECTIVES,
+    derive_objective_policy,
+    derive_power_capped_policy,
+)
+from repro.core.governor import (
+    Governor,
+    GovernorDecision,
+    IntervalCounters,
+    PhasePredictionGovernor,
+    ReactiveGovernor,
+    StaticGovernor,
+)
+from repro.core.phases import PAPER_PHASE_EDGES, PhaseDefinition, PhaseTable
+from repro.core.thermal_governor import ThermalManagedGovernor
+from repro.core.predictors import (
+    FixedWindowPredictor,
+    GPHTPredictor,
+    LastValuePredictor,
+    MarkovPredictor,
+    OraclePredictor,
+    PhaseObservation,
+    PhasePredictor,
+    VariableWindowPredictor,
+    paper_predictor_suite,
+)
+
+__all__ = [
+    "PhaseTable",
+    "PhaseDefinition",
+    "PAPER_PHASE_EDGES",
+    "PhasePredictor",
+    "PhaseObservation",
+    "LastValuePredictor",
+    "FixedWindowPredictor",
+    "VariableWindowPredictor",
+    "MarkovPredictor",
+    "GPHTPredictor",
+    "OraclePredictor",
+    "paper_predictor_suite",
+    "DVFSPolicy",
+    "derive_bounded_policy",
+    "OBJECTIVES",
+    "derive_objective_policy",
+    "derive_power_capped_policy",
+    "Governor",
+    "GovernorDecision",
+    "IntervalCounters",
+    "PhasePredictionGovernor",
+    "ReactiveGovernor",
+    "StaticGovernor",
+    "ThermalManagedGovernor",
+]

@@ -1,0 +1,218 @@
+"""Phase-to-DVFS translation policies.
+
+The paper's handler translates the predicted phase into a DVFS setting
+through a small look-up table defined at kernel-module initialisation
+(Table 2).  The table is reconfigurable after deployment — Section 6.3
+swaps in a *conservative* variant derived from the IPCxMEM performance
+study so that worst-case performance degradation stays below a target
+(5% in the paper).
+
+This module provides both: the paper's aggressive default mapping, and
+the derivation procedure for bounded-degradation mappings driven by the
+platform timing model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.core.phases import PhaseTable
+from repro.cpu.frequency import OperatingPoint, SpeedStepTable
+from repro.cpu.timing import TimingModel
+from repro.errors import ConfigurationError
+from repro.workloads.segments import SegmentSpec
+
+
+class DVFSPolicy:
+    """A complete phase-to-operating-point look-up table.
+
+    Args:
+        phase_table: The phase definitions this policy is keyed by.
+        assignments: Operating point per phase id; every phase in
+            ``phase_table`` must be covered.
+        name: Display name for reports.
+    """
+
+    def __init__(
+        self,
+        phase_table: PhaseTable,
+        assignments: Mapping[int, OperatingPoint],
+        name: str = "custom",
+    ) -> None:
+        missing = [p for p in phase_table.phase_ids if p not in assignments]
+        if missing:
+            raise ConfigurationError(
+                f"policy {name!r} misses assignments for phases {missing}"
+            )
+        unknown = [p for p in assignments if p not in phase_table.phase_ids]
+        if unknown:
+            raise ConfigurationError(
+                f"policy {name!r} assigns unknown phases {unknown}"
+            )
+        self._phase_table = phase_table
+        self._assignments: Dict[int, OperatingPoint] = dict(assignments)
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        """Display name of this policy."""
+        return self._name
+
+    @property
+    def phase_table(self) -> PhaseTable:
+        """The phase definitions this policy is keyed by."""
+        return self._phase_table
+
+    @property
+    def assignments(self) -> Dict[int, OperatingPoint]:
+        """A copy of the phase-to-point mapping."""
+        return dict(self._assignments)
+
+    def setting_for(self, phase_id: int) -> OperatingPoint:
+        """The operating point to program when ``phase_id`` is predicted."""
+        try:
+            return self._assignments[phase_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"phase {phase_id} is not covered by policy {self._name!r}"
+            ) from None
+
+    def is_monotonic(self) -> bool:
+        """Whether more memory-bound phases never get faster settings.
+
+        The paper's Table 2 is monotonic: frequency is non-increasing in
+        the phase id.  Custom policies need not be, but monotonicity is a
+        useful sanity property to assert in tests.
+        """
+        frequencies = [
+            self._assignments[p].frequency_mhz
+            for p in sorted(self._assignments)
+        ]
+        return all(b <= a for a, b in zip(frequencies, frequencies[1:]))
+
+    @classmethod
+    def paper_default(
+        cls,
+        phase_table: Optional[PhaseTable] = None,
+        speedstep: Optional[SpeedStepTable] = None,
+    ) -> "DVFSPolicy":
+        """The paper's Table 2: phase ``i`` maps to the ``i``-th fastest
+        operating point (phase 1 = 1500 MHz ... phase 6 = 600 MHz).
+
+        Raises:
+            ConfigurationError: If the phase count exceeds the number of
+                available operating points.
+        """
+        phase_table = phase_table if phase_table is not None else PhaseTable()
+        speedstep = speedstep if speedstep is not None else SpeedStepTable()
+        if phase_table.num_phases > len(speedstep):
+            raise ConfigurationError(
+                f"{phase_table.num_phases} phases but only "
+                f"{len(speedstep)} operating points"
+            )
+        assignments = {
+            phase_id: speedstep[phase_id - 1]
+            for phase_id in phase_table.phase_ids
+        }
+        return cls(phase_table, assignments, name="paper_table2")
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{p}->{self._assignments[p].frequency_mhz}MHz"
+            for p in sorted(self._assignments)
+        )
+        return f"DVFSPolicy({self._name!r}: {pairs})"
+
+
+def derive_bounded_policy(
+    max_degradation: float,
+    phase_table: Optional[PhaseTable] = None,
+    speedstep: Optional[SpeedStepTable] = None,
+    timing: Optional[TimingModel] = None,
+    witnesses_by_phase: Optional[Mapping[int, Sequence[SegmentSpec]]] = None,
+    upc_core_floor: float = 0.5,
+    witness_uops: int = 1_000_000,
+) -> DVFSPolicy:
+    """Derive a conservative policy bounding worst-case slowdown.
+
+    Reproduces the Section 6.3 procedure: for every phase, examine the
+    achievable performance at each DVFS setting over representative
+    execution points, and pick the slowest setting whose worst-case
+    slowdown relative to the fastest setting stays within
+    ``max_degradation``.
+
+    Args:
+        max_degradation: Target bound, e.g. ``0.05`` for the paper's 5%.
+        phase_table: Phase definitions (default: paper Table 1).
+        speedstep: Available operating points (default: Pentium-M).
+        timing: Platform timing model used to evaluate slowdowns.
+        witnesses_by_phase: Representative segments per phase over which
+            the worst case is taken — typically drawn from the IPCxMEM
+            grid or the benchmark registry.  When omitted, a synthetic
+            worst-case witness is built per phase from the bin's *lower*
+            ``Mem/Uop`` edge (the least memory-bound and therefore most
+            slowdown-sensitive point in the bin) at ``upc_core_floor``.
+        upc_core_floor: Core UPC of the synthetic witnesses; lower values
+            are more slowdown-sensitive and hence more conservative.
+        witness_uops: Size of synthetic witness segments (irrelevant to
+            ratios, required by the segment type).
+
+    Returns:
+        A :class:`DVFSPolicy` named ``bounded_<percent>`` guaranteeing —
+        under the timing model — that no interval classified into any
+        phase slows by more than ``max_degradation`` versus full speed.
+    """
+    if not 0 < max_degradation < 1:
+        raise ConfigurationError(
+            f"max_degradation must be in (0, 1), got {max_degradation}"
+        )
+    phase_table = phase_table if phase_table is not None else PhaseTable()
+    speedstep = speedstep if speedstep is not None else SpeedStepTable()
+    timing = timing if timing is not None else TimingModel()
+
+    assignments: Dict[int, OperatingPoint] = {}
+    fastest = speedstep.fastest
+    for definition in phase_table.definitions:
+        witnesses = _witnesses_for(
+            definition.phase_id,
+            definition.lower,
+            witnesses_by_phase,
+            upc_core_floor,
+            witness_uops,
+        )
+        chosen = fastest
+        # Walk slowest-first; the first point that satisfies the bound
+        # for every witness is the most power-saving admissible choice.
+        for point in sorted(speedstep, key=lambda p: p.frequency_mhz):
+            worst = max(
+                timing.slowdown(segment, point, fastest)
+                for segment in witnesses
+            )
+            if worst <= 1.0 + max_degradation:
+                chosen = point
+                break
+        assignments[definition.phase_id] = chosen
+    return DVFSPolicy(
+        phase_table,
+        assignments,
+        name=f"bounded_{max_degradation:.0%}",
+    )
+
+
+def _witnesses_for(
+    phase_id: int,
+    lower_edge: float,
+    witnesses_by_phase: Optional[Mapping[int, Sequence[SegmentSpec]]],
+    upc_core_floor: float,
+    witness_uops: int,
+) -> Sequence[SegmentSpec]:
+    """Resolve the worst-case witness segments for one phase."""
+    if witnesses_by_phase is not None and witnesses_by_phase.get(phase_id):
+        return witnesses_by_phase[phase_id]
+    return [
+        SegmentSpec(
+            uops=witness_uops,
+            mem_per_uop=lower_edge,
+            upc_core=upc_core_floor,
+        )
+    ]

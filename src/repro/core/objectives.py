@@ -1,0 +1,178 @@
+"""Objective-driven DVFS policy derivation (extension).
+
+The paper notes that its framework "can be applied ... to other dynamic
+management techniques, such as dynamic thermal management or bounding
+power consumption" (Sections 1 and 8).  This module realises that
+generality: instead of hand-assigning operating points per phase
+(Table 2) or bounding slowdown (Section 6.3), a policy is *derived* by
+optimising an explicit objective per phase under the platform timing and
+power models:
+
+* ``"energy"``   — minimise energy (race-to-idle vs crawl trade-off);
+* ``"edp"``      — minimise energy-delay product (the paper's headline
+  metric);
+* ``"ed2p"``     — minimise energy-delay-squared (performance-leaning);
+* :func:`derive_power_capped_policy` — the fastest settings that keep
+  expected power under a cap (thermal/power-budget management).
+
+Each phase is represented by a witness segment (by default the phase's
+bin-midpoint ``Mem/Uop`` at a typical core UPC); the chosen operating
+point optimises the objective for that witness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.core.dvfs_policy import DVFSPolicy
+from repro.core.phases import PhaseTable
+from repro.cpu.frequency import OperatingPoint, SpeedStepTable
+from repro.cpu.timing import TimingModel
+from repro.errors import ConfigurationError
+from repro.power.model import PowerModel
+from repro.workloads.segments import SegmentSpec
+
+#: Supported optimisation objectives, mapping to the exponent of delay
+#: in the E * D^k family.
+OBJECTIVES: Dict[str, int] = {"energy": 0, "edp": 1, "ed2p": 2}
+
+
+def _representative_segment(
+    phase_table: PhaseTable,
+    phase_id: int,
+    upc_core: float,
+    uops: int,
+) -> SegmentSpec:
+    """Build the default witness for a phase: bin midpoint behaviour."""
+    return SegmentSpec(
+        uops=uops,
+        mem_per_uop=phase_table.representative_value(phase_id),
+        upc_core=upc_core,
+    )
+
+
+def _objective_value(
+    segment: SegmentSpec,
+    point: OperatingPoint,
+    timing: TimingModel,
+    power: PowerModel,
+    delay_exponent: int,
+) -> float:
+    """Evaluate E * D^k for one segment at one operating point."""
+    execution = timing.execute(segment, point)
+    energy = power.power(point, execution.duty) * execution.seconds
+    return energy * execution.seconds**delay_exponent
+
+
+def derive_objective_policy(
+    objective: str,
+    phase_table: Optional[PhaseTable] = None,
+    speedstep: Optional[SpeedStepTable] = None,
+    timing: Optional[TimingModel] = None,
+    power: Optional[PowerModel] = None,
+    representatives: Optional[Mapping[int, SegmentSpec]] = None,
+    upc_core: float = 1.3,
+    witness_uops: int = 100_000_000,
+) -> DVFSPolicy:
+    """Derive the per-phase settings minimising ``objective``.
+
+    Args:
+        objective: One of ``"energy"``, ``"edp"``, ``"ed2p"``.
+        phase_table: Phase definitions (default: paper Table 1).
+        speedstep: Candidate operating points (default: Pentium-M).
+        timing: Platform timing model.
+        power: Platform power model.
+        representatives: Optional witness segment per phase; phases
+            without an entry use the synthetic bin-midpoint witness.
+        upc_core: Core UPC of synthetic witnesses.
+        witness_uops: Uop count of synthetic witnesses.
+
+    Returns:
+        A :class:`DVFSPolicy` named ``objective_<name>``.  Ties favour
+        the faster point (less exposure to misprediction slowdowns).
+    """
+    if objective not in OBJECTIVES:
+        raise ConfigurationError(
+            f"objective must be one of {sorted(OBJECTIVES)}, got {objective!r}"
+        )
+    phase_table = phase_table if phase_table is not None else PhaseTable()
+    speedstep = speedstep if speedstep is not None else SpeedStepTable()
+    timing = timing if timing is not None else TimingModel()
+    power = power if power is not None else PowerModel()
+    delay_exponent = OBJECTIVES[objective]
+
+    assignments: Dict[int, OperatingPoint] = {}
+    for phase_id in phase_table.phase_ids:
+        if representatives is not None and phase_id in representatives:
+            witness = representatives[phase_id]
+        else:
+            witness = _representative_segment(
+                phase_table, phase_id, upc_core, witness_uops
+            )
+        # speedstep iterates fastest-first, so strict '<' keeps the
+        # fastest point among objective ties.
+        best_point = speedstep.fastest
+        best_value = _objective_value(
+            witness, best_point, timing, power, delay_exponent
+        )
+        for point in speedstep:
+            value = _objective_value(
+                witness, point, timing, power, delay_exponent
+            )
+            if value < best_value:
+                best_value = value
+                best_point = point
+        assignments[phase_id] = best_point
+    return DVFSPolicy(
+        phase_table, assignments, name=f"objective_{objective}"
+    )
+
+
+def derive_power_capped_policy(
+    max_power_w: float,
+    phase_table: Optional[PhaseTable] = None,
+    speedstep: Optional[SpeedStepTable] = None,
+    timing: Optional[TimingModel] = None,
+    power: Optional[PowerModel] = None,
+    representatives: Optional[Mapping[int, SegmentSpec]] = None,
+    upc_core: float = 1.3,
+    witness_uops: int = 100_000_000,
+) -> DVFSPolicy:
+    """Derive the fastest per-phase settings under a power cap.
+
+    The dynamic-power-bounding application the paper's conclusions call
+    out: for each phase, pick the highest-frequency operating point whose
+    expected power (for the phase's witness behaviour) stays at or below
+    ``max_power_w``.  Phases whose power exceeds the cap even at the
+    slowest point get the slowest point (best effort).
+
+    Returns:
+        A :class:`DVFSPolicy` named ``power_cap_<watts>``.
+    """
+    if max_power_w <= 0:
+        raise ConfigurationError(
+            f"power cap must be > 0 W, got {max_power_w}"
+        )
+    phase_table = phase_table if phase_table is not None else PhaseTable()
+    speedstep = speedstep if speedstep is not None else SpeedStepTable()
+    timing = timing if timing is not None else TimingModel()
+    power = power if power is not None else PowerModel()
+
+    assignments: Dict[int, OperatingPoint] = {}
+    for phase_id in phase_table.phase_ids:
+        if representatives is not None and phase_id in representatives:
+            witness = representatives[phase_id]
+        else:
+            witness = _representative_segment(
+                phase_table, phase_id, upc_core, witness_uops
+            )
+        chosen = speedstep.slowest
+        for point in speedstep:  # fastest first
+            execution = timing.execute(witness, point)
+            if power.power(point, execution.duty) <= max_power_w:
+                chosen = point
+                break
+        assignments[phase_id] = chosen
+    return DVFSPolicy(
+        phase_table, assignments, name=f"power_cap_{max_power_w:g}W"
+    )

@@ -1,0 +1,165 @@
+"""Phase definitions and classification (paper Section 2, Table 1).
+
+Application behaviour is classified into a small number of *phases* from
+the ``Mem/Uop`` metric — memory bus transactions per retired micro-op —
+which Section 4 of the paper shows is invariant under DVFS.  The paper's
+Table 1 defines six phases:
+
+====================  =======
+Mem/Uop               Phase #
+====================  =======
+< 0.005               1 (highly CPU-bound)
+[0.005, 0.010)        2
+[0.010, 0.015)        3
+[0.015, 0.020)        4
+[0.020, 0.030)        5
+>= 0.030              6 (highly memory-bound)
+====================  =======
+
+The table is a first-class object so alternative definitions — notably
+the conservative, performance-bounding tables of Section 6.3 — can be
+swapped in without touching any other component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Upper bin edges of the paper's Table 1.  Phase ``i`` (1-based) covers
+#: ``[edge[i-2], edge[i-1])`` with an implicit 0 lower bound and +inf top.
+PAPER_PHASE_EDGES: Tuple[float, ...] = (0.005, 0.010, 0.015, 0.020, 0.030)
+
+
+@dataclass(frozen=True)
+class PhaseDefinition:
+    """One phase: a half-open ``Mem/Uop`` interval with a 1-based id.
+
+    Attributes:
+        phase_id: 1-based phase number (1 = most CPU-bound).
+        lower: Inclusive lower ``Mem/Uop`` bound.
+        upper: Exclusive upper bound (``inf`` for the last phase).
+    """
+
+    phase_id: int
+    lower: float
+    upper: float
+
+    def contains(self, mem_per_uop: float) -> bool:
+        """Whether ``mem_per_uop`` falls in this phase's interval."""
+        return self.lower <= mem_per_uop < self.upper
+
+    def __str__(self) -> str:
+        if self.upper == float("inf"):
+            return f"phase {self.phase_id}: Mem/Uop >= {self.lower}"
+        return f"phase {self.phase_id}: Mem/Uop in [{self.lower}, {self.upper})"
+
+
+class PhaseTable:
+    """Maps ``Mem/Uop`` values to phase ids via ordered bin edges.
+
+    Args:
+        edges: Strictly increasing, positive upper bin edges.  ``n`` edges
+            define ``n + 1`` phases, numbered 1 (below the first edge,
+            most CPU-bound) through ``n + 1`` (at or above the last edge,
+            most memory-bound).
+
+    The default table is the paper's Table 1.
+    """
+
+    def __init__(self, edges: Sequence[float] = PAPER_PHASE_EDGES) -> None:
+        edges = tuple(edges)
+        if not edges:
+            raise ConfigurationError("a phase table needs at least one edge")
+        if any(e <= 0 for e in edges):
+            raise ConfigurationError(f"edges must be positive: {edges}")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ConfigurationError(
+                f"edges must be strictly increasing: {edges}"
+            )
+        self._edges = edges
+        bounds = (0.0,) + edges + (float("inf"),)
+        self._definitions = tuple(
+            PhaseDefinition(phase_id=i + 1, lower=bounds[i], upper=bounds[i + 1])
+            for i in range(len(bounds) - 1)
+        )
+
+    @property
+    def edges(self) -> Tuple[float, ...]:
+        """The upper bin edges."""
+        return self._edges
+
+    @property
+    def num_phases(self) -> int:
+        """How many phases this table defines."""
+        return len(self._edges) + 1
+
+    @property
+    def definitions(self) -> Tuple[PhaseDefinition, ...]:
+        """All phase definitions, ordered by phase id."""
+        return self._definitions
+
+    @property
+    def phase_ids(self) -> Tuple[int, ...]:
+        """All valid phase ids (1-based, ascending)."""
+        return tuple(d.phase_id for d in self._definitions)
+
+    def classify(self, mem_per_uop: float) -> int:
+        """Return the 1-based phase id for a ``Mem/Uop`` observation.
+
+        Raises:
+            ConfigurationError: If ``mem_per_uop`` is negative (a counter
+                ratio can never be).
+        """
+        if mem_per_uop < 0:
+            raise ConfigurationError(
+                f"Mem/Uop must be >= 0, got {mem_per_uop}"
+            )
+        for i, edge in enumerate(self._edges):
+            if mem_per_uop < edge:
+                return i + 1
+        return len(self._edges) + 1
+
+    def classify_series(self, values: Sequence[float]) -> List[int]:
+        """Classify a whole series of ``Mem/Uop`` observations."""
+        return [self.classify(v) for v in values]
+
+    def definition(self, phase_id: int) -> PhaseDefinition:
+        """Return the definition of ``phase_id``.
+
+        Raises:
+            ConfigurationError: If the id is out of range.
+        """
+        if not 1 <= phase_id <= self.num_phases:
+            raise ConfigurationError(
+                f"phase id must be in [1, {self.num_phases}], got {phase_id}"
+            )
+        return self._definitions[phase_id - 1]
+
+    def representative_value(self, phase_id: int) -> float:
+        """A representative ``Mem/Uop`` for a phase (bin midpoint).
+
+        The unbounded top phase uses its lower edge plus half the previous
+        bin's width, keeping the value finite and monotone.
+        """
+        definition = self.definition(phase_id)
+        if definition.upper == float("inf"):
+            if len(self._edges) >= 2:
+                previous_width = self._edges[-1] - self._edges[-2]
+            else:
+                previous_width = self._edges[-1]
+            return definition.lower + previous_width / 2.0
+        return (definition.lower + definition.upper) / 2.0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PhaseTable):
+            return NotImplemented
+        return self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash(self._edges)
+
+    def __repr__(self) -> str:
+        return f"PhaseTable(edges={self._edges})"

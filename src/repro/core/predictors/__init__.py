@@ -1,0 +1,49 @@
+"""Phase predictors: the GPHT and the statistical baselines it is
+evaluated against (paper Section 3)."""
+
+from repro.core.predictors.base import PhaseObservation, PhasePredictor
+from repro.core.predictors.confidence import ConfidenceGPHTPredictor
+from repro.core.predictors.direct_mapped import DirectMappedGPHTPredictor
+from repro.core.predictors.duration import DurationPredictor
+from repro.core.predictors.fixed_window import FixedWindowPredictor
+from repro.core.predictors.gpht import GPHTPredictor
+from repro.core.predictors.hybrid import TournamentPredictor
+from repro.core.predictors.last_value import LastValuePredictor
+from repro.core.predictors.markov import MarkovPredictor
+from repro.core.predictors.oracle import OraclePredictor
+from repro.core.predictors.variable_window import VariableWindowPredictor
+
+__all__ = [
+    "PhaseObservation",
+    "PhasePredictor",
+    "LastValuePredictor",
+    "FixedWindowPredictor",
+    "VariableWindowPredictor",
+    "MarkovPredictor",
+    "DurationPredictor",
+    "ConfidenceGPHTPredictor",
+    "TournamentPredictor",
+    "DirectMappedGPHTPredictor",
+    "GPHTPredictor",
+    "OraclePredictor",
+    "paper_predictor_suite",
+]
+
+
+def paper_predictor_suite():
+    """The six predictors evaluated in the paper's Figure 4.
+
+    Returns:
+        A list of freshly constructed predictors: last value, fixed
+        windows of 8 and 128, variable windows of 128 entries with
+        transition thresholds 0.005 and 0.030, and the GPHT with depth 8
+        and 1024 PHT entries.
+    """
+    return [
+        LastValuePredictor(),
+        FixedWindowPredictor(window_size=8),
+        FixedWindowPredictor(window_size=128),
+        VariableWindowPredictor(window_size=128, transition_threshold=0.005),
+        VariableWindowPredictor(window_size=128, transition_threshold=0.030),
+        GPHTPredictor(gphr_depth=8, pht_entries=1024),
+    ]

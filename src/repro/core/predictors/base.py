@@ -1,0 +1,65 @@
+"""Common interface for phase predictors.
+
+Every predictor follows the same observe/predict cycle that the paper's
+PMI handler drives once per sampling interval:
+
+1. :meth:`PhasePredictor.observe` — the handler reads the counters,
+   classifies the elapsed interval and tells the predictor what actually
+   happened;
+2. :meth:`PhasePredictor.predict` — the predictor names the phase it
+   expects in the *next* interval.
+
+Observations carry both the discrete phase id and the raw ``Mem/Uop``
+value, because some statistical predictors (the variable-window family)
+key their history resets off the raw metric.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PhaseObservation:
+    """What the handler observed for one completed sampling interval.
+
+    Attributes:
+        phase: The classified phase id (1-based).
+        mem_per_uop: The raw ``Mem/Uop`` value the phase was derived from.
+    """
+
+    phase: int
+    mem_per_uop: float
+
+
+class PhasePredictor(ABC):
+    """Abstract observe/predict phase predictor.
+
+    Subclasses must be usable cold: :meth:`predict` may be called before
+    any observation, in which case a sensible default (phase 1, the
+    fastest setting) keeps the machine safe.
+    """
+
+    #: Phase predicted before any observation has been made.
+    DEFAULT_PHASE = 1
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short display name (used in figures and reports)."""
+
+    @abstractmethod
+    def observe(self, observation: PhaseObservation) -> None:
+        """Record the actual behaviour of the interval that just ended."""
+
+    @abstractmethod
+    def predict(self) -> int:
+        """Predict the phase of the next interval."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Forget all history (fresh application start)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,81 @@
+"""Fixed-history-window predictor.
+
+Predicts ``Phase[t+1] = f(Phase[t], ..., Phase[t - (winsize-1)])`` over a
+sliding window of the last ``window_size`` observations (paper Section 3).
+Two selector functions ``f`` are provided, matching the options the paper
+lists:
+
+* ``"majority"`` — a population-count selector: the most frequent phase
+  in the window wins, ties broken toward the most recently observed of
+  the tied phases;
+* ``"mean"`` — the window's phase ids are averaged and rounded to the
+  nearest valid phase (an "averaging function" over the discretised
+  metric).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque
+
+from repro.core.predictors.base import PhaseObservation, PhasePredictor
+from repro.errors import ConfigurationError
+
+_SELECTORS = ("majority", "mean")
+
+
+class FixedWindowPredictor(PhasePredictor):
+    """Sliding-window statistical predictor.
+
+    Args:
+        window_size: Number of past observations considered (>= 1).  The
+            paper evaluates sizes 8 and 128.
+        selector: ``"majority"`` (default) or ``"mean"``.
+    """
+
+    def __init__(self, window_size: int, selector: str = "majority") -> None:
+        if window_size < 1:
+            raise ConfigurationError(
+                f"window size must be >= 1, got {window_size}"
+            )
+        if selector not in _SELECTORS:
+            raise ConfigurationError(
+                f"selector must be one of {_SELECTORS}, got {selector!r}"
+            )
+        self._window_size = window_size
+        self._selector = selector
+        self._window: Deque[int] = deque(maxlen=window_size)
+
+    @property
+    def name(self) -> str:
+        return f"FixWindow_{self._window_size}"
+
+    @property
+    def window_size(self) -> int:
+        """Maximum number of observations retained."""
+        return self._window_size
+
+    def observe(self, observation: PhaseObservation) -> None:
+        self._window.append(observation.phase)
+
+    def predict(self) -> int:
+        if not self._window:
+            return self.DEFAULT_PHASE
+        if self._selector == "mean":
+            return round(sum(self._window) / len(self._window))
+        return self._majority()
+
+    def _majority(self) -> int:
+        counts = Counter(self._window)
+        best_count = max(counts.values())
+        tied = {phase for phase, n in counts.items() if n == best_count}
+        if len(tied) == 1:
+            return next(iter(tied))
+        # Tie break: the most recently observed among the tied phases.
+        for phase in reversed(self._window):
+            if phase in tied:
+                return phase
+        raise AssertionError("unreachable: tie set drawn from the window")
+
+    def reset(self) -> None:
+        self._window.clear()

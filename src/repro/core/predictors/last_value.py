@@ -1,0 +1,34 @@
+"""Last-value predictor: ``Phase[t+1] = Phase[t]``.
+
+The simplest statistical predictor of Section 3 of the paper, and the
+implicit policy of every purely *reactive* dynamic-management scheme: the
+next interval is assumed to behave exactly like the one that just ended.
+Excellent for stable applications, poor for rapidly varying ones.
+"""
+
+from __future__ import annotations
+
+from repro.core.predictors.base import PhaseObservation, PhasePredictor
+
+
+class LastValuePredictor(PhasePredictor):
+    """Predicts the next phase to equal the last observed phase."""
+
+    def __init__(self) -> None:
+        self._last_phase: int = self.DEFAULT_PHASE
+        self._seen_any = False
+
+    @property
+    def name(self) -> str:
+        return "LastValue"
+
+    def observe(self, observation: PhaseObservation) -> None:
+        self._last_phase = observation.phase
+        self._seen_any = True
+
+    def predict(self) -> int:
+        return self._last_phase if self._seen_any else self.DEFAULT_PHASE
+
+    def reset(self) -> None:
+        self._last_phase = self.DEFAULT_PHASE
+        self._seen_any = False

@@ -1,0 +1,67 @@
+"""First-order Markov (transition-table) predictor — extension baseline.
+
+Sits between the paper's statistical predictors and the GPHT: it learns
+``P(next phase | current phase)`` by counting observed transitions and
+predicts the maximum-likelihood successor of the current phase.  With
+one step of context it captures sticky behaviour and simple two-phase
+alternations, but cannot disambiguate patterns that revisit the same
+phase with different continuations — exactly the cases the GPHT's deep
+global history resolves.  Including it in comparisons shows how much of
+the GPHT's advantage comes from *depth* rather than from learning
+transitions at all.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import DefaultDict, Optional
+
+from repro.core.predictors.base import PhaseObservation, PhasePredictor
+
+
+class MarkovPredictor(PhasePredictor):
+    """Maximum-likelihood first-order phase transition predictor.
+
+    Predicts the most frequently observed successor of the current
+    phase; ties break toward self (persisting, i.e. last-value
+    behaviour).  Phases with no recorded successor fall back to
+    last-value prediction.
+    """
+
+    def __init__(self) -> None:
+        self._transitions: DefaultDict[int, Counter] = defaultdict(Counter)
+        self._current: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        return "Markov1"
+
+    @property
+    def current_phase(self) -> Optional[int]:
+        """The most recently observed phase (None before any)."""
+        return self._current
+
+    def transition_count(self, source: int, target: int) -> int:
+        """Observed ``source -> target`` transitions so far."""
+        return self._transitions[source][target]
+
+    def observe(self, observation: PhaseObservation) -> None:
+        if self._current is not None:
+            self._transitions[self._current][observation.phase] += 1
+        self._current = observation.phase
+
+    def predict(self) -> int:
+        if self._current is None:
+            return self.DEFAULT_PHASE
+        successors = self._transitions.get(self._current)
+        if not successors:
+            return self._current
+        best_count = max(successors.values())
+        tied = [p for p, n in successors.items() if n == best_count]
+        if self._current in tied:
+            return self._current
+        return tied[0]
+
+    def reset(self) -> None:
+        self._transitions.clear()
+        self._current = None

@@ -1,0 +1,81 @@
+"""Variable-history-window predictor.
+
+Like the fixed window, but "the history can be shrunk in case of a phase
+transition, where previous history becomes obsolete for the following
+phase predictions" (paper Section 3).  A transition is detected on the
+*raw* metric: whenever ``Mem/Uop`` moves by more than
+``transition_threshold`` between consecutive samples, all accumulated
+history is discarded and the window restarts from the new behaviour.
+
+The paper evaluates a 128-entry window with thresholds 0.005 (eager
+resets — behaves like last-value under variation) and 0.030 (reluctant
+resets — behaves like a long majority window).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, Optional
+
+from repro.core.predictors.base import PhaseObservation, PhasePredictor
+from repro.errors import ConfigurationError
+
+
+class VariableWindowPredictor(PhasePredictor):
+    """Sliding window that resets on detected phase transitions.
+
+    Args:
+        window_size: Maximum observations retained (>= 1).
+        transition_threshold: ``Mem/Uop`` delta between consecutive
+            samples above which history is considered obsolete (> 0).
+    """
+
+    def __init__(self, window_size: int, transition_threshold: float) -> None:
+        if window_size < 1:
+            raise ConfigurationError(
+                f"window size must be >= 1, got {window_size}"
+            )
+        if transition_threshold <= 0:
+            raise ConfigurationError(
+                f"transition threshold must be > 0, got {transition_threshold}"
+            )
+        self._window_size = window_size
+        self._threshold = transition_threshold
+        self._window: Deque[int] = deque(maxlen=window_size)
+        self._last_metric: Optional[float] = None
+
+    @property
+    def name(self) -> str:
+        return f"VarWindow_{self._window_size}_{self._threshold:g}"
+
+    @property
+    def window_length(self) -> int:
+        """Current (possibly shrunk) history length."""
+        return len(self._window)
+
+    def observe(self, observation: PhaseObservation) -> None:
+        if (
+            self._last_metric is not None
+            and abs(observation.mem_per_uop - self._last_metric)
+            > self._threshold
+        ):
+            self._window.clear()
+        self._window.append(observation.phase)
+        self._last_metric = observation.mem_per_uop
+
+    def predict(self) -> int:
+        if not self._window:
+            return self.DEFAULT_PHASE
+        counts = Counter(self._window)
+        best_count = max(counts.values())
+        tied = {phase for phase, n in counts.items() if n == best_count}
+        if len(tied) == 1:
+            return next(iter(tied))
+        for phase in reversed(self._window):
+            if phase in tied:
+                return phase
+        raise AssertionError("unreachable: tie set drawn from the window")
+
+    def reset(self) -> None:
+        self._window.clear()
+        self._last_metric = None

@@ -1,0 +1,117 @@
+"""Dynamic thermal management on top of phase prediction (extension).
+
+Realises the paper's suggested application beyond EDP optimisation:
+"dynamic thermal management" (Sections 1 and 8).  The governor wraps any
+phase-prediction governor and overrides its choice whenever the die runs
+hot: above the trip temperature the frequency is capped; the cap is
+lifted once the die cools past a hysteresis margin.  Because the inner
+governor keeps observing and predicting phases throughout, management
+resumes proactively the moment the thermal emergency clears.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.governor import Governor, GovernorDecision, IntervalCounters
+from repro.cpu.frequency import OperatingPoint, SpeedStepTable
+from repro.errors import ConfigurationError
+from repro.power.thermal import ThermalModel
+
+
+class ThermalManagedGovernor(Governor):
+    """Throttles an inner governor's decisions under thermal pressure.
+
+    Args:
+        inner: The phase-prediction (or any other) governor producing
+            the baseline decisions.
+        thermal: The thermal model the machine advances; the governor
+            reads its live temperature at each decision.
+        trip_c: Temperature at which throttling engages.
+        hysteresis_c: The die must cool to ``trip_c - hysteresis_c``
+            before the cap is lifted (prevents oscillation at the trip
+            point).
+        cap: Operating point enforced while throttled (defaults to the
+            platform's slowest).
+        speedstep: Platform table used to compare/cap settings.
+    """
+
+    def __init__(
+        self,
+        inner: Governor,
+        thermal: ThermalModel,
+        trip_c: float = 75.0,
+        hysteresis_c: float = 3.0,
+        cap: Optional[OperatingPoint] = None,
+        speedstep: Optional[SpeedStepTable] = None,
+    ) -> None:
+        if hysteresis_c < 0:
+            raise ConfigurationError(
+                f"hysteresis must be >= 0, got {hysteresis_c}"
+            )
+        if trip_c <= thermal.ambient_c:
+            raise ConfigurationError(
+                f"trip temperature {trip_c} degC must exceed ambient "
+                f"{thermal.ambient_c} degC"
+            )
+        self._inner = inner
+        self._thermal = thermal
+        self._trip_c = trip_c
+        self._hysteresis_c = hysteresis_c
+        self._speedstep = speedstep if speedstep is not None else SpeedStepTable()
+        self._cap = cap if cap is not None else self._speedstep.slowest
+        if self._cap not in self._speedstep:
+            raise ConfigurationError(
+                f"cap {self._cap} not in the platform table"
+            )
+        self._throttled = False
+        self._throttle_engagements = 0
+
+    @property
+    def name(self) -> str:
+        return f"Thermal_{self._trip_c:g}C_{self._inner.name}"
+
+    @property
+    def inner(self) -> Governor:
+        """The wrapped governor."""
+        return self._inner
+
+    @property
+    def throttled(self) -> bool:
+        """Whether the thermal cap is currently engaged."""
+        return self._throttled
+
+    @property
+    def throttle_engagements(self) -> int:
+        """How many times throttling has engaged this run."""
+        return self._throttle_engagements
+
+    @property
+    def trip_c(self) -> float:
+        """The engage threshold in degC."""
+        return self._trip_c
+
+    def decide(self, counters: IntervalCounters) -> GovernorDecision:
+        decision = self._inner.decide(counters)
+        temperature = self._thermal.temperature_c
+        if not self._throttled and temperature >= self._trip_c:
+            self._throttled = True
+            self._throttle_engagements += 1
+        elif self._throttled and temperature <= self._trip_c - self._hysteresis_c:
+            self._throttled = False
+        if not self._throttled:
+            return decision
+        # Enforce the cap: never faster than the throttle point.
+        if decision.setting.frequency_mhz <= self._cap.frequency_mhz:
+            return decision
+        return GovernorDecision(
+            actual_phase=decision.actual_phase,
+            predicted_phase=decision.predicted_phase,
+            setting=self._cap,
+        )
+
+    def reset(self) -> None:
+        self._inner.reset()
+        self._thermal.reset()
+        self._throttled = False
+        self._throttle_engagements = 0

@@ -1,0 +1,47 @@
+"""UPC-based phase classification — the Section 4 pitfall, made concrete.
+
+The paper warns: "Directly using UPC in phase classification is not
+reliable for dynamic management, as the resulting phases vary with
+different power management settings."  This module implements exactly
+that unreliable scheme so the warning can be demonstrated quantitatively
+(see ``benchmarks/test_ext_upc_pitfall.py``): a UPC-derived metric, a
+phase table binned on it, and a metric extractor pluggable into
+:class:`~repro.core.governor.PhasePredictionGovernor`.
+
+The metric is *CPU slack*, ``max(0, UPC_REFERENCE - UPC)``: it grows as
+the observed UPC falls, so — like ``Mem/Uop`` — larger values mean "more
+memory bound" and the standard monotone phase-to-DVFS policies apply
+unchanged.  Unlike ``Mem/Uop``, observed UPC rises when the core slows
+down, so a slowed-down memory phase *looks* more CPU-bound, the governor
+speeds back up, and the classification oscillates with its own actions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.governor import IntervalCounters
+from repro.core.phases import PhaseTable
+
+#: UPC of a fully CPU-bound workload on this platform (zero slack).
+UPC_REFERENCE = 2.0
+
+#: UPC breakpoints separating the six phases, chosen so that at the
+#: highest frequency they classify the behaviour space similarly to the
+#: paper's Mem/Uop bins (high UPC = phase 1, very low UPC = phase 6).
+UPC_BREAKPOINTS: Tuple[float, ...] = (1.40, 1.00, 0.70, 0.45, 0.25)
+
+
+def upc_slack_metric(counters: IntervalCounters) -> float:
+    """The UPC-derived classification metric (CPU slack)."""
+    return max(0.0, UPC_REFERENCE - counters.upc)
+
+
+def upc_phase_table() -> PhaseTable:
+    """A six-phase table binned on the UPC slack metric.
+
+    Phase 1 covers UPC above the first breakpoint (little slack), phase
+    6 covers UPC below the last one (mostly stalled).
+    """
+    edges = tuple(UPC_REFERENCE - upc for upc in UPC_BREAKPOINTS)
+    return PhaseTable(edges)

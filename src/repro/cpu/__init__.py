@@ -1,0 +1,22 @@
+"""Simulated Pentium-M processor: operating points, timing, DVFS."""
+
+from repro.cpu.dvfs import DVFSInterface, TransitionRecord
+from repro.cpu.frequency import (
+    PENTIUM_M_OPERATING_POINTS,
+    OperatingPoint,
+    SpeedStepTable,
+)
+from repro.cpu.pentium_m import CoreExecution, PentiumM
+from repro.cpu.timing import SegmentExecution, TimingModel
+
+__all__ = [
+    "OperatingPoint",
+    "SpeedStepTable",
+    "PENTIUM_M_OPERATING_POINTS",
+    "TimingModel",
+    "SegmentExecution",
+    "DVFSInterface",
+    "TransitionRecord",
+    "PentiumM",
+    "CoreExecution",
+]

@@ -1,0 +1,15 @@
+"""Performance monitoring counters and the PMI controller."""
+
+from repro.pmc.counters import NUM_PROGRAMMABLE_COUNTERS, PMCBank, PerformanceCounter
+from repro.pmc.events import PAPER_COUNTER_CONFIG, PMCEvent
+from repro.pmc.interrupt import DEFAULT_PMI_GRANULARITY_UOPS, PMIController
+
+__all__ = [
+    "PMCEvent",
+    "PAPER_COUNTER_CONFIG",
+    "PerformanceCounter",
+    "PMCBank",
+    "NUM_PROGRAMMABLE_COUNTERS",
+    "PMIController",
+    "DEFAULT_PMI_GRANULARITY_UOPS",
+]

@@ -1,0 +1,182 @@
+"""Performance counter bank: two programmable PMCs plus the TSC.
+
+Models the counter programming protocol the paper's kernel module uses
+(Figure 8): configure an event per counter, optionally arm an overflow
+threshold on one of them (the PMI pacing counter), then repeatedly
+``advance`` as the core retires work, ``read`` inside the handler, and
+``restart`` on handler exit.
+
+Counts are exact — the simulated core reports event deltas analytically —
+but the *interface* is deliberately register-like so the management code
+path matches a real implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.pmc.events import PMCEvent
+
+#: Hardware counters available on the Pentium-M for general events.
+NUM_PROGRAMMABLE_COUNTERS = 2
+
+
+@dataclass
+class PerformanceCounter:
+    """One programmable hardware counter.
+
+    Attributes:
+        event: The event this counter accumulates.
+        value: Current count since the last restart.
+        overflow_threshold: If set, :meth:`advance` reports overflow once
+            ``value`` reaches this threshold.  Mirrors programming the
+            counter to a negative initial value on real hardware.
+    """
+
+    event: PMCEvent
+    value: float = 0.0
+    overflow_threshold: Optional[float] = None
+
+    def advance(self, delta: float) -> bool:
+        """Accumulate ``delta`` events; return True on overflow crossing."""
+        if delta < 0:
+            raise SimulationError(f"counter delta must be >= 0, got {delta}")
+        before = self.value
+        self.value += delta
+        if self.overflow_threshold is None:
+            return False
+        return before < self.overflow_threshold <= self.value
+
+    def restart(self) -> None:
+        """Zero the count (re-arm), keeping event and threshold."""
+        self.value = 0.0
+
+
+class PMCBank:
+    """The Pentium-M's two programmable counters plus the TSC.
+
+    Args:
+        events: The event selected for each programmable counter; at most
+            :data:`NUM_PROGRAMMABLE_COUNTERS` and no duplicates.
+
+    The bank exposes the handler-facing protocol: ``stop``/``read`` deltas,
+    set one counter's overflow threshold (the PMI pacing counter), and
+    ``restart`` everything including the TSC baseline.
+    """
+
+    def __init__(self, events: Tuple[PMCEvent, ...]) -> None:
+        if len(events) > NUM_PROGRAMMABLE_COUNTERS:
+            raise ConfigurationError(
+                f"platform has {NUM_PROGRAMMABLE_COUNTERS} programmable "
+                f"counters; {len(events)} events requested"
+            )
+        if len(set(events)) != len(events):
+            raise ConfigurationError(f"duplicate counter events: {events}")
+        if not events:
+            raise ConfigurationError("at least one counter event is required")
+        self._counters: Dict[PMCEvent, PerformanceCounter] = {
+            event: PerformanceCounter(event=event) for event in events
+        }
+        self._tsc_cycles = 0.0
+        self._running = True
+
+    @property
+    def events(self) -> Tuple[PMCEvent, ...]:
+        """Events configured on the programmable counters."""
+        return tuple(self._counters)
+
+    @property
+    def running(self) -> bool:
+        """Whether the counters are currently accumulating."""
+        return self._running
+
+    @property
+    def tsc_cycles(self) -> float:
+        """Time stamp counter value (core cycles) since last restart."""
+        return self._tsc_cycles
+
+    def set_overflow(self, event: PMCEvent, threshold: Optional[float]) -> None:
+        """Arm (or disarm with None) an overflow threshold on ``event``.
+
+        Raises:
+            ConfigurationError: If ``event`` is not a configured counter
+                or the threshold is not positive.
+        """
+        counter = self._require(event)
+        if threshold is not None and threshold <= 0:
+            raise ConfigurationError(
+                f"overflow threshold must be > 0, got {threshold}"
+            )
+        counter.overflow_threshold = threshold
+
+    def overflow_threshold(self, event: PMCEvent) -> Optional[float]:
+        """The armed overflow threshold on ``event``, if any."""
+        return self._require(event).overflow_threshold
+
+    def uops_until_overflow(self, event: PMCEvent) -> Optional[float]:
+        """Remaining events before ``event``'s counter overflows.
+
+        Returns None when no threshold is armed.  The machine model uses
+        this to split workload segments exactly at PMI boundaries.
+        """
+        counter = self._require(event)
+        if counter.overflow_threshold is None:
+            return None
+        return max(counter.overflow_threshold - counter.value, 0.0)
+
+    def advance(
+        self, event_deltas: Mapping[PMCEvent, float], cycles: float
+    ) -> Tuple[PMCEvent, ...]:
+        """Accumulate event deltas and TSC cycles for an execution slice.
+
+        Args:
+            event_deltas: Events produced by the slice, keyed by event.
+                Events without a configured counter are silently dropped —
+                real hardware cannot observe unconfigured events either.
+            cycles: Core cycles elapsed (advances the TSC).
+
+        Returns:
+            The events whose counters crossed their overflow threshold
+            during this advance (empty tuple when none did).
+        """
+        if not self._running:
+            raise SimulationError("cannot advance stopped counters")
+        if cycles < 0:
+            raise SimulationError(f"cycles must be >= 0, got {cycles}")
+        self._tsc_cycles += cycles
+        overflowed = []
+        for event, counter in self._counters.items():
+            delta = event_deltas.get(event, 0.0)
+            if counter.advance(delta):
+                overflowed.append(event)
+        return tuple(overflowed)
+
+    def stop(self) -> None:
+        """Stop accumulation (handler entry)."""
+        self._running = False
+
+    def read(self, event: PMCEvent) -> float:
+        """Read the current count of ``event`` since the last restart."""
+        return self._require(event).value
+
+    def read_all(self) -> Dict[PMCEvent, float]:
+        """Read every configured counter at once."""
+        return {event: c.value for event, c in self._counters.items()}
+
+    def restart(self) -> None:
+        """Zero all counters and the TSC, then resume (handler exit)."""
+        for counter in self._counters.values():
+            counter.restart()
+        self._tsc_cycles = 0.0
+        self._running = True
+
+    def _require(self, event: PMCEvent) -> PerformanceCounter:
+        try:
+            return self._counters[event]
+        except KeyError:
+            raise ConfigurationError(
+                f"event {event} is not configured on this bank; "
+                f"configured: {list(self._counters)}"
+            ) from None

@@ -1,0 +1,106 @@
+"""Performance monitoring interrupt (PMI) controller.
+
+The paper paces its whole control loop with a counter-overflow interrupt:
+the ``UOPS_RETIRED`` counter is armed to overflow every 100 million
+micro-ops, and the overflow raises a PMI whose handler classifies the
+elapsed interval, predicts the next phase and programs DVFS (Figure 8).
+
+This module provides the dispatch glue: a handler registration point, an
+interrupt-pending latch, and invocation bookkeeping (the handler itself
+lives in :mod:`repro.system.lkm`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+
+#: The paper's sampling granularity: one PMI per 100 million micro-ops.
+DEFAULT_PMI_GRANULARITY_UOPS = 100_000_000
+
+#: Handler signature: called with the simulated time (seconds) at which
+#: the interrupt fires; returns the handler's execution time in seconds.
+PMIHandler = Callable[[float], float]
+
+
+class PMIController:
+    """Latches counter-overflow interrupts and dispatches the handler.
+
+    Args:
+        handler: Optional handler to register at construction.
+
+    The machine model calls :meth:`raise_interrupt` when the pacing
+    counter overflows, then :meth:`dispatch` once the current execution
+    slice is retired (interrupts are taken at segment boundaries, the
+    analytic analogue of instruction-boundary interrupt delivery).
+    """
+
+    def __init__(self, handler: Optional[PMIHandler] = None) -> None:
+        self._handler = handler
+        self._pending = False
+        self._dispatch_count = 0
+
+    @property
+    def handler_registered(self) -> bool:
+        """Whether a handler is installed."""
+        return self._handler is not None
+
+    @property
+    def pending(self) -> bool:
+        """Whether an interrupt is latched awaiting dispatch."""
+        return self._pending
+
+    @property
+    def dispatch_count(self) -> int:
+        """How many interrupts have been delivered to the handler."""
+        return self._dispatch_count
+
+    def register(self, handler: PMIHandler) -> None:
+        """Install the interrupt handler (LKM load).
+
+        Raises:
+            ConfigurationError: If a handler is already installed.
+        """
+        if self._handler is not None:
+            raise ConfigurationError(
+                "a PMI handler is already registered; unregister it first"
+            )
+        self._handler = handler
+
+    def unregister(self) -> None:
+        """Remove the interrupt handler (LKM unload)."""
+        self._handler = None
+        self._pending = False
+
+    def raise_interrupt(self) -> None:
+        """Latch a pending interrupt (counter overflow occurred)."""
+        self._pending = True
+
+    def clear(self) -> None:
+        """Clear the pending latch without dispatching (handler exit)."""
+        self._pending = False
+
+    def dispatch(self, time_s: float) -> float:
+        """Deliver a pending interrupt to the handler.
+
+        Args:
+            time_s: Current simulated time, passed through to the handler.
+
+        Returns:
+            The handler's execution time in seconds (0.0 if nothing was
+            pending).
+
+        Raises:
+            SimulationError: If an interrupt is pending but no handler is
+                registered — on real hardware this would be a stuck PMI.
+        """
+        if not self._pending:
+            return 0.0
+        if self._handler is None:
+            raise SimulationError(
+                "PMI raised but no handler is registered (LKM not loaded?)"
+            )
+        self._pending = False
+        self._dispatch_count += 1
+        return self._handler(time_s)

@@ -1,0 +1,26 @@
+"""Power modelling and the simulated DAQ measurement path."""
+
+from repro.power.daq import (
+    DataAcquisitionSystem,
+    DAQSample,
+    LoggingMachine,
+    PhasePowerWindow,
+)
+from repro.power.energy import EnergyAccumulator, edp_improvement, energy_savings
+from repro.power.model import PowerModel
+from repro.power.sensors import PowerDeliverySensors, SenseReading
+from repro.power.thermal import ThermalModel
+
+__all__ = [
+    "PowerModel",
+    "ThermalModel",
+    "PowerDeliverySensors",
+    "SenseReading",
+    "EnergyAccumulator",
+    "edp_improvement",
+    "energy_savings",
+    "DataAcquisitionSystem",
+    "DAQSample",
+    "LoggingMachine",
+    "PhasePowerWindow",
+]

@@ -1,0 +1,260 @@
+"""Simulated data-acquisition (DAQ) measurement path.
+
+Reproduces the paper's external measurement pipeline (Section 5.3-5.4,
+Figure 9):
+
+* a **DAQ unit** samples the sense-resistor channel voltages plus three
+  parallel-port bits on a fixed 40 microsecond grid;
+* a **logging machine** post-processes the sample stream: it recovers
+  power via the resistor arithmetic, keeps only samples taken while the
+  application-run bit is set, drops samples taken inside the interrupt
+  handler, and splits the stream into per-phase windows at every toggle
+  of the phase-boundary bit.
+
+The parallel-port protocol is the paper's exactly:
+
+* bit 2 — set while the measured application is running,
+* bit 1 — set while the PMI handler executes,
+* bit 0 — flipped by the handler at every sampling interval, so each
+  100M-uop phase sample can be attributed its own power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.power.sensors import PowerDeliverySensors, SenseReading
+
+#: The paper's DAQ sampling period (40 microseconds).
+DEFAULT_SAMPLE_PERIOD_S = 40.0e-6
+
+#: Parallel-port bit indices (see module docstring).
+PHASE_TOGGLE_BIT = 0
+IN_HANDLER_BIT = 1
+APP_RUNNING_BIT = 2
+
+
+@dataclass(frozen=True)
+class DAQSample:
+    """One DAQ sample: raw channel voltages plus the sync bits."""
+
+    time_s: float
+    reading: SenseReading
+    port_bits: int
+
+    def bit(self, index: int) -> bool:
+        """Whether parallel-port bit ``index`` was set at sample time."""
+        return bool((self.port_bits >> index) & 1)
+
+
+class DataAcquisitionSystem:
+    """Fixed-rate sampler of the power-delivery sense channels.
+
+    The machine model drives it with constant-power execution slices; the
+    DAQ lays its own sampling grid over them, so a slice shorter than one
+    sample period may contribute no samples at all — exactly like real
+    asynchronous measurement.
+
+    Args:
+        sensors: The sense-resistor front end to read through.
+        sample_period_s: Sampling period (defaults to the paper's 40 us).
+    """
+
+    def __init__(
+        self,
+        sensors: Optional[PowerDeliverySensors] = None,
+        sample_period_s: float = DEFAULT_SAMPLE_PERIOD_S,
+    ) -> None:
+        if sample_period_s <= 0:
+            raise ConfigurationError(
+                f"sample period must be > 0, got {sample_period_s}"
+            )
+        self._sensors = sensors if sensors is not None else PowerDeliverySensors()
+        self._period = sample_period_s
+        self._next_sample_time = 0.0
+        self._times: List[float] = []
+        self._v1: List[float] = []
+        self._v2: List[float] = []
+        self._v_cpu: List[float] = []
+        self._bits: List[int] = []
+
+    @property
+    def sample_period_s(self) -> float:
+        """The sampling period in seconds."""
+        return self._period
+
+    @property
+    def sample_count(self) -> int:
+        """Number of samples captured so far."""
+        return len(self._times)
+
+    def observe_slice(
+        self,
+        start_s: float,
+        duration_s: float,
+        power_w: float,
+        v_cpu: float,
+        port_bits: int,
+    ) -> int:
+        """Sample one constant-power execution slice.
+
+        Args:
+            start_s: Slice start in simulated time.
+            duration_s: Slice length in seconds.
+            power_w: True CPU power during the slice.
+            v_cpu: CPU voltage during the slice.
+            port_bits: Parallel-port bit state during the slice.
+
+        Returns:
+            The number of samples the DAQ grid placed inside the slice.
+        """
+        if duration_s < 0:
+            raise ConfigurationError(
+                f"duration must be >= 0, got {duration_s}"
+            )
+        end_s = start_s + duration_s
+        if self._next_sample_time < start_s:
+            # The DAQ grid is global; catch up past any unobserved gap.
+            missed = np.ceil((start_s - self._next_sample_time) / self._period)
+            self._next_sample_time += missed * self._period
+        if self._next_sample_time >= end_s:
+            return 0
+        # All samples inside a slice see the same constant power, so the
+        # sensor is read once and broadcast over the sample grid.
+        count = int(np.ceil((end_s - self._next_sample_time) / self._period))
+        times = self._next_sample_time + np.arange(count) * self._period
+        times = times[times < end_s]
+        count = times.size
+        if count == 0:
+            return 0
+        reading = self._sensors.sense(power_w, v_cpu)
+        self._times.extend(times.tolist())
+        self._v1.extend([reading.v1] * count)
+        self._v2.extend([reading.v2] * count)
+        self._v_cpu.extend([reading.v_cpu] * count)
+        self._bits.extend([port_bits] * count)
+        self._next_sample_time = float(times[-1]) + self._period
+        return count
+
+    def samples(self) -> List[DAQSample]:
+        """All captured samples as structured records."""
+        return [
+            DAQSample(
+                time_s=t,
+                reading=SenseReading(v1=v1, v2=v2, v_cpu=vc),
+                port_bits=b,
+            )
+            for t, v1, v2, vc, b in zip(
+                self._times, self._v1, self._v2, self._v_cpu, self._bits
+            )
+        ]
+
+    def raw_arrays(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The capture as numpy arrays ``(times, v1, v2, v_cpu, bits)``."""
+        return (
+            np.asarray(self._times),
+            np.asarray(self._v1),
+            np.asarray(self._v2),
+            np.asarray(self._v_cpu),
+            np.asarray(self._bits, dtype=np.int64),
+        )
+
+    def reset(self) -> None:
+        """Discard all samples and restart the sampling grid at t=0."""
+        self._next_sample_time = 0.0
+        self._times.clear()
+        self._v1.clear()
+        self._v2.clear()
+        self._v_cpu.clear()
+        self._bits.clear()
+
+
+@dataclass(frozen=True)
+class PhasePowerWindow:
+    """Per-phase power statistics recovered by the logging machine.
+
+    Attributes:
+        start_s: Time of the first sample in the window.
+        end_s: Time of the last sample in the window.
+        sample_count: DAQ samples attributed to this phase.
+        mean_power_w: Mean recovered power over the window.
+        energy_j: Approximate energy (mean power times sample span).
+    """
+
+    start_s: float
+    end_s: float
+    sample_count: int
+    mean_power_w: float
+    energy_j: float
+
+
+class LoggingMachine:
+    """Post-processes a DAQ capture into per-phase power statistics.
+
+    Implements the paper's attribution protocol: keep only samples with
+    the app-running bit set, drop in-handler samples, and cut phase
+    windows at each toggle of the phase bit.
+    """
+
+    def __init__(
+        self, resistance_ohms: float = 0.002, sample_period_s: float = DEFAULT_SAMPLE_PERIOD_S
+    ) -> None:
+        self._resistance = resistance_ohms
+        self._period = sample_period_s
+
+    def recover_power(self, daq: DataAcquisitionSystem) -> np.ndarray:
+        """Recover the power series from raw channel voltages.
+
+        Applies the paper's formulas: ``I_i = (V_i - V_CPU) / R`` and
+        ``P = V_CPU * (I1 + I2)``.
+        """
+        _, v1, v2, v_cpu, _ = daq.raw_arrays()
+        i1 = (v1 - v_cpu) / self._resistance
+        i2 = (v2 - v_cpu) / self._resistance
+        return v_cpu * (i1 + i2)
+
+    def attribute_phases(self, daq: DataAcquisitionSystem) -> List[PhasePowerWindow]:
+        """Split the capture into per-phase power windows.
+
+        Returns:
+            One :class:`PhasePowerWindow` per contiguous run of the phase
+            toggle bit, restricted to application execution outside the
+            interrupt handler, in time order.
+        """
+        times, _, _, _, bits = daq.raw_arrays()
+        if times.size == 0:
+            return []
+        power = self.recover_power(daq)
+        app_running = (bits >> APP_RUNNING_BIT) & 1 == 1
+        in_handler = (bits >> IN_HANDLER_BIT) & 1 == 1
+        keep = app_running & ~in_handler
+        times = times[keep]
+        power = power[keep]
+        toggles = (bits[keep] >> PHASE_TOGGLE_BIT) & 1
+        if times.size == 0:
+            return []
+        # A new window starts wherever the toggle bit changes value.
+        boundaries = np.flatnonzero(np.diff(toggles) != 0) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [times.size]))
+        windows = []
+        for lo, hi in zip(starts, ends):
+            window_power = power[lo:hi]
+            mean_power = float(window_power.mean())
+            span = float(times[hi - 1] - times[lo]) + self._period
+            windows.append(
+                PhasePowerWindow(
+                    start_s=float(times[lo]),
+                    end_s=float(times[hi - 1]),
+                    sample_count=int(hi - lo),
+                    mean_power_w=mean_power,
+                    energy_j=mean_power * span,
+                )
+            )
+        return windows

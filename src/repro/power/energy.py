@@ -1,0 +1,80 @@
+"""Energy and energy-delay accounting.
+
+Exact per-slice integration of the power model: every execution slice runs
+at constant power (constant operating point and duty), so its energy is
+simply ``P * t``.  The accumulator also tracks time so energy-delay
+product (EDP) — the paper's headline efficiency metric — falls out
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class EnergyAccumulator:
+    """Running totals of energy and time for one machine run.
+
+    Attributes:
+        energy_j: Total energy consumed so far, in joules.
+        seconds: Total wall-clock time elapsed so far, in seconds.
+    """
+
+    energy_j: float = 0.0
+    seconds: float = 0.0
+
+    def add_slice(self, power_w: float, duration_s: float) -> None:
+        """Account one constant-power execution slice.
+
+        Args:
+            power_w: Power during the slice, in watts.
+            duration_s: Slice duration, in seconds.
+        """
+        if power_w < 0:
+            raise ConfigurationError(f"power must be >= 0, got {power_w}")
+        if duration_s < 0:
+            raise ConfigurationError(
+                f"duration must be >= 0, got {duration_s}"
+            )
+        self.energy_j += power_w * duration_s
+        self.seconds += duration_s
+
+    @property
+    def average_power_w(self) -> float:
+        """Mean power over the accumulated time (0 if no time elapsed)."""
+        if self.seconds == 0.0:
+            return 0.0
+        return self.energy_j / self.seconds
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return self.energy_j * self.seconds
+
+    def reset(self) -> None:
+        """Zero both totals."""
+        self.energy_j = 0.0
+        self.seconds = 0.0
+
+
+def edp_improvement(baseline_edp: float, managed_edp: float) -> float:
+    """Fractional EDP improvement of a managed run over a baseline.
+
+    Positive values mean the managed run is better; e.g. 0.34 reproduces
+    the paper's "34% EDP improvement".
+    """
+    if baseline_edp <= 0:
+        raise ConfigurationError(
+            f"baseline EDP must be > 0, got {baseline_edp}"
+        )
+    return 1.0 - managed_edp / baseline_edp
+
+
+def energy_savings(baseline_j: float, managed_j: float) -> float:
+    """Fractional energy saved by a managed run over a baseline."""
+    if baseline_j <= 0:
+        raise ConfigurationError(f"baseline energy must be > 0, got {baseline_j}")
+    return 1.0 - managed_j / baseline_j

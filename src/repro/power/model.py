@@ -1,0 +1,124 @@
+"""CMOS power model for the simulated Pentium-M.
+
+Processor power is modelled as switching power plus leakage:
+
+``P = V^2 * f * (C_core * duty + C_idle) + k_leak * V^2 * g(T)``
+
+* ``C_core * duty`` — activity-dependent switching: when the core is
+  stalled on memory (low duty) large parts of the pipeline are clock-gated
+  and switch less.
+* ``C_idle`` — the portion that switches every cycle regardless (clock
+  tree, always-on structures).
+* ``k_leak * V^2`` — leakage, growing with voltage (a quadratic fit is a
+  standard compact approximation over the Pentium-M's 0.96-1.48 V range).
+* ``g(T) = 1 + alpha * (T - T_ref)`` — optional linearised temperature
+  dependence of subthreshold leakage; with the default ``alpha = 0`` the
+  model is temperature-free, matching the paper's (implicit) treatment.
+  A positive ``alpha`` couples the power model to the thermal model in
+  :mod:`repro.power.thermal`, enabling leakage-feedback studies.
+
+The default coefficients are calibrated so that a fully CPU-bound workload
+at (1500 MHz, 1.484 V) draws about 12 W and an idle-ish memory-bound one
+at (600 MHz, 0.956 V) draws under 2 W — matching the 2-13 W envelope of
+the paper's measured traces (Figure 10, middle chart).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cpu.frequency import OperatingPoint
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Compact switching + leakage power model.
+
+    Args:
+        core_capacitance: Effective switched capacitance of the
+            activity-gated portion, in watts per (V^2 * GHz).
+        idle_capacitance: Effective switched capacitance of the always-on
+            portion, in watts per (V^2 * GHz).
+        leakage_coefficient: Leakage coefficient in watts per V^2 at the
+            reference temperature.
+        leakage_temp_coefficient: Relative leakage increase per degC
+            above ``reference_temperature_c`` (0 disables the coupling).
+        reference_temperature_c: Temperature at which the leakage
+            coefficient is calibrated.
+    """
+
+    core_capacitance: float = 2.40
+    idle_capacitance: float = 0.63
+    leakage_coefficient: float = 0.90
+    leakage_temp_coefficient: float = 0.0
+    reference_temperature_c: float = 35.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "core_capacitance",
+            "idle_capacitance",
+            "leakage_coefficient",
+            "leakage_temp_coefficient",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(f"{name} must be >= 0, got {value}")
+        if self.core_capacitance + self.idle_capacitance <= 0:
+            raise ConfigurationError("total switched capacitance must be > 0")
+
+    def dynamic_power(self, point: OperatingPoint, duty: float) -> float:
+        """Switching power in watts at ``point`` with activity ``duty``.
+
+        Args:
+            point: Operating point (supplies V and f).
+            duty: Fraction of cycles doing core work, in [0, 1].
+        """
+        if not 0.0 <= duty <= 1.0:
+            raise ConfigurationError(f"duty must be in [0, 1], got {duty}")
+        v_sq = point.voltage_v**2
+        switched = self.core_capacitance * duty + self.idle_capacitance
+        return v_sq * point.frequency_ghz * switched
+
+    def leakage_power(
+        self, point: OperatingPoint, temperature_c: Optional[float] = None
+    ) -> float:
+        """Leakage power in watts at ``point``.
+
+        Args:
+            point: Operating point (supplies V).
+            temperature_c: Die temperature for the leakage-temperature
+                coupling; ignored when the model's
+                ``leakage_temp_coefficient`` is zero or no temperature
+                is supplied.  The scaling factor never drops below zero.
+        """
+        base = self.leakage_coefficient * point.voltage_v**2
+        if temperature_c is None or self.leakage_temp_coefficient == 0.0:
+            return base
+        scale = 1.0 + self.leakage_temp_coefficient * (
+            temperature_c - self.reference_temperature_c
+        )
+        return base * max(scale, 0.0)
+
+    def power(
+        self,
+        point: OperatingPoint,
+        duty: float,
+        temperature_c: Optional[float] = None,
+    ) -> float:
+        """Total CPU power in watts at ``point`` with activity ``duty``.
+
+        Args:
+            point: Operating point.
+            duty: Core-activity fraction in [0, 1].
+            temperature_c: Optional die temperature for leakage scaling.
+        """
+        return self.dynamic_power(point, duty) + self.leakage_power(
+            point, temperature_c
+        )
+
+    def max_power(self, point: OperatingPoint) -> float:
+        """Power at full activity (duty = 1) at reference temperature —
+        the TDP-like ceiling."""
+        return self.power(point, 1.0)

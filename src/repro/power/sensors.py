@@ -1,0 +1,111 @@
+"""Simulated power-delivery sensing: voltage regulator and sense resistors.
+
+The paper measures CPU power externally: two 2 mOhm precision resistors sit
+between the voltage regulator and the CPU; a DAQ measures the voltages
+``V1``/``V2`` upstream of each resistor and ``V_CPU`` downstream, then
+computes ``I = (V_i - V_CPU) / R`` and ``P = V_CPU * (I1 + I2)``
+(Section 5.3, Figure 9).
+
+This module inverts that arithmetic: given the *true* power the model says
+the CPU draws at its current operating point, it produces the raw channel
+voltages a DAQ would observe, splitting current across the two resistor
+paths.  The DAQ then recovers power exactly the way the paper's logging
+machine does — so the whole measurement pipeline, including the resistor
+math, is exercised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Resistance of each precision sense resistor (the paper uses 2 mOhm).
+SENSE_RESISTANCE_OHMS = 0.002
+
+
+@dataclass(frozen=True)
+class SenseReading:
+    """Instantaneous voltages on the three measured channels.
+
+    Attributes:
+        v1: Voltage upstream of the first sense resistor (volts).
+        v2: Voltage upstream of the second sense resistor (volts).
+        v_cpu: CPU input voltage downstream of both resistors (volts).
+    """
+
+    v1: float
+    v2: float
+    v_cpu: float
+
+    def current_amps(
+        self, resistance_ohms: float = SENSE_RESISTANCE_OHMS
+    ) -> float:
+        """Total CPU current recovered from the voltage drops."""
+        i1 = (self.v1 - self.v_cpu) / resistance_ohms
+        i2 = (self.v2 - self.v_cpu) / resistance_ohms
+        return i1 + i2
+
+    def power_watts(
+        self, resistance_ohms: float = SENSE_RESISTANCE_OHMS
+    ) -> float:
+        """CPU power recovered as ``V_CPU * (I1 + I2)`` (the paper's
+        logging-machine formula)."""
+        return self.v_cpu * self.current_amps(resistance_ohms)
+
+
+class PowerDeliverySensors:
+    """Produces raw sense-channel voltages from true CPU power draw.
+
+    Args:
+        resistance_ohms: Per-resistor resistance.
+        current_split: Fraction of total current flowing through the
+            first resistor path (real boards split roughly evenly).
+    """
+
+    def __init__(
+        self,
+        resistance_ohms: float = SENSE_RESISTANCE_OHMS,
+        current_split: float = 0.5,
+    ) -> None:
+        if resistance_ohms <= 0:
+            raise ConfigurationError(
+                f"sense resistance must be > 0, got {resistance_ohms}"
+            )
+        if not 0.0 < current_split < 1.0:
+            raise ConfigurationError(
+                f"current split must be in (0, 1), got {current_split}"
+            )
+        self._resistance = resistance_ohms
+        self._split = current_split
+
+    @property
+    def resistance_ohms(self) -> float:
+        """Per-resistor resistance in ohms."""
+        return self._resistance
+
+    def sense(self, power_watts: float, v_cpu: float) -> SenseReading:
+        """Produce the channel voltages for a given true power draw.
+
+        Args:
+            power_watts: True CPU power at this instant.
+            v_cpu: CPU input voltage (the operating point's voltage).
+
+        Returns:
+            Raw channel voltages; feeding them back through
+            :meth:`SenseReading.power_watts` recovers ``power_watts``.
+        """
+        if power_watts < 0:
+            raise ConfigurationError(
+                f"power must be >= 0, got {power_watts}"
+            )
+        if v_cpu <= 0:
+            raise ConfigurationError(f"v_cpu must be > 0, got {v_cpu}")
+        total_current = power_watts / v_cpu
+        i1 = total_current * self._split
+        i2 = total_current * (1.0 - self._split)
+        return SenseReading(
+            v1=v_cpu + i1 * self._resistance,
+            v2=v_cpu + i2 * self._resistance,
+            v_cpu=v_cpu,
+        )

@@ -1,0 +1,121 @@
+"""Experiment harnesses: baseline-vs-managed comparisons and sweeps.
+
+The paper's evaluation always contrasts a managed run against an
+unmanaged baseline pinned at the highest frequency (Section 6).  This
+module packages that protocol: run the same trace twice on the same
+machine — once under a static fastest-point governor, once under the
+governor under test — and derive the normalised metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.core.governor import Governor, StaticGovernor
+from repro.system.machine import Machine
+from repro.system.metrics import ComparisonMetrics, RunResult
+from repro.workloads.spec2000 import (
+    DEFAULT_TRACE_INTERVALS,
+    BenchmarkSpec,
+    benchmark,
+)
+
+#: A zero-argument callable producing a fresh governor (state must not
+#: leak between benchmarks).
+GovernorFactory = Callable[[], Governor]
+
+
+@dataclass(frozen=True)
+class BenchmarkComparison:
+    """One benchmark's baseline-vs-managed outcome."""
+
+    benchmark_name: str
+    comparison: ComparisonMetrics
+
+    @property
+    def baseline(self) -> RunResult:
+        """The unmanaged run."""
+        return self.comparison.baseline
+
+    @property
+    def managed(self) -> RunResult:
+        """The managed run."""
+        return self.comparison.managed
+
+
+def run_comparison(
+    spec: BenchmarkSpec,
+    governor_factory: GovernorFactory,
+    machine: Optional[Machine] = None,
+    n_intervals: int = DEFAULT_TRACE_INTERVALS,
+) -> BenchmarkComparison:
+    """Run one benchmark under a governor and under the baseline.
+
+    Args:
+        spec: The benchmark to run.
+        governor_factory: Produces the managed governor.
+        machine: Platform to run on (a default machine when omitted).
+        n_intervals: Trace length in sampling intervals.
+    """
+    machine = machine if machine is not None else Machine()
+    trace = spec.trace(n_intervals=n_intervals)
+    baseline_governor = StaticGovernor(machine.speedstep.fastest)
+    baseline = machine.run(trace, baseline_governor)
+    managed = machine.run(trace, governor_factory())
+    return BenchmarkComparison(
+        benchmark_name=spec.name,
+        comparison=ComparisonMetrics(baseline=baseline, managed=managed),
+    )
+
+
+def compare_governors(
+    spec: BenchmarkSpec,
+    governor_factories: "Dict[str, GovernorFactory]",
+    machine: Optional[Machine] = None,
+    n_intervals: int = DEFAULT_TRACE_INTERVALS,
+) -> Dict[str, ComparisonMetrics]:
+    """Run several governors on one benchmark against a shared baseline.
+
+    The baseline (pinned fastest) is executed once and reused for every
+    managed run, so the returned comparisons are directly head-to-head.
+
+    Args:
+        spec: The benchmark to run.
+        governor_factories: Display label to factory, in report order.
+        machine: Platform to run on.
+        n_intervals: Trace length in sampling intervals.
+
+    Returns:
+        ``{label: ComparisonMetrics}`` preserving the given order.
+    """
+    machine = machine if machine is not None else Machine()
+    trace = spec.trace(n_intervals=n_intervals)
+    baseline = machine.run(trace, StaticGovernor(machine.speedstep.fastest))
+    comparisons: Dict[str, ComparisonMetrics] = {}
+    for label, factory in governor_factories.items():
+        managed = machine.run(trace, factory())
+        comparisons[label] = ComparisonMetrics(
+            baseline=baseline, managed=managed
+        )
+    return comparisons
+
+
+def run_suite(
+    benchmark_names: Sequence[str],
+    governor_factory: GovernorFactory,
+    machine: Optional[Machine] = None,
+    n_intervals: int = DEFAULT_TRACE_INTERVALS,
+) -> Dict[str, BenchmarkComparison]:
+    """Run a set of benchmarks through :func:`run_comparison`.
+
+    Returns:
+        Results keyed by benchmark name, preserving the given order.
+    """
+    machine = machine if machine is not None else Machine()
+    return {
+        name: run_comparison(
+            benchmark(name), governor_factory, machine, n_intervals
+        )
+        for name in benchmark_names
+    }

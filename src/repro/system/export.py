@@ -1,0 +1,101 @@
+"""Export run results to portable formats.
+
+The paper's evaluation support (Section 5.4) streams kernel-log and DAQ
+data to user-level tools for offline analysis.  This module is that
+user-level side: serialise a :class:`~repro.system.metrics.RunResult` —
+per-interval log plus aggregates — to CSV or JSON for spreadsheets,
+plotting tools, or archival alongside EXPERIMENTS.md artifacts.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List
+
+from repro.system.metrics import RunResult
+
+#: Column order of the per-interval CSV export.
+INTERVAL_COLUMNS = (
+    "interval_index",
+    "time_s",
+    "uops",
+    "mem_transactions",
+    "instructions",
+    "mem_per_uop",
+    "upc",
+    "actual_phase",
+    "predicted_phase",
+    "frequency_mhz",
+    "next_frequency_mhz",
+    "seconds",
+    "energy_j",
+    "power_w",
+    "bips",
+)
+
+
+def intervals_to_rows(result: RunResult) -> List[Dict[str, Any]]:
+    """Flatten a run's intervals into one dict per row."""
+    rows = []
+    for interval in result.intervals:
+        record = interval.record
+        rows.append(
+            {
+                "interval_index": record.interval_index,
+                "time_s": record.time_s,
+                "uops": record.uops,
+                "mem_transactions": record.mem_transactions,
+                "instructions": interval.instructions,
+                "mem_per_uop": record.mem_per_uop,
+                "upc": record.upc,
+                "actual_phase": record.actual_phase,
+                "predicted_phase": record.predicted_phase,
+                "frequency_mhz": record.frequency_mhz,
+                "next_frequency_mhz": record.next_frequency_mhz,
+                "seconds": interval.seconds,
+                "energy_j": interval.energy_j,
+                "power_w": interval.power_w,
+                "bips": interval.bips,
+            }
+        )
+    return rows
+
+
+def run_to_csv(result: RunResult) -> str:
+    """Serialise the per-interval log as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(INTERVAL_COLUMNS))
+    writer.writeheader()
+    for row in intervals_to_rows(result):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def run_summary(result: RunResult) -> Dict[str, Any]:
+    """The run's aggregate metrics as a plain dict."""
+    return {
+        "workload": result.workload_name,
+        "governor": result.governor_name,
+        "intervals": len(result.intervals),
+        "total_instructions": result.total_instructions,
+        "total_uops": result.total_uops,
+        "total_seconds": result.total_seconds,
+        "total_energy_j": result.total_energy_j,
+        "bips": result.bips,
+        "average_power_w": result.average_power_w,
+        "edp": result.edp,
+        "prediction_accuracy": result.prediction_accuracy(),
+        "transition_count": result.transition_count,
+        "handler_seconds": result.handler_seconds,
+        "handler_overhead_fraction": result.handler_overhead_fraction,
+    }
+
+
+def run_to_json(result: RunResult, include_intervals: bool = True) -> str:
+    """Serialise a run (summary plus optional per-interval log) as JSON."""
+    payload: Dict[str, Any] = {"summary": run_summary(result)}
+    if include_intervals:
+        payload["intervals"] = intervals_to_rows(result)
+    return json.dumps(payload, indent=2, sort_keys=True)

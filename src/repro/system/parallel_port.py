@@ -1,0 +1,61 @@
+"""Parallel-port synchronisation bits (paper Section 5.4).
+
+Three bits synchronise the independently running DAQ with processor
+execution:
+
+* bit 2 — set at application start, cleared at application end;
+* bit 1 — set on PMI-handler entry, cleared on exit (lets the logging
+  machine exclude handler execution from per-phase power);
+* bit 0 — flipped by the handler every sampling interval, marking phase
+  boundaries in the power stream.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Number of wired port bits.
+PORT_WIDTH = 3
+
+
+class ParallelPort:
+    """A tiny latch of output bits observable by the DAQ."""
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        """The current bit pattern as an integer."""
+        return self._value
+
+    def bit(self, index: int) -> bool:
+        """Whether bit ``index`` is currently set."""
+        self._check(index)
+        return bool((self._value >> index) & 1)
+
+    def set_bit(self, index: int) -> None:
+        """Drive bit ``index`` high."""
+        self._check(index)
+        self._value |= 1 << index
+
+    def clear_bit(self, index: int) -> None:
+        """Drive bit ``index`` low."""
+        self._check(index)
+        self._value &= ~(1 << index)
+
+    def toggle_bit(self, index: int) -> None:
+        """Invert bit ``index`` (the per-phase marker protocol)."""
+        self._check(index)
+        self._value ^= 1 << index
+
+    def reset(self) -> None:
+        """Drive all bits low."""
+        self._value = 0
+
+    @staticmethod
+    def _check(index: int) -> None:
+        if not 0 <= index < PORT_WIDTH:
+            raise ConfigurationError(
+                f"port bit must be in [0, {PORT_WIDTH}), got {index}"
+            )

@@ -1,0 +1,82 @@
+"""Workload substrate: segments, pattern generators, synthetic SPEC2000
+benchmarks, the IPCxMEM suite, and quadrant categorisation."""
+
+from repro.workloads.generators import (
+    BehaviorPattern,
+    BurstPattern,
+    CyclePattern,
+    FlatPattern,
+    MarkovPattern,
+    MotifElement,
+    MotifPattern,
+    RampPattern,
+)
+from repro.workloads.ipcxmem import (
+    IPCxMEMConfig,
+    ipcxmem_grid,
+    solve_configuration,
+)
+from repro.workloads.multiprogram import round_robin
+from repro.workloads.quadrants import (
+    BenchmarkPlacement,
+    Quadrant,
+    QuadrantThresholds,
+    categorize,
+    place_all,
+    place_benchmark,
+)
+from repro.workloads.segments import SegmentSpec, WorkloadTrace, uniform_trace
+from repro.workloads.serialization import (
+    trace_from_dict,
+    trace_from_json,
+    trace_to_dict,
+    trace_to_json,
+)
+from repro.workloads.spec2000 import (
+    FIG4_BENCHMARK_ORDER,
+    FIG5_BENCHMARKS,
+    FIG12_BENCHMARKS,
+    FIG13_BENCHMARKS,
+    SPEC2000_BENCHMARKS,
+    VARIABLE_BENCHMARKS,
+    BenchmarkSpec,
+    benchmark,
+    benchmark_names,
+)
+
+__all__ = [
+    "SegmentSpec",
+    "WorkloadTrace",
+    "uniform_trace",
+    "BehaviorPattern",
+    "FlatPattern",
+    "MotifElement",
+    "MotifPattern",
+    "CyclePattern",
+    "BurstPattern",
+    "MarkovPattern",
+    "RampPattern",
+    "BenchmarkSpec",
+    "SPEC2000_BENCHMARKS",
+    "FIG4_BENCHMARK_ORDER",
+    "FIG5_BENCHMARKS",
+    "FIG12_BENCHMARKS",
+    "FIG13_BENCHMARKS",
+    "VARIABLE_BENCHMARKS",
+    "benchmark",
+    "benchmark_names",
+    "round_robin",
+    "trace_to_dict",
+    "trace_from_dict",
+    "trace_to_json",
+    "trace_from_json",
+    "IPCxMEMConfig",
+    "solve_configuration",
+    "ipcxmem_grid",
+    "Quadrant",
+    "QuadrantThresholds",
+    "BenchmarkPlacement",
+    "categorize",
+    "place_benchmark",
+    "place_all",
+]

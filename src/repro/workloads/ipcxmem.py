@@ -1,0 +1,184 @@
+"""The IPCxMEM microbenchmark suite (paper Section 4, Figure 6).
+
+The paper builds "a suite of configurable applications that can pinpoint
+specific (UPC, Mem/Uop) coordinates" of the two-dimensional behaviour
+space, then runs every configuration at all six frequencies to establish
+which metrics are DVFS-invariant.
+
+Here a suite configuration is *solved*: given a target observed UPC and a
+target ``Mem/Uop`` at a reference operating point, we compute the
+``(upc_core, mem_overlap)`` pair that produces exactly that coordinate
+under the platform timing model.  The solver prefers zero overlap (fully
+exposed memory latency) and only introduces memory-level parallelism when
+the coordinate is otherwise unreachable — the analogue of the real suite
+interleaving independent loads to raise achievable UPC at a given memory
+intensity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from typing import TYPE_CHECKING
+
+import repro.cpu.timing as _timing_module
+from repro.cpu.frequency import OperatingPoint, SpeedStepTable
+from repro.errors import ConfigurationError
+from repro.workloads.segments import MAX_CORE_UPC, SegmentSpec, WorkloadTrace
+
+if TYPE_CHECKING:  # resolved lazily: cpu.timing itself imports workloads
+    from repro.cpu.timing import TimingModel
+
+#: The most memory latency a configuration can hide behind memory-level
+#: parallelism.  Bounds the reachable region of the behaviour space the
+#: way limited MSHRs/bus pipelining bound it on real hardware, producing
+#: the Figure 6 boundary.
+MAX_MEM_OVERLAP = 0.75
+
+#: Target UPC values of the paper's exploration grid.
+PAPER_GRID_UPC: Tuple[float, ...] = (
+    0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5, 1.7, 1.9,
+)
+
+#: Target Mem/Uop values of the paper's exploration grid.
+PAPER_GRID_MEM: Tuple[float, ...] = (
+    0.0000, 0.0025, 0.0075, 0.0125, 0.0175, 0.0225,
+    0.0275, 0.0325, 0.0375, 0.0425, 0.0475,
+)
+
+
+@dataclass(frozen=True)
+class IPCxMEMConfig:
+    """One solved suite configuration.
+
+    Attributes:
+        target_upc: Observed UPC this configuration hits at the reference
+            operating point.
+        target_mem_per_uop: ``Mem/Uop`` of the configuration (frequency
+            independent by construction).
+        segment: A workload segment realising the coordinate.
+    """
+
+    target_upc: float
+    target_mem_per_uop: float
+    segment: SegmentSpec
+
+    @property
+    def label(self) -> str:
+        """Display label matching the paper's legend style."""
+        return (
+            f"UPC={self.target_upc:.1f}, "
+            f"Mem/Uop={self.target_mem_per_uop:.4f}"
+        )
+
+    def trace(self, n_segments: int = 1) -> "WorkloadTrace":
+        """A runnable trace of ``n_segments`` copies of this segment.
+
+        Convenience for executing a grid configuration on the machine
+        (Figure 7 runs each configuration at every frequency).
+        """
+        if n_segments <= 0:
+            raise ConfigurationError(
+                f"n_segments must be > 0, got {n_segments}"
+            )
+        return WorkloadTrace(self.label, [self.segment] * n_segments)
+
+
+def solve_configuration(
+    target_upc: float,
+    target_mem_per_uop: float,
+    timing: Optional[TimingModel] = None,
+    reference: Optional[OperatingPoint] = None,
+    uops: int = 100_000_000,
+) -> IPCxMEMConfig:
+    """Solve for a segment hitting ``(target_upc, target_mem_per_uop)``.
+
+    The observed UPC at the reference point satisfies::
+
+        1 / upc_obs = 1 / upc_core + mem_per_uop * L_exposed * f_ref
+
+    with ``L_exposed = latency * (1 - overlap)``.  Zero overlap is tried
+    first; if the required ``upc_core`` would exceed the issue width,
+    overlap is raised exactly enough to make the coordinate feasible at
+    maximum ``upc_core``.
+
+    Raises:
+        ConfigurationError: If the coordinate is unreachable even with
+            full overlap (it lies above the UPC ceiling).
+    """
+    timing = timing if timing is not None else _timing_module.TimingModel()
+    reference = (
+        reference if reference is not None else SpeedStepTable().fastest
+    )
+    if target_upc <= 0 or target_upc > MAX_CORE_UPC:
+        raise ConfigurationError(
+            f"target UPC must be in (0, {MAX_CORE_UPC}], got {target_upc}"
+        )
+    if target_mem_per_uop < 0:
+        raise ConfigurationError(
+            f"target Mem/Uop must be >= 0, got {target_mem_per_uop}"
+        )
+
+    cycles_per_uop = 1.0 / target_upc
+    memory_cycles = (
+        target_mem_per_uop
+        * timing.exposed_latency_ns
+        * reference.frequency_ghz
+    )
+    core_cycles = cycles_per_uop - memory_cycles
+    overlap = 0.0
+    if core_cycles < 1.0 / MAX_CORE_UPC:
+        # Exposed memory time alone exceeds the budget: hide part of it
+        # behind memory-level parallelism and run the core flat out.
+        core_cycles = 1.0 / MAX_CORE_UPC
+        available = cycles_per_uop - core_cycles
+        if memory_cycles <= 0 or available < 0:
+            raise ConfigurationError(
+                f"coordinate (UPC={target_upc}, Mem/Uop="
+                f"{target_mem_per_uop}) is unreachable"
+            )
+        overlap = 1.0 - available / memory_cycles
+        if overlap > MAX_MEM_OVERLAP:
+            raise ConfigurationError(
+                f"coordinate (UPC={target_upc}, Mem/Uop="
+                f"{target_mem_per_uop}) lies above the reachable boundary "
+                f"(would need overlap {overlap:.2f} > {MAX_MEM_OVERLAP})"
+            )
+        overlap = max(overlap, 0.0)
+    segment = SegmentSpec(
+        uops=uops,
+        mem_per_uop=target_mem_per_uop,
+        upc_core=1.0 / core_cycles,
+        mem_overlap=overlap,
+    )
+    return IPCxMEMConfig(
+        target_upc=target_upc,
+        target_mem_per_uop=target_mem_per_uop,
+        segment=segment,
+    )
+
+
+def ipcxmem_grid(
+    upc_values: Sequence[float] = PAPER_GRID_UPC,
+    mem_values: Sequence[float] = PAPER_GRID_MEM,
+    timing: Optional[TimingModel] = None,
+    reference: Optional[OperatingPoint] = None,
+    uops: int = 100_000_000,
+) -> List[IPCxMEMConfig]:
+    """Solve every feasible grid coordinate (the paper runs ~50).
+
+    Infeasible corners (very high UPC together with very high memory
+    intensity, above the Figure 6 boundary) are skipped, exactly as the
+    real suite cannot reach them either.
+    """
+    configs: List[IPCxMEMConfig] = []
+    for upc in upc_values:
+        for mem in mem_values:
+            try:
+                configs.append(
+                    solve_configuration(upc, mem, timing, reference, uops)
+                )
+            except ConfigurationError:
+                continue
+    return configs

@@ -1,0 +1,98 @@
+"""Multiprogrammed workloads: OS-style time slicing (extension).
+
+The paper deploys its predictor system-wide: the PMI sees whatever the
+processor runs, including context switches between applications.  This
+module builds that scenario: a round-robin scheduler interleaves several
+benchmark traces at a fixed uop quantum, producing one combined trace in
+which phase changes come both from *within* applications and from the
+*switches between* them.
+
+With a fixed quantum the interleaving is deterministic, so switch-induced
+phase patterns are themselves learnable history patterns — exactly the
+kind of structure the GPHT exploits and statistical predictors cannot.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.workloads.segments import SegmentSpec, WorkloadTrace
+
+
+class _TraceCursor:
+    """Consumes a trace's segments a given number of uops at a time."""
+
+    def __init__(self, trace: WorkloadTrace) -> None:
+        self._segments = list(trace.segments)
+        self._index = 0
+        self._remainder: Optional[SegmentSpec] = None
+
+    @property
+    def exhausted(self) -> bool:
+        return self._remainder is None and self._index >= len(self._segments)
+
+    def take(self, budget_uops: int) -> List[SegmentSpec]:
+        """Remove up to ``budget_uops`` of work from the trace."""
+        taken: List[SegmentSpec] = []
+        remaining = budget_uops
+        while remaining > 0 and not self.exhausted:
+            segment = self._next_segment()
+            if segment.uops <= remaining:
+                taken.append(segment)
+                remaining -= segment.uops
+            else:
+                head, tail = segment.split(remaining)
+                taken.append(head)
+                self._remainder = tail
+                remaining = 0
+        return taken
+
+    def _next_segment(self) -> SegmentSpec:
+        if self._remainder is not None:
+            segment = self._remainder
+            self._remainder = None
+            return segment
+        segment = self._segments[self._index]
+        self._index += 1
+        return segment
+
+
+def round_robin(
+    traces: Sequence[WorkloadTrace],
+    quantum_uops: int,
+    name: Optional[str] = None,
+) -> WorkloadTrace:
+    """Interleave traces under a round-robin scheduler.
+
+    Each application runs for ``quantum_uops`` retired micro-ops, then
+    the next runnable one is switched in; applications that finish drop
+    out of the rotation.  All work from every trace is preserved.
+
+    Args:
+        traces: The applications to co-schedule (at least one).
+        quantum_uops: Scheduler timeslice in retired micro-ops.
+        name: Combined trace name (default: ``rr(<names>)``).
+
+    Returns:
+        The combined trace, in scheduled execution order.
+    """
+    if not traces:
+        raise ConfigurationError("round_robin needs at least one trace")
+    if quantum_uops <= 0:
+        raise ConfigurationError(
+            f"quantum must be > 0 uops, got {quantum_uops}"
+        )
+    cursors = [_TraceCursor(trace) for trace in traces]
+    scheduled: List[SegmentSpec] = []
+    while any(not cursor.exhausted for cursor in cursors):
+        for cursor in cursors:
+            if cursor.exhausted:
+                continue
+            scheduled.extend(cursor.take(quantum_uops))
+    combined_name = (
+        name
+        if name is not None
+        else "rr(" + "+".join(trace.name for trace in traces) + ")"
+    )
+    return WorkloadTrace(combined_name, scheduled)

@@ -1,0 +1,116 @@
+"""Benchmark categorisation by stability and savings potential (Figure 3).
+
+The paper plots every benchmark on two axes — *sample variation* (how
+often ``Mem/Uop`` moves by more than 0.005 between consecutive samples)
+against *power savings potential* (average ``Mem/Uop``) — and divides the
+plane into four quadrants:
+
+* **Q1** — stable, CPU-bound: little to gain, trivially predictable;
+* **Q2** — stable, memory-bound: big savings, trivially predictable;
+* **Q3** — variable *and* memory-bound: big savings, hard to predict —
+  the applications this research targets;
+* **Q4** — variable, CPU-bound-ish: hard to predict, modest savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+from typing import Dict, Optional
+
+from repro.workloads.spec2000 import BenchmarkSpec
+
+
+@unique
+class Quadrant(Enum):
+    """Figure 3 quadrants."""
+
+    Q1 = "Q1 (stable, low savings)"
+    Q2 = "Q2 (stable, high savings)"
+    Q3 = "Q3 (variable, high savings)"
+    Q4 = "Q4 (variable, low savings)"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class QuadrantThresholds:
+    """Axis thresholds separating the quadrants.
+
+    Attributes:
+        variability_pct: Sample-variation percentage above which a
+            benchmark counts as "variable".
+        savings_potential: Mean ``Mem/Uop`` above which a benchmark
+            counts as having high power-savings potential.
+    """
+
+    variability_pct: float = 20.0
+    savings_potential: float = 0.012
+
+
+@dataclass(frozen=True)
+class BenchmarkPlacement:
+    """A benchmark's coordinates and quadrant on the Figure 3 plane."""
+
+    name: str
+    variability_pct: float
+    savings_potential: float
+    quadrant: Quadrant
+
+
+def categorize(
+    variability_pct: float,
+    savings_potential: float,
+    thresholds: Optional[QuadrantThresholds] = None,
+) -> Quadrant:
+    """Map a ``(variability, savings)`` coordinate to its quadrant."""
+    thresholds = thresholds if thresholds is not None else QuadrantThresholds()
+    variable = variability_pct > thresholds.variability_pct
+    high_savings = savings_potential > thresholds.savings_potential
+    if variable:
+        return Quadrant.Q3 if high_savings else Quadrant.Q4
+    return Quadrant.Q2 if high_savings else Quadrant.Q1
+
+
+def place_benchmark(
+    spec: BenchmarkSpec,
+    n_intervals: int = 400,
+    thresholds: Optional[QuadrantThresholds] = None,
+    variation_delta: float = 0.005,
+) -> BenchmarkPlacement:
+    """Compute a benchmark's Figure 3 placement from its behaviour.
+
+    Args:
+        spec: The benchmark to place.
+        n_intervals: Trace length to measure over.
+        thresholds: Quadrant boundaries.
+        variation_delta: ``Mem/Uop`` delta counting as a variation (the
+            paper uses 0.005 at 100M-instruction granularity).
+    """
+    # Imported at call time: repro.analysis's package __init__ pulls in
+    # modules that depend on this one, so a module-level import here
+    # would close an import cycle.
+    from repro.analysis.variability import sample_variation_pct
+
+    series = spec.mem_series(n_intervals)
+    variability = sample_variation_pct(series, variation_delta)
+    savings = float(series.mean())
+    return BenchmarkPlacement(
+        name=spec.name,
+        variability_pct=variability,
+        savings_potential=savings,
+        quadrant=categorize(variability, savings, thresholds),
+    )
+
+
+def place_all(
+    benchmarks: Dict[str, BenchmarkSpec],
+    n_intervals: int = 400,
+    thresholds: Optional[QuadrantThresholds] = None,
+) -> Dict[str, BenchmarkPlacement]:
+    """Place every benchmark in a registry on the Figure 3 plane."""
+    return {
+        name: place_benchmark(spec, n_intervals, thresholds)
+        for name, spec in benchmarks.items()
+    }

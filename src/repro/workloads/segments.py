@@ -1,0 +1,197 @@
+"""Workload representation: segments and traces.
+
+A workload is modelled as a stream of *segments*.  Each segment describes a
+run of micro-ops with homogeneous behaviour: how many micro-ops it retires,
+how many memory bus transactions it issues per micro-op, and how fast the
+core could retire its micro-ops if memory were infinitely fast
+(``upc_core``).  This is exactly the information the paper's analysis needs:
+
+* ``mem_per_uop`` is the DVFS-invariant phase metric (``Mem/Uop``),
+* ``upc_core`` together with the platform timing model yields the observed,
+  frequency-dependent UPC of Section 4,
+* ``uops_per_instruction`` relates the micro-op counter that paces the PMI
+  to the architectural instruction count used for BIPS.
+
+Segments are deliberately coarse (millions of micro-ops); the machine model
+executes them analytically rather than instruction by instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Maximum micro-ops the core can retire per cycle (issue width proxy).
+MAX_CORE_UPC = 3.0
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """A run of micro-ops with homogeneous execution behaviour.
+
+    Attributes:
+        uops: Number of micro-ops retired in this segment (> 0).
+        mem_per_uop: Memory bus transactions issued per retired micro-op;
+            this is the paper's ``Mem/Uop`` phase metric and is a property
+            of the program, independent of frequency.
+        upc_core: Micro-ops per cycle the core sustains on this segment
+            when no memory stalls occur (0 < upc_core <= MAX_CORE_UPC).
+        uops_per_instruction: Ratio of retired micro-ops to retired
+            architectural instructions (>= 1 on x86 decompositions; the
+            paper observes values near 1).
+        mem_overlap: Fraction of each memory transaction's latency hidden
+            under concurrent execution (memory-level parallelism), in
+            ``[0, 1)``.  High-ILP streaming code overlaps much of its
+            memory traffic; pointer chasing exposes nearly all of it.
+    """
+
+    uops: int
+    mem_per_uop: float
+    upc_core: float
+    uops_per_instruction: float = 1.0
+    mem_overlap: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.uops <= 0:
+            raise ConfigurationError(f"segment uops must be > 0, got {self.uops}")
+        if self.mem_per_uop < 0:
+            raise ConfigurationError(
+                f"mem_per_uop must be >= 0, got {self.mem_per_uop}"
+            )
+        if not 0 < self.upc_core <= MAX_CORE_UPC:
+            raise ConfigurationError(
+                f"upc_core must be in (0, {MAX_CORE_UPC}], got {self.upc_core}"
+            )
+        if self.uops_per_instruction < 1.0:
+            raise ConfigurationError(
+                "uops_per_instruction must be >= 1, got "
+                f"{self.uops_per_instruction}"
+            )
+        if not 0.0 <= self.mem_overlap < 1.0:
+            raise ConfigurationError(
+                f"mem_overlap must be in [0, 1), got {self.mem_overlap}"
+            )
+
+    @property
+    def instructions(self) -> float:
+        """Architectural instructions retired by this segment."""
+        return self.uops / self.uops_per_instruction
+
+    @property
+    def memory_transactions(self) -> float:
+        """Memory bus transactions issued by this segment."""
+        return self.uops * self.mem_per_uop
+
+    def split(self, first_uops: int) -> Tuple["SegmentSpec", "SegmentSpec"]:
+        """Split this segment into two with identical rates.
+
+        Used by the machine model when a performance-counter overflow
+        boundary (the PMI granularity) falls inside a segment.
+
+        Args:
+            first_uops: Micro-ops assigned to the first part; must satisfy
+                ``0 < first_uops < self.uops``.
+
+        Returns:
+            A ``(head, tail)`` pair whose uop counts sum to ``self.uops``.
+        """
+        if not 0 < first_uops < self.uops:
+            raise ConfigurationError(
+                f"cannot split a {self.uops}-uop segment at {first_uops}"
+            )
+        head = replace(self, uops=first_uops)
+        tail = replace(self, uops=self.uops - first_uops)
+        return head, tail
+
+
+class WorkloadTrace:
+    """An ordered, finite sequence of segments with a display name.
+
+    Traces are immutable once constructed and support iteration, indexing
+    and aggregate queries used by the analysis layer.
+    """
+
+    def __init__(self, name: str, segments: Iterable[SegmentSpec]) -> None:
+        self._name = name
+        self._segments: Tuple[SegmentSpec, ...] = tuple(segments)
+        if not self._segments:
+            raise ConfigurationError(f"trace {name!r} has no segments")
+
+    @property
+    def name(self) -> str:
+        """Human-readable workload name (e.g. ``applu_in``)."""
+        return self._name
+
+    @property
+    def segments(self) -> Tuple[SegmentSpec, ...]:
+        """The trace contents in execution order."""
+        return self._segments
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __iter__(self) -> Iterator[SegmentSpec]:
+        return iter(self._segments)
+
+    def __getitem__(self, index: int) -> SegmentSpec:
+        return self._segments[index]
+
+    @property
+    def total_uops(self) -> int:
+        """Total micro-ops retired across the whole trace."""
+        return sum(segment.uops for segment in self._segments)
+
+    @property
+    def total_instructions(self) -> float:
+        """Total architectural instructions across the whole trace."""
+        return sum(segment.instructions for segment in self._segments)
+
+    def mean_mem_per_uop(self) -> float:
+        """Uop-weighted average ``Mem/Uop`` over the trace.
+
+        This is the x-axis of the paper's Figure 3 ("power savings
+        potential").
+        """
+        transactions = sum(s.memory_transactions for s in self._segments)
+        return transactions / self.total_uops
+
+    def mem_per_uop_series(self) -> List[float]:
+        """Per-segment ``Mem/Uop`` values in execution order."""
+        return [segment.mem_per_uop for segment in self._segments]
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadTrace(name={self._name!r}, segments={len(self)}, "
+            f"uops={self.total_uops})"
+        )
+
+
+def uniform_trace(
+    name: str,
+    levels: Sequence[Tuple[float, float]],
+    uops_per_segment: int,
+    uops_per_instruction: float = 1.0,
+) -> WorkloadTrace:
+    """Build a trace from ``(mem_per_uop, upc_core)`` pairs.
+
+    Convenience constructor used heavily by tests and the synthetic
+    benchmark generators: every segment gets the same uop count.
+
+    Args:
+        name: Trace name.
+        levels: One ``(mem_per_uop, upc_core)`` pair per segment.
+        uops_per_segment: Micro-ops in every segment.
+        uops_per_instruction: Shared uop decomposition ratio.
+    """
+    segments = [
+        SegmentSpec(
+            uops=uops_per_segment,
+            mem_per_uop=mem,
+            upc_core=upc,
+            uops_per_instruction=uops_per_instruction,
+        )
+        for mem, upc in levels
+    ]
+    return WorkloadTrace(name, segments)

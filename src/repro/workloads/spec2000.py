@@ -1,0 +1,681 @@
+"""Synthetic SPEC2000 benchmark registry.
+
+The paper evaluates 33 SPEC2000 benchmark/input pairs on real hardware.
+Binaries and reference inputs are not available offline, so each pair is
+synthesised as a :class:`BenchmarkSpec`: a seeded behaviour pattern whose
+*sequence statistics* — mean ``Mem/Uop`` (power-savings potential),
+sample-to-sample variability, and repetitive pattern structure — are set
+from what the paper reports per benchmark:
+
+* quadrant membership in Figure 3 (variability vs. savings potential),
+* the predictability ordering of Figure 4 (the x-axis sorts benchmarks
+  by decreasing last-value accuracy; the rightmost six are the variable
+  Q3/Q4 applications),
+* the qualitative trace shapes of Figures 2 and 10 (applu's rapid
+  repetitive multi-level phases).
+
+Every spec is deterministic: the seed is derived from the benchmark name,
+so traces are bit-identical across runs and machines.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.generators import (
+    BehaviorPattern,
+    BurstPattern,
+    CyclePattern,
+    FlatPattern,
+    MotifElement,
+    MotifPattern,
+)
+from repro.workloads.segments import SegmentSpec, WorkloadTrace
+
+#: The paper's PMI sampling granularity, used as the default segment size.
+DEFAULT_UOPS_PER_INTERVAL = 100_000_000
+
+#: Default trace length in sampling intervals (tens of billions of
+#: instructions at the paper's granularity — long enough for pattern
+#: predictors to train and statistics to stabilise).
+DEFAULT_TRACE_INTERVALS = 400
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One synthetic SPEC2000 benchmark/input pair.
+
+    Attributes:
+        name: The paper's benchmark label (e.g. ``applu_in``).
+        pattern: Behaviour generator for per-interval
+            ``(mem_per_uop, upc_core)`` samples.
+        uops_per_instruction: Micro-op decomposition ratio for BIPS.
+        mem_overlap: Memory-level parallelism of the benchmark's
+            transactions (see :class:`~repro.workloads.segments.SegmentSpec`).
+        description: One-line provenance note.
+    """
+
+    name: str
+    pattern: BehaviorPattern
+    uops_per_instruction: float = 1.15
+    mem_overlap: float = 0.0
+    description: str = ""
+
+    @property
+    def seed(self) -> int:
+        """Deterministic per-benchmark RNG seed derived from the name."""
+        return zlib.crc32(self.name.encode("utf-8"))
+
+    def behavior(
+        self, n_intervals: int, seed: Optional[int] = None
+    ) -> np.ndarray:
+        """Generate ``n_intervals`` of raw behaviour.
+
+        Returns:
+            Array of shape ``(n_intervals, 2)``: columns are
+            ``mem_per_uop`` and ``upc_core``.
+        """
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        return self.pattern.generate(n_intervals, rng)
+
+    def mem_series(
+        self, n_intervals: int, seed: Optional[int] = None
+    ) -> np.ndarray:
+        """The per-interval ``Mem/Uop`` series (phase metric input)."""
+        return self.behavior(n_intervals, seed)[:, 0]
+
+    def trace(
+        self,
+        n_intervals: int = DEFAULT_TRACE_INTERVALS,
+        uops_per_interval: int = DEFAULT_UOPS_PER_INTERVAL,
+        seed: Optional[int] = None,
+    ) -> WorkloadTrace:
+        """Materialise a workload trace of ``n_intervals`` segments."""
+        if n_intervals <= 0:
+            raise ConfigurationError(
+                f"n_intervals must be > 0, got {n_intervals}"
+            )
+        behavior = self.behavior(n_intervals, seed)
+        segments = [
+            SegmentSpec(
+                uops=uops_per_interval,
+                mem_per_uop=float(mem),
+                upc_core=float(upc),
+                uops_per_instruction=self.uops_per_instruction,
+                mem_overlap=self.mem_overlap,
+            )
+            for mem, upc in behavior
+        ]
+        return WorkloadTrace(self.name, segments)
+
+
+def _motif(*steps: Tuple[float, float, int]) -> Tuple[MotifElement, ...]:
+    """Shorthand: build motif elements from (mem, upc, duration) tuples."""
+    return tuple(
+        MotifElement(mem_per_uop=m, upc_core=u, duration=d) for m, u, d in steps
+    )
+
+
+def _cycle(
+    variants: Sequence[Tuple[Tuple[float, float, int], ...]],
+    block: int,
+    jitter: float,
+    sigma: float = 0.0003,
+) -> CyclePattern:
+    """Build a cycle of distinct motif variants for variable benchmarks.
+
+    Each variant is a different arrangement of the benchmark's phase
+    levels (a different loop nest of the same program).  Cycling through
+    several variants multiplies the number of distinct *phase-sequence*
+    patterns the benchmark exhibits — the property behind the
+    PHT-capacity sensitivity in the paper's Figure 5: a 64-entry PHT can
+    no longer hold the full working set of history patterns while 128
+    entries can.
+    """
+    blocks = []
+    for steps in variants:
+        pattern = MotifPattern(
+            _motif(*steps), mem_sigma=sigma, duration_jitter=jitter
+        )
+        blocks.append((pattern, block))
+    return CyclePattern(blocks)
+
+
+# ---------------------------------------------------------------------------
+# Q1 — stable, CPU-bound: flat behaviour, negligible savings potential.
+# ---------------------------------------------------------------------------
+
+_Q1_FLAT: Tuple[Tuple[str, float, float, float, float], ...] = (
+    # (name, mem_per_uop, upc_core, mem_sigma, uops_per_instruction)
+    ("crafty_in", 0.0004, 1.55, 0.0002, 1.25),
+    ("eon_cook", 0.0002, 1.70, 0.0001, 1.30),
+    ("eon_kajiya", 0.00025, 1.70, 0.0001, 1.30),
+    ("eon_rushmeier", 0.0003, 1.70, 0.0001, 1.30),
+    ("mesa_ref", 0.0012, 1.50, 0.0002, 1.20),
+    ("sixtrack_in", 0.0008, 1.80, 0.0002, 1.10),
+    ("twolf_ref", 0.0035, 1.10, 0.0005, 1.20),
+)
+
+_VORTEX: Tuple[Tuple[str, float, float], ...] = (
+    # (name, base mem_per_uop, burst probability)
+    ("vortex_lendian1", 0.0028, 0.004),
+    ("vortex_lendian2", 0.0025, 0.002),
+    ("vortex_lendian3", 0.0030, 0.006),
+)
+
+_GZIP: Tuple[Tuple[str, float, float, float], ...] = (
+    # (name, base mem_per_uop, burst mem_per_uop, burst probability)
+    ("gzip_program", 0.0025, 0.0080, 0.010),
+    ("gzip_graphic", 0.0040, 0.0090, 0.012),
+    ("gzip_random", 0.0020, 0.0070, 0.013),
+    ("gzip_source", 0.0030, 0.0080, 0.015),
+    ("gzip_log", 0.0035, 0.0090, 0.018),
+)
+
+
+def _build_registry() -> Dict[str, BenchmarkSpec]:
+    specs: List[BenchmarkSpec] = []
+
+    for name, mem, upc, sigma, upi in _Q1_FLAT:
+        specs.append(
+            BenchmarkSpec(
+                name=name,
+                pattern=FlatPattern(mem, upc, mem_sigma=sigma),
+                uops_per_instruction=upi,
+                description="Q1: stable, CPU-bound",
+            )
+        )
+
+    for name, mem, probability in _VORTEX:
+        specs.append(
+            BenchmarkSpec(
+                name=name,
+                pattern=BurstPattern(
+                    base=(mem, 1.30),
+                    burst=(mem + 0.004, 1.15),
+                    burst_probability=probability,
+                    burst_length=2,
+                    mem_sigma=0.0003,
+                ),
+                uops_per_instruction=1.25,
+                description="Q1: stable with rare working-set steps",
+            )
+        )
+
+    for name, base_mem, burst_mem, probability in _GZIP:
+        specs.append(
+            BenchmarkSpec(
+                name=name,
+                pattern=BurstPattern(
+                    base=(base_mem, 1.50),
+                    burst=(burst_mem, 1.30),
+                    burst_probability=probability,
+                    burst_length=2,
+                    mem_sigma=0.0003,
+                ),
+                uops_per_instruction=1.20,
+                description="Q1: stable with buffer-refill bursts",
+            )
+        )
+
+    # -- Q1, moderate variability (the mid-pack of Figure 4) ---------------
+    specs.extend(
+        [
+            BenchmarkSpec(
+                name="gcc_200",
+                pattern=MotifPattern(
+                    _motif((0.0040, 1.40, 16), (0.0085, 1.20, 3)),
+                    mem_sigma=0.0003,
+                    duration_jitter=0.10,
+                ),
+                uops_per_instruction=1.30,
+                description="Q1: long optimisation passes, short spills",
+            ),
+            BenchmarkSpec(
+                name="gcc_scilab",
+                pattern=MotifPattern(
+                    _motif((0.0042, 1.40, 14), (0.0085, 1.20, 3)),
+                    mem_sigma=0.0003,
+                    duration_jitter=0.10,
+                ),
+                uops_per_instruction=1.30,
+                description="Q1: long optimisation passes, short spills",
+            ),
+            BenchmarkSpec(
+                name="wupwise_ref",
+                pattern=MotifPattern(
+                    _motif((0.0020, 1.70, 18), (0.0080, 1.50, 8)),
+                    mem_sigma=0.0003,
+                    duration_jitter=0.08,
+                ),
+                uops_per_instruction=1.10,
+                description="Q1: slow alternation of BLAS-like kernels",
+            ),
+            BenchmarkSpec(
+                name="gap_ref",
+                pattern=BurstPattern(
+                    base=(0.0060, 1.40),
+                    burst=(0.0130, 1.20),
+                    burst_probability=0.05,
+                    burst_length=3,
+                    mem_sigma=0.0004,
+                ),
+                uops_per_instruction=1.25,
+                description="Q1: flat with garbage-collection bursts",
+            ),
+            BenchmarkSpec(
+                name="gcc_integrate",
+                pattern=MotifPattern(
+                    _motif((0.0042, 1.30, 14), (0.0085, 1.20, 3), (0.0125, 1.10, 4)),
+                    mem_sigma=0.0003,
+                    duration_jitter=0.12,
+                ),
+                uops_per_instruction=1.30,
+                description="Q1: three-level pass structure",
+            ),
+            BenchmarkSpec(
+                name="gcc_expr",
+                pattern=MotifPattern(
+                    _motif((0.0035, 1.30, 10), (0.0110, 1.10, 2), (0.0022, 1.50, 3)),
+                    mem_sigma=0.0003,
+                    duration_jitter=0.12,
+                ),
+                uops_per_instruction=1.30,
+                description="Q1: three-level pass structure",
+            ),
+            BenchmarkSpec(
+                name="ammp_in",
+                pattern=MotifPattern(
+                    _motif((0.0060, 1.10, 10), (0.0115, 1.00, 4)),
+                    mem_sigma=0.0004,
+                    duration_jitter=0.10,
+                ),
+                uops_per_instruction=1.15,
+                description="Q1: neighbour-list rebuild alternation",
+            ),
+            BenchmarkSpec(
+                name="gcc_166",
+                pattern=MotifPattern(
+                    _motif(
+                        (0.0040, 1.30, 8),
+                        (0.0085, 1.20, 3),
+                        (0.0065, 1.25, 4),
+                        (0.0125, 1.10, 2),
+                    ),
+                    mem_sigma=0.0003,
+                    duration_jitter=0.12,
+                ),
+                uops_per_instruction=1.30,
+                description="Q1: most variable of the gcc inputs",
+            ),
+            BenchmarkSpec(
+                name="parser_ref",
+                pattern=MotifPattern(
+                    _motif((0.0040, 1.20, 11), (0.0075, 1.10, 2)),
+                    mem_sigma=0.0004,
+                    duration_jitter=0.10,
+                ),
+                uops_per_instruction=1.25,
+                description="Q1: dictionary-walk hiccups",
+            ),
+            BenchmarkSpec(
+                name="apsi_ref",
+                pattern=MotifPattern(
+                    _motif((0.0042, 1.40, 10), (0.0085, 1.30, 3), (0.0130, 1.20, 2)),
+                    mem_sigma=0.0004,
+                    duration_jitter=0.10,
+                ),
+                uops_per_instruction=1.10,
+                description="Q1: layered mesoscale solver sweeps",
+            ),
+        ]
+    )
+
+    # -- Q2 — stable and memory-bound: big savings, trivially predictable --
+    specs.extend(
+        [
+            BenchmarkSpec(
+                name="swim_in",
+                pattern=FlatPattern(0.0330, 1.90, mem_sigma=0.0004),
+                uops_per_instruction=1.05,
+                description="Q2: streaming stencil, flat and memory-bound",
+            ),
+            BenchmarkSpec(
+                name="mcf_inp",
+                pattern=BurstPattern(
+                    base=(0.1080, 1.20),
+                    burst=(0.0180, 1.40),
+                    burst_probability=0.02,
+                    burst_length=2,
+                    mem_sigma=0.0015,
+                ),
+                uops_per_instruction=1.10,
+                description="Q2: pointer chasing with rare arithmetic spells",
+            ),
+        ]
+    )
+
+    # -- Q4 — variable, modest savings: the bzip2 family -------------------
+    specs.extend(
+        [
+            BenchmarkSpec(
+                name="bzip2_program",
+                pattern=_cycle(
+                    variants=(
+                        (
+                            (0.0022, 1.50, 8),
+                            (0.0078, 1.30, 2),
+                            (0.0128, 1.20, 3),
+                            (0.0078, 1.30, 1),
+                        ),
+                        (
+                            (0.0022, 1.50, 6),
+                            (0.0128, 1.20, 2),
+                            (0.0078, 1.30, 4),
+                            (0.0022, 1.50, 2),
+                        ),
+                        (
+                            (0.0022, 1.50, 7),
+                            (0.0078, 1.30, 3),
+                            (0.0128, 1.20, 2),
+                            (0.0022, 1.50, 1),
+                            (0.0078, 1.30, 1),
+                        ),
+                    ),
+                    block=42,
+                    jitter=0.03,
+                ),
+                uops_per_instruction=1.20,
+                description="Q4: sort/Huffman alternation, mild levels",
+            ),
+            BenchmarkSpec(
+                name="bzip2_source",
+                pattern=_cycle(
+                    variants=(
+                        (
+                            (0.0022, 1.50, 6),
+                            (0.0078, 1.30, 2),
+                            (0.0128, 1.20, 1),
+                            (0.0060, 1.40, 3),
+                        ),
+                        (
+                            (0.0022, 1.50, 5),
+                            (0.0128, 1.20, 2),
+                            (0.0078, 1.30, 2),
+                            (0.0022, 1.50, 1),
+                            (0.0078, 1.30, 2),
+                        ),
+                        (
+                            (0.0022, 1.50, 7),
+                            (0.0078, 1.30, 2),
+                            (0.0128, 1.20, 2),
+                            (0.0078, 1.30, 1),
+                        ),
+                    ),
+                    block=36,
+                    jitter=0.03,
+                ),
+                uops_per_instruction=1.20,
+                description="Q4: faster block turnover than program input",
+            ),
+            BenchmarkSpec(
+                name="bzip2_graphic",
+                pattern=_cycle(
+                    variants=(
+                        (
+                            (0.0022, 1.50, 5),
+                            (0.0078, 1.30, 1),
+                            (0.0128, 1.20, 2),
+                            (0.0060, 1.35, 1),
+                            (0.0110, 1.25, 2),
+                        ),
+                        (
+                            (0.0022, 1.50, 5),
+                            (0.0110, 1.25, 2),
+                            (0.0078, 1.30, 2),
+                            (0.0128, 1.20, 2),
+                            (0.0022, 1.50, 1),
+                            (0.0078, 1.30, 1),
+                        ),
+                        (
+                            (0.0022, 1.50, 6),
+                            (0.0078, 1.30, 2),
+                            (0.0128, 1.20, 2),
+                            (0.0078, 1.30, 1),
+                        ),
+                    ),
+                    block=36,
+                    jitter=0.03,
+                ),
+                uops_per_instruction=1.20,
+                description="Q4: most variable bzip2 input",
+            ),
+        ]
+    )
+
+    # -- Q3 — variable and memory-bound: the headline applications ---------
+    specs.extend(
+        [
+            BenchmarkSpec(
+                name="mgrid_in",
+                pattern=_cycle(
+                    variants=(
+                        (
+                            (0.0025, 1.80, 4),
+                            (0.0175, 1.60, 3),
+                            (0.0260, 1.50, 4),
+                            (0.0125, 1.70, 1),
+                        ),
+                        (
+                            (0.0025, 1.80, 4),
+                            (0.0125, 1.70, 2),
+                            (0.0260, 1.50, 4),
+                            (0.0175, 1.60, 2),
+                        ),
+                        (
+                            (0.0025, 1.80, 5),
+                            (0.0260, 1.50, 4),
+                            (0.0175, 1.60, 2),
+                            (0.0125, 1.70, 1),
+                        ),
+                    ),
+                    block=36,
+                    jitter=0.03,
+                ),
+                uops_per_instruction=1.05,
+                description="Q3: multigrid V-cycle level sweeps",
+            ),
+            BenchmarkSpec(
+                name="applu_in",
+                pattern=_cycle(
+                    variants=(
+                        (
+                            (0.0015, 1.80, 2),
+                            (0.0250, 1.30, 2),
+                            (0.0125, 1.50, 1),
+                            (0.0260, 1.20, 2),
+                            (0.0175, 1.40, 1),
+                            (0.0025, 1.80, 1),
+                        ),
+                        (
+                            (0.0015, 1.80, 2),
+                            (0.0350, 1.20, 2),
+                            (0.0125, 1.50, 2),
+                            (0.0250, 1.25, 1),
+                            (0.0025, 1.80, 2),
+                            (0.0175, 1.40, 1),
+                        ),
+                        (
+                            (0.0025, 1.80, 2),
+                            (0.0175, 1.40, 2),
+                            (0.0250, 1.30, 1),
+                            (0.0125, 1.50, 2),
+                            (0.0350, 1.20, 2),
+                            (0.0015, 1.80, 1),
+                        ),
+                        (
+                            (0.0015, 1.80, 3),
+                            (0.0250, 1.30, 2),
+                            (0.0175, 1.40, 1),
+                            (0.0125, 1.50, 1),
+                            (0.0350, 1.20, 2),
+                        ),
+                    ),
+                    block=75,
+                    jitter=0.010,
+                ),
+                uops_per_instruction=1.05,
+                description="Q3: the paper's running example — rapid, "
+                "distinctive repetitive phases (Figure 2)",
+            ),
+            BenchmarkSpec(
+                name="equake_in",
+                pattern=_cycle(
+                    variants=(
+                        (
+                            (0.0025, 1.60, 2),
+                            (0.0310, 1.25, 2),
+                            (0.0240, 1.30, 2),
+                            (0.0025, 1.60, 1),
+                            (0.0340, 1.20, 2),
+                        ),
+                        (
+                            (0.0025, 1.60, 1),
+                            (0.0340, 1.20, 3),
+                            (0.0175, 1.40, 1),
+                            (0.0240, 1.30, 2),
+                            (0.0025, 1.60, 2),
+                        ),
+                        (
+                            (0.0025, 1.60, 2),
+                            (0.0240, 1.30, 2),
+                            (0.0340, 1.20, 2),
+                            (0.0025, 1.60, 1),
+                            (0.0260, 1.30, 1),
+                            (0.0125, 1.50, 1),
+                        ),
+                        (
+                            (0.0025, 1.60, 1),
+                            (0.0310, 1.25, 2),
+                            (0.0125, 1.50, 1),
+                            (0.0340, 1.20, 3),
+                            (0.0025, 1.60, 1),
+                            (0.0240, 1.30, 1),
+                        ),
+                    ),
+                    block=75,
+                    jitter=0.010,
+                ),
+                uops_per_instruction=1.05,
+                description="Q3: sparse-solve / element-update alternation; "
+                "the paper's best EDP improvement (34%)",
+            ),
+        ]
+    )
+
+    registry = {spec.name: spec for spec in specs}
+    if len(registry) != len(specs):
+        raise ConfigurationError("duplicate benchmark names in registry")
+    return registry
+
+
+#: All 33 benchmark/input pairs, keyed by the paper's labels.
+SPEC2000_BENCHMARKS: Dict[str, BenchmarkSpec] = _build_registry()
+
+#: Figure 4's x-axis order: decreasing last-value prediction accuracy.
+FIG4_BENCHMARK_ORDER: Tuple[str, ...] = (
+    "crafty_in",
+    "eon_cook",
+    "eon_kajiya",
+    "eon_rushmeier",
+    "mesa_ref",
+    "vortex_lendian2",
+    "sixtrack_in",
+    "swim_in",
+    "vortex_lendian1",
+    "twolf_ref",
+    "vortex_lendian3",
+    "gzip_program",
+    "gzip_graphic",
+    "gzip_random",
+    "gzip_source",
+    "gzip_log",
+    "mcf_inp",
+    "gcc_200",
+    "gcc_scilab",
+    "wupwise_ref",
+    "gap_ref",
+    "gcc_integrate",
+    "gcc_expr",
+    "ammp_in",
+    "gcc_166",
+    "parser_ref",
+    "apsi_ref",
+    "bzip2_program",
+    "mgrid_in",
+    "bzip2_source",
+    "bzip2_graphic",
+    "applu_in",
+    "equake_in",
+)
+
+#: The 18 benchmarks of Figure 5's PHT-size sweep (the harder-to-predict
+#: right half of Figure 4, from gzip_log onward).
+FIG5_BENCHMARKS: Tuple[str, ...] = FIG4_BENCHMARK_ORDER[15:]
+
+#: The six variable benchmarks (Q3 + Q4) the paper highlights.
+VARIABLE_BENCHMARKS: Tuple[str, ...] = (
+    "bzip2_program",
+    "mgrid_in",
+    "bzip2_source",
+    "bzip2_graphic",
+    "applu_in",
+    "equake_in",
+)
+
+#: Figure 12's benchmark set: the variable Q3/Q4 applications plus the
+#: high-savings Q2 pair.
+FIG12_BENCHMARKS: Tuple[str, ...] = (
+    "bzip2_program",
+    "bzip2_source",
+    "bzip2_graphic",
+    "mgrid_in",
+    "applu_in",
+    "equake_in",
+    "swim_in",
+    "mcf_inp",
+)
+
+#: Figure 13's benchmark set: the applications that originally exceeded
+#: 5% performance degradation.
+FIG13_BENCHMARKS: Tuple[str, ...] = (
+    "mcf_inp",
+    "applu_in",
+    "equake_in",
+    "swim_in",
+    "mgrid_in",
+)
+
+
+def benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark spec by its paper label.
+
+    Raises:
+        ConfigurationError: If the name is unknown.
+    """
+    try:
+        return SPEC2000_BENCHMARKS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown benchmark {name!r}; known: {sorted(SPEC2000_BENCHMARKS)}"
+        ) from None
+
+
+def benchmark_names() -> Tuple[str, ...]:
+    """All benchmark names in the paper's Figure 4 order."""
+    return FIG4_BENCHMARK_ORDER

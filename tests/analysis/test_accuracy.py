@@ -1,0 +1,118 @@
+"""Tests for the offline prediction evaluation harness."""
+
+import pytest
+
+from repro.analysis.accuracy import (
+    evaluate_predictor,
+    evaluate_suite,
+    misprediction_improvement,
+)
+from repro.core.phases import PhaseTable
+from repro.core.predictors import (
+    GPHTPredictor,
+    LastValuePredictor,
+    OraclePredictor,
+)
+from repro.errors import ConfigurationError
+
+TABLE = PhaseTable()
+
+
+def series_for(phases):
+    return [TABLE.representative_value(p) for p in phases]
+
+
+class TestEvaluateProtocol:
+    def test_scores_n_minus_one_predictions(self):
+        result = evaluate_predictor(
+            LastValuePredictor(), series_for([1, 1, 1, 1, 1])
+        )
+        assert result.total == 4
+        assert len(result.predictions) == len(result.actuals) == 4
+
+    def test_last_value_on_constant_series_is_perfect(self):
+        result = evaluate_predictor(LastValuePredictor(), series_for([2] * 10))
+        assert result.accuracy == 1.0
+        assert result.misprediction_rate == 0.0
+
+    def test_last_value_on_alternation_is_zero(self):
+        result = evaluate_predictor(
+            LastValuePredictor(), series_for([1, 6] * 10)
+        )
+        assert result.accuracy == 0.0
+
+    def test_last_value_accuracy_equals_one_minus_transition_rate(self):
+        phases = [1, 1, 2, 2, 2, 5, 5, 1, 1, 1]
+        result = evaluate_predictor(LastValuePredictor(), series_for(phases))
+        transitions = sum(
+            1 for a, b in zip(phases, phases[1:]) if a != b
+        )
+        expected = 1 - transitions / (len(phases) - 1)
+        assert result.accuracy == pytest.approx(expected)
+
+    def test_predictor_is_reset_before_evaluation(self):
+        predictor = LastValuePredictor()
+        evaluate_predictor(predictor, series_for([6, 6, 6]))
+        result = evaluate_predictor(predictor, series_for([1, 1, 1]))
+        assert result.accuracy == 1.0
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_predictor(LastValuePredictor(), [0.01])
+
+    def test_custom_phase_table(self):
+        coarse = PhaseTable([0.02])
+        # 0.012 and 0.018 are both phase 1 under the coarse table.
+        result = evaluate_predictor(
+            LastValuePredictor(), [0.012, 0.018, 0.012], coarse
+        )
+        assert result.accuracy == 1.0
+
+    def test_result_counts(self):
+        result = evaluate_predictor(
+            LastValuePredictor(), series_for([1, 1, 6, 6])
+        )
+        assert result.correct == 2
+        assert result.total == 3
+
+
+class TestEvaluateSuite:
+    def test_runs_every_factory_on_every_benchmark(self):
+        suite = evaluate_suite(
+            [LastValuePredictor, lambda: GPHTPredictor(4, 16)],
+            {
+                "a": series_for([1, 1, 1, 1]),
+                "b": series_for([1, 6, 1, 6, 1, 6]),
+            },
+        )
+        assert set(suite) == {"a", "b"}
+        assert set(suite["a"]) == {"LastValue", "GPHT_4_16"}
+
+    def test_fresh_predictor_per_benchmark(self):
+        """GPHT state must not leak: benchmark 'b' is evaluated from a
+        cold table even though 'a' trained the same pattern."""
+        pattern = series_for([1, 6] * 50)
+        suite = evaluate_suite(
+            [lambda: GPHTPredictor(4, 16)],
+            {"a": pattern, "b": series_for([1, 6] * 3)},
+        )
+        # The short series leaves no room to train: accuracy far from 1.
+        assert suite["b"]["GPHT_4_16"].accuracy < 0.9
+
+
+class TestMispredictionImprovement:
+    def test_factor(self):
+        phases = [1, 6] * 30
+        last = evaluate_predictor(LastValuePredictor(), series_for(phases))
+        oracle = evaluate_predictor(
+            OraclePredictor(phases), series_for(phases)
+        )
+        gpht = evaluate_predictor(GPHTPredictor(4, 16), series_for(phases))
+        assert misprediction_improvement(last, gpht) > 5.0
+        assert misprediction_improvement(last, oracle) == float("inf")
+
+    def test_equal_predictors_give_one(self):
+        phases = [1, 1, 6, 6, 1, 1, 6, 6]
+        a = evaluate_predictor(LastValuePredictor(), series_for(phases))
+        b = evaluate_predictor(LastValuePredictor(), series_for(phases))
+        assert misprediction_improvement(a, b) == pytest.approx(1.0)

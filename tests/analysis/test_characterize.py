@@ -1,0 +1,59 @@
+"""Tests for whole-benchmark characterisation."""
+
+import pytest
+
+from repro.analysis.characterize import characterization_rows, characterize
+from repro.workloads.quadrants import Quadrant
+from repro.workloads.spec2000 import benchmark
+
+
+@pytest.fixture(scope="module")
+def applu():
+    return characterize(benchmark("applu_in"), n_intervals=600)
+
+
+@pytest.fixture(scope="module")
+def swim():
+    return characterize(benchmark("swim_in"), n_intervals=600)
+
+
+class TestCharacterize:
+    def test_quadrants(self, applu, swim):
+        assert applu.quadrant == Quadrant.Q3
+        assert swim.quadrant == Quadrant.Q2
+
+    def test_occupancy_sums_to_one(self, applu):
+        assert sum(applu.phase_occupancy.values()) == pytest.approx(1.0)
+
+    def test_swim_lives_in_phase_6(self, swim):
+        assert swim.dominant_phase == 6
+        assert swim.phase_occupancy[6] > 0.95
+
+    def test_applu_spreads_over_phases(self, applu):
+        assert len(applu.phase_occupancy) >= 4
+
+    def test_run_lengths_cover_occupied_phases(self, applu):
+        for phase_id in applu.mean_run_length:
+            assert phase_id in applu.phase_occupancy
+            assert applu.mean_run_length[phase_id] >= 1.0
+
+    def test_swim_single_run_outlives_the_window(self, applu, swim):
+        # swim never transitions, so its only run is the truncated
+        # trailing one — correctly excluded from duration statistics.
+        assert swim.mean_run_length == {}
+        assert applu.mean_run_length[applu.dominant_phase] < 10
+
+    def test_predictability(self, applu, swim):
+        assert swim.last_value_accuracy > 0.99
+        assert swim.predictability_gain == pytest.approx(0.0, abs=0.02)
+        assert applu.last_value_accuracy < 0.55
+        assert applu.predictability_gain > 0.3
+
+
+class TestRows:
+    def test_rows_render(self, applu):
+        rows = dict(characterization_rows(applu))
+        assert rows["benchmark"] == "applu_in"
+        assert rows["quadrant"] == "Q3"
+        assert "P6" in rows["phase occupancy"]
+        assert rows["predictability gain"].startswith("+")

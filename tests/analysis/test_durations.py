@@ -1,0 +1,86 @@
+"""Tests for phase run-length analysis (extension)."""
+
+import pytest
+
+from repro.analysis.durations import DurationStatistics, PhaseRun, phase_runs
+from repro.errors import ConfigurationError
+
+
+class TestPhaseRuns:
+    def test_encodes_runs(self):
+        runs = phase_runs([1, 1, 1, 5, 5, 2])
+        assert runs == [
+            PhaseRun(phase=1, start=0, length=3),
+            PhaseRun(phase=5, start=3, length=2),
+            PhaseRun(phase=2, start=5, length=1),
+        ]
+
+    def test_single_run(self):
+        assert phase_runs([4, 4]) == [PhaseRun(phase=4, start=0, length=2)]
+
+    def test_lengths_sum_to_sequence(self):
+        phases = [1, 2, 2, 3, 1, 1, 1, 6]
+        assert sum(r.length for r in phase_runs(phases)) == len(phases)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            phase_runs([])
+
+
+class TestDurationStatistics:
+    def make_stats(self):
+        # Runs: 1x3, 5x2, 1x3, 5x4; trailing 1-run excluded.
+        phases = [1, 1, 1, 5, 5, 1, 1, 1, 5, 5, 5, 5, 1]
+        return DurationStatistics.from_sequence(phases)
+
+    def test_from_sequence_excludes_trailing_run(self):
+        stats = self.make_stats()
+        assert stats.run_count(1) == 2
+        assert stats.run_count(5) == 2
+
+    def test_histogram(self):
+        stats = self.make_stats()
+        assert stats.histogram(1) == {3: 2}
+        assert stats.histogram(5) == {2: 1, 4: 1}
+
+    def test_mean_and_median(self):
+        stats = self.make_stats()
+        assert stats.mean_duration(1) == pytest.approx(3.0)
+        assert stats.mean_duration(5) == pytest.approx(3.0)
+        assert stats.median_duration(5) == 2
+
+    def test_unseen_phase_raises(self):
+        stats = self.make_stats()
+        with pytest.raises(ConfigurationError):
+            stats.mean_duration(3)
+        with pytest.raises(ConfigurationError):
+            stats.median_duration(3)
+
+    def test_observed_phases(self):
+        assert self.make_stats().observed_phases() == (1, 5)
+
+    def test_record_validation(self):
+        stats = DurationStatistics()
+        with pytest.raises(ConfigurationError):
+            stats.record(1, 0)
+
+    def test_continuation_probability(self):
+        stats = self.make_stats()
+        # Phase 5 runs: lengths {2, 4}.  At elapsed=1 both continue.
+        assert stats.continuation_probability(5, 1) == 1.0
+        # At elapsed=2: both reached 2; only the 4-run continues.
+        assert stats.continuation_probability(5, 2) == 0.5
+        # At elapsed=4: the 4-run reached it and ended there.
+        assert stats.continuation_probability(5, 4) == 0.0
+
+    def test_continuation_beyond_observed_is_zero(self):
+        stats = self.make_stats()
+        assert stats.continuation_probability(5, 10) == 0.0
+
+    def test_continuation_for_unseen_phase_is_one(self):
+        stats = self.make_stats()
+        assert stats.continuation_probability(3, 1) == 1.0
+
+    def test_continuation_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.make_stats().continuation_probability(5, 0)

@@ -1,0 +1,57 @@
+"""Tests for the reproduction-certificate report."""
+
+import pytest
+
+from repro.analysis.paper_report import (
+    Claim,
+    claims_by_name,
+    measure_claims,
+    render_report,
+)
+
+
+@pytest.fixture(scope="module")
+def claims():
+    # The canonical lengths: the 6X factor is a tight claim (measured
+    # 6.2X) and needs the full training horizon to hold.
+    return measure_claims(n_accuracy=1000, n_intervals=300)
+
+
+class TestClaims:
+    def test_covers_the_headline_set(self, claims):
+        names = set(claims_by_name(claims))
+        assert "6X misprediction reduction (applu)" in names
+        assert "bounded degradation below 5%" in names
+        assert len(claims) == 8
+
+    def test_all_claims_reproduce(self, claims):
+        failing = [claim.name for claim in claims if not claim.holds]
+        assert failing == []
+
+    def test_measured_values_are_populated(self, claims):
+        for claim in claims:
+            assert claim.measured
+            assert claim.paper
+
+    def test_verdict_rendering(self):
+        good = Claim(name="x", paper="p", measured="m", holds=True)
+        bad = Claim(name="x", paper="p", measured="m", holds=False)
+        assert good.verdict == "REPRODUCED"
+        assert bad.verdict == "NOT REPRODUCED"
+
+
+class TestRendering:
+    def test_report_layout(self, claims):
+        text = render_report(claims)
+        assert text.startswith("Reproduction certificate: 8/8")
+        assert "REPRODUCED" in text
+        assert "claim" in text.splitlines()[2]
+
+    def test_report_counts_failures(self):
+        claims = [
+            Claim(name="a", paper="p", measured="m", holds=True),
+            Claim(name="b", paper="p", measured="m", holds=False),
+        ]
+        text = render_report(claims)
+        assert text.startswith("Reproduction certificate: 1/2")
+        assert "NOT REPRODUCED" in text

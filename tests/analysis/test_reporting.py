@@ -1,0 +1,97 @@
+"""Tests for the plain-text reporting helpers."""
+
+import pytest
+
+from repro.analysis.reporting import format_percent, format_series, format_table
+from repro.errors import ConfigurationError
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.0], ["b", 22.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "alpha" in lines[3]
+
+    def test_columns_align(self):
+        text = format_table(["a", "b"], [["xxxx", 1.0], ["y", 2.0]])
+        lines = text.splitlines()
+        # Both data rows position column b at the same offset.
+        assert lines[2].index("1.0000") == lines[3].index("2.0000")
+
+    def test_floats_rendered_with_four_decimals(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_non_floats_use_str(self):
+        text = format_table(["v"], [[12], ["abc"]])
+        assert "12" in text
+        assert "abc" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_no_title(self):
+        text = format_table(["a"], [["x"]])
+        assert text.splitlines()[0].startswith("a")
+
+
+def test_format_percent():
+    assert format_percent(0.341) == "34.1%"
+    assert format_percent(0.341, decimals=0) == "34%"
+
+
+def test_format_series():
+    assert format_series("s", [1.0, 2.0], decimals=1) == "s: [1.0, 2.0]"
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        from repro.analysis.reporting import sparkline
+
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_extremes_map_to_extremes(self):
+        from repro.analysis.reporting import sparkline
+
+        text = sparkline([0.0, 1.0])
+        assert text[0] == " "
+        assert text[-1] == "\u2588"
+
+    def test_flat_series_renders_midline(self):
+        from repro.analysis.reporting import sparkline
+
+        assert set(sparkline([5.0, 5.0, 5.0])) == {"\u2584"}
+
+    def test_explicit_bounds_clamp(self):
+        from repro.analysis.reporting import sparkline
+
+        text = sparkline([-10.0, 20.0], lo=0.0, hi=10.0)
+        assert text[0] == " "
+        assert text[-1] == "\u2588"
+
+    def test_empty_rejected(self):
+        from repro.analysis.reporting import sparkline
+
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+
+
+class TestPhaseTimeline:
+    def test_scales_to_phase_range(self):
+        from repro.analysis.reporting import phase_timeline
+
+        text = phase_timeline([1, 6])
+        assert text[0] == " "
+        assert text[-1] == "\u2588"
+
+    def test_empty_rejected(self):
+        from repro.analysis.reporting import phase_timeline
+
+        with pytest.raises(ConfigurationError):
+            phase_timeline([])

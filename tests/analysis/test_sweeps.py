@@ -1,0 +1,82 @@
+"""Tests for the parameter-sweep helpers."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    sweep_frequencies,
+    sweep_gphr_depth,
+    sweep_granularity,
+    sweep_pht_entries,
+)
+from repro.core.governor import ReactiveGovernor
+from repro.errors import ConfigurationError
+
+
+class TestPHTSweep:
+    def test_shape(self):
+        results = sweep_pht_entries(
+            ["applu_in"], pht_sizes=(1, 128), n_intervals=300
+        )
+        assert set(results) == {"applu_in"}
+        assert set(results["applu_in"]) == {1, 128}
+
+    def test_capacity_helps_on_variable_benchmark(self):
+        results = sweep_pht_entries(
+            ["applu_in"], pht_sizes=(1, 128), n_intervals=500
+        )
+        assert results["applu_in"][128] > results["applu_in"][1] + 0.2
+
+    def test_rejects_empty_sizes(self):
+        with pytest.raises(ConfigurationError):
+            sweep_pht_entries(["applu_in"], pht_sizes=())
+
+
+class TestDepthSweep:
+    def test_depth_helps_on_variable_benchmark(self):
+        results = sweep_gphr_depth(
+            ["equake_in"], depths=(1, 8), n_intervals=500
+        )
+        assert results["equake_in"][8] > results["equake_in"][1] + 0.1
+
+    def test_rejects_empty_depths(self):
+        with pytest.raises(ConfigurationError):
+            sweep_gphr_depth(["applu_in"], depths=())
+
+
+class TestGranularitySweep:
+    def test_shape_and_positive_improvement(self):
+        results = sweep_granularity(
+            "swim_in",
+            granularities=(25_000_000, 100_000_000),
+            governor_factory=ReactiveGovernor,
+            n_segments=120,
+        )
+        assert set(results) == {25_000_000, 100_000_000}
+        for comparison in results.values():
+            assert comparison.edp_improvement > 0.3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            sweep_granularity("swim_in", (), ReactiveGovernor)
+
+
+class TestFrequencySweep:
+    def test_covers_all_operating_points(self):
+        results = sweep_frequencies("swim_in", n_intervals=20)
+        assert set(results) == {1500, 1400, 1200, 1000, 800, 600}
+
+    def test_mem_per_uop_invariant_bips_and_power_monotone(self):
+        results = sweep_frequencies("swim_in", n_intervals=20)
+        frequencies = sorted(results, reverse=True)
+        mems = [results[f]["mem_per_uop"] for f in frequencies]
+        assert max(mems) - min(mems) < 1e-12
+        powers = [results[f]["power_w"] for f in frequencies]
+        assert all(b < a for a, b in zip(powers, powers[1:]))
+        bips = [results[f]["bips"] for f in frequencies]
+        assert all(b <= a for a, b in zip(bips, bips[1:]))
+
+    def test_upc_rises_as_frequency_drops_for_memory_bound(self):
+        results = sweep_frequencies("mcf_inp", n_intervals=20)
+        frequencies = sorted(results, reverse=True)
+        upcs = [results[f]["upc"] for f in frequencies]
+        assert all(b > a for a, b in zip(upcs, upcs[1:]))

@@ -1,0 +1,53 @@
+"""Tests for the sample-variation metrics."""
+
+import pytest
+
+from repro.analysis.variability import (
+    phase_transition_rate,
+    sample_variation_pct,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSampleVariation:
+    def test_flat_series_has_zero_variation(self):
+        assert sample_variation_pct([0.01] * 10) == 0.0
+
+    def test_every_jump_counts(self):
+        assert sample_variation_pct([0.0, 0.02, 0.0, 0.02]) == 100.0
+
+    def test_threshold_is_strict(self):
+        # Delta of exactly 0.005 does not count (the paper counts
+        # changes of *more than* 0.005).
+        assert sample_variation_pct([0.0, 0.005, 0.0]) == 0.0
+        assert sample_variation_pct([0.0, 0.0051, 0.0]) == 100.0
+
+    def test_partial_variation(self):
+        series = [0.0, 0.0, 0.02, 0.02, 0.02]
+        assert sample_variation_pct(series) == pytest.approx(25.0)
+
+    def test_custom_delta(self):
+        series = [0.0, 0.002, 0.0]
+        assert sample_variation_pct(series, delta=0.001) == 100.0
+        assert sample_variation_pct(series, delta=0.003) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sample_variation_pct([0.01])
+        with pytest.raises(ConfigurationError):
+            sample_variation_pct([0.01, 0.02], delta=0.0)
+
+
+class TestPhaseTransitionRate:
+    def test_constant_sequence(self):
+        assert phase_transition_rate([3, 3, 3, 3]) == 0.0
+
+    def test_alternating_sequence(self):
+        assert phase_transition_rate([1, 6, 1, 6]) == 1.0
+
+    def test_partial(self):
+        assert phase_transition_rate([1, 1, 2, 2]) == pytest.approx(1 / 3)
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ConfigurationError):
+            phase_transition_rate([1])

@@ -1,0 +1,45 @@
+"""Tests for empirical per-phase witness derivation."""
+
+import pytest
+
+from repro.analysis.witnesses import spec_phase_witnesses
+from repro.core.phases import PhaseTable
+from repro.workloads.generators import FlatPattern
+from repro.workloads.spec2000 import BenchmarkSpec
+
+
+def test_covers_every_phase_the_suite_visits():
+    witnesses = spec_phase_witnesses(n_intervals=200)
+    # The full SPEC registry touches all six phases.
+    assert set(witnesses) == {1, 2, 3, 4, 5, 6}
+    for segments in witnesses.values():
+        assert segments
+
+
+def test_witness_classifies_into_its_phase():
+    table = PhaseTable()
+    witnesses = spec_phase_witnesses(table, n_intervals=200)
+    for phase_id, segments in witnesses.items():
+        assert table.classify(segments[0].mem_per_uop) == phase_id
+
+
+def test_witness_is_the_phase_minimum():
+    """A tiny custom registry with known levels: the witness must carry
+    the per-phase minimum Mem/Uop and minimum upc_core."""
+    registry = {
+        "a": BenchmarkSpec(name="a", pattern=FlatPattern(0.022, 1.8)),
+        "b": BenchmarkSpec(name="b", pattern=FlatPattern(0.028, 1.2)),
+    }
+    witnesses = spec_phase_witnesses(benchmarks=registry, n_intervals=50)
+    assert set(witnesses) == {5}
+    witness = witnesses[5][0]
+    assert witness.mem_per_uop == pytest.approx(0.022)
+    assert witness.upc_core == pytest.approx(1.2)
+
+
+def test_unvisited_phases_absent():
+    registry = {
+        "cpu": BenchmarkSpec(name="cpu", pattern=FlatPattern(0.001, 1.5)),
+    }
+    witnesses = spec_phase_witnesses(benchmarks=registry, n_intervals=50)
+    assert set(witnesses) == {1}

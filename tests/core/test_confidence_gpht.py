@@ -1,0 +1,127 @@
+"""Tests for the confidence-counter GPHT variant (extension)."""
+
+import pytest
+
+from repro.analysis.accuracy import evaluate_predictor
+from repro.core.phases import PhaseTable
+from repro.core.predictors import GPHTPredictor, PhaseObservation
+from repro.core.predictors.confidence import ConfidenceGPHTPredictor
+from repro.errors import ConfigurationError
+
+TABLE = PhaseTable()
+
+
+def series_for(phases):
+    return [TABLE.representative_value(p) for p in phases]
+
+
+def drive(predictor, phases):
+    predictions = []
+    for phase in phases:
+        predictor.observe(
+            PhaseObservation(
+                phase=phase, mem_per_uop=TABLE.representative_value(phase)
+            )
+        )
+        predictions.append(predictor.predict())
+    return predictions
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConfidenceGPHTPredictor(gphr_depth=0)
+        with pytest.raises(ConfigurationError):
+            ConfidenceGPHTPredictor(pht_entries=0)
+        with pytest.raises(ConfigurationError):
+            ConfidenceGPHTPredictor(max_confidence=0)
+        with pytest.raises(ConfigurationError):
+            ConfidenceGPHTPredictor(max_confidence=3, use_threshold=4)
+        with pytest.raises(ConfigurationError):
+            ConfidenceGPHTPredictor(use_threshold=0)
+
+    def test_name(self):
+        predictor = ConfidenceGPHTPredictor(8, 128, 3, 2)
+        assert predictor.name == "ConfGPHT_8_128_c3t2"
+
+    def test_cold_prediction(self):
+        assert ConfidenceGPHTPredictor().predict() == 1
+
+
+class TestConfidenceMechanics:
+    def test_confidence_builds_with_correct_outcomes(self):
+        predictor = ConfidenceGPHTPredictor(gphr_depth=2, max_confidence=3)
+        drive(predictor, [1, 2] * 6)
+        tag = (2, 1)
+        assert predictor.entry_confidence(tag) == 3
+
+    def test_single_wrong_outcome_does_not_flip_prediction(self):
+        """The point of hysteresis: one anomaly dents confidence but the
+        established prediction survives — unlike the plain GPHT, which
+        retrains the corrupted entry immediately."""
+        sequence = [1, 2] * 8 + [1, 5] + [1, 2, 1]
+        confident = ConfidenceGPHTPredictor(
+            gphr_depth=2, max_confidence=3, use_threshold=1
+        )
+        plain = GPHTPredictor(gphr_depth=2, pht_entries=128)
+        drive(confident, sequence)
+        drive(plain, sequence)
+        # Both predictors now sit at the (1, 2) context.  The anomaly
+        # taught plain GPHT that 5 follows; hysteresis kept 2.
+        assert confident.predict() == 2
+        assert plain.predict() == 5
+
+    def test_persistent_change_eventually_retrains(self):
+        predictor = ConfidenceGPHTPredictor(
+            gphr_depth=2, max_confidence=2, use_threshold=1
+        )
+        drive(predictor, [1, 2] * 6)
+        predictions = drive(predictor, [1, 5] * 12)
+        sequence = [1, 5] * 12
+        # The tail is retrained to the new pattern.
+        tail_hits = [
+            predictions[i] == sequence[i + 1]
+            for i in range(16, len(sequence) - 1)
+        ]
+        assert all(tail_hits)
+
+    def test_occupancy_bounded(self):
+        predictor = ConfidenceGPHTPredictor(gphr_depth=3, pht_entries=8)
+        drive(predictor, [((i * 5) % 6) + 1 for i in range(200)])
+        assert predictor.pht_occupancy <= 8
+
+    def test_reset(self):
+        predictor = ConfidenceGPHTPredictor()
+        drive(predictor, [1, 2, 3])
+        predictor.reset()
+        assert predictor.pht_occupancy == 0
+        assert predictor.predict() == 1
+
+
+class TestAgainstPlainGPHT:
+    def test_matches_plain_gpht_on_clean_patterns(self):
+        series = series_for([1, 5, 3, 6, 2, 4] * 40)
+        plain = evaluate_predictor(GPHTPredictor(8, 128), series)
+        confident = evaluate_predictor(
+            ConfidenceGPHTPredictor(8, 128), series
+        )
+        assert confident.accuracy == pytest.approx(plain.accuracy, abs=0.03)
+
+    def test_absorbs_isolated_anomalies_better(self):
+        """A periodic pattern with rare one-sample corruptions: plain
+        GPHT retrains on every anomaly and mispredicts twice (once on
+        the anomaly, once on the corrupted entry's next use); the
+        confident variant keeps the established prediction."""
+        motif = [1, 4, 2, 5]
+        phases = []
+        for repeat in range(80):
+            block = list(motif)
+            if repeat % 10 == 5:
+                block[2] = 6  # rare corruption
+            phases.extend(block)
+        series = series_for(phases)
+        plain = evaluate_predictor(GPHTPredictor(8, 256), series)
+        confident = evaluate_predictor(
+            ConfidenceGPHTPredictor(8, 256, max_confidence=3), series
+        )
+        assert confident.accuracy >= plain.accuracy

@@ -1,0 +1,91 @@
+"""Tests for the duration-based phase predictor (extension)."""
+
+import pytest
+
+from repro.analysis.accuracy import evaluate_predictor
+from repro.core.phases import PhaseTable
+from repro.core.predictors import LastValuePredictor, PhaseObservation
+from repro.core.predictors.duration import DurationPredictor
+from repro.errors import ConfigurationError
+
+TABLE = PhaseTable()
+
+
+def series_for(phases):
+    return [TABLE.representative_value(p) for p in phases]
+
+
+def drive(predictor, phases):
+    for phase in phases:
+        predictor.observe(
+            PhaseObservation(
+                phase=phase, mem_per_uop=TABLE.representative_value(phase)
+            )
+        )
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DurationPredictor(continuation_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            DurationPredictor(continuation_threshold=1.5)
+
+    def test_cold_prediction(self):
+        assert DurationPredictor().predict() == 1
+
+    def test_tracks_run_length(self):
+        predictor = DurationPredictor()
+        drive(predictor, [2, 2, 2])
+        assert predictor.current_run_length == 3
+        drive(predictor, [5])
+        assert predictor.current_run_length == 1
+
+    def test_learns_completed_durations(self):
+        predictor = DurationPredictor()
+        drive(predictor, [2, 2, 2, 5])
+        assert predictor.durations.histogram(2) == {3: 1}
+
+    def test_name(self):
+        assert DurationPredictor(0.5).name == "Duration_0.5"
+
+    def test_reset(self):
+        predictor = DurationPredictor()
+        drive(predictor, [2, 2, 5, 2])
+        predictor.reset()
+        assert predictor.current_run_length == 0
+        assert predictor.predict() == 1
+
+
+class TestPrediction:
+    def test_predicts_persistence_early_in_run(self):
+        """Fixed 4-long runs: early in a run the phase persists."""
+        predictor = DurationPredictor()
+        drive(predictor, [1, 1, 1, 1, 5, 5, 5, 5] * 4 + [1, 1])
+        assert predictor.predict() == 1
+
+    def test_predicts_transition_at_typical_duration(self):
+        """Once the run reaches its learned length, the predictor calls
+        the transition to the learned successor."""
+        predictor = DurationPredictor()
+        drive(predictor, [1, 1, 1, 1, 5, 5, 5, 5] * 4)
+        drive(predictor, [1, 1, 1, 1])
+        assert predictor.predict() == 5
+
+    def test_beats_last_value_on_fixed_duration_alternation(self):
+        phases = ([1] * 4 + [5] * 4) * 30
+        duration = evaluate_predictor(DurationPredictor(), series_for(phases))
+        last = evaluate_predictor(LastValuePredictor(), series_for(phases))
+        assert duration.accuracy > last.accuracy + 0.1
+
+    def test_matches_last_value_on_flat_behaviour(self):
+        phases = [3] * 60
+        duration = evaluate_predictor(DurationPredictor(), series_for(phases))
+        assert duration.accuracy == 1.0
+
+    def test_unseen_successor_falls_back_to_persistence(self):
+        predictor = DurationPredictor()
+        # One completed run of 2 but no recorded successor histogram for
+        # the *current* phase (5) yet.
+        drive(predictor, [2, 2, 5])
+        assert predictor.predict() == 5

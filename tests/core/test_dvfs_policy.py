@@ -1,0 +1,157 @@
+"""Tests for phase-to-DVFS policies (paper Table 2 and Section 6.3)."""
+
+import pytest
+
+from repro.core.dvfs_policy import DVFSPolicy, derive_bounded_policy
+from repro.core.phases import PhaseTable
+from repro.cpu.frequency import SpeedStepTable
+from repro.cpu.timing import TimingModel
+from repro.errors import ConfigurationError
+from repro.workloads.segments import SegmentSpec
+
+
+class TestPaperDefault:
+    def test_table2_mapping(self):
+        """Phase i maps to the i-th fastest SpeedStep point — exactly
+        the paper's Table 2."""
+        policy = DVFSPolicy.paper_default()
+        expected = {
+            1: (1500, 1484),
+            2: (1400, 1452),
+            3: (1200, 1356),
+            4: (1000, 1228),
+            5: (800, 1116),
+            6: (600, 956),
+        }
+        for phase_id, (mhz, mv) in expected.items():
+            point = policy.setting_for(phase_id)
+            assert (point.frequency_mhz, point.voltage_mv) == (mhz, mv)
+
+    def test_monotonic(self):
+        assert DVFSPolicy.paper_default().is_monotonic()
+
+    def test_rejects_more_phases_than_points(self):
+        seven_phase_table = PhaseTable(
+            [0.004, 0.008, 0.012, 0.016, 0.020, 0.030]
+        )
+        with pytest.raises(ConfigurationError):
+            DVFSPolicy.paper_default(seven_phase_table)
+
+
+class TestValidation:
+    def test_requires_full_phase_coverage(self):
+        table = PhaseTable()
+        speedstep = SpeedStepTable()
+        partial = {1: speedstep.fastest}
+        with pytest.raises(ConfigurationError, match="misses"):
+            DVFSPolicy(table, partial)
+
+    def test_rejects_unknown_phase_ids(self):
+        table = PhaseTable([0.01])
+        speedstep = SpeedStepTable()
+        assignments = {1: speedstep.fastest, 2: speedstep.slowest,
+                       9: speedstep.slowest}
+        with pytest.raises(ConfigurationError, match="unknown"):
+            DVFSPolicy(table, assignments)
+
+    def test_setting_for_uncovered_phase_raises(self):
+        policy = DVFSPolicy.paper_default()
+        with pytest.raises(ConfigurationError):
+            policy.setting_for(7)
+
+    def test_non_monotonic_policy_is_detectable(self):
+        table = PhaseTable([0.01])
+        speedstep = SpeedStepTable()
+        policy = DVFSPolicy(
+            table, {1: speedstep.slowest, 2: speedstep.fastest}
+        )
+        assert not policy.is_monotonic()
+
+    def test_assignments_returns_copy(self):
+        policy = DVFSPolicy.paper_default()
+        mapping = policy.assignments
+        mapping[1] = SpeedStepTable().slowest
+        assert policy.setting_for(1).frequency_mhz == 1500
+
+
+class TestBoundedDerivation:
+    def test_rejects_bad_target(self):
+        with pytest.raises(ConfigurationError):
+            derive_bounded_policy(0.0)
+        with pytest.raises(ConfigurationError):
+            derive_bounded_policy(1.0)
+
+    def test_phase1_always_full_speed(self):
+        """The least memory-bound phase has no slack: any slower setting
+        slows it by the full frequency ratio."""
+        policy = derive_bounded_policy(0.05)
+        assert policy.setting_for(1).frequency_mhz == 1500
+
+    def test_policy_is_complete_and_monotonic(self):
+        policy = derive_bounded_policy(0.05)
+        for phase_id in PhaseTable().phase_ids:
+            policy.setting_for(phase_id)
+        assert policy.is_monotonic()
+
+    def test_derived_settings_honor_the_bound(self):
+        """Every phase's chosen setting keeps its own witness within the
+        degradation target under the timing model."""
+        timing = TimingModel()
+        table = PhaseTable()
+        speedstep = SpeedStepTable()
+        target = 0.05
+        policy = derive_bounded_policy(
+            target, table, speedstep, timing, upc_core_floor=0.5
+        )
+        for definition in table.definitions:
+            witness = SegmentSpec(
+                uops=1_000_000,
+                mem_per_uop=definition.lower,
+                upc_core=0.5,
+            )
+            point = policy.setting_for(definition.phase_id)
+            slowdown = timing.slowdown(witness, point, speedstep.fastest)
+            assert slowdown <= 1.0 + target + 1e-9
+
+    def test_tighter_bound_gives_faster_settings(self):
+        loose = derive_bounded_policy(0.20)
+        tight = derive_bounded_policy(0.02)
+        for phase_id in PhaseTable().phase_ids:
+            assert (
+                tight.setting_for(phase_id).frequency_mhz
+                >= loose.setting_for(phase_id).frequency_mhz
+            )
+
+    def test_bounded_policy_is_never_more_aggressive_than_table2(self):
+        """With a 5% bound, no phase may run slower than the paper's
+        aggressive default assigns it."""
+        bounded = derive_bounded_policy(0.05)
+        aggressive = DVFSPolicy.paper_default()
+        for phase_id in PhaseTable().phase_ids:
+            assert (
+                bounded.setting_for(phase_id).frequency_mhz
+                >= aggressive.setting_for(phase_id).frequency_mhz
+            )
+
+    def test_explicit_witnesses_override_synthetic(self):
+        """Highly memory-bound witnesses tolerate slow settings, so the
+        derived policy gets more aggressive for their phase."""
+        speedstep = SpeedStepTable()
+        witnesses = {
+            6: [SegmentSpec(uops=1_000_000, mem_per_uop=0.12, upc_core=1.9)]
+        }
+        with_witness = derive_bounded_policy(
+            0.05, witnesses_by_phase=witnesses
+        )
+        without = derive_bounded_policy(0.05)
+        assert (
+            with_witness.setting_for(6).frequency_mhz
+            <= without.setting_for(6).frequency_mhz
+        )
+        assert with_witness.setting_for(6).frequency_mhz == 600
+
+    def test_name_encodes_target(self):
+        assert derive_bounded_policy(0.05).name == "bounded_5%"
+
+    def test_repr_shows_mapping(self):
+        assert "1500MHz" in repr(DVFSPolicy.paper_default())

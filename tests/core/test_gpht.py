@@ -1,0 +1,197 @@
+"""Tests for the Global Phase History Table predictor (paper Figure 1)."""
+
+import pytest
+
+from repro.analysis.accuracy import evaluate_predictor
+from repro.core.predictors import (
+    GPHTPredictor,
+    LastValuePredictor,
+    PhaseObservation,
+)
+from repro.errors import ConfigurationError
+
+
+def obs(phase):
+    return PhaseObservation(phase=phase, mem_per_uop=0.0025 * phase)
+
+
+def drive(predictor, phases):
+    """Run the handler cycle over a phase sequence; return predictions.
+
+    ``predictions[i]`` is the prediction made after observing
+    ``phases[i]`` (i.e. for ``phases[i + 1]``).
+    """
+    predictions = []
+    for phase in phases:
+        predictor.observe(obs(phase))
+        predictions.append(predictor.predict())
+    return predictions
+
+
+class TestConstruction:
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ConfigurationError):
+            GPHTPredictor(gphr_depth=0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            GPHTPredictor(pht_entries=0)
+
+    def test_name_encodes_geometry(self):
+        assert GPHTPredictor(8, 1024).name == "GPHT_8_1024"
+
+    def test_cold_prediction_is_default(self):
+        assert GPHTPredictor().predict() == 1
+
+
+class TestGPHR:
+    def test_shift_register_most_recent_first(self):
+        predictor = GPHTPredictor(gphr_depth=4)
+        drive(predictor, [1, 2, 3])
+        assert predictor.gphr == (3, 2, 1, 0)
+
+    def test_depth_bounds_history(self):
+        predictor = GPHTPredictor(gphr_depth=3)
+        drive(predictor, [1, 2, 3, 4, 5])
+        assert predictor.gphr == (5, 4, 3)
+
+
+class TestPrediction:
+    def test_falls_back_to_last_value_on_miss(self):
+        predictor = GPHTPredictor(gphr_depth=4, pht_entries=16)
+        predictor.observe(obs(5))
+        # Nothing learned yet: the unseen pattern predicts GPHR[0].
+        assert predictor.predict() == 5
+
+    def test_learns_alternating_pattern(self):
+        """Last-value gets an alternating sequence 0% right; the GPHT
+        learns it perfectly after one training pass."""
+        predictor = GPHTPredictor(gphr_depth=4, pht_entries=64)
+        sequence = [1, 6] * 30
+        predictions = drive(predictor, sequence)
+        # Score prediction i against actual i+1, over the trained tail.
+        tail_hits = [
+            predictions[i] == sequence[i + 1] for i in range(40, 59)
+        ]
+        assert all(tail_hits)
+
+    def test_learns_longer_period_pattern(self):
+        predictor = GPHTPredictor(gphr_depth=8, pht_entries=128)
+        motif = [1, 1, 5, 3, 5, 5, 4, 1]
+        sequence = motif * 12
+        predictions = drive(predictor, sequence)
+        tail = range(len(motif) * 4, len(sequence) - 1)
+        hits = [predictions[i] == sequence[i + 1] for i in tail]
+        assert sum(hits) / len(hits) == 1.0
+
+    def test_relearns_after_behavior_change(self):
+        predictor = GPHTPredictor(gphr_depth=4, pht_entries=64)
+        drive(predictor, [1, 2] * 20)
+        predictions = drive(predictor, [5, 6] * 20)
+        sequence = [5, 6] * 20
+        tail_hits = [
+            predictions[i] == sequence[i + 1] for i in range(20, 39 - 1)
+        ]
+        assert all(tail_hits)
+
+    def test_single_entry_pht_degenerates_to_last_value(self):
+        """The paper's Figure 5 endpoint: with one PHT entry, tag hits
+        essentially never happen and GPHT converges to last value."""
+        sequence = ([1, 4, 2, 5] * 40) + ([3, 6] * 20)
+        gpht = evaluate_predictor(GPHTPredictor(8, 1), list(
+            0.0025 * p for p in sequence
+        ))
+        last = evaluate_predictor(LastValuePredictor(), list(
+            0.0025 * p for p in sequence
+        ))
+        assert gpht.accuracy == pytest.approx(last.accuracy, abs=0.02)
+
+
+class TestPHTManagement:
+    def test_occupancy_never_exceeds_capacity(self):
+        predictor = GPHTPredictor(gphr_depth=3, pht_entries=8)
+        drive(predictor, [((i * 7) % 6) + 1 for i in range(200)])
+        assert predictor.pht_occupancy <= 8
+
+    def test_lru_keeps_hot_patterns(self):
+        """A pattern exercised continuously must survive pressure from
+        one-off patterns filling the rest of the table."""
+        predictor = GPHTPredictor(gphr_depth=2, pht_entries=4)
+        # Train the hot alternation thoroughly.
+        drive(predictor, [1, 2] * 10)
+        hits_before = predictor.hits
+        # One pass of cold patterns, interleaved with the hot one.
+        drive(predictor, [3, 1, 2, 4, 1, 2, 5, 1, 2])
+        # The hot pattern must still hit afterwards.
+        drive(predictor, [1, 2, 1])
+        assert predictor.hits > hits_before
+
+    def test_hits_and_misses_accounted(self):
+        predictor = GPHTPredictor(gphr_depth=2, pht_entries=16)
+        drive(predictor, [1, 2, 1, 2, 1, 2])
+        assert predictor.hits + predictor.misses == 6
+
+    def test_reset_clears_everything(self):
+        predictor = GPHTPredictor(gphr_depth=4, pht_entries=16)
+        drive(predictor, [1, 2, 3, 4, 5])
+        predictor.reset()
+        assert predictor.pht_occupancy == 0
+        assert predictor.hits == 0
+        assert predictor.misses == 0
+        assert predictor.gphr == (0, 0, 0, 0)
+        assert predictor.predict() == 1
+
+
+class TestAgainstLastValue:
+    """The paper's headline predictor comparison, in miniature."""
+
+    def test_beats_last_value_on_variable_pattern(self):
+        motif = [1, 5, 1, 6, 2, 5]
+        series = [0.0025 * p for p in motif * 30]
+        gpht = evaluate_predictor(GPHTPredictor(8, 128), series)
+        last = evaluate_predictor(LastValuePredictor(), series)
+        assert gpht.accuracy > last.accuracy + 0.3
+
+    def test_matches_last_value_on_stable_pattern(self):
+        series = [0.001] * 200
+        gpht = evaluate_predictor(GPHTPredictor(8, 128), series)
+        last = evaluate_predictor(LastValuePredictor(), series)
+        assert gpht.accuracy == pytest.approx(last.accuracy, abs=0.01)
+
+    def test_never_much_worse_than_last_value_on_random_data(self):
+        """The miss fallback guarantees near-last-value behaviour even
+        on unpredictable input (the paper's worst-case argument)."""
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        series = rng.choice([0.001, 0.012, 0.025, 0.04], size=400).tolist()
+        gpht = evaluate_predictor(GPHTPredictor(8, 128), series)
+        last = evaluate_predictor(LastValuePredictor(), series)
+        assert gpht.accuracy >= last.accuracy - 0.08
+
+
+class TestSnapshot:
+    def test_snapshot_exposes_learned_patterns(self):
+        predictor = GPHTPredictor(gphr_depth=2, pht_entries=8)
+        drive(predictor, [1, 2] * 6)
+        snapshot = predictor.snapshot()
+        # Tags are GPHR contents (most recent first); the stored value
+        # is what followed that history: after ...1,2 comes 1, and
+        # after ...2,1 comes 2.
+        assert snapshot[(2, 1)] == 1
+        assert snapshot[(1, 2)] == 2
+
+    def test_snapshot_is_a_copy(self):
+        predictor = GPHTPredictor(gphr_depth=2, pht_entries=8)
+        drive(predictor, [1, 2, 1, 2])
+        snapshot = predictor.snapshot()
+        snapshot.clear()
+        assert predictor.pht_occupancy > 0
+
+    def test_snapshot_orders_lru_first(self):
+        predictor = GPHTPredictor(gphr_depth=1, pht_entries=8)
+        drive(predictor, [1, 2, 3, 2, 3])
+        ordered = list(predictor.snapshot())
+        # (1,) has not been touched since the start; it must sit at the
+        # least-recently-used front.
+        assert ordered[0] == (1,)

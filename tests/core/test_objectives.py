@@ -1,0 +1,132 @@
+"""Tests for objective-driven policy derivation (extension)."""
+
+import pytest
+
+from repro.core.objectives import (
+    OBJECTIVES,
+    derive_objective_policy,
+    derive_power_capped_policy,
+)
+from repro.core.phases import PhaseTable
+from repro.cpu.frequency import SpeedStepTable
+from repro.cpu.timing import TimingModel
+from repro.errors import ConfigurationError
+from repro.power.model import PowerModel
+from repro.workloads.segments import SegmentSpec
+
+TABLE = PhaseTable()
+SPEEDSTEP = SpeedStepTable()
+TIMING = TimingModel()
+POWER = PowerModel()
+
+
+class TestObjectivePolicies:
+    def test_rejects_unknown_objective(self):
+        with pytest.raises(ConfigurationError):
+            derive_objective_policy("speed")
+
+    @pytest.mark.parametrize("objective", sorted(OBJECTIVES))
+    def test_policies_are_complete(self, objective):
+        policy = derive_objective_policy(objective)
+        for phase_id in TABLE.phase_ids:
+            assert policy.setting_for(phase_id) in SPEEDSTEP.points
+        assert policy.name == f"objective_{objective}"
+
+    def test_energy_is_most_aggressive_ed2p_least(self):
+        """Higher delay exponents weight performance more, so for every
+        phase: f(energy) <= f(edp) <= f(ed2p)."""
+        energy = derive_objective_policy("energy")
+        edp = derive_objective_policy("edp")
+        ed2p = derive_objective_policy("ed2p")
+        for phase_id in TABLE.phase_ids:
+            assert (
+                energy.setting_for(phase_id).frequency_mhz
+                <= edp.setting_for(phase_id).frequency_mhz
+            )
+            assert (
+                edp.setting_for(phase_id).frequency_mhz
+                <= ed2p.setting_for(phase_id).frequency_mhz
+            )
+
+    def test_edp_policy_slows_memory_phases(self):
+        policy = derive_objective_policy("edp")
+        assert policy.setting_for(6).frequency_mhz < 1500
+
+    def test_edp_policy_monotonic(self):
+        assert derive_objective_policy("edp").is_monotonic()
+
+    def test_chosen_point_actually_minimises_the_objective(self):
+        policy = derive_objective_policy("edp")
+        for phase_id in TABLE.phase_ids:
+            witness = SegmentSpec(
+                uops=100_000_000,
+                mem_per_uop=TABLE.representative_value(phase_id),
+                upc_core=1.3,
+            )
+            values = {}
+            for point in SPEEDSTEP:
+                execution = TIMING.execute(witness, point)
+                energy = (
+                    POWER.power(point, execution.duty) * execution.seconds
+                )
+                values[point] = energy * execution.seconds
+            chosen = policy.setting_for(phase_id)
+            assert values[chosen] == pytest.approx(min(values.values()))
+
+    def test_explicit_representatives_are_used(self):
+        """A CPU-bound witness for phase 6 must keep it at high
+        frequency under ed2p even though the bin is memory-bound."""
+        cpu_bound = SegmentSpec(
+            uops=100_000_000, mem_per_uop=0.03, upc_core=1.3, mem_overlap=0.74
+        )
+        policy = derive_objective_policy(
+            "ed2p", representatives={6: cpu_bound}
+        )
+        default = derive_objective_policy("ed2p")
+        assert (
+            policy.setting_for(6).frequency_mhz
+            >= default.setting_for(6).frequency_mhz
+        )
+
+
+class TestPowerCappedPolicies:
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ConfigurationError):
+            derive_power_capped_policy(0.0)
+
+    def test_generous_cap_keeps_full_speed(self):
+        policy = derive_power_capped_policy(50.0)
+        for phase_id in TABLE.phase_ids:
+            assert policy.setting_for(phase_id).frequency_mhz == 1500
+
+    def test_tiny_cap_forces_slowest(self):
+        policy = derive_power_capped_policy(0.5)
+        for phase_id in TABLE.phase_ids:
+            assert policy.setting_for(phase_id).frequency_mhz == 600
+
+    def test_moderate_cap_throttles_cpu_bound_phases_hardest(self):
+        """CPU-bound phases draw the most power at a given frequency, so
+        they hit the cap first and get throttled lower."""
+        policy = derive_power_capped_policy(6.0)
+        assert (
+            policy.setting_for(1).frequency_mhz
+            <= policy.setting_for(6).frequency_mhz
+        )
+
+    def test_cap_is_respected_at_chosen_points(self):
+        cap = 6.0
+        policy = derive_power_capped_policy(cap)
+        for phase_id in TABLE.phase_ids:
+            witness = SegmentSpec(
+                uops=100_000_000,
+                mem_per_uop=TABLE.representative_value(phase_id),
+                upc_core=1.3,
+            )
+            point = policy.setting_for(phase_id)
+            execution = TIMING.execute(witness, point)
+            draw = POWER.power(point, execution.duty)
+            if point != SPEEDSTEP.slowest:
+                assert draw <= cap + 1e-9
+
+    def test_name_encodes_cap(self):
+        assert derive_power_capped_policy(7.5).name == "power_cap_7.5W"

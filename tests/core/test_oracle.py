@@ -1,0 +1,49 @@
+"""Tests for the oracle (perfect-knowledge) predictor."""
+
+import pytest
+
+from repro.analysis.accuracy import evaluate_predictor
+from repro.core.predictors import OraclePredictor, PhaseObservation
+from repro.errors import ConfigurationError
+
+
+def test_rejects_empty_sequence():
+    with pytest.raises(ConfigurationError):
+        OraclePredictor([])
+
+
+def test_perfect_accuracy_on_its_sequence():
+    from repro.core.phases import PhaseTable
+
+    table = PhaseTable()
+    phases = [1, 5, 2, 6, 3, 1, 4, 2] * 10
+    series = [table.representative_value(p) for p in phases]
+    result = evaluate_predictor(OraclePredictor(phases), series)
+    assert result.accuracy == 1.0
+
+
+def test_tracks_position_via_observations():
+    oracle = OraclePredictor([3, 1, 4])
+    assert oracle.predict() == 3
+    oracle.observe(PhaseObservation(phase=3, mem_per_uop=0.01))
+    assert oracle.predict() == 1
+    oracle.observe(PhaseObservation(phase=1, mem_per_uop=0.0))
+    assert oracle.predict() == 4
+
+
+def test_repeats_final_phase_past_the_end():
+    oracle = OraclePredictor([2, 5])
+    for phase in (2, 5, 5):
+        oracle.observe(PhaseObservation(phase=phase, mem_per_uop=0.01))
+    assert oracle.predict() == 5
+
+
+def test_reset_rewinds():
+    oracle = OraclePredictor([2, 5])
+    oracle.observe(PhaseObservation(phase=2, mem_per_uop=0.01))
+    oracle.reset()
+    assert oracle.predict() == 2
+
+
+def test_name():
+    assert OraclePredictor([1]).name == "Oracle"

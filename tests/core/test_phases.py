@@ -1,0 +1,123 @@
+"""Tests for phase definitions and classification (paper Table 1)."""
+
+import pytest
+
+from repro.core.phases import PAPER_PHASE_EDGES, PhaseTable
+from repro.errors import ConfigurationError
+
+
+class TestPaperTable:
+    """The exact Table 1 of the paper."""
+
+    def setup_method(self):
+        self.table = PhaseTable()
+
+    def test_six_phases(self):
+        assert self.table.num_phases == 6
+        assert self.table.phase_ids == (1, 2, 3, 4, 5, 6)
+
+    def test_edges(self):
+        assert self.table.edges == (0.005, 0.010, 0.015, 0.020, 0.030)
+        assert PAPER_PHASE_EDGES == self.table.edges
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0.0, 1),
+            (0.0049, 1),
+            (0.005, 2),
+            (0.0099, 2),
+            (0.010, 3),
+            (0.0149, 3),
+            (0.015, 4),
+            (0.0199, 4),
+            (0.020, 5),
+            (0.0299, 5),
+            (0.030, 6),
+            (0.10, 6),
+        ],
+    )
+    def test_table1_classification(self, value, expected):
+        assert self.table.classify(value) == expected
+
+    def test_bins_are_half_open(self):
+        """Each edge value belongs to the *upper* phase."""
+        for i, edge in enumerate(self.table.edges):
+            assert self.table.classify(edge) == i + 2
+
+    def test_rejects_negative_metric(self):
+        with pytest.raises(ConfigurationError):
+            self.table.classify(-0.001)
+
+    def test_classify_series(self):
+        assert self.table.classify_series([0.0, 0.012, 0.05]) == [1, 3, 6]
+
+    def test_definitions_cover_the_line(self):
+        definitions = self.table.definitions
+        assert definitions[0].lower == 0.0
+        assert definitions[-1].upper == float("inf")
+        for earlier, later in zip(definitions, definitions[1:]):
+            assert earlier.upper == later.lower
+
+    def test_definition_contains_agrees_with_classify(self):
+        for value in (0.0, 0.004, 0.0125, 0.02, 0.05):
+            phase = self.table.classify(value)
+            assert self.table.definition(phase).contains(value)
+
+    def test_definition_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            self.table.definition(0)
+        with pytest.raises(ConfigurationError):
+            self.table.definition(7)
+
+    def test_representative_values_classify_into_their_phase(self):
+        for phase_id in self.table.phase_ids:
+            value = self.table.representative_value(phase_id)
+            assert self.table.classify(value) == phase_id
+
+    def test_representative_values_are_monotone(self):
+        values = [
+            self.table.representative_value(p) for p in self.table.phase_ids
+        ]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_str_of_definitions(self):
+        assert "phase 1" in str(self.table.definition(1))
+        assert ">=" in str(self.table.definition(6))
+
+
+class TestCustomTables:
+    def test_single_edge_gives_two_phases(self):
+        table = PhaseTable([0.01])
+        assert table.num_phases == 2
+        assert table.classify(0.005) == 1
+        assert table.classify(0.015) == 2
+
+    def test_rejects_empty_edges(self):
+        with pytest.raises(ConfigurationError):
+            PhaseTable([])
+
+    def test_rejects_unordered_edges(self):
+        with pytest.raises(ConfigurationError, match="increasing"):
+            PhaseTable([0.01, 0.005])
+
+    def test_rejects_duplicate_edges(self):
+        with pytest.raises(ConfigurationError, match="increasing"):
+            PhaseTable([0.01, 0.01])
+
+    def test_rejects_nonpositive_edges(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            PhaseTable([0.0, 0.01])
+
+    def test_equality_and_hash(self):
+        assert PhaseTable() == PhaseTable()
+        assert PhaseTable([0.01]) != PhaseTable([0.02])
+        assert hash(PhaseTable()) == hash(PhaseTable())
+
+    def test_equality_against_other_type(self):
+        assert PhaseTable() != "not a table"
+
+    def test_representative_value_single_edge(self):
+        table = PhaseTable([0.01])
+        top = table.representative_value(2)
+        assert table.classify(top) == 2

@@ -1,0 +1,151 @@
+"""Tests for the statistical baseline predictors: last value, fixed
+window, variable window (paper Section 3)."""
+
+import pytest
+
+from repro.core.predictors import (
+    FixedWindowPredictor,
+    LastValuePredictor,
+    PhaseObservation,
+    VariableWindowPredictor,
+)
+from repro.errors import ConfigurationError
+
+
+def obs(phase, mem=None):
+    if mem is None:
+        mem = 0.0025 * phase
+    return PhaseObservation(phase=phase, mem_per_uop=mem)
+
+
+def feed(predictor, phases):
+    for phase in phases:
+        predictor.observe(obs(phase))
+
+
+class TestLastValue:
+    def test_cold_prediction_is_default(self):
+        assert LastValuePredictor().predict() == 1
+
+    def test_predicts_last_observed(self):
+        predictor = LastValuePredictor()
+        feed(predictor, [3, 5, 2])
+        assert predictor.predict() == 2
+
+    def test_reset_returns_to_default(self):
+        predictor = LastValuePredictor()
+        feed(predictor, [4])
+        predictor.reset()
+        assert predictor.predict() == 1
+
+    def test_name(self):
+        assert LastValuePredictor().name == "LastValue"
+
+
+class TestFixedWindow:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            FixedWindowPredictor(window_size=0)
+
+    def test_rejects_bad_selector(self):
+        with pytest.raises(ConfigurationError):
+            FixedWindowPredictor(window_size=8, selector="median")
+
+    def test_cold_prediction_is_default(self):
+        assert FixedWindowPredictor(8).predict() == 1
+
+    def test_majority_wins(self):
+        predictor = FixedWindowPredictor(window_size=5)
+        feed(predictor, [2, 2, 2, 6, 6])
+        assert predictor.predict() == 2
+
+    def test_window_evicts_old_observations(self):
+        predictor = FixedWindowPredictor(window_size=3)
+        feed(predictor, [2, 2, 2, 6, 6, 6])
+        assert predictor.predict() == 6
+
+    def test_tie_breaks_toward_most_recent(self):
+        predictor = FixedWindowPredictor(window_size=4)
+        feed(predictor, [2, 2, 5, 5])
+        assert predictor.predict() == 5
+        feed(predictor, [2, 2, 5, 5, 2, 2])  # window now [5, 5, 2, 2]
+        assert predictor.predict() == 2
+
+    def test_mean_selector_rounds(self):
+        predictor = FixedWindowPredictor(window_size=4, selector="mean")
+        feed(predictor, [1, 1, 6, 6])  # mean 3.5 -> round -> 4 (banker's: 4)
+        assert predictor.predict() in (3, 4)
+        predictor.reset()
+        feed(predictor, [2, 2, 2, 4])  # mean 2.5 -> 2 (banker's rounding)
+        assert predictor.predict() in (2, 3)
+
+    def test_size_one_window_is_last_value(self):
+        predictor = FixedWindowPredictor(window_size=1)
+        feed(predictor, [4, 6, 3])
+        assert predictor.predict() == 3
+
+    def test_name_includes_size(self):
+        assert FixedWindowPredictor(128).name == "FixWindow_128"
+
+    def test_reset_clears_history(self):
+        predictor = FixedWindowPredictor(window_size=8)
+        feed(predictor, [5] * 8)
+        predictor.reset()
+        assert predictor.predict() == 1
+
+
+class TestVariableWindow:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            VariableWindowPredictor(window_size=0, transition_threshold=0.005)
+        with pytest.raises(ConfigurationError):
+            VariableWindowPredictor(window_size=8, transition_threshold=0.0)
+
+    def test_cold_prediction_is_default(self):
+        predictor = VariableWindowPredictor(128, 0.005)
+        assert predictor.predict() == 1
+
+    def test_behaves_like_majority_without_transitions(self):
+        predictor = VariableWindowPredictor(128, 0.005)
+        for _ in range(5):
+            predictor.observe(obs(3, mem=0.012))
+        predictor.observe(obs(2, mem=0.009))  # delta 0.003 < threshold
+        assert predictor.window_length == 6
+        assert predictor.predict() == 3
+
+    def test_history_reset_on_transition(self):
+        """A Mem/Uop jump beyond the threshold obsoletes the history, so
+        the prediction follows the new behaviour immediately."""
+        predictor = VariableWindowPredictor(128, 0.005)
+        for _ in range(10):
+            predictor.observe(obs(1, mem=0.001))
+        predictor.observe(obs(6, mem=0.040))  # jump of 0.039
+        assert predictor.window_length == 1
+        assert predictor.predict() == 6
+
+    def test_large_threshold_never_resets(self):
+        predictor = VariableWindowPredictor(128, 0.030)
+        for _ in range(10):
+            predictor.observe(obs(1, mem=0.001))
+        predictor.observe(obs(5, mem=0.025))  # jump 0.024 < 0.030
+        assert predictor.window_length == 11
+        assert predictor.predict() == 1
+
+    def test_name_encodes_parameters(self):
+        predictor = VariableWindowPredictor(128, 0.005)
+        assert predictor.name == "VarWindow_128_0.005"
+
+    def test_reset_clears_metric_memory(self):
+        predictor = VariableWindowPredictor(128, 0.005)
+        predictor.observe(obs(1, mem=0.001))
+        predictor.reset()
+        # After reset, a big metric value must not count as a transition
+        # (there is no previous metric to compare with).
+        predictor.observe(obs(6, mem=0.040))
+        assert predictor.window_length == 1
+
+    def test_window_capacity_still_applies(self):
+        predictor = VariableWindowPredictor(4, 0.050)
+        for i in range(10):
+            predictor.observe(obs(2, mem=0.006))
+        assert predictor.window_length == 4

@@ -1,0 +1,117 @@
+"""Tests for the dynamic-thermal-management governor (extension)."""
+
+import pytest
+
+from repro.core.governor import (
+    PhasePredictionGovernor,
+    ReactiveGovernor,
+    StaticGovernor,
+)
+from repro.core.predictors import GPHTPredictor
+from repro.core.thermal_governor import ThermalManagedGovernor
+from repro.cpu.frequency import SpeedStepTable
+from repro.errors import ConfigurationError
+from repro.power.thermal import ThermalModel
+from repro.system.machine import Machine
+from repro.workloads.segments import uniform_trace
+
+SPEEDSTEP = SpeedStepTable()
+
+
+def hot_trace(n=600):
+    """A fully CPU-bound workload: maximum power at full speed."""
+    return uniform_trace(
+        "hot", [(0.0, 1.8)] * n, uops_per_segment=100_000_000
+    )
+
+
+class TestConstruction:
+    def test_validation(self):
+        thermal = ThermalModel()
+        inner = ReactiveGovernor()
+        with pytest.raises(ConfigurationError):
+            ThermalManagedGovernor(inner, thermal, trip_c=20.0)  # < ambient
+        with pytest.raises(ConfigurationError):
+            ThermalManagedGovernor(inner, thermal, hysteresis_c=-1.0)
+
+    def test_name_composes(self):
+        governor = ThermalManagedGovernor(
+            ReactiveGovernor(), ThermalModel(), trip_c=75.0
+        )
+        assert governor.name == "Thermal_75C_Reactive"
+
+    def test_rejects_foreign_cap(self):
+        from repro.cpu.frequency import OperatingPoint
+
+        with pytest.raises(ConfigurationError):
+            ThermalManagedGovernor(
+                ReactiveGovernor(),
+                ThermalModel(),
+                cap=OperatingPoint(900, 1000),
+            )
+
+
+class TestThrottling:
+    def run_hot(self, trip_c=70.0, n=600):
+        machine = Machine()
+        thermal = ThermalModel()
+        governor = ThermalManagedGovernor(
+            PhasePredictionGovernor(GPHTPredictor(8, 128)),
+            thermal,
+            trip_c=trip_c,
+        )
+        result = machine.run(hot_trace(n), governor, thermal=thermal)
+        return result, thermal, governor
+
+    def test_unmanaged_hot_workload_exceeds_trip(self):
+        machine = Machine()
+        thermal = ThermalModel()
+        machine.run(
+            hot_trace(), StaticGovernor(machine.speedstep.fastest),
+            thermal=thermal,
+        )
+        assert thermal.peak_temperature_c > 80.0
+
+    def test_throttling_engages_and_cools(self):
+        result, thermal, governor = self.run_hot(trip_c=70.0)
+        assert governor.throttle_engagements >= 1
+        # After the emergency the cap pulls the die back down: the
+        # trajectory never runs away to the unmanaged steady state.
+        assert thermal.peak_temperature_c < 83.0
+        # The run actually spent intervals at the capped frequency.
+        assert 600 in result.frequency_series()
+
+    def test_trip_overshoot_is_bounded(self):
+        """The die may overshoot the trip point by at most the heating
+        accumulated during one 100M-uop interval."""
+        _, thermal, governor = self.run_hot(trip_c=70.0)
+        assert thermal.peak_temperature_c < governor.trip_c + 6.0
+
+    def test_phase_management_unaffected_when_cool(self):
+        machine = Machine()
+        thermal = ThermalModel()
+        governor = ThermalManagedGovernor(
+            PhasePredictionGovernor(GPHTPredictor(8, 128)),
+            thermal,
+            trip_c=95.0,  # never reached
+        )
+        trace = uniform_trace(
+            "mem", [(0.04, 1.2)] * 30, uops_per_segment=100_000_000
+        )
+        result = machine.run(trace, governor, thermal=thermal)
+        assert governor.throttle_engagements == 0
+        # The inner governor's memory-phase decision passes through.
+        assert result.frequency_series()[-1] == 600
+
+    def test_hysteresis_prevents_single_interval_flapping(self):
+        _, thermal, governor = self.run_hot(trip_c=70.0, n=600)
+        # With 3 degC hysteresis and a ~6 s time constant, engagements
+        # are bounded well below the interval count.
+        assert governor.throttle_engagements < 20
+
+    def test_reset_clears_thermal_and_throttle_state(self):
+        _, thermal, governor = self.run_hot()
+        governor.reset()
+        assert thermal.temperature_c == thermal.ambient_c
+        assert not governor.throttled
+        assert governor.throttle_engagements == 0

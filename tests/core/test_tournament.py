@@ -1,0 +1,90 @@
+"""Tests for the tournament (hybrid) predictor (extension)."""
+
+import pytest
+
+from repro.analysis.accuracy import evaluate_predictor
+from repro.core.phases import PhaseTable
+from repro.core.predictors import (
+    GPHTPredictor,
+    LastValuePredictor,
+    PhaseObservation,
+)
+from repro.core.predictors.hybrid import TournamentPredictor
+from repro.errors import ConfigurationError
+from repro.workloads.spec2000 import benchmark
+
+TABLE = PhaseTable()
+
+
+def series_for(phases):
+    return [TABLE.representative_value(p) for p in phases]
+
+
+def drive(predictor, phases):
+    for phase in phases:
+        predictor.observe(
+            PhaseObservation(
+                phase=phase, mem_per_uop=TABLE.representative_value(phase)
+            )
+        )
+        predictor.predict()
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TournamentPredictor(chooser_bits=0)
+
+    def test_name(self):
+        assert TournamentPredictor(8, 128).name == "Tournament_8_128"
+
+    def test_cold_prediction(self):
+        assert TournamentPredictor().predict() == 1
+
+    def test_reset_restores_midpoint_chooser(self):
+        predictor = TournamentPredictor(chooser_bits=2)
+        drive(predictor, [1, 2] * 10)
+        predictor.reset()
+        assert predictor.chooser_value == 2
+        assert predictor.predict() == 1
+
+
+class TestChooser:
+    def test_chooser_moves_toward_pattern_on_patterned_input(self):
+        predictor = TournamentPredictor(4, 64, chooser_bits=2)
+        drive(predictor, [1, 6] * 15)
+        # Alternation: GPHT right, last value wrong -> saturates high.
+        assert predictor.chooser_value == 3
+        assert predictor.selects_pattern
+
+    def test_chooser_bounded(self):
+        predictor = TournamentPredictor(4, 64, chooser_bits=2)
+        drive(predictor, [1, 6] * 40)
+        assert 0 <= predictor.chooser_value <= 3
+
+
+class TestAccuracy:
+    def test_matches_gpht_on_patterned_input(self):
+        phases = [1, 5, 2, 6] * 50
+        series = series_for(phases)
+        tournament = evaluate_predictor(TournamentPredictor(8, 128), series)
+        gpht = evaluate_predictor(GPHTPredictor(8, 128), series)
+        assert tournament.accuracy >= gpht.accuracy - 0.05
+
+    def test_matches_last_value_on_stable_input(self):
+        series = series_for([3] * 100)
+        tournament = evaluate_predictor(TournamentPredictor(8, 128), series)
+        assert tournament.accuracy == 1.0
+
+    def test_never_far_from_the_better_component(self):
+        """On the real benchmark suite, the tournament tracks whichever
+        component is better, within a small arbitration cost."""
+        for name in ("applu_in", "swim_in", "gcc_166", "mcf_inp"):
+            series = benchmark(name).mem_series(600)
+            tournament = evaluate_predictor(
+                TournamentPredictor(8, 128), series
+            )
+            gpht = evaluate_predictor(GPHTPredictor(8, 128), series)
+            last = evaluate_predictor(LastValuePredictor(), series)
+            best = max(gpht.accuracy, last.accuracy)
+            assert tournament.accuracy >= best - 0.06, name

@@ -1,0 +1,76 @@
+"""Tests for the UPC-based classification pitfall module."""
+
+import pytest
+
+from repro.core.governor import IntervalCounters
+from repro.core.upc_phases import (
+    UPC_BREAKPOINTS,
+    UPC_REFERENCE,
+    upc_phase_table,
+    upc_slack_metric,
+)
+from repro.cpu.frequency import SpeedStepTable
+from repro.cpu.timing import TimingModel
+from repro.workloads.segments import SegmentSpec
+
+
+def counters_with_upc(upc, uops=1e8):
+    return IntervalCounters(
+        uops=uops,
+        mem_transactions=0.0,
+        instructions=uops,
+        tsc_cycles=uops / upc,
+    )
+
+
+class TestMetric:
+    def test_slack_grows_as_upc_falls(self):
+        slacks = [
+            upc_slack_metric(counters_with_upc(u))
+            for u in (1.9, 1.2, 0.6, 0.2)
+        ]
+        assert all(b > a for a, b in zip(slacks, slacks[1:]))
+
+    def test_slack_clamped_at_zero(self):
+        assert upc_slack_metric(counters_with_upc(UPC_REFERENCE + 0.5)) == 0.0
+
+
+class TestTable:
+    def test_six_phases(self):
+        assert upc_phase_table().num_phases == len(UPC_BREAKPOINTS) + 1
+
+    @pytest.mark.parametrize(
+        "upc,expected",
+        [(1.9, 1), (1.2, 2), (0.8, 3), (0.5, 4), (0.3, 5), (0.1, 6)],
+    )
+    def test_classification_by_upc(self, upc, expected):
+        table = upc_phase_table()
+        assert table.classify(upc_slack_metric(counters_with_upc(upc))) == expected
+
+
+class TestActionDependence:
+    def test_upc_phase_changes_with_frequency(self):
+        """The core pitfall: the same program behaviour classifies into
+        different UPC phases at different operating points."""
+        timing = TimingModel()
+        speedstep = SpeedStepTable()
+        segment = SegmentSpec(
+            uops=100_000_000, mem_per_uop=0.033, upc_core=1.9
+        )
+        table = upc_phase_table()
+        phases = set()
+        for point in speedstep:
+            upc = timing.upc(segment, point)
+            slack = max(0.0, UPC_REFERENCE - upc)
+            phases.add(table.classify(slack))
+        assert len(phases) > 1
+
+    def test_mem_per_uop_phase_does_not(self):
+        from repro.core.phases import PhaseTable
+
+        segment = SegmentSpec(
+            uops=100_000_000, mem_per_uop=0.033, upc_core=1.9
+        )
+        table = PhaseTable()
+        phases = {table.classify(segment.mem_per_uop) for _ in SpeedStepTable()}
+        assert len(phases) == 1

@@ -1,0 +1,71 @@
+"""Tests for the simulated Pentium-M core."""
+
+import pytest
+
+from repro.cpu.dvfs import DVFSInterface
+from repro.cpu.pentium_m import PentiumM
+from repro.cpu.timing import TimingModel
+from repro.pmc.events import PMCEvent
+from repro.workloads.segments import SegmentSpec
+
+
+def segment(uops=100_000_000, mem=0.01, upc=1.0, upi=1.25):
+    return SegmentSpec(
+        uops=uops, mem_per_uop=mem, upc_core=upc, uops_per_instruction=upi
+    )
+
+
+class TestExecution:
+    def test_event_counts_are_exact(self):
+        core = PentiumM()
+        seg = segment()
+        result = core.execute(seg)
+        assert result.events[PMCEvent.UOPS_RETIRED] == seg.uops
+        assert result.events[PMCEvent.BUS_TRAN_MEM] == pytest.approx(
+            seg.uops * 0.01
+        )
+        assert result.events[PMCEvent.INSTR_RETIRED] == pytest.approx(
+            seg.uops / 1.25
+        )
+
+    def test_cycle_event_matches_timing(self):
+        core = PentiumM()
+        seg = segment()
+        result = core.execute(seg)
+        assert result.events[PMCEvent.CPU_CLK_UNHALTED] == pytest.approx(
+            result.timing.cycles
+        )
+
+    def test_runs_at_programmed_operating_point(self):
+        dvfs = DVFSInterface()
+        core = PentiumM(dvfs=dvfs)
+        slow = dvfs.table.at_frequency(600)
+        dvfs.request(slow)
+        result = core.execute(segment())
+        assert result.point == slow
+
+    def test_slower_point_takes_longer(self):
+        dvfs = DVFSInterface()
+        core = PentiumM(dvfs=dvfs)
+        seg = segment(mem=0.005)
+        fast = core.execute(seg).timing.seconds
+        dvfs.request(dvfs.table.slowest)
+        slow = core.execute(seg).timing.seconds
+        assert slow > fast
+
+    def test_default_components(self):
+        core = PentiumM()
+        assert isinstance(core.timing, TimingModel)
+        assert core.operating_point.frequency_mhz == 1500
+
+    def test_mem_per_uop_recoverable_from_events(self):
+        """The ratio the governor computes from the two counters is the
+        segment's true Mem/Uop, at any frequency."""
+        dvfs = DVFSInterface()
+        core = PentiumM(dvfs=dvfs)
+        seg = segment(mem=0.0234)
+        for point in dvfs.table:
+            dvfs.request(point)
+            events = core.execute(seg).events
+            ratio = events[PMCEvent.BUS_TRAN_MEM] / events[PMCEvent.UOPS_RETIRED]
+            assert ratio == pytest.approx(0.0234)

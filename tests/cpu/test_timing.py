@@ -1,0 +1,175 @@
+"""Tests for the analytic timing model, including the paper's Section 4
+DVFS-(in)variance properties."""
+
+import pytest
+
+from repro.cpu.frequency import SpeedStepTable
+from repro.cpu.timing import TimingModel
+from repro.errors import ConfigurationError
+from repro.workloads.segments import SegmentSpec
+
+TABLE = SpeedStepTable()
+FASTEST = TABLE.fastest
+SLOWEST = TABLE.slowest
+
+
+def segment(mem=0.01, upc=1.0, uops=100_000_000, overlap=0.0):
+    return SegmentSpec(
+        uops=uops, mem_per_uop=mem, upc_core=upc, mem_overlap=overlap
+    )
+
+
+class TestValidation:
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel(memory_latency_ns=0)
+
+    def test_rejects_out_of_range_overlap(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel(overlap=1.0)
+        with pytest.raises(ConfigurationError):
+            TimingModel(overlap=-0.1)
+
+    def test_boundary_rejects_negative_mem(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel().max_upc_boundary(-0.001, FASTEST)
+
+
+class TestCycleAccounting:
+    def test_core_cycles_are_frequency_free(self):
+        model = TimingModel()
+        seg = segment(upc=2.0, uops=1_000_000)
+        assert model.core_cycles(seg) == pytest.approx(500_000)
+
+    def test_cpu_bound_segment_has_no_stalls(self):
+        model = TimingModel()
+        seg = segment(mem=0.0)
+        assert model.stall_cycles(seg, FASTEST) == 0.0
+        assert model.upc(seg, FASTEST) == pytest.approx(seg.upc_core)
+
+    def test_stall_cycles_scale_with_frequency(self):
+        model = TimingModel(memory_latency_ns=100.0)
+        seg = segment(mem=0.01)
+        fast_stall = model.stall_cycles(seg, FASTEST)
+        slow_stall = model.stall_cycles(seg, SLOWEST)
+        # 1.5 GHz spends 2.5x more cycles per fixed-ns transaction.
+        assert fast_stall / slow_stall == pytest.approx(2.5)
+
+    def test_total_cycles_sum(self):
+        model = TimingModel()
+        seg = segment()
+        assert model.cycles(seg, FASTEST) == pytest.approx(
+            model.core_cycles(seg) + model.stall_cycles(seg, FASTEST)
+        )
+
+    def test_seconds_from_cycles(self):
+        model = TimingModel()
+        seg = segment()
+        expected = model.cycles(seg, FASTEST) / FASTEST.frequency_hz
+        assert model.seconds(seg, FASTEST) == pytest.approx(expected)
+
+    def test_execute_consistency(self):
+        model = TimingModel()
+        seg = segment()
+        execution = model.execute(seg, FASTEST)
+        assert execution.cycles == pytest.approx(
+            execution.core_cycles + execution.stall_cycles
+        )
+        assert execution.duty == pytest.approx(
+            execution.core_cycles / execution.cycles
+        )
+        assert execution.upc == pytest.approx(seg.uops / execution.cycles)
+
+    def test_overlap_reduces_stalls(self):
+        full = TimingModel(overlap=0.0)
+        half = TimingModel(overlap=0.5)
+        seg = segment(mem=0.02)
+        assert half.stall_cycles(seg, FASTEST) == pytest.approx(
+            full.stall_cycles(seg, FASTEST) / 2
+        )
+
+    def test_segment_overlap_composes_with_platform_overlap(self):
+        model = TimingModel(overlap=0.5)
+        seg = segment(mem=0.02, overlap=0.5)
+        # 50% of 50% exposed -> quarter of the raw latency.
+        assert model.segment_latency_ns(seg) == pytest.approx(
+            model.memory_latency_ns * 0.25
+        )
+
+
+class TestDVFSDependence:
+    """The paper's Figure 7: UPC varies with frequency, Mem/Uop does not."""
+
+    def test_memory_bound_upc_rises_at_lower_frequency(self):
+        model = TimingModel()
+        seg = segment(mem=0.03, upc=1.0)
+        upcs = [model.upc(seg, p) for p in TABLE]
+        # TABLE is fastest-first, so UPC must be strictly increasing.
+        assert all(b > a for a, b in zip(upcs, upcs[1:]))
+
+    def test_cpu_bound_upc_is_frequency_independent(self):
+        model = TimingModel()
+        seg = segment(mem=0.0, upc=1.9)
+        upcs = [model.upc(seg, p) for p in TABLE]
+        assert all(u == pytest.approx(1.9) for u in upcs)
+
+    def test_memory_bound_upc_change_is_large(self):
+        """Highly memory-bound configurations change UPC substantially
+        across the frequency range (the paper observes up to ~80%)."""
+        model = TimingModel()
+        seg = segment(mem=0.0475, upc=0.35)
+        change = model.upc(seg, SLOWEST) / model.upc(seg, FASTEST) - 1.0
+        assert change > 0.5
+
+    def test_mem_per_uop_is_exactly_dvfs_invariant(self):
+        """Mem/Uop is a ratio of frequency-independent event counts; the
+        simulator must not introduce any frequency dependence."""
+        seg = segment(mem=0.0123)
+        for point in TABLE:
+            # The metric is carried by the segment, untouched by timing.
+            assert seg.memory_transactions / seg.uops == pytest.approx(0.0123)
+
+
+class TestSlowdown:
+    def test_slowdown_of_reference_is_one(self):
+        model = TimingModel()
+        assert model.slowdown(segment(), FASTEST, FASTEST) == pytest.approx(1.0)
+
+    def test_cpu_bound_slowdown_equals_frequency_ratio(self):
+        model = TimingModel()
+        seg = segment(mem=0.0)
+        assert model.slowdown(seg, SLOWEST, FASTEST) == pytest.approx(2.5)
+
+    def test_memory_bound_slowdown_is_small(self):
+        """Fully memory-bound work has CPU slack: halving frequency
+        barely stretches execution (the basis of the DVFS savings)."""
+        model = TimingModel()
+        seg = segment(mem=0.10, upc=1.5)
+        assert model.slowdown(seg, SLOWEST, FASTEST) < 1.15
+
+    def test_slowdown_monotone_in_frequency(self):
+        model = TimingModel()
+        seg = segment(mem=0.01)
+        slowdowns = [model.slowdown(seg, p, FASTEST) for p in TABLE]
+        assert all(b >= a for a, b in zip(slowdowns, slowdowns[1:]))
+
+
+class TestBoundary:
+    def test_boundary_at_zero_mem_is_peak(self):
+        model = TimingModel()
+        assert model.max_upc_boundary(0.0, FASTEST, peak_upc=2.0) == pytest.approx(2.0)
+
+    def test_boundary_decreases_with_memory_intensity(self):
+        model = TimingModel()
+        values = [
+            model.max_upc_boundary(m, FASTEST)
+            for m in (0.0, 0.01, 0.02, 0.04, 0.055)
+        ]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_boundary_matches_figure6_scale(self):
+        """At Mem/Uop ~ 0.03 the paper's boundary sits near UPC ~ 0.2."""
+        model = TimingModel()
+        assert model.max_upc_boundary(0.03, FASTEST) == pytest.approx(
+            0.2, rel=0.25
+        )

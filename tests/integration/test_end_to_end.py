@@ -1,0 +1,112 @@
+"""End-to-end integration tests of the deployed framework."""
+
+import pytest
+
+from repro.core.governor import (
+    PhasePredictionGovernor,
+    ReactiveGovernor,
+    StaticGovernor,
+)
+from repro.core.predictors import GPHTPredictor
+from repro.system.machine import Machine
+from repro.system.metrics import ComparisonMetrics
+from repro.workloads.spec2000 import benchmark
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return Machine()
+
+
+@pytest.fixture(scope="module")
+def applu_runs(machine):
+    trace = benchmark("applu_in").trace(n_intervals=200)
+    baseline = machine.run(trace, StaticGovernor(machine.speedstep.fastest))
+    managed = machine.run(
+        trace, PhasePredictionGovernor(GPHTPredictor(8, 128))
+    )
+    return baseline, managed
+
+
+class TestApplu:
+    """The paper's running example (Figures 2 and 10)."""
+
+    def test_managed_run_improves_edp(self, applu_runs):
+        baseline, managed = applu_runs
+        comparison = ComparisonMetrics(baseline=baseline, managed=managed)
+        assert comparison.edp_improvement > 0.15
+
+    def test_power_savings_exceed_performance_loss(self, applu_runs):
+        baseline, managed = applu_runs
+        comparison = ComparisonMetrics(baseline=baseline, managed=managed)
+        assert comparison.power_savings > comparison.performance_degradation
+
+    def test_mem_per_uop_identical_between_runs(self, applu_runs):
+        """Figure 10's key observation: the Mem/Uop traces of the
+        baseline and the managed runs are 'almost identical', because
+        the metric is DVFS invariant."""
+        baseline, managed = applu_runs
+        for b, m in zip(
+            baseline.mem_per_uop_series(), managed.mem_per_uop_series()
+        ):
+            assert m == pytest.approx(b, rel=1e-9)
+
+    def test_actual_phases_identical_between_runs(self, applu_runs):
+        baseline, managed = applu_runs
+        assert baseline.actual_phases() == managed.actual_phases()
+
+    def test_online_prediction_accuracy_is_high(self, applu_runs):
+        _, managed = applu_runs
+        assert managed.prediction_accuracy() > 0.8
+
+    def test_managed_run_visits_multiple_frequencies(self, applu_runs):
+        _, managed = applu_runs
+        assert len(set(managed.frequency_series())) >= 4
+
+    def test_per_interval_power_drops_in_memory_phases(self, applu_runs):
+        _, managed = applu_runs
+        by_phase = {}
+        for m in managed.intervals:
+            by_phase.setdefault(m.record.actual_phase, []).append(m.power_w)
+        if 1 in by_phase and 6 in by_phase:
+            cpu_power = sum(by_phase[1]) / len(by_phase[1])
+            mem_power = sum(by_phase[6]) / len(by_phase[6])
+            assert mem_power < cpu_power
+
+
+class TestGovernorComparison:
+    def test_gpht_beats_reactive_on_variable_workload(self, machine):
+        trace = benchmark("equake_in").trace(n_intervals=300)
+        baseline = machine.run(
+            trace, StaticGovernor(machine.speedstep.fastest)
+        )
+        gpht = machine.run(
+            trace, PhasePredictionGovernor(GPHTPredictor(8, 128))
+        )
+        reactive = machine.run(trace, ReactiveGovernor())
+        gpht_edp = ComparisonMetrics(baseline=baseline, managed=gpht)
+        reactive_edp = ComparisonMetrics(baseline=baseline, managed=reactive)
+        assert gpht_edp.edp_improvement > reactive_edp.edp_improvement
+
+    def test_stable_workload_all_governors_agree(self, machine):
+        trace = benchmark("swim_in").trace(n_intervals=80)
+        baseline = machine.run(
+            trace, StaticGovernor(machine.speedstep.fastest)
+        )
+        gpht = machine.run(
+            trace, PhasePredictionGovernor(GPHTPredictor(8, 128))
+        )
+        reactive = machine.run(trace, ReactiveGovernor())
+        gpht_cmp = ComparisonMetrics(baseline=baseline, managed=gpht)
+        reactive_cmp = ComparisonMetrics(baseline=baseline, managed=reactive)
+        assert gpht_cmp.edp_improvement == pytest.approx(
+            reactive_cmp.edp_improvement, abs=0.02
+        )
+
+    def test_cpu_bound_workload_stays_at_full_speed(self, machine):
+        trace = benchmark("crafty_in").trace(n_intervals=40)
+        managed = machine.run(
+            trace, PhasePredictionGovernor(GPHTPredictor(8, 128))
+        )
+        assert set(managed.frequency_series()) == {1500}
+        assert managed.transition_count == 0

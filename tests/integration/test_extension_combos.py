@@ -1,0 +1,128 @@
+"""Integration tests combining the extension subsystems."""
+
+import pytest
+
+from repro.core.governor import PhasePredictionGovernor, StaticGovernor
+from repro.core.objectives import derive_objective_policy
+from repro.core.predictors import GPHTPredictor
+from repro.core.thermal_governor import ThermalManagedGovernor
+from repro.power.daq import DataAcquisitionSystem, LoggingMachine
+from repro.power.thermal import ThermalModel
+from repro.system.machine import Machine
+from repro.system.metrics import ComparisonMetrics
+from repro.workloads.multiprogram import round_robin
+from repro.workloads.spec2000 import benchmark
+
+
+class TestObjectivePoliciesEndToEnd:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        return Machine()
+
+    def test_objective_ordering_holds_on_real_runs(self, machine):
+        """energy-optimal saves the most energy; ed2p keeps the most
+        performance — measured, not just derived."""
+        trace = benchmark("equake_in").trace(n_intervals=150)
+        baseline = machine.run(
+            trace, StaticGovernor(machine.speedstep.fastest)
+        )
+        outcomes = {}
+        for objective in ("energy", "edp", "ed2p"):
+            policy = derive_objective_policy(objective)
+            managed = machine.run(
+                trace,
+                PhasePredictionGovernor(GPHTPredictor(8, 128), policy),
+            )
+            outcomes[objective] = ComparisonMetrics(
+                baseline=baseline, managed=managed
+            )
+        assert (
+            outcomes["energy"].energy_savings
+            >= outcomes["edp"].energy_savings - 1e-9
+        )
+        assert (
+            outcomes["edp"].energy_savings
+            >= outcomes["ed2p"].energy_savings - 1e-9
+        )
+        assert (
+            outcomes["ed2p"].performance_degradation
+            <= outcomes["energy"].performance_degradation + 1e-9
+        )
+
+    def test_edp_objective_actually_minimises_measured_edp(self, machine):
+        trace = benchmark("swim_in").trace(n_intervals=60)
+        baseline = machine.run(
+            trace, StaticGovernor(machine.speedstep.fastest)
+        )
+        measured = {}
+        for objective in ("energy", "edp", "ed2p"):
+            policy = derive_objective_policy(objective)
+            managed = machine.run(
+                trace,
+                PhasePredictionGovernor(GPHTPredictor(8, 128), policy),
+            )
+            measured[objective] = managed.edp
+        assert measured["edp"] <= min(measured.values()) * 1.02
+        assert measured["edp"] < baseline.edp
+
+
+class TestThermalWithMeasurement:
+    def test_dtm_run_with_daq_attached(self):
+        """Thermal management, DAQ sampling and phase prediction all
+        cooperate on one run; the DAQ confirms throttled intervals draw
+        less power."""
+        machine = Machine(granularity_uops=10_000_000)
+        thermal = ThermalModel(c_th_j_per_k=0.05)  # fast tau for short run
+        daq = DataAcquisitionSystem()
+        governor = ThermalManagedGovernor(
+            PhasePredictionGovernor(GPHTPredictor(8, 128)),
+            thermal,
+            trip_c=70.0,
+        )
+        trace = benchmark("crafty_in").trace(
+            n_intervals=120, uops_per_interval=10_000_000
+        )
+        result = machine.run(trace, governor, daq=daq, thermal=thermal)
+        windows = LoggingMachine().attribute_phases(daq)
+        assert len(windows) == len(result.intervals)
+        assert governor.throttle_engagements >= 1
+        assert thermal.peak_temperature_c < 78.0
+
+        throttled_power = [
+            w.mean_power_w
+            for w, m in zip(windows, result.intervals)
+            if m.record.frequency_mhz == 600
+        ]
+        full_power = [
+            w.mean_power_w
+            for w, m in zip(windows, result.intervals)
+            if m.record.frequency_mhz == 1500
+        ]
+        assert throttled_power and full_power
+        assert max(throttled_power) < min(full_power)
+
+
+class TestMultiprogramFullSystem:
+    def test_variability_resilient_multiprogram_management(self):
+        """Co-scheduled applications with injected system noise still
+        yield positive, stable EDP improvements."""
+        from repro.system.variability import SystemVariability
+
+        machine = Machine()
+        mix = round_robin(
+            [
+                benchmark("gzip_log").trace(n_intervals=60),
+                benchmark("mcf_inp").trace(n_intervals=60),
+            ],
+            quantum_uops=200_000_000,
+        )
+        noisy = SystemVariability(seed=11).perturb(mix)
+        baseline = machine.run(
+            noisy, StaticGovernor(machine.speedstep.fastest)
+        )
+        managed = machine.run(
+            noisy, PhasePredictionGovernor(GPHTPredictor(8, 128))
+        )
+        comparison = ComparisonMetrics(baseline=baseline, managed=managed)
+        assert comparison.edp_improvement > 0.15
+        assert managed.prediction_accuracy() > 0.75

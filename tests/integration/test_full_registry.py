@@ -1,0 +1,72 @@
+"""Registry-wide full-system smoke: every benchmark runs end to end.
+
+A breadth test complementing the depth tests elsewhere: each of the 33
+synthetic SPEC2000 benchmarks is executed on the full machine under the
+deployed GPHT governor, and universal invariants are checked on every
+run.  Catches registry entries that would break the pipeline (e.g. a
+generator emitting out-of-range values) without pinning any magnitudes.
+"""
+
+import pytest
+
+from repro.core.governor import PhasePredictionGovernor, StaticGovernor
+from repro.core.phases import PhaseTable
+from repro.core.predictors import GPHTPredictor
+from repro.system.machine import Machine
+from repro.system.metrics import ComparisonMetrics
+from repro.workloads.spec2000 import FIG4_BENCHMARK_ORDER, benchmark
+
+N_INTERVALS = 40
+TABLE = PhaseTable()
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return Machine()
+
+
+@pytest.fixture(scope="module")
+def runs(machine):
+    results = {}
+    for name in FIG4_BENCHMARK_ORDER:
+        trace = benchmark(name).trace(n_intervals=N_INTERVALS)
+        baseline = machine.run(
+            trace, StaticGovernor(machine.speedstep.fastest)
+        )
+        managed = machine.run(
+            trace, PhasePredictionGovernor(GPHTPredictor(8, 128))
+        )
+        results[name] = (baseline, managed)
+    return results
+
+
+@pytest.mark.parametrize("name", FIG4_BENCHMARK_ORDER)
+def test_run_invariants(runs, name):
+    baseline, managed = runs[name]
+
+    # Every interval completed and is internally consistent.
+    assert len(managed.intervals) == N_INTERVALS
+    for interval in managed.intervals:
+        record = interval.record
+        assert record.actual_phase in TABLE.phase_ids
+        assert record.predicted_phase in TABLE.phase_ids
+        assert record.frequency_mhz in (1500, 1400, 1200, 1000, 800, 600)
+        assert interval.seconds > 0
+        assert interval.energy_j > 0
+
+    # Aggregates are physical.
+    assert managed.total_energy_j > 0
+    assert 0.0 <= managed.prediction_accuracy() <= 1.0
+    assert managed.handler_overhead_fraction < 1e-3
+
+    # Management never makes the run faster than the pinned baseline,
+    # and never consumes more energy than it.
+    comparison = ComparisonMetrics(baseline=baseline, managed=managed)
+    assert comparison.performance_degradation >= -1e-9
+    assert managed.total_energy_j <= baseline.total_energy_j + 1e-9
+
+
+def test_phases_identical_across_governors_everywhere(runs):
+    """The DVFS-invariance guarantee holds on every registry entry."""
+    for name, (baseline, managed) in runs.items():
+        assert baseline.actual_phases() == managed.actual_phases(), name

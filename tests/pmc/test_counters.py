@@ -1,0 +1,138 @@
+"""Tests for the performance counter bank."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.pmc.counters import PMCBank, PerformanceCounter
+from repro.pmc.events import PAPER_COUNTER_CONFIG, PMCEvent
+
+
+class TestPerformanceCounter:
+    def test_accumulates(self):
+        counter = PerformanceCounter(PMCEvent.UOPS_RETIRED)
+        counter.advance(10)
+        counter.advance(5)
+        assert counter.value == 15
+
+    def test_overflow_reported_once_at_crossing(self):
+        counter = PerformanceCounter(
+            PMCEvent.UOPS_RETIRED, overflow_threshold=100
+        )
+        assert not counter.advance(99)
+        assert counter.advance(1)
+        # Already past the threshold: no second report.
+        assert not counter.advance(50)
+
+    def test_no_overflow_without_threshold(self):
+        counter = PerformanceCounter(PMCEvent.UOPS_RETIRED)
+        assert not counter.advance(1e12)
+
+    def test_restart_keeps_threshold(self):
+        counter = PerformanceCounter(
+            PMCEvent.UOPS_RETIRED, overflow_threshold=100
+        )
+        counter.advance(100)
+        counter.restart()
+        assert counter.value == 0
+        assert counter.advance(100)
+
+    def test_rejects_negative_delta(self):
+        counter = PerformanceCounter(PMCEvent.UOPS_RETIRED)
+        with pytest.raises(SimulationError):
+            counter.advance(-1)
+
+
+class TestPMCBankConfiguration:
+    def test_paper_config(self):
+        bank = PMCBank(PAPER_COUNTER_CONFIG)
+        assert bank.events == (PMCEvent.UOPS_RETIRED, PMCEvent.BUS_TRAN_MEM)
+
+    def test_rejects_too_many_counters(self):
+        with pytest.raises(ConfigurationError, match="programmable"):
+            PMCBank(
+                (
+                    PMCEvent.UOPS_RETIRED,
+                    PMCEvent.BUS_TRAN_MEM,
+                    PMCEvent.INSTR_RETIRED,
+                )
+            )
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            PMCBank((PMCEvent.UOPS_RETIRED, PMCEvent.UOPS_RETIRED))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            PMCBank(())
+
+    def test_overflow_config_validation(self):
+        bank = PMCBank(PAPER_COUNTER_CONFIG)
+        with pytest.raises(ConfigurationError):
+            bank.set_overflow(PMCEvent.UOPS_RETIRED, 0)
+        with pytest.raises(ConfigurationError):
+            bank.set_overflow(PMCEvent.INSTR_RETIRED, 100)
+
+
+class TestPMCBankOperation:
+    def make_bank(self, threshold=100.0):
+        bank = PMCBank(PAPER_COUNTER_CONFIG)
+        bank.set_overflow(PMCEvent.UOPS_RETIRED, threshold)
+        return bank
+
+    def test_advance_accumulates_configured_events(self):
+        bank = self.make_bank()
+        bank.advance({PMCEvent.UOPS_RETIRED: 50, PMCEvent.BUS_TRAN_MEM: 2}, 40)
+        assert bank.read(PMCEvent.UOPS_RETIRED) == 50
+        assert bank.read(PMCEvent.BUS_TRAN_MEM) == 2
+        assert bank.tsc_cycles == 40
+
+    def test_unconfigured_events_are_invisible(self):
+        bank = self.make_bank()
+        bank.advance({PMCEvent.INSTR_RETIRED: 1000}, 10)
+        with pytest.raises(ConfigurationError, match="not configured"):
+            bank.read(PMCEvent.INSTR_RETIRED)
+
+    def test_overflow_reporting(self):
+        bank = self.make_bank(threshold=100)
+        assert bank.advance({PMCEvent.UOPS_RETIRED: 60}, 1) == ()
+        overflowed = bank.advance({PMCEvent.UOPS_RETIRED: 60}, 1)
+        assert overflowed == (PMCEvent.UOPS_RETIRED,)
+
+    def test_uops_until_overflow(self):
+        bank = self.make_bank(threshold=100)
+        assert bank.uops_until_overflow(PMCEvent.UOPS_RETIRED) == 100
+        bank.advance({PMCEvent.UOPS_RETIRED: 30}, 1)
+        assert bank.uops_until_overflow(PMCEvent.UOPS_RETIRED) == 70
+
+    def test_uops_until_overflow_without_threshold(self):
+        bank = PMCBank(PAPER_COUNTER_CONFIG)
+        assert bank.uops_until_overflow(PMCEvent.UOPS_RETIRED) is None
+
+    def test_uops_until_overflow_clamps_at_zero(self):
+        bank = self.make_bank(threshold=100)
+        bank.advance({PMCEvent.UOPS_RETIRED: 150}, 1)
+        assert bank.uops_until_overflow(PMCEvent.UOPS_RETIRED) == 0
+
+    def test_stop_read_restart_protocol(self):
+        """The handler's stop -> read -> restart sequence (Figure 8)."""
+        bank = self.make_bank()
+        bank.advance({PMCEvent.UOPS_RETIRED: 100, PMCEvent.BUS_TRAN_MEM: 3}, 80)
+        bank.stop()
+        assert not bank.running
+        readings = bank.read_all()
+        assert readings[PMCEvent.BUS_TRAN_MEM] == 3
+        bank.restart()
+        assert bank.running
+        assert bank.read(PMCEvent.UOPS_RETIRED) == 0
+        assert bank.tsc_cycles == 0
+
+    def test_advance_while_stopped_raises(self):
+        bank = self.make_bank()
+        bank.stop()
+        with pytest.raises(SimulationError):
+            bank.advance({PMCEvent.UOPS_RETIRED: 1}, 1)
+
+    def test_negative_cycles_rejected(self):
+        bank = self.make_bank()
+        with pytest.raises(SimulationError):
+            bank.advance({}, -1)

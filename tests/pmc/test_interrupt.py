@@ -1,0 +1,76 @@
+"""Tests for the PMI controller."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.pmc.interrupt import DEFAULT_PMI_GRANULARITY_UOPS, PMIController
+
+
+class TestRegistration:
+    def test_register_and_unregister(self):
+        pmi = PMIController()
+        assert not pmi.handler_registered
+        pmi.register(lambda t: 0.0)
+        assert pmi.handler_registered
+        pmi.unregister()
+        assert not pmi.handler_registered
+
+    def test_double_register_raises(self):
+        pmi = PMIController(handler=lambda t: 0.0)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            pmi.register(lambda t: 0.0)
+
+    def test_unregister_clears_pending(self):
+        pmi = PMIController(handler=lambda t: 0.0)
+        pmi.raise_interrupt()
+        pmi.unregister()
+        assert not pmi.pending
+
+
+class TestDispatch:
+    def test_dispatch_without_pending_is_noop(self):
+        calls = []
+        pmi = PMIController(handler=lambda t: calls.append(t) or 0.0)
+        assert pmi.dispatch(1.0) == 0.0
+        assert calls == []
+        assert pmi.dispatch_count == 0
+
+    def test_dispatch_delivers_time_and_returns_cost(self):
+        seen = []
+
+        def handler(time_s):
+            seen.append(time_s)
+            return 5e-6
+
+        pmi = PMIController(handler=handler)
+        pmi.raise_interrupt()
+        assert pmi.pending
+        cost = pmi.dispatch(2.5)
+        assert cost == 5e-6
+        assert seen == [2.5]
+        assert not pmi.pending
+        assert pmi.dispatch_count == 1
+
+    def test_pending_without_handler_raises(self):
+        pmi = PMIController()
+        pmi.raise_interrupt()
+        with pytest.raises(SimulationError, match="no handler"):
+            pmi.dispatch(0.0)
+
+    def test_clear_drops_pending(self):
+        pmi = PMIController(handler=lambda t: 0.0)
+        pmi.raise_interrupt()
+        pmi.clear()
+        assert pmi.dispatch(0.0) == 0.0
+        assert pmi.dispatch_count == 0
+
+    def test_multiple_dispatches_counted(self):
+        pmi = PMIController(handler=lambda t: 0.0)
+        for _ in range(4):
+            pmi.raise_interrupt()
+            pmi.dispatch(0.0)
+        assert pmi.dispatch_count == 4
+
+
+def test_paper_granularity_constant():
+    assert DEFAULT_PMI_GRANULARITY_UOPS == 100_000_000

@@ -1,0 +1,136 @@
+"""Tests for the simulated DAQ and the logging machine."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.daq import (
+    APP_RUNNING_BIT,
+    IN_HANDLER_BIT,
+    PHASE_TOGGLE_BIT,
+    DataAcquisitionSystem,
+    LoggingMachine,
+)
+
+RUN = 1 << APP_RUNNING_BIT
+HANDLER = 1 << IN_HANDLER_BIT
+PHASE = 1 << PHASE_TOGGLE_BIT
+
+
+class TestSamplingGrid:
+    def test_sample_count_matches_duration(self):
+        daq = DataAcquisitionSystem(sample_period_s=40e-6)
+        count = daq.observe_slice(0.0, 0.004, 10.0, 1.4, RUN)
+        assert count == 100
+        assert daq.sample_count == 100
+
+    def test_grid_is_global_across_slices(self):
+        """Slice boundaries must not reset the 40us grid."""
+        daq = DataAcquisitionSystem(sample_period_s=40e-6)
+        daq.observe_slice(0.0, 0.0001, 10.0, 1.4, RUN)   # 2.5 periods
+        daq.observe_slice(0.0001, 0.0001, 5.0, 1.4, RUN)
+        times, *_ = daq.raw_arrays()
+        deltas = times[1:] - times[:-1]
+        assert all(abs(d - 40e-6) < 1e-12 for d in deltas)
+
+    def test_short_slice_may_produce_no_samples(self):
+        daq = DataAcquisitionSystem(sample_period_s=40e-6)
+        daq.observe_slice(0.0, 1e-6, 10.0, 1.4, RUN)  # consumes t=0 sample
+        count = daq.observe_slice(1e-6, 1e-6, 10.0, 1.4, RUN)
+        assert count == 0
+
+    def test_gap_between_slices_is_skipped(self):
+        daq = DataAcquisitionSystem(sample_period_s=40e-6)
+        daq.observe_slice(0.0, 40e-6, 10.0, 1.4, RUN)
+        daq.observe_slice(0.001, 40e-6, 10.0, 1.4, RUN)
+        times, *_ = daq.raw_arrays()
+        assert times[-1] >= 0.001
+
+    def test_rejects_negative_duration(self):
+        daq = DataAcquisitionSystem()
+        with pytest.raises(ConfigurationError):
+            daq.observe_slice(0.0, -1.0, 1.0, 1.0, 0)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            DataAcquisitionSystem(sample_period_s=0.0)
+
+    def test_reset(self):
+        daq = DataAcquisitionSystem()
+        daq.observe_slice(0.0, 0.001, 10.0, 1.4, RUN)
+        daq.reset()
+        assert daq.sample_count == 0
+        assert daq.observe_slice(0.0, 40e-6, 1.0, 1.0, 0) == 1
+
+    def test_samples_accessor(self):
+        daq = DataAcquisitionSystem()
+        daq.observe_slice(0.0, 100e-6, 8.0, 1.2, RUN | PHASE)
+        sample = daq.samples()[0]
+        assert sample.bit(APP_RUNNING_BIT)
+        assert sample.bit(PHASE_TOGGLE_BIT)
+        assert not sample.bit(IN_HANDLER_BIT)
+
+
+class TestPowerRecovery:
+    def test_recovered_power_matches_input(self):
+        daq = DataAcquisitionSystem()
+        daq.observe_slice(0.0, 0.001, 9.5, 1.356, RUN)
+        power = LoggingMachine().recover_power(daq)
+        assert power == pytest.approx(9.5, rel=1e-9)
+
+    def test_different_slices_recover_their_own_power(self):
+        daq = DataAcquisitionSystem(sample_period_s=40e-6)
+        daq.observe_slice(0.0, 0.001, 12.0, 1.484, RUN)
+        daq.observe_slice(0.001, 0.001, 3.0, 0.956, RUN)
+        power = LoggingMachine().recover_power(daq)
+        assert power[0] == pytest.approx(12.0, rel=1e-9)
+        assert power[-1] == pytest.approx(3.0, rel=1e-9)
+
+
+class TestPhaseAttribution:
+    def make_run(self):
+        """Two phases separated by a toggle, with a handler slice and
+        pre/post non-application noise."""
+        daq = DataAcquisitionSystem(sample_period_s=40e-6)
+        daq.observe_slice(0.0, 0.0004, 1.0, 1.0, 0)             # not running
+        daq.observe_slice(0.0004, 0.002, 10.0, 1.484, RUN)      # phase A
+        daq.observe_slice(0.0024, 0.0001, 11.0, 1.484, RUN | HANDLER)
+        daq.observe_slice(0.0025, 0.002, 4.0, 0.956, RUN | PHASE)  # phase B
+        daq.observe_slice(0.0045, 0.0004, 1.0, 1.0, 0)          # ended
+        return daq
+
+    def test_windows_cut_at_phase_toggles(self):
+        windows = LoggingMachine().attribute_phases(self.make_run())
+        assert len(windows) == 2
+
+    def test_window_powers(self):
+        windows = LoggingMachine().attribute_phases(self.make_run())
+        assert windows[0].mean_power_w == pytest.approx(10.0, rel=1e-9)
+        assert windows[1].mean_power_w == pytest.approx(4.0, rel=1e-9)
+
+    def test_handler_samples_excluded(self):
+        windows = LoggingMachine().attribute_phases(self.make_run())
+        # If the 11 W handler samples leaked in, window 0's mean would
+        # exceed 10 W.
+        assert windows[0].mean_power_w <= 10.0 + 1e-9
+
+    def test_non_running_samples_excluded(self):
+        windows = LoggingMachine().attribute_phases(self.make_run())
+        total = sum(w.sample_count for w in windows)
+        assert total < self.make_run().sample_count
+
+    def test_energy_approximates_power_times_span(self):
+        windows = LoggingMachine().attribute_phases(self.make_run())
+        for window in windows:
+            span = window.end_s - window.start_s + 40e-6
+            assert window.energy_j == pytest.approx(
+                window.mean_power_w * span
+            )
+
+    def test_empty_capture(self):
+        daq = DataAcquisitionSystem()
+        assert LoggingMachine().attribute_phases(daq) == []
+
+    def test_capture_with_no_app_samples(self):
+        daq = DataAcquisitionSystem()
+        daq.observe_slice(0.0, 0.001, 1.0, 1.0, 0)
+        assert LoggingMachine().attribute_phases(daq) == []

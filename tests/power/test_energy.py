@@ -1,0 +1,67 @@
+"""Tests for energy accounting and EDP helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.energy import EnergyAccumulator, edp_improvement, energy_savings
+
+
+class TestEnergyAccumulator:
+    def test_accumulates_energy_and_time(self):
+        acc = EnergyAccumulator()
+        acc.add_slice(10.0, 2.0)
+        acc.add_slice(5.0, 1.0)
+        assert acc.energy_j == pytest.approx(25.0)
+        assert acc.seconds == pytest.approx(3.0)
+
+    def test_average_power(self):
+        acc = EnergyAccumulator()
+        acc.add_slice(10.0, 2.0)
+        acc.add_slice(4.0, 2.0)
+        assert acc.average_power_w == pytest.approx(7.0)
+
+    def test_average_power_empty(self):
+        assert EnergyAccumulator().average_power_w == 0.0
+
+    def test_edp(self):
+        acc = EnergyAccumulator()
+        acc.add_slice(10.0, 3.0)
+        assert acc.edp == pytest.approx(90.0)
+
+    def test_zero_duration_slice_is_free(self):
+        acc = EnergyAccumulator()
+        acc.add_slice(10.0, 0.0)
+        assert acc.energy_j == 0.0
+
+    def test_reset(self):
+        acc = EnergyAccumulator()
+        acc.add_slice(10.0, 1.0)
+        acc.reset()
+        assert acc.energy_j == 0.0
+        assert acc.seconds == 0.0
+
+    def test_rejects_negative_inputs(self):
+        acc = EnergyAccumulator()
+        with pytest.raises(ConfigurationError):
+            acc.add_slice(-1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            acc.add_slice(1.0, -1.0)
+
+
+class TestComparisonHelpers:
+    def test_edp_improvement(self):
+        assert edp_improvement(100.0, 66.0) == pytest.approx(0.34)
+
+    def test_edp_improvement_negative_when_worse(self):
+        assert edp_improvement(100.0, 120.0) == pytest.approx(-0.2)
+
+    def test_edp_improvement_rejects_bad_baseline(self):
+        with pytest.raises(ConfigurationError):
+            edp_improvement(0.0, 50.0)
+
+    def test_energy_savings(self):
+        assert energy_savings(200.0, 150.0) == pytest.approx(0.25)
+
+    def test_energy_savings_rejects_bad_baseline(self):
+        with pytest.raises(ConfigurationError):
+            energy_savings(-1.0, 1.0)

@@ -1,0 +1,103 @@
+"""Tests for the temperature-dependent leakage coupling (extension)."""
+
+import pytest
+
+from repro.core.governor import StaticGovernor
+from repro.cpu.frequency import SpeedStepTable
+from repro.errors import ConfigurationError
+from repro.power.model import PowerModel
+from repro.power.thermal import ThermalModel
+from repro.system.machine import Machine
+from repro.workloads.segments import uniform_trace
+
+FASTEST = SpeedStepTable().fastest
+
+
+class TestModel:
+    def test_default_model_ignores_temperature(self):
+        model = PowerModel()
+        assert model.leakage_power(FASTEST, 90.0) == model.leakage_power(
+            FASTEST
+        )
+
+    def test_leakage_grows_with_temperature(self):
+        model = PowerModel(leakage_temp_coefficient=0.01)
+        cold = model.leakage_power(FASTEST, 35.0)
+        hot = model.leakage_power(FASTEST, 85.0)
+        assert hot == pytest.approx(cold * 1.5)
+
+    def test_reference_temperature_is_neutral(self):
+        model = PowerModel(leakage_temp_coefficient=0.01)
+        assert model.leakage_power(FASTEST, 35.0) == pytest.approx(
+            model.leakage_power(FASTEST)
+        )
+
+    def test_scale_never_goes_negative(self):
+        model = PowerModel(leakage_temp_coefficient=0.05)
+        assert model.leakage_power(FASTEST, -100.0) == 0.0
+
+    def test_rejects_negative_coefficient(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(leakage_temp_coefficient=-0.01)
+
+    def test_total_power_includes_scaled_leakage(self):
+        model = PowerModel(leakage_temp_coefficient=0.01)
+        cool = model.power(FASTEST, 1.0, temperature_c=35.0)
+        hot = model.power(FASTEST, 1.0, temperature_c=85.0)
+        assert hot > cool
+
+
+class TestMachineCoupling:
+    def hot_trace(self, n=400):
+        return uniform_trace(
+            "hot", [(0.0, 1.8)] * n, uops_per_segment=100_000_000
+        )
+
+    def test_coupled_run_consumes_more_energy(self):
+        """As the die heats, leakage rises, so the coupled run ends up
+        above the temperature-free accounting."""
+        coupled_machine = Machine(
+            power=PowerModel(leakage_temp_coefficient=0.01)
+        )
+        flat_machine = Machine()
+        trace = self.hot_trace()
+
+        flat = flat_machine.run(
+            trace, StaticGovernor(flat_machine.speedstep.fastest),
+            thermal=ThermalModel(),
+        )
+        coupled = coupled_machine.run(
+            trace, StaticGovernor(coupled_machine.speedstep.fastest),
+            thermal=ThermalModel(),
+        )
+        assert coupled.total_energy_j > flat.total_energy_j * 1.02
+
+    def test_coupling_inert_without_thermal_model(self):
+        """With no thermal model attached there is no temperature to
+        scale by: the coupled machine matches the flat one exactly."""
+        coupled_machine = Machine(
+            power=PowerModel(leakage_temp_coefficient=0.01)
+        )
+        flat_machine = Machine()
+        trace = self.hot_trace(n=50)
+        coupled = coupled_machine.run(
+            trace, StaticGovernor(coupled_machine.speedstep.fastest)
+        )
+        flat = flat_machine.run(
+            trace, StaticGovernor(flat_machine.speedstep.fastest)
+        )
+        assert coupled.total_energy_j == pytest.approx(flat.total_energy_j)
+
+    def test_positive_feedback_stays_bounded(self):
+        """Leakage heats the die which raises leakage — with realistic
+        coefficients the loop converges rather than running away."""
+        machine = Machine(power=PowerModel(leakage_temp_coefficient=0.01))
+        thermal = ThermalModel()
+        machine.run(
+            self.hot_trace(), StaticGovernor(machine.speedstep.fastest),
+            thermal=thermal,
+        )
+        # Bounded well below any runaway: the no-coupling steady state
+        # is ~83 degC; the coupled one sits a few degrees above it.
+        assert thermal.peak_temperature_c < 95.0
+        assert thermal.peak_temperature_c > 80.0

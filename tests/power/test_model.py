@@ -1,0 +1,85 @@
+"""Tests for the CMOS power model."""
+
+import pytest
+
+from repro.cpu.frequency import SpeedStepTable
+from repro.errors import ConfigurationError
+from repro.power.model import PowerModel
+
+TABLE = SpeedStepTable()
+FASTEST = TABLE.fastest
+SLOWEST = TABLE.slowest
+
+
+class TestValidation:
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(core_capacitance=-1)
+        with pytest.raises(ConfigurationError):
+            PowerModel(leakage_coefficient=-0.1)
+
+    def test_rejects_zero_total_capacitance(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(core_capacitance=0.0, idle_capacitance=0.0)
+
+    def test_rejects_out_of_range_duty(self):
+        model = PowerModel()
+        with pytest.raises(ConfigurationError):
+            model.dynamic_power(FASTEST, 1.5)
+        with pytest.raises(ConfigurationError):
+            model.dynamic_power(FASTEST, -0.1)
+
+
+class TestCalibration:
+    """The default model must land in the Pentium-M's measured envelope
+    (the paper's Figure 10 power traces span roughly 2-13 W)."""
+
+    def test_peak_power_near_12w(self):
+        model = PowerModel()
+        assert 10.0 < model.max_power(FASTEST) < 14.0
+
+    def test_idle_slow_power_under_3w(self):
+        model = PowerModel()
+        assert model.power(SLOWEST, 0.1) < 3.0
+
+    def test_leakage_is_minor_share_at_peak(self):
+        model = PowerModel()
+        assert model.leakage_power(FASTEST) < 0.3 * model.max_power(FASTEST)
+
+
+class TestStructure:
+    def test_total_is_dynamic_plus_leakage(self):
+        model = PowerModel()
+        assert model.power(FASTEST, 0.5) == pytest.approx(
+            model.dynamic_power(FASTEST, 0.5) + model.leakage_power(FASTEST)
+        )
+
+    def test_power_increases_with_duty(self):
+        model = PowerModel()
+        powers = [model.power(FASTEST, d) for d in (0.0, 0.25, 0.5, 1.0)]
+        assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    def test_power_increases_with_operating_point(self):
+        """Along the SpeedStep curve (V and f both rising), power rises
+        strictly — the premise of DVFS savings."""
+        model = PowerModel()
+        powers = [model.power(p, 1.0) for p in sorted(TABLE)]
+        assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    def test_dynamic_scales_with_v_squared_f(self):
+        model = PowerModel(leakage_coefficient=0.0)
+        ratio = model.power(SLOWEST, 1.0) / model.power(FASTEST, 1.0)
+        expected = (
+            SLOWEST.voltage_v**2 * SLOWEST.frequency_ghz
+        ) / (FASTEST.voltage_v**2 * FASTEST.frequency_ghz)
+        assert ratio == pytest.approx(expected)
+
+    def test_slowest_point_saves_most_power(self):
+        """Full-speed vs slowest at equal duty: the ratio drives the
+        >60% EDP improvements of the memory-bound benchmarks."""
+        model = PowerModel()
+        assert model.power(SLOWEST, 1.0) / model.power(FASTEST, 1.0) < 0.35
+
+    def test_stalled_core_still_draws_idle_power(self):
+        model = PowerModel()
+        assert model.dynamic_power(FASTEST, 0.0) > 0.0

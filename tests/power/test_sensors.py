@@ -1,0 +1,86 @@
+"""Tests for the sense-resistor measurement front end."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.sensors import (
+    SENSE_RESISTANCE_OHMS,
+    PowerDeliverySensors,
+    SenseReading,
+)
+
+
+class TestRoundTrip:
+    """The core property: DAQ arithmetic recovers the true power."""
+
+    @pytest.mark.parametrize("power", [0.5, 2.0, 7.3, 13.0])
+    @pytest.mark.parametrize("v_cpu", [0.956, 1.228, 1.484])
+    def test_power_recovered_exactly(self, power, v_cpu):
+        sensors = PowerDeliverySensors()
+        reading = sensors.sense(power, v_cpu)
+        assert reading.power_watts() == pytest.approx(power, rel=1e-9)
+
+    def test_current_recovered(self):
+        sensors = PowerDeliverySensors()
+        reading = sensors.sense(10.0, 1.25)
+        assert reading.current_amps() == pytest.approx(8.0)
+
+    def test_zero_power(self):
+        reading = PowerDeliverySensors().sense(0.0, 1.0)
+        assert reading.v1 == reading.v2 == reading.v_cpu
+        assert reading.power_watts() == 0.0
+
+
+class TestPhysicalLayout:
+    def test_upstream_voltages_exceed_cpu_voltage(self):
+        """Current flowing toward the CPU drops voltage across the
+        resistors, so V1 and V2 sit above V_CPU."""
+        reading = PowerDeliverySensors().sense(12.0, 1.484)
+        assert reading.v1 > reading.v_cpu
+        assert reading.v2 > reading.v_cpu
+
+    def test_default_split_is_even(self):
+        reading = PowerDeliverySensors().sense(10.0, 1.0)
+        assert reading.v1 == pytest.approx(reading.v2)
+
+    def test_asymmetric_split_still_round_trips(self):
+        sensors = PowerDeliverySensors(current_split=0.7)
+        reading = sensors.sense(9.0, 1.2)
+        assert reading.v1 != pytest.approx(reading.v2)
+        assert reading.power_watts() == pytest.approx(9.0, rel=1e-9)
+
+    def test_paper_resistance_constant(self):
+        assert SENSE_RESISTANCE_OHMS == 0.002
+
+    def test_voltage_drop_scale_is_millivolts(self):
+        """At ~8 A the drop across 2 mOhm is a few mV — the reason the
+        paper needs a signal conditioning unit."""
+        reading = PowerDeliverySensors().sense(12.0, 1.484)
+        drop = reading.v1 - reading.v_cpu
+        assert 0.001 < drop < 0.02
+
+
+class TestValidation:
+    def test_rejects_bad_resistance(self):
+        with pytest.raises(ConfigurationError):
+            PowerDeliverySensors(resistance_ohms=0.0)
+
+    def test_rejects_bad_split(self):
+        with pytest.raises(ConfigurationError):
+            PowerDeliverySensors(current_split=0.0)
+        with pytest.raises(ConfigurationError):
+            PowerDeliverySensors(current_split=1.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            PowerDeliverySensors().sense(-1.0, 1.0)
+
+    def test_rejects_nonpositive_voltage(self):
+        with pytest.raises(ConfigurationError):
+            PowerDeliverySensors().sense(1.0, 0.0)
+
+
+def test_sense_reading_custom_resistance():
+    reading = SenseReading(v1=1.01, v2=1.01, v_cpu=1.0)
+    # With 10 mOhm resistors the same drops mean 5x less current.
+    assert reading.current_amps(0.01) == pytest.approx(2.0)

@@ -1,0 +1,100 @@
+"""Tests for the lumped RC thermal model (extension)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.thermal import ThermalModel
+
+
+class TestConstruction:
+    def test_starts_at_ambient(self):
+        model = ThermalModel(ambient_c=30.0)
+        assert model.temperature_c == 30.0
+        assert model.peak_temperature_c == 30.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel(r_th_k_per_w=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalModel(c_th_j_per_k=-1.0)
+
+    def test_time_constant(self):
+        model = ThermalModel(r_th_k_per_w=4.0, c_th_j_per_k=1.5)
+        assert model.time_constant_s == pytest.approx(6.0)
+
+
+class TestDynamics:
+    def test_steady_state(self):
+        model = ThermalModel(r_th_k_per_w=4.0, ambient_c=35.0)
+        assert model.steady_state_c(12.0) == pytest.approx(83.0)
+        assert model.steady_state_c(0.0) == pytest.approx(35.0)
+
+    def test_converges_to_steady_state(self):
+        model = ThermalModel()
+        target = model.steady_state_c(10.0)
+        model.advance(10.0, dt_s=20 * model.time_constant_s)
+        assert model.temperature_c == pytest.approx(target, abs=1e-6)
+
+    def test_one_time_constant_covers_63_percent(self):
+        model = ThermalModel()
+        target = model.steady_state_c(10.0)
+        start = model.temperature_c
+        model.advance(10.0, dt_s=model.time_constant_s)
+        fraction = (model.temperature_c - start) / (target - start)
+        assert fraction == pytest.approx(1 - math.exp(-1), abs=1e-9)
+
+    def test_cools_when_power_drops(self):
+        model = ThermalModel()
+        model.advance(12.0, 30.0)
+        hot = model.temperature_c
+        model.advance(1.0, 5.0)
+        assert model.temperature_c < hot
+
+    def test_never_cools_below_ambient(self):
+        model = ThermalModel()
+        model.advance(0.0, 1000.0)
+        assert model.temperature_c == pytest.approx(model.ambient_c)
+
+    def test_step_composition_is_exact(self):
+        """Two half-steps must equal one full step (closed-form exp)."""
+        one = ThermalModel()
+        two = ThermalModel()
+        one.advance(8.0, 2.0)
+        two.advance(8.0, 1.0)
+        two.advance(8.0, 1.0)
+        assert two.temperature_c == pytest.approx(one.temperature_c, rel=1e-12)
+
+    def test_zero_duration_is_identity(self):
+        model = ThermalModel()
+        model.advance(12.0, 1.0)
+        before = model.temperature_c
+        model.advance(12.0, 0.0)
+        assert model.temperature_c == before
+
+    def test_rejects_negative_inputs(self):
+        model = ThermalModel()
+        with pytest.raises(ConfigurationError):
+            model.advance(-1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            model.advance(1.0, -1.0)
+
+
+class TestBookkeeping:
+    def test_history_and_peak(self):
+        model = ThermalModel()
+        model.advance(12.0, 10.0)
+        model.advance(1.0, 10.0)
+        times, temperatures = model.history()
+        assert times == [10.0, 20.0]
+        assert model.peak_temperature_c == pytest.approx(max(temperatures))
+        assert model.peak_temperature_c == pytest.approx(temperatures[0])
+
+    def test_reset(self):
+        model = ThermalModel()
+        model.advance(12.0, 10.0)
+        model.reset()
+        assert model.temperature_c == model.ambient_c
+        assert model.time_s == 0.0
+        assert model.history() == ([], [])

@@ -1,0 +1,64 @@
+"""Property-based tests for the DAQ sampling and sensing path."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.power.daq import DataAcquisitionSystem, LoggingMachine
+from repro.power.sensors import PowerDeliverySensors
+
+powers = st.floats(min_value=0.0, max_value=30.0, allow_nan=False)
+voltages = st.floats(min_value=0.5, max_value=2.0, allow_nan=False)
+durations = st.floats(min_value=0.0, max_value=0.01, allow_nan=False)
+
+
+@given(power=powers, v_cpu=voltages)
+@settings(max_examples=200, deadline=None)
+def test_sense_round_trip(power, v_cpu):
+    reading = PowerDeliverySensors().sense(power, v_cpu)
+    assert abs(reading.power_watts() - power) <= max(1e-9, power * 1e-9)
+
+
+@given(
+    slices=st.lists(
+        st.tuples(durations, powers, voltages), min_size=1, max_size=20
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_sample_count_matches_total_duration(slices):
+    daq = DataAcquisitionSystem(sample_period_s=40e-6)
+    time = 0.0
+    for duration, power, v_cpu in slices:
+        daq.observe_slice(time, duration, power, v_cpu, 0b100)
+        time += duration
+    expected = int(np.ceil(time / 40e-6)) if time > 0 else 0
+    assert abs(daq.sample_count - expected) <= len(slices) + 1
+
+
+@given(
+    slices=st.lists(
+        st.tuples(durations, powers, voltages), min_size=1, max_size=10
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_sample_times_strictly_increase_on_grid(slices):
+    daq = DataAcquisitionSystem(sample_period_s=40e-6)
+    time = 0.0
+    for duration, power, v_cpu in slices:
+        daq.observe_slice(time, duration, power, v_cpu, 0b100)
+        time += duration
+    times, *_ = daq.raw_arrays()
+    if times.size > 1:
+        deltas = np.diff(times)
+        assert np.all(deltas > 0)
+        # Every delta is an integer multiple of the sampling period.
+        multiples = deltas / 40e-6
+        assert np.allclose(multiples, np.round(multiples), atol=1e-6)
+
+
+@given(power=powers, v_cpu=voltages)
+@settings(max_examples=100, deadline=None)
+def test_recovered_power_series_matches_input(power, v_cpu):
+    daq = DataAcquisitionSystem()
+    daq.observe_slice(0.0, 0.001, power, v_cpu, 0b100)
+    recovered = LoggingMachine().recover_power(daq)
+    assert np.allclose(recovered, power, atol=1e-9)

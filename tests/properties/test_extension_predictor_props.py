@@ -1,0 +1,106 @@
+"""Property-based tests for the extension predictors."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.accuracy import evaluate_predictor
+from repro.core.phases import PhaseTable
+from repro.core.predictors import (
+    LastValuePredictor,
+    MarkovPredictor,
+    OraclePredictor,
+    PhaseObservation,
+)
+from repro.core.predictors.confidence import ConfidenceGPHTPredictor
+from repro.core.predictors.duration import DurationPredictor
+
+TABLE = PhaseTable()
+
+phase_sequences = st.lists(
+    st.integers(min_value=1, max_value=6), min_size=2, max_size=80
+)
+
+EXTENSION_FACTORIES = [
+    MarkovPredictor,
+    DurationPredictor,
+    lambda: ConfidenceGPHTPredictor(4, 32),
+]
+
+
+def series_for(phases):
+    return [TABLE.representative_value(p) for p in phases]
+
+
+@given(phases=phase_sequences)
+@settings(max_examples=50, deadline=None)
+def test_extension_predictions_always_valid(phases):
+    for factory in EXTENSION_FACTORIES:
+        predictor = factory()
+        for phase in phases:
+            predictor.observe(
+                PhaseObservation(
+                    phase=phase,
+                    mem_per_uop=TABLE.representative_value(phase),
+                )
+            )
+            assert 1 <= predictor.predict() <= 6
+
+
+@given(phases=phase_sequences)
+@settings(max_examples=50, deadline=None)
+def test_oracle_is_a_ceiling_for_every_predictor(phases):
+    """No causal predictor beats the oracle on any sequence."""
+    series = series_for(phases)
+    oracle = evaluate_predictor(OraclePredictor(phases), series)
+    assert oracle.accuracy == 1.0
+    for factory in EXTENSION_FACTORIES + [LastValuePredictor]:
+        result = evaluate_predictor(factory(), series)
+        assert result.accuracy <= oracle.accuracy
+
+
+@given(phases=phase_sequences)
+@settings(max_examples=50, deadline=None)
+def test_extension_predictors_reset_cleanly(phases):
+    for factory in EXTENSION_FACTORIES:
+        predictor = factory()
+        for phase in phases:
+            predictor.observe(
+                PhaseObservation(
+                    phase=phase,
+                    mem_per_uop=TABLE.representative_value(phase),
+                )
+            )
+        predictor.reset()
+        assert predictor.predict() == predictor.DEFAULT_PHASE
+
+
+@given(
+    phase=st.integers(min_value=1, max_value=6),
+    length=st.integers(min_value=10, max_value=60),
+)
+@settings(max_examples=30, deadline=None)
+def test_extensions_perfect_on_constant_sequences(phase, length):
+    series = [TABLE.representative_value(phase)] * length
+    for factory in EXTENSION_FACTORIES:
+        result = evaluate_predictor(factory(), series)
+        assert result.accuracy == 1.0
+
+
+@given(
+    motif=st.lists(st.integers(min_value=1, max_value=6),
+                   min_size=2, max_size=4),
+    repeats=st.integers(min_value=15, max_value=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_confidence_gpht_learns_periodic_sequences(motif, repeats):
+    phases = motif * repeats
+    predictor = ConfidenceGPHTPredictor(8, 128, max_confidence=3)
+    result = evaluate_predictor(predictor, series_for(phases))
+    train = len(motif) * 8
+    tail = [
+        (p, a)
+        for i, (p, a) in enumerate(zip(result.predictions, result.actuals))
+        if i >= train
+    ]
+    assert tail
+    hits = sum(1 for p, a in tail if p == a)
+    assert hits / len(tail) == 1.0

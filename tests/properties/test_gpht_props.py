@@ -1,0 +1,81 @@
+"""Property-based tests specific to the GPHT predictor."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.accuracy import evaluate_predictor
+from repro.core.phases import PhaseTable
+from repro.core.predictors import GPHTPredictor, LastValuePredictor
+
+TABLE = PhaseTable()
+
+
+def series_for(phases):
+    return [TABLE.representative_value(p) for p in phases]
+
+
+motifs = st.lists(
+    st.integers(min_value=1, max_value=6), min_size=2, max_size=6
+)
+
+
+@given(motif=motifs, repeats=st.integers(min_value=12, max_value=30))
+@settings(max_examples=50, deadline=None)
+def test_periodic_sequences_eventually_predicted_perfectly(motif, repeats):
+    """Any deterministic periodic phase sequence is learned: after a
+    training prefix, the GPHT predicts it without error."""
+    phases = motif * repeats
+    predictor = GPHTPredictor(gphr_depth=8, pht_entries=128)
+    result = evaluate_predictor(predictor, series_for(phases))
+    train = len(motif) * 6
+    tail_pairs = [
+        (p, a)
+        for i, (p, a) in enumerate(zip(result.predictions, result.actuals))
+        if i >= train
+    ]
+    assert tail_pairs
+    assert all(p == a for p, a in tail_pairs)
+
+
+@given(motif=motifs, repeats=st.integers(min_value=10, max_value=25))
+@settings(max_examples=50, deadline=None)
+def test_gpht_at_least_matches_last_value_on_periodic_input(motif, repeats):
+    phases = motif * repeats
+    gpht = evaluate_predictor(
+        GPHTPredictor(8, 128), series_for(phases)
+    )
+    last = evaluate_predictor(LastValuePredictor(), series_for(phases))
+    # A small allowance covers the training prefix.
+    assert gpht.accuracy >= last.accuracy - 0.1
+
+
+@given(
+    phases=st.lists(
+        st.integers(min_value=1, max_value=6), min_size=5, max_size=120
+    ),
+    depth=st.integers(min_value=1, max_value=10),
+    entries=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=60, deadline=None)
+def test_structural_invariants_hold_for_any_geometry(phases, depth, entries):
+    predictor = GPHTPredictor(gphr_depth=depth, pht_entries=entries)
+    result = evaluate_predictor(predictor, series_for(phases))
+    assert predictor.pht_occupancy <= entries
+    assert predictor.hits + predictor.misses == len(phases)
+    assert len(result.predictions) == len(phases) - 1
+
+
+@given(
+    phases=st.lists(
+        st.integers(min_value=1, max_value=6), min_size=2, max_size=60
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_gphr_holds_most_recent_suffix(phases):
+    predictor = GPHTPredictor(gphr_depth=4, pht_entries=16)
+    for value in series_for(phases):
+        phase = TABLE.classify(value)
+        from repro.core.predictors import PhaseObservation
+
+        predictor.observe(PhaseObservation(phase=phase, mem_per_uop=value))
+    expected = tuple(reversed(phases[-4:]))
+    assert predictor.gphr[: len(expected)] == expected

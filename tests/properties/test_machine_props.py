@@ -1,0 +1,101 @@
+"""Property-based tests for the full machine's accounting invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.governor import (
+    PhasePredictionGovernor,
+    ReactiveGovernor,
+    StaticGovernor,
+)
+from repro.core.predictors import GPHTPredictor
+from repro.system.machine import Machine
+from repro.workloads.segments import SegmentSpec, WorkloadTrace
+
+GRANULARITY = 1_000_000
+
+segments = st.builds(
+    SegmentSpec,
+    uops=st.sampled_from(
+        [250_000, 500_000, 1_000_000, 1_500_000, 4_000_000]
+    ),
+    mem_per_uop=st.floats(min_value=0.0, max_value=0.12, allow_nan=False),
+    upc_core=st.floats(min_value=0.2, max_value=2.0, allow_nan=False),
+    uops_per_instruction=st.floats(
+        min_value=1.0, max_value=1.5, allow_nan=False
+    ),
+)
+
+traces = st.lists(segments, min_size=1, max_size=12).map(
+    lambda segs: WorkloadTrace("prop", segs)
+)
+
+governor_factories = st.sampled_from(
+    [
+        lambda m: StaticGovernor(m.speedstep.fastest),
+        lambda m: ReactiveGovernor(),
+        lambda m: PhasePredictionGovernor(GPHTPredictor(4, 32)),
+    ]
+)
+
+
+@given(trace=traces, make_governor=governor_factories)
+@settings(max_examples=60, deadline=None)
+def test_work_and_time_conservation(trace, make_governor):
+    """Uops, instructions and interval counts always reconcile."""
+    machine = Machine(granularity_uops=GRANULARITY)
+    result = machine.run(trace, make_governor(machine))
+
+    assert result.total_uops == trace.total_uops
+    assert abs(result.total_instructions - trace.total_instructions) < 1e-6
+
+    # One interval per completed granularity quantum.
+    assert len(result.intervals) == trace.total_uops // GRANULARITY
+
+    # Every completed interval retired exactly the granularity.
+    for interval in result.intervals:
+        assert interval.record.uops == GRANULARITY
+
+
+@given(trace=traces, make_governor=governor_factories)
+@settings(max_examples=60, deadline=None)
+def test_energy_accounting_reconciles(trace, make_governor):
+    """Total energy equals interval energy plus handler energy, and the
+    average power stays within the power model's physical envelope."""
+    machine = Machine(granularity_uops=GRANULARITY)
+    result = machine.run(trace, make_governor(machine))
+
+    interval_energy = sum(m.energy_j for m in result.intervals)
+    assert interval_energy <= result.total_energy_j + 1e-12
+
+    peak = machine.power_model.max_power(machine.speedstep.fastest)
+    floor = machine.power_model.power(machine.speedstep.slowest, 0.0)
+    if result.total_seconds > 0:
+        assert floor - 1e-9 <= result.average_power_w <= peak + 1e-9
+
+
+@given(trace=traces)
+@settings(max_examples=40, deadline=None)
+def test_baseline_dominates_managed_performance(trace):
+    """No governor can finish faster than the pinned-fastest baseline
+    (frequencies only go down from there)."""
+    machine = Machine(granularity_uops=GRANULARITY)
+    baseline = machine.run(trace, StaticGovernor(machine.speedstep.fastest))
+    managed = machine.run(
+        trace, PhasePredictionGovernor(GPHTPredictor(4, 32))
+    )
+    assert managed.total_seconds >= baseline.total_seconds - 1e-12
+    # And it never consumes more energy than the baseline's ceiling
+    # would allow for its own (longer) runtime at peak power.
+    peak = machine.power_model.max_power(machine.speedstep.fastest)
+    assert managed.total_energy_j <= peak * managed.total_seconds + 1e-9
+
+
+@given(trace=traces)
+@settings(max_examples=40, deadline=None)
+def test_runs_are_deterministic(trace):
+    machine = Machine(granularity_uops=GRANULARITY)
+    first = machine.run(trace, ReactiveGovernor())
+    second = machine.run(trace, ReactiveGovernor())
+    assert first.total_seconds == second.total_seconds
+    assert first.total_energy_j == second.total_energy_j
+    assert first.frequency_series() == second.frequency_series()

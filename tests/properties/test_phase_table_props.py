@@ -1,0 +1,71 @@
+"""Property-based tests for phase classification."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.phases import PhaseTable
+
+TABLE = PhaseTable()
+
+mem_values = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+# Edges built from strictly positive increments, so consecutive bins
+# always have a representable interior (degenerate 1-ulp-wide bins have
+# no midpoint and are not meaningful phase definitions).
+edge_lists = st.lists(
+    st.floats(min_value=1e-4, max_value=0.1, allow_nan=False),
+    min_size=1,
+    max_size=8,
+).map(lambda increments: [sum(increments[: i + 1]) for i in range(len(increments))])
+
+
+@given(mem_values)
+def test_classification_is_total_and_in_range(value):
+    phase = TABLE.classify(value)
+    assert 1 <= phase <= TABLE.num_phases
+
+
+@given(mem_values, mem_values)
+def test_classification_is_monotone(a, b):
+    low, high = min(a, b), max(a, b)
+    assert TABLE.classify(low) <= TABLE.classify(high)
+
+
+@given(mem_values)
+def test_classified_phase_contains_the_value(value):
+    phase = TABLE.classify(value)
+    assert TABLE.definition(phase).contains(value)
+
+
+@given(mem_values)
+def test_exactly_one_definition_contains_each_value(value):
+    containing = [
+        d for d in TABLE.definitions if d.contains(value)
+    ]
+    assert len(containing) == 1
+
+
+@given(edge_lists)
+def test_custom_tables_have_consistent_structure(edges):
+    table = PhaseTable(edges)
+    assert table.num_phases == len(edges) + 1
+    for phase_id in table.phase_ids:
+        representative = table.representative_value(phase_id)
+        assert table.classify(representative) == phase_id
+
+
+@given(edge_lists, mem_values)
+def test_custom_tables_classify_totally(edges, value):
+    table = PhaseTable(edges)
+    assert 1 <= table.classify(value) <= table.num_phases
+
+
+@given(st.floats(min_value=0.0, max_value=0.0049))
+def test_phase1_below_first_edge(value):
+    assert TABLE.classify(value) == 1
+
+
+@given(st.floats(min_value=0.03, max_value=10.0))
+def test_phase6_at_and_above_last_edge(value):
+    assert TABLE.classify(value) == 6

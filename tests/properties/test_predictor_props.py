@@ -1,0 +1,90 @@
+"""Property-based tests shared by every phase predictor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.accuracy import evaluate_predictor
+from repro.core.phases import PhaseTable
+from repro.core.predictors import (
+    FixedWindowPredictor,
+    GPHTPredictor,
+    LastValuePredictor,
+    PhaseObservation,
+    VariableWindowPredictor,
+)
+
+TABLE = PhaseTable()
+
+PREDICTOR_FACTORIES = [
+    LastValuePredictor,
+    lambda: FixedWindowPredictor(8),
+    lambda: FixedWindowPredictor(8, selector="mean"),
+    lambda: VariableWindowPredictor(16, 0.005),
+    lambda: GPHTPredictor(4, 32),
+]
+
+phase_sequences = st.lists(
+    st.integers(min_value=1, max_value=6), min_size=2, max_size=60
+)
+
+
+def observations(phases):
+    return [
+        PhaseObservation(
+            phase=p, mem_per_uop=TABLE.representative_value(p)
+        )
+        for p in phases
+    ]
+
+
+@pytest.mark.parametrize("factory", PREDICTOR_FACTORIES)
+@given(phases=phase_sequences)
+@settings(max_examples=40, deadline=None)
+def test_predictions_always_valid_phases(factory, phases):
+    predictor = factory()
+    for observation in observations(phases):
+        predictor.observe(observation)
+        assert 1 <= predictor.predict() <= 6
+
+
+@pytest.mark.parametrize("factory", PREDICTOR_FACTORIES)
+@given(phases=phase_sequences)
+@settings(max_examples=40, deadline=None)
+def test_reset_restores_cold_behaviour(factory, phases):
+    predictor = factory()
+    for observation in observations(phases):
+        predictor.observe(observation)
+    predictor.reset()
+    assert predictor.predict() == predictor.DEFAULT_PHASE
+
+
+@pytest.mark.parametrize("factory", PREDICTOR_FACTORIES)
+@given(phase=st.integers(min_value=1, max_value=6))
+@settings(max_examples=20, deadline=None)
+def test_constant_behaviour_is_predicted_perfectly(factory, phase):
+    """Every sensible predictor nails a constant phase sequence."""
+    series = [TABLE.representative_value(phase)] * 30
+    result = evaluate_predictor(factory(), series)
+    assert result.accuracy == 1.0
+
+
+@pytest.mark.parametrize("factory", PREDICTOR_FACTORIES)
+@given(phases=phase_sequences)
+@settings(max_examples=40, deadline=None)
+def test_evaluation_is_deterministic(factory, phases):
+    series = [TABLE.representative_value(p) for p in phases]
+    first = evaluate_predictor(factory(), series)
+    second = evaluate_predictor(factory(), series)
+    assert first.predictions == second.predictions
+
+
+@given(phases=st.lists(st.integers(min_value=1, max_value=6),
+                       min_size=10, max_size=80))
+@settings(max_examples=60, deadline=None)
+def test_gpht_observe_predict_never_corrupts_structure(phases):
+    predictor = GPHTPredictor(gphr_depth=3, pht_entries=4)
+    for observation in observations(phases):
+        predictor.observe(observation)
+        predictor.predict()
+        assert predictor.pht_occupancy <= 4
+        assert len(predictor.gphr) == 3

@@ -1,0 +1,101 @@
+"""Property-based tests for the timing and power models."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.frequency import SpeedStepTable
+from repro.cpu.timing import TimingModel
+from repro.power.model import PowerModel
+from repro.workloads.segments import SegmentSpec
+
+TABLE = SpeedStepTable()
+TIMING = TimingModel()
+POWER = PowerModel()
+
+segments = st.builds(
+    SegmentSpec,
+    uops=st.integers(min_value=1, max_value=10**9),
+    mem_per_uop=st.floats(min_value=0.0, max_value=0.2, allow_nan=False),
+    upc_core=st.floats(min_value=0.05, max_value=3.0, allow_nan=False),
+    uops_per_instruction=st.floats(
+        min_value=1.0, max_value=2.0, allow_nan=False
+    ),
+    mem_overlap=st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+)
+
+points = st.sampled_from(list(TABLE))
+
+
+@given(segments, points)
+@settings(max_examples=100, deadline=None)
+def test_execution_quantities_positive_and_consistent(segment, point):
+    execution = TIMING.execute(segment, point)
+    assert execution.cycles > 0
+    assert execution.seconds > 0
+    assert 0 < execution.duty <= 1.0
+    assert execution.upc > 0
+    assert execution.cycles * execution.upc == segment.uops or abs(
+        execution.cycles * execution.upc - segment.uops
+    ) / segment.uops < 1e-9
+
+
+@given(segments)
+@settings(max_examples=100, deadline=None)
+def test_time_monotone_in_frequency(segment):
+    """Slower clocks never finish the same work sooner."""
+    seconds = [TIMING.seconds(segment, p) for p in TABLE]
+    # TABLE is fastest-first.
+    assert all(b >= a for a, b in zip(seconds, seconds[1:]))
+
+
+@given(segments)
+@settings(max_examples=100, deadline=None)
+def test_slowdown_bounded_by_frequency_ratio(segment):
+    """Slowdown at any point lies in [1, f_max / f]."""
+    for point in TABLE:
+        slowdown = TIMING.slowdown(segment, point, TABLE.fastest)
+        ratio = TABLE.fastest.frequency_mhz / point.frequency_mhz
+        assert 1.0 - 1e-9 <= slowdown <= ratio + 1e-9
+
+
+@given(segments)
+@settings(max_examples=100, deadline=None)
+def test_upc_never_decreases_as_frequency_drops(segment):
+    upcs = [TIMING.upc(segment, p) for p in TABLE]
+    assert all(b >= a - 1e-12 for a, b in zip(upcs, upcs[1:]))
+
+
+@given(segments)
+@settings(max_examples=100, deadline=None)
+def test_observed_upc_never_exceeds_core_upc(segment):
+    for point in TABLE:
+        assert TIMING.upc(segment, point) <= segment.upc_core + 1e-9
+
+
+@given(segments, points)
+@settings(max_examples=100, deadline=None)
+def test_power_positive_and_bounded_by_peak(segment, point):
+    execution = TIMING.execute(segment, point)
+    power = POWER.power(point, execution.duty)
+    assert 0 < power <= POWER.max_power(point) + 1e-12
+
+
+@given(points, st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_energy_rate_monotone_in_duty(point, duty):
+    assert POWER.power(point, duty) >= POWER.power(point, 0.0)
+
+
+@given(
+    segments,
+    st.integers(min_value=1, max_value=10**6),
+)
+@settings(max_examples=100, deadline=None)
+def test_split_conserves_work(segment, cut):
+    if not 0 < cut < segment.uops:
+        return
+    head, tail = segment.split(cut)
+    assert head.uops + tail.uops == segment.uops
+    for point in (TABLE.fastest, TABLE.slowest):
+        whole = TIMING.cycles(segment, point)
+        parts = TIMING.cycles(head, point) + TIMING.cycles(tail, point)
+        assert abs(whole - parts) / whole < 1e-9

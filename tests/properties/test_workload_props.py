@@ -1,0 +1,78 @@
+"""Property-based tests for workload construction, scheduling and
+serialisation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.multiprogram import round_robin
+from repro.workloads.segments import SegmentSpec, WorkloadTrace
+from repro.workloads.serialization import trace_from_json, trace_to_json
+
+segments = st.builds(
+    SegmentSpec,
+    uops=st.integers(min_value=1, max_value=5_000_000),
+    mem_per_uop=st.floats(min_value=0.0, max_value=0.2, allow_nan=False),
+    upc_core=st.floats(min_value=0.05, max_value=3.0, allow_nan=False),
+    uops_per_instruction=st.floats(
+        min_value=1.0, max_value=2.0, allow_nan=False
+    ),
+    mem_overlap=st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+)
+
+traces = st.lists(segments, min_size=1, max_size=10).map(
+    lambda segs: WorkloadTrace("t", segs)
+)
+
+
+@given(trace=traces)
+@settings(max_examples=80, deadline=None)
+def test_serialization_round_trip_is_lossless(trace):
+    rebuilt = trace_from_json(trace_to_json(trace))
+    assert rebuilt.name == trace.name
+    assert rebuilt.segments == trace.segments
+
+
+@given(
+    trace_list=st.lists(traces, min_size=1, max_size=4),
+    quantum=st.integers(min_value=50_000, max_value=3_000_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_round_robin_conserves_work(trace_list, quantum):
+    combined = round_robin(trace_list, quantum_uops=quantum)
+    assert combined.total_uops == sum(t.total_uops for t in trace_list)
+    expected_instructions = sum(t.total_instructions for t in trace_list)
+    # Tolerance is relative: tiny-quantum schedules split segments into
+    # thousands of pieces and accumulate float rounding.
+    assert abs(combined.total_instructions - expected_instructions) <= max(
+        1e-6, 1e-9 * expected_instructions
+    )
+
+
+@given(
+    trace_list=st.lists(traces, min_size=1, max_size=3),
+    quantum=st.integers(min_value=50_000, max_value=3_000_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_round_robin_preserves_per_app_order(trace_list, quantum):
+    """Within each application, work is executed in its original order:
+    the subsequence of (mem, upc) rates attributed to app i matches the
+    app's own expansion."""
+    tagged = [
+        WorkloadTrace(
+            f"app{i}",
+            [
+                SegmentSpec(
+                    uops=s.uops,
+                    # Tag each app's behaviour with a distinctive rate.
+                    mem_per_uop=round(0.01 * (i + 1), 6),
+                    upc_core=s.upc_core,
+                )
+                for s in trace
+            ],
+        )
+        for i, trace in enumerate(trace_list)
+    ]
+    combined = round_robin(tagged, quantum_uops=quantum)
+    for i, trace in enumerate(tagged):
+        tag = round(0.01 * (i + 1), 6)
+        uops = sum(s.uops for s in combined if s.mem_per_uop == tag)
+        assert uops == trace.total_uops

@@ -1,0 +1,78 @@
+"""Tests for run-result export (CSV/JSON)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.governor import ReactiveGovernor
+from repro.system.export import (
+    INTERVAL_COLUMNS,
+    intervals_to_rows,
+    run_summary,
+    run_to_csv,
+    run_to_json,
+)
+from repro.system.machine import Machine
+from repro.workloads.segments import uniform_trace
+
+
+@pytest.fixture(scope="module")
+def result():
+    machine = Machine(granularity_uops=1_000_000)
+    trace = uniform_trace(
+        "mix", [(0.0, 1.5), (0.04, 1.0)] * 3, uops_per_segment=1_000_000
+    )
+    return machine.run(trace, ReactiveGovernor())
+
+
+class TestRows:
+    def test_one_row_per_interval(self, result):
+        rows = intervals_to_rows(result)
+        assert len(rows) == len(result.intervals)
+
+    def test_rows_carry_all_columns(self, result):
+        for row in intervals_to_rows(result):
+            assert set(row) == set(INTERVAL_COLUMNS)
+
+    def test_row_values_match_intervals(self, result):
+        row = intervals_to_rows(result)[0]
+        interval = result.intervals[0]
+        assert row["actual_phase"] == interval.record.actual_phase
+        assert row["power_w"] == pytest.approx(interval.power_w)
+
+
+class TestCSV:
+    def test_round_trips_through_csv_reader(self, result):
+        text = run_to_csv(result)
+        reader = csv.DictReader(io.StringIO(text))
+        rows = list(reader)
+        assert len(rows) == len(result.intervals)
+        assert reader.fieldnames == list(INTERVAL_COLUMNS)
+        assert int(rows[0]["actual_phase"]) in range(1, 7)
+
+    def test_frequencies_serialised(self, result):
+        text = run_to_csv(result)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        frequencies = {int(r["frequency_mhz"]) for r in rows}
+        assert frequencies <= {1500, 1400, 1200, 1000, 800, 600}
+
+
+class TestJSON:
+    def test_summary_fields(self, result):
+        summary = run_summary(result)
+        assert summary["workload"] == "mix"
+        assert summary["intervals"] == len(result.intervals)
+        assert summary["bips"] == pytest.approx(result.bips)
+        assert summary["edp"] == pytest.approx(result.edp)
+
+    def test_json_parses_and_matches(self, result):
+        payload = json.loads(run_to_json(result))
+        assert payload["summary"]["governor"] == "Reactive"
+        assert len(payload["intervals"]) == len(result.intervals)
+
+    def test_json_without_intervals(self, result):
+        payload = json.loads(run_to_json(result, include_intervals=False))
+        assert "intervals" not in payload
+        assert "summary" in payload

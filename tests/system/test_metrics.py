@@ -1,0 +1,212 @@
+"""Tests for run results and comparison metrics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.system.lkm import KernelLogRecord
+from repro.system.metrics import (
+    ComparisonMetrics,
+    IntervalMetrics,
+    RunResult,
+    mean,
+)
+
+
+def record(index=0, actual=3, predicted=3, frequency=1500):
+    return KernelLogRecord(
+        interval_index=index,
+        time_s=float(index),
+        uops=1e8,
+        mem_transactions=1.2e6,
+        instructions=8e7,
+        tsc_cycles=1e8,
+        mem_per_uop=0.012,
+        upc=1.0,
+        actual_phase=actual,
+        predicted_phase=predicted,
+        frequency_mhz=frequency,
+        next_frequency_mhz=frequency,
+    )
+
+
+def interval(index=0, seconds=0.1, energy=1.0, instructions=8e7, **kwargs):
+    return IntervalMetrics(
+        record=record(index, **kwargs),
+        seconds=seconds,
+        energy_j=energy,
+        instructions=instructions,
+    )
+
+
+def run_result(intervals, seconds=None, energy=None, name="bench",
+               governor="gov"):
+    total_seconds = seconds if seconds is not None else sum(
+        m.seconds for m in intervals
+    )
+    total_energy = energy if energy is not None else sum(
+        m.energy_j for m in intervals
+    )
+    return RunResult(
+        workload_name=name,
+        governor_name=governor,
+        intervals=tuple(intervals),
+        total_instructions=sum(m.instructions for m in intervals),
+        total_uops=1e8 * len(intervals),
+        total_seconds=total_seconds,
+        total_energy_j=total_energy,
+        handler_seconds=1e-5 * len(intervals),
+        transition_count=0,
+    )
+
+
+class TestIntervalMetrics:
+    def test_power_and_bips(self):
+        m = interval(seconds=0.5, energy=5.0, instructions=1e9)
+        assert m.power_w == pytest.approx(10.0)
+        assert m.bips == pytest.approx(2.0)
+
+    def test_zero_duration_guards(self):
+        m = interval(seconds=0.0, energy=0.0)
+        assert m.power_w == 0.0
+        assert m.bips == 0.0
+
+
+class TestRunResult:
+    def test_aggregate_metrics(self):
+        result = run_result([interval(i) for i in range(4)])
+        assert result.bips == pytest.approx(
+            (4 * 8e7) / 1e9 / (4 * 0.1)
+        )
+        assert result.average_power_w == pytest.approx(10.0)
+        assert result.edp == pytest.approx(4.0 * 0.4)
+
+    def test_series_accessors(self):
+        result = run_result(
+            [interval(0, actual=1), interval(1, actual=6, frequency=600)]
+        )
+        assert result.actual_phases() == [1, 6]
+        assert result.frequency_series() == [1500, 600]
+        assert len(result.power_series()) == 2
+        assert len(result.bips_series()) == 2
+        assert result.mem_per_uop_series() == [0.012, 0.012]
+
+    def test_prediction_accuracy_uses_next_interval(self):
+        intervals = [
+            interval(0, actual=1, predicted=6),
+            interval(1, actual=6, predicted=6),
+            interval(2, actual=6, predicted=1),
+            interval(3, actual=1, predicted=1),
+        ]
+        result = run_result(intervals)
+        # Scored pairs: (pred0=6 vs actual1=6) hit, (pred1=6 vs actual2=6)
+        # hit, (pred2=1 vs actual3=1) hit -> 3/3.
+        assert result.prediction_accuracy() == 1.0
+
+    def test_prediction_accuracy_counts_misses(self):
+        intervals = [
+            interval(0, actual=1, predicted=1),
+            interval(1, actual=6, predicted=6),  # pred0 was wrong
+            interval(2, actual=6, predicted=6),  # pred1 was right
+        ]
+        assert run_result(intervals).prediction_accuracy() == pytest.approx(0.5)
+
+    def test_prediction_accuracy_short_run(self):
+        assert run_result([interval(0)]).prediction_accuracy() == 1.0
+
+    def test_handler_overhead_fraction(self):
+        result = run_result([interval(i) for i in range(2)])
+        assert result.handler_overhead_fraction == pytest.approx(
+            2e-5 / 0.2
+        )
+
+
+class TestComparisonMetrics:
+    def baseline_and_managed(self):
+        baseline = run_result(
+            [interval(i, seconds=0.1, energy=1.2) for i in range(4)]
+        )
+        managed = run_result(
+            [interval(i, seconds=0.11, energy=0.6) for i in range(4)],
+            governor="managed",
+        )
+        return baseline, managed
+
+    def test_normalised_metrics(self):
+        baseline, managed = self.baseline_and_managed()
+        comparison = ComparisonMetrics(baseline=baseline, managed=managed)
+        assert comparison.normalized_power == pytest.approx(
+            (0.6 / 0.11) / (1.2 / 0.1)
+        )
+        assert comparison.normalized_bips == pytest.approx(0.1 / 0.11)
+        assert comparison.performance_degradation == pytest.approx(
+            1 - 0.1 / 0.11
+        )
+        assert comparison.energy_savings == pytest.approx(0.5)
+
+    def test_edp_improvement(self):
+        baseline, managed = self.baseline_and_managed()
+        comparison = ComparisonMetrics(baseline=baseline, managed=managed)
+        expected = 1 - (2.4 * 0.44) / (4.8 * 0.4)
+        assert comparison.edp_improvement == pytest.approx(expected)
+
+    def test_rejects_mismatched_workloads(self):
+        baseline = run_result([interval(0)], name="a")
+        managed = run_result([interval(0)], name="b")
+        with pytest.raises(ConfigurationError):
+            ComparisonMetrics(baseline=baseline, managed=managed)
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean([])
+
+
+class TestPhaseSummary:
+    def test_aggregates_by_actual_phase(self):
+        intervals = [
+            interval(0, actual=1, seconds=0.1, energy=1.2),
+            interval(1, actual=6, seconds=0.3, energy=0.9),
+            interval(2, actual=6, seconds=0.3, energy=0.9),
+            interval(3, actual=1, seconds=0.1, energy=1.2),
+        ]
+        summary = run_result(intervals).phase_summary()
+        assert set(summary) == {1, 6}
+        assert summary[1].interval_count == 2
+        assert summary[6].seconds == pytest.approx(0.6)
+        assert summary[6].energy_j == pytest.approx(1.8)
+
+    def test_time_shares_sum_to_one(self):
+        intervals = [
+            interval(0, actual=1, seconds=0.1),
+            interval(1, actual=3, seconds=0.2),
+            interval(2, actual=6, seconds=0.7),
+        ]
+        summary = run_result(intervals).phase_summary()
+        assert sum(s.time_share for s in summary.values()) == pytest.approx(1.0)
+
+    def test_mean_power_per_phase(self):
+        intervals = [interval(0, actual=2, seconds=0.5, energy=5.0)]
+        summary = run_result(intervals).phase_summary()
+        assert summary[2].mean_power_w == pytest.approx(10.0)
+
+    def test_memory_phases_draw_less_power_end_to_end(self):
+        """On a real mixed run at a fixed frequency, phase-6 intervals
+        draw less power than phase-1 intervals."""
+        from repro.core.governor import StaticGovernor
+        from repro.system.machine import Machine
+        from repro.workloads.segments import uniform_trace
+
+        machine = Machine(granularity_uops=1_000_000)
+        trace = uniform_trace(
+            "mix", [(0.0, 1.5)] * 3 + [(0.05, 1.5)] * 3,
+            uops_per_segment=1_000_000,
+        )
+        result = machine.run(
+            trace, StaticGovernor(machine.speedstep.fastest)
+        )
+        summary = result.phase_summary()
+        assert summary[6].mean_power_w < summary[1].mean_power_w

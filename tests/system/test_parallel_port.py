@@ -1,0 +1,60 @@
+"""Tests for the parallel-port synchronisation latch."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.system.parallel_port import PORT_WIDTH, ParallelPort
+
+
+def test_starts_all_low():
+    assert ParallelPort().value == 0
+
+
+def test_set_and_clear():
+    port = ParallelPort()
+    port.set_bit(2)
+    assert port.value == 0b100
+    assert port.bit(2)
+    port.clear_bit(2)
+    assert port.value == 0
+    assert not port.bit(2)
+
+
+def test_set_is_idempotent():
+    port = ParallelPort()
+    port.set_bit(1)
+    port.set_bit(1)
+    assert port.value == 0b010
+
+
+def test_toggle():
+    port = ParallelPort()
+    port.toggle_bit(0)
+    assert port.bit(0)
+    port.toggle_bit(0)
+    assert not port.bit(0)
+
+
+def test_bits_independent():
+    port = ParallelPort()
+    port.set_bit(0)
+    port.set_bit(2)
+    port.clear_bit(0)
+    assert port.value == 0b100
+
+
+def test_reset():
+    port = ParallelPort()
+    port.set_bit(0)
+    port.set_bit(1)
+    port.reset()
+    assert port.value == 0
+
+
+@pytest.mark.parametrize("index", [-1, PORT_WIDTH, 10])
+def test_out_of_range_bits_rejected(index):
+    port = ParallelPort()
+    with pytest.raises(ConfigurationError):
+        port.set_bit(index)
+    with pytest.raises(ConfigurationError):
+        port.bit(index)

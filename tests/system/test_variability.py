@@ -1,0 +1,110 @@
+"""Tests for system-variability injection and the pipeline's resilience
+to it (paper Section 5.1)."""
+
+import pytest
+
+from repro.analysis.accuracy import evaluate_predictor
+from repro.core.governor import PhasePredictionGovernor, StaticGovernor
+from repro.core.predictors import GPHTPredictor
+from repro.errors import ConfigurationError
+from repro.system.machine import Machine
+from repro.system.metrics import ComparisonMetrics
+from repro.system.variability import SystemVariability
+from repro.workloads.spec2000 import benchmark
+
+
+@pytest.fixture(scope="module")
+def applu_trace():
+    return benchmark("applu_in").trace(n_intervals=200)
+
+
+class TestPerturbation:
+    def test_preserves_structure(self, applu_trace):
+        perturbed = SystemVariability(seed=1).perturb(applu_trace)
+        assert len(perturbed) == len(applu_trace)
+        assert perturbed.name == applu_trace.name
+        for original, noisy in zip(applu_trace, perturbed):
+            assert noisy.uops == original.uops
+            assert noisy.uops_per_instruction == original.uops_per_instruction
+
+    def test_actually_perturbs(self, applu_trace):
+        perturbed = SystemVariability(seed=1).perturb(applu_trace)
+        changed = sum(
+            1
+            for original, noisy in zip(applu_trace, perturbed)
+            if noisy.mem_per_uop != original.mem_per_uop
+        )
+        assert changed > len(applu_trace) * 0.9
+
+    def test_deterministic_per_seed(self, applu_trace):
+        a = SystemVariability(seed=7).perturb(applu_trace)
+        b = SystemVariability(seed=7).perturb(applu_trace)
+        assert a.mem_per_uop_series() == b.mem_per_uop_series()
+
+    def test_different_seeds_differ(self, applu_trace):
+        a = SystemVariability(seed=1).perturb(applu_trace)
+        b = SystemVariability(seed=2).perturb(applu_trace)
+        assert a.mem_per_uop_series() != b.mem_per_uop_series()
+
+    def test_with_seed(self):
+        model = SystemVariability(seed=1)
+        assert model.with_seed(9).seed == 9
+        assert model.seed == 1
+
+    def test_zero_noise_is_identity_on_rates(self, applu_trace):
+        model = SystemVariability(
+            mem_noise_sigma=0.0,
+            upc_noise_sigma=0.0,
+            intrusion_probability=0.0,
+        )
+        perturbed = model.perturb(applu_trace)
+        assert (
+            perturbed.mem_per_uop_series() == applu_trace.mem_per_uop_series()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SystemVariability(mem_noise_sigma=-0.1)
+        with pytest.raises(ConfigurationError):
+            SystemVariability(intrusion_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            SystemVariability(intrusion_slowdown=1.0)
+
+
+class TestResilience:
+    """The paper's claim: fixed-instruction-granularity phases are
+    resilient to real-system variations."""
+
+    def test_prediction_accuracy_survives_variability(self, applu_trace):
+        clean = evaluate_predictor(
+            GPHTPredictor(8, 128), applu_trace.mem_per_uop_series()
+        )
+        noisy_trace = SystemVariability(seed=3).perturb(applu_trace)
+        noisy = evaluate_predictor(
+            GPHTPredictor(8, 128), noisy_trace.mem_per_uop_series()
+        )
+        assert noisy.accuracy > clean.accuracy - 0.08
+
+    def test_management_outcome_stable_under_variability(self, applu_trace):
+        machine = Machine()
+        baseline = machine.run(
+            applu_trace, StaticGovernor(machine.speedstep.fastest)
+        )
+        managed = machine.run(
+            applu_trace, PhasePredictionGovernor(GPHTPredictor(8, 128))
+        )
+        clean = ComparisonMetrics(baseline=baseline, managed=managed)
+
+        noisy_trace = SystemVariability(seed=5).perturb(applu_trace)
+        noisy_baseline = machine.run(
+            noisy_trace, StaticGovernor(machine.speedstep.fastest)
+        )
+        noisy_managed = machine.run(
+            noisy_trace, PhasePredictionGovernor(GPHTPredictor(8, 128))
+        )
+        noisy = ComparisonMetrics(
+            baseline=noisy_baseline, managed=noisy_managed
+        )
+        assert noisy.edp_improvement == pytest.approx(
+            clean.edp_improvement, abs=0.05
+        )

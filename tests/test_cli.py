@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestList:
+    def test_lists_all_benchmarks(self, capsys):
+        code, out, _ = run_cli(capsys, "list")
+        assert code == 0
+        assert "applu_in" in out
+        assert "mcf_inp" in out
+        assert out.count("\n") >= 33
+
+    def test_descriptions_present(self, capsys):
+        _, out, _ = run_cli(capsys, "list")
+        assert "running example" in out
+
+
+class TestRun:
+    def test_default_run(self, capsys):
+        code, out, _ = run_cli(capsys, "run", "swim_in", "--intervals", "30")
+        assert code == 0
+        assert "EDP improvement" in out
+        assert "GPHT_8_128" in out
+
+    def test_reactive_governor(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "swim_in", "--governor", "reactive",
+            "--intervals", "20",
+        )
+        assert code == 0
+        assert "Reactive" in out
+
+    def test_bounded_policy(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "swim_in", "--policy", "bounded",
+            "--intervals", "20",
+        )
+        assert code == 0
+        assert "bounded_5%" in out
+
+    def test_json_output(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "swim_in", "--intervals", "10", "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["summary"]["workload"] == "swim_in"
+        assert len(payload["intervals"]) == 10
+
+    def test_csv_output(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "swim_in", "--intervals", "10", "--csv"
+        )
+        assert code == 0
+        rows = list(csv.DictReader(io.StringIO(out)))
+        assert len(rows) == 10
+
+    def test_unknown_benchmark_fails_cleanly(self, capsys):
+        code, _, err = run_cli(capsys, "run", "nosuch")
+        assert code == 2
+        assert "unknown benchmark" in err
+
+
+class TestAccuracy:
+    def test_selected_benchmarks(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "accuracy", "applu_in", "--intervals", "200"
+        )
+        assert code == 0
+        assert "GPHT_8_1024" in out
+        assert "applu_in" in out
+
+
+class TestCharacterize:
+    def test_characterize_report(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "characterize", "applu_in", "--intervals", "200"
+        )
+        assert code == 0
+        assert "quadrant" in out
+        assert "Q3" in out
+        assert "predictability gain" in out
+
+
+class TestQuadrants:
+    def test_places_registry(self, capsys):
+        code, out, _ = run_cli(capsys, "quadrants", "--intervals", "100")
+        assert code == 0
+        for quadrant in ("Q1", "Q2", "Q3", "Q4"):
+            assert quadrant in out
+
+
+class TestReport:
+    def test_report_runs_and_exits_zero(self, capsys):
+        # Default (canonical) lengths: the tight 6X claim needs them.
+        code, out, _ = run_cli(capsys, "report")
+        assert code == 0
+        assert "Reproduction certificate" in out
+        assert "NOT REPRODUCED" not in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_rejects_unknown_policy(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "swim_in", "--policy", "warp"])
+
+
+class TestExportTrace:
+    def test_round_trips(self, capsys):
+        from repro.workloads.serialization import trace_from_json
+
+        code, out, _ = run_cli(
+            capsys, "export-trace", "swim_in", "--intervals", "4"
+        )
+        assert code == 0
+        trace = trace_from_json(out)
+        assert trace.name == "swim_in"
+        assert len(trace) == 4

@@ -1,0 +1,49 @@
+"""Tests for the package's public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro.core",
+        "repro.core.predictors",
+        "repro.cpu",
+        "repro.pmc",
+        "repro.power",
+        "repro.workloads",
+        "repro.system",
+        "repro.analysis",
+    ],
+)
+def test_subpackage_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name}"
+
+
+def test_quickstart_from_docstring_runs():
+    """The quickstart in the package docstring must keep working."""
+    from repro import GPHTPredictor, Machine, PhasePredictionGovernor
+    from repro.workloads import benchmark
+
+    machine = Machine()
+    trace = benchmark("applu_in").trace(n_intervals=20)
+    governor = PhasePredictionGovernor(GPHTPredictor(8, 128))
+    result = machine.run(trace, governor)
+    assert result.bips > 0
+    assert result.average_power_w > 0
+    assert result.edp > 0

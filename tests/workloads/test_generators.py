@@ -1,0 +1,231 @@
+"""Tests for the behaviour-pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.generators import (
+    BurstPattern,
+    CyclePattern,
+    FlatPattern,
+    MarkovPattern,
+    MotifElement,
+    MotifPattern,
+    RampPattern,
+)
+
+
+def rng(seed=42):
+    return np.random.default_rng(seed)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            FlatPattern(0.01, 1.0, mem_sigma=0.001),
+            MotifPattern(
+                (MotifElement(0.001, 1.8, 2), MotifElement(0.03, 1.2, 1)),
+                mem_sigma=0.0005,
+                duration_jitter=0.2,
+            ),
+            BurstPattern((0.002, 1.5), (0.01, 1.2), 0.1),
+            MarkovPattern(
+                [(0.001, 1.5), (0.03, 1.0)], [[0.8, 0.2], [0.3, 0.7]]
+            ),
+        ],
+    )
+    def test_same_seed_same_series(self, pattern):
+        a = pattern.generate(200, rng(7))
+        b = pattern.generate(200, rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestShapeAndBounds:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            FlatPattern(0.01, 1.0, mem_sigma=0.05, upc_sigma=3.0),
+            RampPattern((0.0, 0.1), (0.1, 2.5), 10),
+            BurstPattern((0.0, 0.1), (0.5, 3.0), 0.5),
+        ],
+    )
+    def test_output_shape_and_physical_bounds(self, pattern):
+        series = pattern.generate(300, rng())
+        assert series.shape == (300, 2)
+        assert np.all(series[:, 0] >= 0.0)
+        assert np.all(series[:, 0] <= 0.2)
+        assert np.all(series[:, 1] >= 0.05)
+        assert np.all(series[:, 1] <= 2.0)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ConfigurationError):
+            FlatPattern(0.01, 1.0).generate(0, rng())
+
+
+class TestFlatPattern:
+    def test_noise_free_is_constant(self):
+        series = FlatPattern(0.012, 1.3).generate(50, rng())
+        assert np.all(series[:, 0] == 0.012)
+        assert np.all(series[:, 1] == 1.3)
+
+    def test_noise_has_requested_scale(self):
+        series = FlatPattern(0.05, 1.0, mem_sigma=0.005).generate(5000, rng())
+        assert series[:, 0].std() == pytest.approx(0.005, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlatPattern(-0.01, 1.0)
+        with pytest.raises(ConfigurationError):
+            FlatPattern(0.01, 0.0)
+        with pytest.raises(ConfigurationError):
+            FlatPattern(0.01, 1.0, mem_sigma=-1)
+
+
+class TestMotifPattern:
+    def test_repeats_elements_in_order(self):
+        pattern = MotifPattern(
+            (MotifElement(0.001, 1.5, 2), MotifElement(0.03, 1.0, 1))
+        )
+        series = pattern.generate(6, rng())
+        assert series[:, 0].tolist() == [0.001, 0.001, 0.03, 0.001, 0.001, 0.03]
+
+    def test_period(self):
+        pattern = MotifPattern(
+            (MotifElement(0.001, 1.5, 3), MotifElement(0.03, 1.0, 2))
+        )
+        assert pattern.period == 5
+
+    def test_duration_jitter_changes_lengths(self):
+        pattern = MotifPattern(
+            (MotifElement(0.001, 1.5, 3), MotifElement(0.03, 1.0, 3)),
+            duration_jitter=1.0,
+        )
+        series = pattern.generate(60, rng())
+        run_lengths = []
+        current = 1
+        for a, b in zip(series[:-1, 0], series[1:, 0]):
+            if a == b:
+                current += 1
+            else:
+                run_lengths.append(current)
+                current = 1
+        assert set(run_lengths) - {3} != set()
+
+    def test_jitter_never_drops_element(self):
+        pattern = MotifPattern(
+            (MotifElement(0.001, 1.5, 1), MotifElement(0.03, 1.0, 1)),
+            duration_jitter=1.0,
+        )
+        series = pattern.generate(100, rng())
+        assert 0.001 in series[:, 0]
+        assert 0.03 in series[:, 0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MotifPattern(())
+        with pytest.raises(ConfigurationError):
+            MotifElement(0.01, 1.0, duration=0)
+        with pytest.raises(ConfigurationError):
+            MotifPattern((MotifElement(0.01, 1.0, 1),), duration_jitter=1.5)
+
+
+class TestCyclePattern:
+    def test_blocks_visited_round_robin(self):
+        pattern = CyclePattern(
+            [
+                (FlatPattern(0.001, 1.0), 3),
+                (FlatPattern(0.03, 1.0), 2),
+            ]
+        )
+        series = pattern.generate(10, rng())
+        assert series[:, 0].tolist() == [
+            0.001, 0.001, 0.001, 0.03, 0.03,
+            0.001, 0.001, 0.001, 0.03, 0.03,
+        ]
+
+    def test_truncates_final_block(self):
+        pattern = CyclePattern([(FlatPattern(0.01, 1.0), 7)])
+        assert pattern.generate(5, rng()).shape == (5, 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CyclePattern([])
+        with pytest.raises(ConfigurationError):
+            CyclePattern([(FlatPattern(0.01, 1.0), 0)])
+
+
+class TestBurstPattern:
+    def test_no_bursts_with_zero_probability(self):
+        pattern = BurstPattern((0.002, 1.5), (0.02, 1.0), 0.0)
+        series = pattern.generate(100, rng())
+        assert np.all(series[:, 0] == 0.002)
+
+    def test_always_bursting_with_probability_one(self):
+        pattern = BurstPattern((0.002, 1.5), (0.02, 1.0), 1.0)
+        series = pattern.generate(100, rng())
+        assert np.all(series[:, 0] == 0.02)
+
+    def test_bursts_have_requested_length(self):
+        pattern = BurstPattern((0.0, 1.5), (0.02, 1.0), 0.05, burst_length=3)
+        series = pattern.generate(2000, rng())
+        in_burst = series[:, 0] == 0.02
+        # Count maximal runs of burst samples; all should be 3 except a
+        # possibly truncated final one.
+        runs = []
+        count = 0
+        for flag in in_burst:
+            if flag:
+                count += 1
+            elif count:
+                runs.append(count)
+                count = 0
+        assert runs
+        # Back-to-back bursts can chain, so runs are multiples of 3.
+        assert all(r % 3 == 0 for r in runs)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstPattern((0.0, 1.0), (0.1, 1.0), 1.5)
+        with pytest.raises(ConfigurationError):
+            BurstPattern((0.0, 1.0), (0.1, 1.0), 0.5, burst_length=0)
+
+
+class TestMarkovPattern:
+    def test_transition_statistics(self):
+        pattern = MarkovPattern(
+            [(0.001, 1.5), (0.03, 1.0)], [[0.9, 0.1], [0.5, 0.5]]
+        )
+        series = pattern.generate(20_000, rng())
+        state = (series[:, 0] == 0.03).astype(int)
+        leave_zero = np.mean(state[1:][state[:-1] == 0])
+        assert leave_zero == pytest.approx(0.1, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MarkovPattern([], [])
+        with pytest.raises(ConfigurationError):
+            MarkovPattern([(0.0, 1.0)], [[0.5]])
+        with pytest.raises(ConfigurationError):
+            MarkovPattern(
+                [(0.0, 1.0), (0.1, 1.0)], [[0.9, 0.2], [0.5, 0.5]]
+            )
+
+
+class TestRampPattern:
+    def test_linear_interpolation(self):
+        pattern = RampPattern((0.0, 1.0), (0.01, 2.0), length=5)
+        series = pattern.generate(5, rng())
+        assert series[0, 0] == pytest.approx(0.0)
+        assert series[-1, 0] == pytest.approx(0.01)
+        diffs = np.diff(series[:, 0])
+        assert np.allclose(diffs, diffs[0])
+
+    def test_repeats(self):
+        pattern = RampPattern((0.0, 1.0), (0.01, 1.0), length=4)
+        series = pattern.generate(8, rng())
+        assert np.allclose(series[:4, 0], series[4:, 0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RampPattern((0.0, 1.0), (0.01, 1.0), length=1)

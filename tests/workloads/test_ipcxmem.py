@@ -1,0 +1,120 @@
+"""Tests for the IPCxMEM configuration solver and grid."""
+
+import pytest
+
+from repro.cpu.frequency import SpeedStepTable
+from repro.cpu.timing import TimingModel
+from repro.errors import ConfigurationError
+from repro.workloads.ipcxmem import (
+    MAX_MEM_OVERLAP,
+    PAPER_GRID_MEM,
+    PAPER_GRID_UPC,
+    ipcxmem_grid,
+    solve_configuration,
+)
+
+TABLE = SpeedStepTable()
+FASTEST = TABLE.fastest
+TIMING = TimingModel()
+
+
+class TestSolver:
+    @pytest.mark.parametrize(
+        "upc,mem",
+        [(0.1, 0.0475), (0.5, 0.0225), (0.9, 0.0075), (1.9, 0.0)],
+    )
+    def test_hits_target_at_reference_point(self, upc, mem):
+        config = solve_configuration(upc, mem, TIMING, FASTEST)
+        observed = TIMING.upc(config.segment, FASTEST)
+        assert observed == pytest.approx(upc, rel=1e-9)
+        assert config.segment.mem_per_uop == mem
+
+    def test_prefers_zero_overlap(self):
+        config = solve_configuration(0.1, 0.0475, TIMING, FASTEST)
+        assert config.segment.mem_overlap == 0.0
+
+    def test_uses_overlap_when_needed(self):
+        """The paper's (UPC=1.3, Mem/Uop=0.0075) legend point needs
+        memory-level parallelism under this timing model."""
+        config = solve_configuration(1.3, 0.0075, TIMING, FASTEST)
+        assert config.segment.mem_overlap > 0.0
+        observed = TIMING.upc(config.segment, FASTEST)
+        assert observed == pytest.approx(1.3, rel=1e-9)
+
+    def test_unreachable_coordinate_raises(self):
+        with pytest.raises(ConfigurationError, match="boundary"):
+            solve_configuration(1.9, 0.0475, TIMING, FASTEST)
+
+    def test_rejects_bad_targets(self):
+        with pytest.raises(ConfigurationError):
+            solve_configuration(0.0, 0.01)
+        with pytest.raises(ConfigurationError):
+            solve_configuration(5.0, 0.01)
+        with pytest.raises(ConfigurationError):
+            solve_configuration(1.0, -0.01)
+
+    def test_label_format(self):
+        config = solve_configuration(0.5, 0.0225, TIMING, FASTEST)
+        assert config.label == "UPC=0.5, Mem/Uop=0.0225"
+
+
+class TestDVFSVarianceProperties:
+    """The Section 4 conclusions, verified on solved configurations."""
+
+    def test_mem_per_uop_invariant_across_frequencies(self):
+        config = solve_configuration(0.5, 0.0225, TIMING, FASTEST)
+        seg = config.segment
+        for point in TABLE:
+            # The counters count the same events at any frequency.
+            assert seg.memory_transactions / seg.uops == pytest.approx(0.0225)
+
+    def test_memory_bound_upc_varies_with_frequency(self):
+        config = solve_configuration(0.1, 0.0475, TIMING, FASTEST)
+        upcs = [TIMING.upc(config.segment, p) for p in TABLE]
+        change = max(upcs) / min(upcs) - 1.0
+        assert change > 0.3
+
+    def test_cpu_bound_upc_does_not_vary(self):
+        config = solve_configuration(1.9, 0.0, TIMING, FASTEST)
+        upcs = [TIMING.upc(config.segment, p) for p in TABLE]
+        assert max(upcs) == pytest.approx(min(upcs))
+
+
+class TestGrid:
+    def test_grid_covers_a_substantial_region(self):
+        """The paper runs ~50 configurations."""
+        configs = ipcxmem_grid()
+        assert 40 <= len(configs) <= len(PAPER_GRID_UPC) * len(PAPER_GRID_MEM)
+
+    def test_grid_excludes_the_infeasible_corner(self):
+        configs = ipcxmem_grid()
+        coords = {(c.target_upc, c.target_mem_per_uop) for c in configs}
+        assert (1.9, 0.0475) not in coords
+        assert (0.1, 0.0475) in coords
+
+    def test_all_grid_configs_hit_their_targets(self):
+        for config in ipcxmem_grid():
+            observed = TIMING.upc(config.segment, FASTEST)
+            assert observed == pytest.approx(config.target_upc, rel=1e-9)
+
+    def test_all_overlaps_bounded(self):
+        for config in ipcxmem_grid():
+            assert 0.0 <= config.segment.mem_overlap <= MAX_MEM_OVERLAP
+
+    def test_custom_grid(self):
+        configs = ipcxmem_grid(upc_values=[0.5], mem_values=[0.0, 0.01])
+        assert len(configs) == 2
+
+
+class TestConfigTrace:
+    def test_trace_builds_runnable_workload(self):
+        config = solve_configuration(0.5, 0.0225, TIMING, FASTEST)
+        trace = config.trace(n_segments=3)
+        assert len(trace) == 3
+        assert trace.name == config.label
+        assert trace[0] == config.segment
+
+    def test_trace_rejects_bad_length(self):
+        config = solve_configuration(0.5, 0.0225, TIMING, FASTEST)
+        with pytest.raises(ConfigurationError):
+            config.trace(n_segments=0)

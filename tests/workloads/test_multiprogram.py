@@ -1,0 +1,91 @@
+"""Tests for round-robin multiprogramming (extension)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.multiprogram import round_robin
+from repro.workloads.segments import uniform_trace
+from repro.workloads.spec2000 import benchmark
+
+
+def trace_a(n=4, uops=1000):
+    return uniform_trace("a", [(0.001, 1.5)] * n, uops_per_segment=uops)
+
+
+def trace_b(n=4, uops=1000):
+    return uniform_trace("b", [(0.04, 1.0)] * n, uops_per_segment=uops)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            round_robin([], 100)
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(ConfigurationError):
+            round_robin([trace_a()], 0)
+
+
+class TestScheduling:
+    def test_conserves_all_work(self):
+        combined = round_robin([trace_a(), trace_b()], quantum_uops=700)
+        assert combined.total_uops == trace_a().total_uops + trace_b().total_uops
+
+    def test_alternates_at_quantum_boundaries(self):
+        combined = round_robin([trace_a(), trace_b()], quantum_uops=1000)
+        mems = combined.mem_per_uop_series()
+        assert mems[:4] == [0.001, 0.04, 0.001, 0.04]
+
+    def test_quantum_splits_segments(self):
+        combined = round_robin([trace_a(uops=1000)], quantum_uops=300)
+        # 4000 uops in 300-uop pieces with per-segment remainder splits.
+        assert combined.total_uops == 4000
+        assert all(segment.uops <= 1000 for segment in combined)
+
+    def test_finished_apps_drop_out(self):
+        short = trace_a(n=1)
+        long = trace_b(n=4)
+        combined = round_robin([short, long], quantum_uops=1000)
+        mems = combined.mem_per_uop_series()
+        # After the first rotation only b's behaviour remains.
+        assert mems[0] == 0.001
+        assert all(m == 0.04 for m in mems[2:])
+
+    def test_default_name(self):
+        combined = round_robin([trace_a(), trace_b()], quantum_uops=500)
+        assert combined.name == "rr(a+b)"
+
+    def test_custom_name(self):
+        combined = round_robin([trace_a()], 500, name="mix")
+        assert combined.name == "mix"
+
+    def test_single_trace_is_passthrough(self):
+        original = trace_a()
+        combined = round_robin([original], quantum_uops=1000)
+        assert combined.mem_per_uop_series() == original.mem_per_uop_series()
+        assert combined.total_uops == original.total_uops
+
+
+class TestWithBenchmarks:
+    def test_spec_interleaving_preserves_totals(self):
+        a = benchmark("gzip_log").trace(n_intervals=20)
+        b = benchmark("swim_in").trace(n_intervals=20)
+        combined = round_robin([a, b], quantum_uops=300_000_000)
+        assert combined.total_uops == a.total_uops + b.total_uops
+        assert combined.total_instructions == pytest.approx(
+            a.total_instructions + b.total_instructions
+        )
+
+    def test_interleaved_phases_are_learnable(self):
+        """Deterministic quantum switching produces patterned phase
+        sequences the GPHT can learn far better than last value."""
+        from repro.analysis.accuracy import evaluate_predictor
+        from repro.core.predictors import GPHTPredictor, LastValuePredictor
+
+        a = benchmark("crafty_in").trace(n_intervals=150)
+        b = benchmark("swim_in").trace(n_intervals=150)
+        combined = round_robin([a, b], quantum_uops=200_000_000)
+        series = combined.mem_per_uop_series()
+        gpht = evaluate_predictor(GPHTPredictor(8, 128), series)
+        last = evaluate_predictor(LastValuePredictor(), series)
+        assert gpht.accuracy > last.accuracy + 0.2

@@ -1,0 +1,78 @@
+"""Tests for Figure 3 quadrant categorisation."""
+
+import pytest
+
+from repro.workloads.quadrants import (
+    BenchmarkPlacement,
+    Quadrant,
+    QuadrantThresholds,
+    categorize,
+    place_all,
+    place_benchmark,
+)
+from repro.workloads.spec2000 import SPEC2000_BENCHMARKS, benchmark
+
+
+class TestCategorize:
+    @pytest.mark.parametrize(
+        "variability,savings,expected",
+        [
+            (5.0, 0.003, Quadrant.Q1),
+            (5.0, 0.030, Quadrant.Q2),
+            (50.0, 0.030, Quadrant.Q3),
+            (50.0, 0.003, Quadrant.Q4),
+        ],
+    )
+    def test_four_quadrants(self, variability, savings, expected):
+        assert categorize(variability, savings) == expected
+
+    def test_thresholds_are_exclusive(self):
+        thresholds = QuadrantThresholds(
+            variability_pct=20.0, savings_potential=0.012
+        )
+        assert categorize(20.0, 0.012, thresholds) == Quadrant.Q1
+
+    def test_custom_thresholds(self):
+        thresholds = QuadrantThresholds(
+            variability_pct=1.0, savings_potential=0.001
+        )
+        assert categorize(2.0, 0.002, thresholds) == Quadrant.Q3
+
+    def test_str(self):
+        assert "stable" in str(Quadrant.Q1)
+
+
+class TestPlacement:
+    def test_placement_fields(self):
+        placement = place_benchmark(benchmark("swim_in"))
+        assert isinstance(placement, BenchmarkPlacement)
+        assert placement.name == "swim_in"
+        assert placement.savings_potential > 0.02
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("crafty_in", Quadrant.Q1),
+            ("gzip_program", Quadrant.Q1),
+            ("swim_in", Quadrant.Q2),
+            ("mcf_inp", Quadrant.Q2),
+            ("applu_in", Quadrant.Q3),
+            ("equake_in", Quadrant.Q3),
+            ("mgrid_in", Quadrant.Q3),
+            ("bzip2_program", Quadrant.Q4),
+            ("bzip2_graphic", Quadrant.Q4),
+        ],
+    )
+    def test_paper_quadrant_membership(self, name, expected):
+        """Figure 3's categorisation of the key benchmarks."""
+        assert place_benchmark(benchmark(name)).quadrant == expected
+
+    def test_place_all_covers_registry(self):
+        placements = place_all(SPEC2000_BENCHMARKS, n_intervals=200)
+        assert set(placements) == set(SPEC2000_BENCHMARKS)
+
+    def test_majority_of_spec_is_q1(self):
+        """'Many of the SPEC applications lie very close to the origin.'"""
+        placements = place_all(SPEC2000_BENCHMARKS, n_intervals=300)
+        q1 = [p for p in placements.values() if p.quadrant == Quadrant.Q1]
+        assert len(q1) >= 20

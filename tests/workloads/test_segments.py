@@ -1,0 +1,103 @@
+"""Tests for workload segments and traces."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.segments import SegmentSpec, WorkloadTrace, uniform_trace
+
+
+def segment(**kwargs):
+    defaults = dict(uops=1_000_000, mem_per_uop=0.01, upc_core=1.5)
+    defaults.update(kwargs)
+    return SegmentSpec(**defaults)
+
+
+class TestSegmentSpec:
+    def test_derived_quantities(self):
+        seg = segment(uops=1000, mem_per_uop=0.02, uops_per_instruction=1.25)
+        assert seg.memory_transactions == pytest.approx(20.0)
+        assert seg.instructions == pytest.approx(800.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            segment(uops=0)
+        with pytest.raises(ConfigurationError):
+            segment(mem_per_uop=-0.01)
+        with pytest.raises(ConfigurationError):
+            segment(upc_core=0.0)
+        with pytest.raises(ConfigurationError):
+            segment(upc_core=3.5)
+        with pytest.raises(ConfigurationError):
+            segment(uops_per_instruction=0.9)
+        with pytest.raises(ConfigurationError):
+            segment(mem_overlap=1.0)
+
+    def test_split_preserves_rates_and_total(self):
+        seg = segment(uops=1000)
+        head, tail = seg.split(300)
+        assert head.uops == 300
+        assert tail.uops == 700
+        assert head.mem_per_uop == tail.mem_per_uop == seg.mem_per_uop
+        assert head.upc_core == tail.upc_core == seg.upc_core
+
+    def test_split_bounds(self):
+        seg = segment(uops=1000)
+        with pytest.raises(ConfigurationError):
+            seg.split(0)
+        with pytest.raises(ConfigurationError):
+            seg.split(1000)
+
+    def test_immutability(self):
+        with pytest.raises(Exception):
+            segment().uops = 5
+
+
+class TestWorkloadTrace:
+    def test_aggregates(self):
+        trace = WorkloadTrace(
+            "t",
+            [
+                segment(uops=1000, mem_per_uop=0.01),
+                segment(uops=3000, mem_per_uop=0.03),
+            ],
+        )
+        assert trace.total_uops == 4000
+        # Uop-weighted mean: (10 + 90) / 4000
+        assert trace.mean_mem_per_uop() == pytest.approx(0.025)
+
+    def test_sequence_protocol(self):
+        trace = WorkloadTrace("t", [segment(), segment()])
+        assert len(trace) == 2
+        assert trace[0] == trace.segments[0]
+        assert list(iter(trace)) == list(trace.segments)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadTrace("empty", [])
+
+    def test_mem_series(self):
+        trace = WorkloadTrace(
+            "t", [segment(mem_per_uop=0.01), segment(mem_per_uop=0.02)]
+        )
+        assert trace.mem_per_uop_series() == [0.01, 0.02]
+
+    def test_repr(self):
+        trace = WorkloadTrace("applu_in", [segment()])
+        assert "applu_in" in repr(trace)
+
+
+class TestUniformTrace:
+    def test_builds_from_level_pairs(self):
+        trace = uniform_trace(
+            "u", [(0.01, 1.0), (0.02, 0.8)], uops_per_segment=500
+        )
+        assert len(trace) == 2
+        assert trace[0].uops == 500
+        assert trace[1].mem_per_uop == 0.02
+        assert trace[1].upc_core == 0.8
+
+    def test_shared_upi(self):
+        trace = uniform_trace(
+            "u", [(0.0, 1.0)], uops_per_segment=100, uops_per_instruction=1.3
+        )
+        assert trace[0].uops_per_instruction == 1.3

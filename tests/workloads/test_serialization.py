@@ -1,0 +1,103 @@
+"""Tests for workload trace serialisation."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.serialization import (
+    SCHEMA_VERSION,
+    trace_from_dict,
+    trace_from_json,
+    trace_to_dict,
+    trace_to_json,
+)
+from repro.workloads.segments import SegmentSpec, WorkloadTrace
+from repro.workloads.spec2000 import benchmark
+
+
+@pytest.fixture
+def trace():
+    return WorkloadTrace(
+        "sample",
+        [
+            SegmentSpec(
+                uops=1_000_000,
+                mem_per_uop=0.0123,
+                upc_core=1.4,
+                uops_per_instruction=1.2,
+                mem_overlap=0.25,
+            ),
+            SegmentSpec(uops=2_000_000, mem_per_uop=0.0, upc_core=1.9),
+        ],
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, trace):
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert rebuilt.name == trace.name
+        assert rebuilt.segments == trace.segments
+
+    def test_json_round_trip(self, trace):
+        rebuilt = trace_from_json(trace_to_json(trace))
+        assert rebuilt.segments == trace.segments
+
+    def test_benchmark_trace_round_trip(self):
+        original = benchmark("applu_in").trace(n_intervals=50)
+        rebuilt = trace_from_json(trace_to_json(original))
+        assert rebuilt.total_uops == original.total_uops
+        assert rebuilt.mem_per_uop_series() == original.mem_per_uop_series()
+
+    def test_document_shape(self, trace):
+        document = trace_to_dict(trace)
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["name"] == "sample"
+        assert len(document["segments"]) == 2
+        assert len(document["segments"][0]) == len(document["fields"])
+
+
+class TestValidation:
+    def test_rejects_wrong_version(self, trace):
+        document = trace_to_dict(trace)
+        document["schema_version"] = 99
+        with pytest.raises(ConfigurationError, match="schema version"):
+            trace_from_dict(document)
+
+    def test_rejects_wrong_fields(self, trace):
+        document = trace_to_dict(trace)
+        document["fields"] = ["uops"]
+        with pytest.raises(ConfigurationError, match="field layout"):
+            trace_from_dict(document)
+
+    def test_rejects_missing_name(self, trace):
+        document = trace_to_dict(trace)
+        document["name"] = ""
+        with pytest.raises(ConfigurationError, match="name"):
+            trace_from_dict(document)
+
+    def test_rejects_empty_segments(self, trace):
+        document = trace_to_dict(trace)
+        document["segments"] = []
+        with pytest.raises(ConfigurationError, match="no segments"):
+            trace_from_dict(document)
+
+    def test_rejects_short_rows(self, trace):
+        document = trace_to_dict(trace)
+        document["segments"][0] = [1, 2]
+        with pytest.raises(ConfigurationError, match="fields"):
+            trace_from_dict(document)
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ConfigurationError, match="invalid trace JSON"):
+            trace_from_json("{not json")
+
+    def test_rejects_non_object_json(self):
+        with pytest.raises(ConfigurationError, match="object"):
+            trace_from_json(json.dumps([1, 2, 3]))
+
+    def test_segment_validation_still_applies(self, trace):
+        document = trace_to_dict(trace)
+        document["segments"][0][0] = 0  # zero uops
+        with pytest.raises(ConfigurationError):
+            trace_from_dict(document)

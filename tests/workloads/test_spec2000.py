@@ -1,0 +1,151 @@
+"""Tests for the synthetic SPEC2000 registry — including the statistical
+properties the paper reports per benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import evaluate_predictor
+from repro.analysis.variability import sample_variation_pct
+from repro.core.predictors import GPHTPredictor, LastValuePredictor
+from repro.errors import ConfigurationError
+from repro.workloads.spec2000 import (
+    FIG4_BENCHMARK_ORDER,
+    FIG5_BENCHMARKS,
+    FIG12_BENCHMARKS,
+    FIG13_BENCHMARKS,
+    SPEC2000_BENCHMARKS,
+    VARIABLE_BENCHMARKS,
+    benchmark,
+    benchmark_names,
+)
+
+
+class TestRegistryCompleteness:
+    def test_thirty_three_benchmarks(self):
+        """The paper evaluates 33 benchmark/input pairs."""
+        assert len(SPEC2000_BENCHMARKS) == 33
+
+    def test_fig4_order_covers_registry_exactly(self):
+        assert set(FIG4_BENCHMARK_ORDER) == set(SPEC2000_BENCHMARKS)
+        assert len(FIG4_BENCHMARK_ORDER) == 33
+
+    def test_subset_lists_are_subsets(self):
+        for subset in (FIG5_BENCHMARKS, FIG12_BENCHMARKS, FIG13_BENCHMARKS,
+                       VARIABLE_BENCHMARKS):
+            assert set(subset) <= set(SPEC2000_BENCHMARKS)
+
+    def test_fig5_is_the_harder_right_half(self):
+        assert len(FIG5_BENCHMARKS) == 18
+        assert FIG5_BENCHMARKS[0] == "gzip_log"
+        assert FIG5_BENCHMARKS[-1] == "equake_in"
+
+    def test_variable_benchmarks_are_the_last_six(self):
+        assert set(VARIABLE_BENCHMARKS) == set(FIG4_BENCHMARK_ORDER[-6:])
+
+    def test_lookup_helpers(self):
+        assert benchmark("applu_in").name == "applu_in"
+        assert benchmark_names() == FIG4_BENCHMARK_ORDER
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown benchmark"):
+            benchmark("nosuchthing")
+
+
+class TestDeterminism:
+    def test_traces_are_reproducible(self):
+        a = benchmark("applu_in").mem_series(100)
+        b = benchmark("applu_in").mem_series(100)
+        assert np.array_equal(a, b)
+
+    def test_different_benchmarks_differ(self):
+        a = benchmark("applu_in").mem_series(100)
+        b = benchmark("equake_in").mem_series(100)
+        assert not np.array_equal(a, b)
+
+    def test_explicit_seed_changes_the_draw(self):
+        spec = benchmark("applu_in")
+        assert not np.array_equal(
+            spec.mem_series(100), spec.mem_series(100, seed=1)
+        )
+
+    def test_seed_is_name_derived(self):
+        assert benchmark("applu_in").seed != benchmark("swim_in").seed
+
+
+class TestTraces:
+    def test_trace_segment_fields(self):
+        spec = benchmark("swim_in")
+        trace = spec.trace(n_intervals=10, uops_per_interval=1_000_000)
+        assert len(trace) == 10
+        assert trace[0].uops == 1_000_000
+        assert trace[0].uops_per_instruction == spec.uops_per_instruction
+        assert trace.name == "swim_in"
+
+    def test_trace_rejects_bad_length(self):
+        with pytest.raises(ConfigurationError):
+            benchmark("swim_in").trace(n_intervals=0)
+
+
+class TestPaperStatistics:
+    """The properties that make the synthetic suite a faithful stand-in."""
+
+    def test_q1_benchmarks_are_stable(self):
+        for name in ("crafty_in", "eon_cook", "mesa_ref", "sixtrack_in"):
+            variation = sample_variation_pct(benchmark(name).mem_series(400))
+            assert variation < 5.0, name
+
+    def test_q2_benchmarks_stable_and_memory_bound(self):
+        for name in ("swim_in", "mcf_inp"):
+            series = benchmark(name).mem_series(400)
+            assert sample_variation_pct(series) < 15.0, name
+            assert series.mean() > 0.02, name
+
+    def test_q3_benchmarks_variable_and_memory_bound(self):
+        for name in ("applu_in", "equake_in", "mgrid_in"):
+            series = benchmark(name).mem_series(400)
+            assert sample_variation_pct(series) > 20.0, name
+            assert series.mean() > 0.012, name
+
+    def test_q4_benchmarks_variable_with_low_savings(self):
+        for name in ("bzip2_program", "bzip2_source", "bzip2_graphic"):
+            series = benchmark(name).mem_series(400)
+            assert sample_variation_pct(series) > 20.0, name
+            assert series.mean() < 0.012, name
+
+    def test_mcf_is_the_most_memory_bound(self):
+        means = {
+            name: benchmark(name).mem_series(400).mean()
+            for name in FIG4_BENCHMARK_ORDER
+        }
+        assert max(means, key=means.get) == "mcf_inp"
+        assert means["mcf_inp"] > 0.09
+
+    def test_fig4_ordering_roughly_holds(self):
+        """Figure 4 sorts by decreasing last-value accuracy.  The
+        synthetic registry must preserve the coarse structure: the first
+        third clearly easier than the last six."""
+        accuracies = {}
+        for name in FIG4_BENCHMARK_ORDER:
+            series = benchmark(name).mem_series(400)
+            accuracies[name] = evaluate_predictor(
+                LastValuePredictor(), series
+            ).accuracy
+        easy = [accuracies[n] for n in FIG4_BENCHMARK_ORDER[:11]]
+        hard = [accuracies[n] for n in FIG4_BENCHMARK_ORDER[-6:]]
+        assert min(easy) > 0.95
+        assert max(hard) < 0.85
+        assert accuracies["applu_in"] < 0.55
+        assert accuracies["equake_in"] < 0.55
+
+    def test_gpht_dominates_on_variable_benchmarks(self):
+        for name in VARIABLE_BENCHMARKS:
+            series = benchmark(name).mem_series(600)
+            last = evaluate_predictor(LastValuePredictor(), series)
+            gpht = evaluate_predictor(GPHTPredictor(8, 1024), series)
+            assert gpht.accuracy > last.accuracy + 0.1, name
+
+    def test_all_upc_values_within_issue_width(self):
+        for name in FIG4_BENCHMARK_ORDER:
+            behavior = benchmark(name).behavior(200)
+            assert np.all(behavior[:, 1] <= 2.0), name
+            assert np.all(behavior[:, 1] > 0.0), name
