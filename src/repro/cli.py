@@ -8,6 +8,7 @@ Exposes the common experiments without writing Python::
     python -m repro run applu_in --policy bounded --json
     python -m repro accuracy applu_in equake_in
     python -m repro quadrants
+    python -m repro lint src/ --format json   # domain static analysis
 
 Every command prints aligned text; ``run --json`` and ``run --csv`` emit
 machine-readable exports instead.
@@ -178,6 +179,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if all(claim.holds for claim in claims) else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint import run_lint
+    from repro.devtools.lint.cli import list_rules_text
+
+    if args.list_rules:
+        print(list_rules_text())
+        return 0
+    return run_lint(args.paths, output_format=args.format)
+
+
 def _cmd_quadrants(args: argparse.Namespace) -> int:
     placements = place_all(SPEC2000_BENCHMARKS, n_intervals=args.intervals)
     rows = [
@@ -292,6 +303,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     quadrant_parser.add_argument("--intervals", type=int, default=400)
     quadrant_parser.set_defaults(func=_cmd_quadrants)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the domain-aware static analysis over source paths",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every registered lint rule and exit",
+    )
+    lint_parser.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -23,6 +23,7 @@ swapped in without touching any other component.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -52,7 +53,7 @@ class PhaseDefinition:
         return self.lower <= mem_per_uop < self.upper
 
     def __str__(self) -> str:
-        if self.upper == float("inf"):
+        if math.isinf(self.upper):
             return f"phase {self.phase_id}: Mem/Uop >= {self.lower}"
         return f"phase {self.phase_id}: Mem/Uop in [{self.lower}, {self.upper})"
 
@@ -70,17 +71,17 @@ class PhaseTable:
     """
 
     def __init__(self, edges: Sequence[float] = PAPER_PHASE_EDGES) -> None:
-        edges = tuple(edges)
-        if not edges:
+        edge_tuple: Tuple[float, ...] = tuple(edges)
+        if not edge_tuple:
             raise ConfigurationError("a phase table needs at least one edge")
-        if any(e <= 0 for e in edges):
-            raise ConfigurationError(f"edges must be positive: {edges}")
-        if any(b <= a for a, b in zip(edges, edges[1:])):
+        if any(e <= 0 for e in edge_tuple):
+            raise ConfigurationError(f"edges must be positive: {edge_tuple}")
+        if any(b <= a for a, b in zip(edge_tuple, edge_tuple[1:])):
             raise ConfigurationError(
-                f"edges must be strictly increasing: {edges}"
+                f"edges must be strictly increasing: {edge_tuple}"
             )
-        self._edges = edges
-        bounds = (0.0,) + edges + (float("inf"),)
+        self._edges = edge_tuple
+        bounds = (0.0,) + edge_tuple + (float("inf"),)
         self._definitions = tuple(
             PhaseDefinition(phase_id=i + 1, lower=bounds[i], upper=bounds[i + 1])
             for i in range(len(bounds) - 1)
@@ -145,7 +146,7 @@ class PhaseTable:
         bin's width, keeping the value finite and monotone.
         """
         definition = self.definition(phase_id)
-        if definition.upper == float("inf"):
+        if math.isinf(definition.upper):
             if len(self._edges) >= 2:
                 previous_width = self._edges[-1] - self._edges[-2]
             else:

@@ -1,6 +1,8 @@
 """Phase predictors: the GPHT and the statistical baselines it is
 evaluated against (paper Section 3)."""
 
+from typing import List
+
 from repro.core.predictors.base import PhaseObservation, PhasePredictor
 from repro.core.predictors.confidence import ConfidenceGPHTPredictor
 from repro.core.predictors.direct_mapped import DirectMappedGPHTPredictor
@@ -30,7 +32,7 @@ __all__ = [
 ]
 
 
-def paper_predictor_suite():
+def paper_predictor_suite() -> List[PhasePredictor]:
     """The six predictors evaluated in the paper's Figure 4.
 
     Returns:

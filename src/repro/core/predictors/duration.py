@@ -41,7 +41,9 @@ class DurationPredictor(PhasePredictor):
             )
         self._threshold = continuation_threshold
         self._durations = DurationStatistics()
-        self._successors: DefaultDict[int, Counter] = defaultdict(Counter)
+        self._successors: DefaultDict[int, "Counter[int]"] = defaultdict(
+            Counter
+        )
         self._current: Optional[int] = None
         self._elapsed = 0
 

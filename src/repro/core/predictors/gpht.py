@@ -38,7 +38,7 @@ from repro.errors import ConfigurationError
 
 #: GPHR fill value before any real phase has been observed.  Real phases
 #: are 1-based, so 0 never collides with an observed phase.
-EMPTY_PHASE = 0
+EMPTY_PHASE = 0  # repro-lint: disable=phase-id-range
 
 
 class GPHTPredictor(PhasePredictor):
@@ -152,9 +152,9 @@ class GPHTPredictor(PhasePredictor):
             return self.DEFAULT_PHASE
         tag = tuple(self._gphr)
         self._pending_tag = tag
-        stored = self._pht.get(tag, _MISSING)
-        if stored is not _MISSING:
+        if tag in self._pht:
             self._hits += 1
+            stored = self._pht[tag]
             if self._replacement == "lru":
                 self._pht.move_to_end(tag)
             # A freshly installed tag whose outcome is not yet known
@@ -185,13 +185,3 @@ class GPHTPredictor(PhasePredictor):
         self._pending_tag = None
         self._hits = 0
         self._misses = 0
-
-
-class _Missing:
-    """Sentinel distinguishing 'tag absent' from 'prediction pending'."""
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid only
-        return "<missing>"
-
-
-_MISSING = _Missing()

@@ -85,11 +85,11 @@ class TournamentPredictor(PhasePredictor):
         self._pattern.observe(observation)
 
     def predict(self) -> int:
-        self._pending_simple = self._simple.predict()
-        self._pending_pattern = self._pattern.predict()
-        if self.selects_pattern:
-            return self._pending_pattern
-        return self._pending_simple
+        simple = self._simple.predict()
+        pattern = self._pattern.predict()
+        self._pending_simple = simple
+        self._pending_pattern = pattern
+        return pattern if self.selects_pattern else simple
 
     def reset(self) -> None:
         self._simple.reset()

@@ -29,7 +29,9 @@ class MarkovPredictor(PhasePredictor):
     """
 
     def __init__(self) -> None:
-        self._transitions: DefaultDict[int, Counter] = defaultdict(Counter)
+        self._transitions: DefaultDict[int, "Counter[int]"] = defaultdict(
+            Counter
+        )
         self._current: Optional[int] = None
 
     @property

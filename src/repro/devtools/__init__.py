@@ -1,0 +1,7 @@
+"""Developer tooling for the reproduction (not used at simulation time).
+
+Currently one subsystem lives here: :mod:`repro.devtools.lint`, an
+AST-based static analysis engine enforcing the paper's domain invariants
+(phase-id ranges, the predictor observe/predict contract, replayable
+determinism, float-comparison hygiene) across the simulator sources.
+"""

@@ -1,0 +1,48 @@
+"""Domain-aware static analysis for the reproduction.
+
+An AST-based lint engine plus six domain rules enforcing invariants the
+paper states but Python cannot check at runtime — phase ids in 1..6
+(Table 1), the predictor observe/predict contract, replayable
+determinism, float-comparison hygiene, mutable-default hygiene, and
+unit-documented power/frequency APIs.
+
+Run it as ``repro lint [paths...]`` or ``python -m repro.devtools.lint``;
+suppress a finding inline with ``# repro-lint: disable=<rule>``.
+"""
+
+from repro.devtools.lint.cli import main, run_lint
+from repro.devtools.lint.engine import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    Finding,
+    LintEngine,
+    LintReport,
+    LintRule,
+    ParsedModule,
+    RuleVisitor,
+    register_rule,
+    registered_rules,
+    render_json,
+    render_text,
+)
+from repro.devtools.lint.rules import default_rules
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "EXIT_FINDINGS",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "LintRule",
+    "ParsedModule",
+    "RuleVisitor",
+    "default_rules",
+    "main",
+    "register_rule",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

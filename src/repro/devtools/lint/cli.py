@@ -1,0 +1,90 @@
+"""Command-line front-end of the lint subsystem.
+
+Shared by the packaged CLI (``repro lint``) and the module entry point
+(``python -m repro.devtools.lint``): both parse the same options and
+delegate to :func:`run_lint`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, TextIO
+
+from repro.devtools.lint.engine import (
+    EXIT_CLEAN,
+    LintEngine,
+    render_json,
+    render_text,
+)
+from repro.devtools.lint.rules import default_rules
+
+#: Paths linted when none are given on the command line.
+DEFAULT_PATHS = ("src",)
+
+
+def list_rules_text() -> str:
+    """A table of every registered rule name and description."""
+    rules = default_rules()
+    width = max(len(rule.name) for rule in rules)
+    lines = [f"{rule.name:<{width}}  {rule.description}" for rule in rules]
+    lines.append(
+        "\nsuppress a finding inline with: # repro-lint: disable=<rule>"
+    )
+    return "\n".join(lines)
+
+
+def run_lint(
+    paths: Sequence[str],
+    output_format: str = "text",
+    stream: Optional[TextIO] = None,
+) -> int:
+    """Lint ``paths`` and print a report; returns the exit code."""
+    out = stream if stream is not None else sys.stdout
+    engine = LintEngine(default_rules())
+    report = engine.run(list(paths))
+    renderer = render_json if output_format == "json" else render_text
+    print(renderer(report), file=out)
+    return report.exit_code
+
+
+def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
+    """The argument parser shared by both entry points."""
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "Domain-aware static analysis: enforce the paper's phase, "
+            "predictor and determinism invariants at lint time."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every registered rule and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.devtools.lint``."""
+    args = build_parser(prog="python -m repro.devtools.lint").parse_args(argv)
+    if args.list_rules:
+        print(list_rules_text())
+        return EXIT_CLEAN
+    return run_lint(args.paths, output_format=args.format)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,352 @@
+"""Core machinery of the domain-aware lint subsystem.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only) so it
+runs anywhere the simulator runs.  It provides:
+
+* :class:`LintRule` — the rule interface: a ``name``, a ``description``,
+  an optional package scope, and a ``check`` method yielding
+  :class:`Finding` objects from a :class:`ParsedModule`;
+* :class:`RuleVisitor` — an ``ast.NodeVisitor`` convenience base that
+  collects findings for the rule driving it;
+* a rule registry (:func:`register_rule`, :func:`registered_rules`)
+  that rule modules populate at import time;
+* :class:`LintEngine` — parses files once, runs every applicable rule,
+  honours inline suppressions, and aggregates a :class:`LintReport`;
+* text and JSON reporters plus stable exit-code semantics
+  (:data:`EXIT_CLEAN` / :data:`EXIT_FINDINGS` / :data:`EXIT_ERROR`).
+
+Suppression syntax: a finding is silenced by placing
+``# repro-lint: disable=<rule>`` (comma-separated rule names, or
+``all``) on the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+#: Exit code when no findings (and no errors) were produced.
+EXIT_CLEAN = 0
+#: Exit code when at least one finding survived suppression.
+EXIT_FINDINGS = 1
+#: Exit code on unreadable or syntactically invalid input.
+EXIT_ERROR = 2
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: Path of the offending file, as given to the engine.
+        line: 1-based line number.
+        col: 0-based column offset.
+        rule: Name of the rule that produced the finding.
+        message: Human-readable description of the violation.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """Render in the conventional ``path:line:col: rule: message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable representation."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule names suppressed on them.
+
+    Recognises ``# repro-lint: disable=<rule>[,<rule>...]``; the special
+    name ``all`` suppresses every rule on that line.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        names = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        if names:
+            suppressions[lineno] = names
+    return suppressions
+
+
+@dataclass(frozen=True)
+class ParsedModule:
+    """One parsed source file, shared by every rule that inspects it.
+
+    Attributes:
+        path: The file's path as given to the engine.
+        source: Raw source text.
+        tree: Parsed AST of ``source``.
+        suppressions: Per-line suppressed rule names (see
+            :func:`parse_suppressions`).
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    suppressions: Dict[int, FrozenSet[str]]
+
+    @classmethod
+    def from_source(cls, source: str, path: str = "<string>") -> "ParsedModule":
+        """Parse ``source`` into a module (raises ``SyntaxError``)."""
+        return cls(
+            path=path,
+            source=source,
+            tree=ast.parse(source, filename=path),
+            suppressions=parse_suppressions(source),
+        )
+
+    def in_package(self, *names: str) -> bool:
+        """Whether any directory component of ``path`` is one of ``names``.
+
+        Package-scoped rules (e.g. determinism inside ``core/``) use this
+        so that both ``src/repro/core/x.py`` and test fixtures placed
+        under a ``core/`` directory are matched.
+        """
+        parts = Path(self.path).parts[:-1]
+        return any(part in names for part in parts)
+
+    def is_suppressed(self, rule_name: str, line: int) -> bool:
+        """Whether ``rule_name`` is suppressed on ``line``."""
+        names = self.suppressions.get(line)
+        if names is None:
+            return False
+        return rule_name in names or "all" in names
+
+
+class LintRule(ABC):
+    """One domain rule: inspects a parsed module, yields findings.
+
+    Class attributes:
+        name: Stable rule identifier (used in reports and suppressions).
+        description: One-line summary shown by ``--list-rules``.
+        packages: Directory names the rule is scoped to; empty means the
+            rule applies everywhere.
+    """
+
+    name: str = ""
+    description: str = ""
+    packages: Tuple[str, ...] = ()
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        """Whether this rule should run on ``module`` (scope check)."""
+        if not self.packages:
+            return True
+        return module.in_package(*self.packages)
+
+    @abstractmethod
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        """Yield every violation of this rule found in ``module``."""
+
+    def finding(self, module: ParsedModule, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``'s location."""
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.name,
+            message=message,
+        )
+
+    def __repr__(self) -> str:
+        return f"<LintRule {self.name}>"
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """``ast.NodeVisitor`` base that accumulates findings for one rule.
+
+    Subclasses implement the usual ``visit_*`` methods and call
+    :meth:`report` for each violation; the driving rule then drains
+    :attr:`findings`.
+    """
+
+    def __init__(self, rule: LintRule, module: ParsedModule) -> None:
+        self.rule = rule
+        self.module = module
+        self.findings: List[Finding] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a finding anchored at ``node``."""
+        self.findings.append(self.rule.finding(self.module, node, message))
+
+
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def register_rule(rule_class: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the global registry.
+
+    Raises:
+        ValueError: On a missing or duplicate rule name.
+    """
+    if not rule_class.name:
+        raise ValueError(f"rule {rule_class.__name__} has no name")
+    existing = _REGISTRY.get(rule_class.name)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(f"duplicate rule name {rule_class.name!r}")
+    _REGISTRY[rule_class.name] = rule_class
+    return rule_class
+
+
+def registered_rules() -> Dict[str, Type[LintRule]]:
+    """A copy of the rule registry, keyed by rule name."""
+    return dict(_REGISTRY)
+
+
+@dataclass
+class LintReport:
+    """Aggregated outcome of one engine run.
+
+    Attributes:
+        findings: Surviving (unsuppressed) findings, sorted by location.
+        files_checked: Number of files successfully parsed and linted.
+        errors: Messages for files that could not be read or parsed.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: errors beat findings beat clean."""
+        if self.errors:
+            return EXIT_ERROR
+        if self.findings:
+            return EXIT_FINDINGS
+        return EXIT_CLEAN
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable representation of the whole report."""
+        return {
+            "files_checked": self.files_checked,
+            "finding_count": len(self.findings),
+            "findings": [f.to_dict() for f in self.findings],
+            "errors": list(self.errors),
+            "exit_code": self.exit_code,
+        }
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` in sorted order.
+
+    Directories are walked recursively; file paths are yielded as given.
+    Missing paths are yielded too so the engine can report them.
+    """
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+class LintEngine:
+    """Runs a set of rules over source files and aggregates a report.
+
+    Args:
+        rules: Rule instances to apply (default: every registered rule,
+            in name order).
+    """
+
+    def __init__(self, rules: Iterable[LintRule] = ()) -> None:
+        self._rules: List[LintRule] = list(rules)
+        if not self._rules:
+            self._rules = [
+                rule_class()
+                for _, rule_class in sorted(_REGISTRY.items())
+            ]
+
+    @property
+    def rules(self) -> Tuple[LintRule, ...]:
+        """The rules this engine applies, in order."""
+        return tuple(self._rules)
+
+    def lint_module(self, module: ParsedModule) -> List[Finding]:
+        """Run every applicable rule on a parsed module."""
+        findings: List[Finding] = []
+        for rule in self._rules:
+            if not rule.applies_to(module):
+                continue
+            for found in rule.check(module):
+                if not module.is_suppressed(found.rule, found.line):
+                    findings.append(found)
+        return sorted(findings)
+
+    def lint_source(self, source: str, path: str = "<string>") -> List[Finding]:
+        """Lint raw source text (test and tooling convenience)."""
+        return self.lint_module(ParsedModule.from_source(source, path))
+
+    def run(self, paths: Sequence[str]) -> LintReport:
+        """Lint every Python file under ``paths``."""
+        report = LintReport()
+        for file_path in iter_python_files(paths):
+            try:
+                source = file_path.read_text(encoding="utf-8")
+            except OSError as error:
+                report.errors.append(f"{file_path}: {error}")
+                continue
+            try:
+                module = ParsedModule.from_source(source, str(file_path))
+            except SyntaxError as error:
+                report.errors.append(
+                    f"{file_path}:{error.lineno or 0}: syntax error: "
+                    f"{error.msg}"
+                )
+                continue
+            report.findings.extend(self.lint_module(module))
+            report.files_checked += 1
+        report.findings.sort()
+        return report
+
+
+def render_text(report: LintReport) -> str:
+    """The human-readable report: one line per finding plus a summary."""
+    lines = [f.format() for f in report.findings]
+    lines.extend(f"error: {message}" for message in report.errors)
+    noun = "file" if report.files_checked == 1 else "files"
+    if not report.findings and not report.errors:
+        lines.append(f"repro lint: {report.files_checked} {noun} clean")
+    else:
+        lines.append(
+            f"repro lint: {len(report.findings)} finding(s), "
+            f"{len(report.errors)} error(s) in {report.files_checked} {noun}"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The machine-readable report as a JSON document."""
+    return json.dumps(report.to_dict(), indent=2)

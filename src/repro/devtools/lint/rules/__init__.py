@@ -1,0 +1,32 @@
+"""Domain rule registry for the reproduction's lint subsystem.
+
+Importing this package imports every built-in rule module, which
+registers its rule class with the engine's global registry (see
+:func:`repro.devtools.lint.engine.register_rule`).  :func:`default_rules`
+returns one fresh instance of each.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.devtools.lint.engine import LintRule, registered_rules
+
+# Importing for side effect: each module registers its rule class.
+from repro.devtools.lint.rules import (  # noqa: F401
+    determinism,
+    float_equality,
+    mutable_defaults,
+    phase_id_range,
+    predictor_contract,
+    units_docstring,
+)
+
+__all__ = ["default_rules"]
+
+
+def default_rules() -> List[LintRule]:
+    """One instance of every registered rule, sorted by rule name."""
+    return [
+        rule_class() for _, rule_class in sorted(registered_rules().items())
+    ]

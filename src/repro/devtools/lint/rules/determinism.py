@@ -1,0 +1,110 @@
+"""Rule R2: simulation packages must stay bit-for-bit replayable.
+
+The reproduction's figures (Fig. 4, 5, 11) are regression-tested against
+exact values, which only works because every trace is derived from a
+seeded generator.  Wall-clock reads (``time.time()``,
+``datetime.now()``) and unseeded global RNG calls (``random.random()``,
+``np.random.normal()``) inside ``core/``, ``power/`` or ``workloads/``
+would silently break that replayability.  Seeded constructions —
+``np.random.default_rng(seed)``, ``random.Random(seed)`` — are allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.devtools.lint.engine import (
+    Finding,
+    LintRule,
+    ParsedModule,
+    register_rule,
+)
+
+#: ``time`` module functions that read the wall clock.
+_CLOCK_CALLS = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+)
+
+#: ``datetime``/``date`` class methods that read the wall clock.
+_DATETIME_METHODS = ("now", "utcnow", "today")
+
+#: RNG constructors that are deterministic *when given a seed argument*.
+_SEEDABLE_CONSTRUCTORS = (
+    "Random",
+    "RandomState",
+    "default_rng",
+    "SeedSequence",
+)
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """Flatten ``a.b.c`` attribute chains to ``"a.b.c"`` (else None)."""
+    parts = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def _has_seed_argument(call: ast.Call) -> bool:
+    if call.args:
+        return True
+    return any(kw.arg == "seed" for kw in call.keywords)
+
+
+@register_rule
+class DeterminismRule(LintRule):
+    """Forbid wall-clock and unseeded-RNG calls in simulation packages."""
+
+    name = "determinism"
+    description = (
+        "no time.time()/datetime.now()/unseeded random calls in "
+        "core/, power/ or workloads/ (simulation must be replayable)"
+    )
+    packages: Tuple[str, ...] = ("core", "power", "workloads")
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted_name(node.func)
+            if dotted is None:
+                continue
+            message = self._violation(dotted, node)
+            if message is not None:
+                yield self.finding(module, node, message)
+
+    def _violation(self, dotted: str, call: ast.Call) -> Optional[str]:
+        head, _, tail = dotted.partition(".")
+        last = dotted.rsplit(".", 1)[-1]
+        if dotted in _CLOCK_CALLS:
+            return f"{dotted}() reads the wall clock; simulation time only"
+        if last in _DATETIME_METHODS and (
+            "datetime" in dotted.split(".") or "date" in dotted.split(".")
+        ):
+            return f"{dotted}() reads the wall clock; simulation time only"
+        is_stdlib_random = head == "random" and tail
+        is_np_random = head in ("np", "numpy") and tail.startswith("random.")
+        if not (is_stdlib_random or is_np_random):
+            return None
+        if last in _SEEDABLE_CONSTRUCTORS:
+            if _has_seed_argument(call):
+                return None
+            return (
+                f"{dotted}() without a seed is not replayable; "
+                "pass an explicit seed"
+            )
+        return (
+            f"{dotted}() uses unseeded global RNG state; use a seeded "
+            "np.random.default_rng(seed) / random.Random(seed) instead"
+        )

@@ -1,0 +1,81 @@
+"""Rule R5: no mutable default argument values.
+
+A list/dict/set default is evaluated once at function definition and
+shared across every call — state leaking between benchmark runs is a
+classic source of irreproducible sweeps.  Use ``None`` plus an in-body
+default instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from repro.devtools.lint.engine import (
+    Finding,
+    LintRule,
+    ParsedModule,
+    register_rule,
+)
+
+_MUTABLE_DISPLAYS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+_MUTABLE_CONSTRUCTORS = ("list", "dict", "set", "bytearray")
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_DISPLAYS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CONSTRUCTORS
+    )
+
+
+@register_rule
+class MutableDefaultArgsRule(LintRule):
+    """Flag list/dict/set (display or constructor) default arguments."""
+
+    name = "mutable-default-args"
+    description = (
+        "no mutable default argument values (shared across calls); "
+        "default to None and build inside the function"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ParsedModule, node: _FunctionNode
+    ) -> Iterator[Finding]:
+        label = (
+            "lambda"
+            if isinstance(node, ast.Lambda)
+            else f"function {node.name!r}"
+        )
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield self.finding(
+                    module,
+                    default,
+                    f"{label} has a mutable default argument (evaluated "
+                    "once, shared across calls); use None instead",
+                )

@@ -14,7 +14,7 @@ path matches a real implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.pmc.events import PMCEvent
@@ -146,7 +146,7 @@ class PMCBank:
         if cycles < 0:
             raise SimulationError(f"cycles must be >= 0, got {cycles}")
         self._tsc_cycles += cycles
-        overflowed = []
+        overflowed: List[PMCEvent] = []
         for event, counter in self._counters.items():
             delta = event_deltas.get(event, 0.0)
             if counter.advance(delta):

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.numerics import is_zero
 
 
 @dataclass
@@ -44,8 +45,9 @@ class EnergyAccumulator:
 
     @property
     def average_power_w(self) -> float:
-        """Mean power over the accumulated time (0 if no time elapsed)."""
-        if self.seconds == 0.0:
+        """Mean power in watts over the accumulated time (0 if no time
+        has elapsed)."""
+        if is_zero(self.seconds):
             return 0.0
         return self.energy_j / self.seconds
 

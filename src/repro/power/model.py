@@ -30,6 +30,7 @@ from typing import Optional
 
 from repro.cpu.frequency import OperatingPoint
 from repro.errors import ConfigurationError
+from repro.numerics import is_zero
 
 
 @dataclass(frozen=True)
@@ -94,7 +95,7 @@ class PowerModel:
                 is supplied.  The scaling factor never drops below zero.
         """
         base = self.leakage_coefficient * point.voltage_v**2
-        if temperature_c is None or self.leakage_temp_coefficient == 0.0:
+        if temperature_c is None or is_zero(self.leakage_temp_coefficient):
             return base
         scale = 1.0 + self.leakage_temp_coefficient * (
             temperature_c - self.reference_temperature_c

@@ -49,8 +49,8 @@ class SenseReading:
     def power_watts(
         self, resistance_ohms: float = SENSE_RESISTANCE_OHMS
     ) -> float:
-        """CPU power recovered as ``V_CPU * (I1 + I2)`` (the paper's
-        logging-machine formula)."""
+        """CPU power in watts, recovered as ``V_CPU * (I1 + I2)`` (the
+        paper's logging-machine formula)."""
         return self.v_cpu * self.current_amps(resistance_ohms)
 
 

@@ -1,0 +1,1 @@
+"""Lint fixtures: deliberately good/bad code, linted as files, never run."""

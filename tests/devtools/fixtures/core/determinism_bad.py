@@ -1,0 +1,19 @@
+"""Known-bad fixture for the determinism rule (never imported).
+
+Lives under a ``core/`` directory so the package-scoped rule applies.
+"""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def nondeterministic_interval() -> float:
+    started = time.time()
+    stamp = datetime.now()
+    jitter = random.random()
+    rng = np.random.default_rng()
+    draw = np.random.normal()
+    return started + jitter + draw + rng.random() + stamp.timestamp()

@@ -1,0 +1,11 @@
+"""Known-good fixture for the determinism rule (never imported)."""
+
+import random
+
+import numpy as np
+
+
+def deterministic_interval(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    local = random.Random(seed)
+    return float(rng.normal()) + local.random()

@@ -1,0 +1,10 @@
+"""Known-bad fixture for the no-float-equality rule (never imported).
+
+Lives under a ``core/`` directory so the package-scoped rule applies.
+"""
+
+
+def fragile(seconds: float, upper: float) -> bool:
+    stopped = seconds == 0.0
+    unbounded = upper != float("inf")
+    return stopped and unbounded

@@ -1,0 +1,12 @@
+"""Known-good fixture for the no-float-equality rule (never imported)."""
+
+import math
+
+from repro.numerics import is_zero
+
+
+def robust(seconds: float, upper: float) -> bool:
+    stopped = is_zero(seconds)
+    unbounded = not math.isinf(upper)
+    count_ok = 3 == int(seconds)  # integer equality is fine
+    return stopped and unbounded and count_ok

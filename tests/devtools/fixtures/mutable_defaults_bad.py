@@ -1,0 +1,11 @@
+"""Known-bad fixture for the mutable-default-args rule (never imported)."""
+
+
+def accumulate(value: int, into=[]) -> list:
+    into.append(value)
+    return into
+
+
+def tally(key: str, *, counts=dict()) -> dict:
+    counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,15 @@
+"""Known-good fixture for the mutable-default-args rule (never imported)."""
+
+from typing import Dict, List, Optional
+
+
+def accumulate(value: int, into: Optional[List[int]] = None) -> List[int]:
+    result = [] if into is None else into
+    result.append(value)
+    return result
+
+
+def tally(key: str, *, counts: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+    result = {} if counts is None else counts
+    result[key] = result.get(key, 0) + 1
+    return result

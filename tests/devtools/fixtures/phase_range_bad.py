@@ -1,0 +1,9 @@
+"""Known-bad fixture for the phase-id-range rule (never imported)."""
+
+
+def mislabel(observed_phase: int) -> int:
+    phase = 7
+    if observed_phase == 0:
+        phase = observed_phase
+    predicted_phase = -1
+    return phase + predicted_phase

@@ -1,0 +1,10 @@
+"""Known-good fixture for the phase-id-range rule (never imported)."""
+
+
+def relabel(observed_phase: int) -> int:
+    phase = 1
+    if observed_phase == 6:
+        phase = observed_phase
+    fallback_phase = 3
+    interval_count = 100  # not phase-named: any literal is fine
+    return phase + fallback_phase + interval_count

@@ -1,0 +1,13 @@
+"""Known-bad fixture for the units-docstring rule (never imported).
+
+Lives under a ``power/`` directory so the package-scoped rule applies.
+"""
+
+
+def average_power_w(energy: float, seconds: float) -> float:
+    """Mean power over the elapsed time."""
+    return energy / seconds
+
+
+def clock_hz(mhz: float) -> float:
+    return mhz * 1.0e6

@@ -1,0 +1,20 @@
+"""Known-good fixture for the units-docstring rule (never imported)."""
+
+
+def average_power_w(energy: float, seconds: float) -> float:
+    """Mean power in watts over the elapsed time."""
+    return energy / seconds
+
+
+def clock_hz(mhz: float) -> float:
+    """Clock frequency in hertz."""
+    return mhz * 1.0e6
+
+
+def _private_power_w(energy: float) -> float:
+    return energy
+
+
+def duty_fraction(cycles: float, total: float) -> float:
+    """No unit in the name, so no unit wording is required."""
+    return cycles / total

@@ -1,0 +1,16 @@
+"""Known-bad fixture for the predictor-contract rule (never imported)."""
+
+from repro.core.predictors.base import PhasePredictor
+
+
+class IncompletePredictor(PhasePredictor):
+    """Missing observe/predict entirely and shadows DEFAULT_PHASE badly."""
+
+    DEFAULT_PHASE = "one"
+
+    @property
+    def name(self) -> str:
+        return "Incomplete"
+
+    def reset(self) -> None:
+        pass

@@ -1,0 +1,22 @@
+"""Known-good fixture for the predictor-contract rule (never imported)."""
+
+from repro.core.predictors.base import PhaseObservation, PhasePredictor
+
+
+class CompletePredictor(PhasePredictor):
+    """Implements the full observe/predict contract."""
+
+    DEFAULT_PHASE = 1
+
+    @property
+    def name(self) -> str:
+        return "Complete"
+
+    def observe(self, observation: PhaseObservation) -> None:
+        pass
+
+    def predict(self) -> int:
+        return self.DEFAULT_PHASE
+
+    def reset(self) -> None:
+        pass

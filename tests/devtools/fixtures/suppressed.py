@@ -1,0 +1,15 @@
+"""Fixture proving inline suppression silences every rule (never imported)."""
+
+
+def sentinel() -> int:
+    phase = 0  # repro-lint: disable=phase-id-range
+    return phase
+
+
+def shared(into=[]) -> list:  # repro-lint: disable=mutable-default-args
+    return into
+
+
+def many(into=[]) -> int:  # repro-lint: disable=mutable-default-args, phase-id-range
+    phase = 9  # repro-lint: disable=all
+    return phase + len(into)

@@ -1,0 +1,207 @@
+"""Engine-level tests: suppression, reporting, exit codes, registry."""
+
+import ast
+import json
+
+import pytest
+
+from repro.devtools.lint.engine import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    Finding,
+    LintEngine,
+    LintReport,
+    LintRule,
+    ParsedModule,
+    RuleVisitor,
+    parse_suppressions,
+    register_rule,
+    registered_rules,
+    render_json,
+    render_text,
+)
+from repro.devtools.lint.rules import default_rules
+
+
+class PassStatementRule(LintRule):
+    """Toy rule used to exercise the engine: flags every ``pass``."""
+
+    name = "no-pass"
+    description = "flags pass statements (test-only rule)"
+
+    def check(self, module):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Pass):
+                yield self.finding(module, node, "pass statement")
+
+
+class ScopedPassRule(PassStatementRule):
+    name = "no-pass-scoped"
+    packages = ("core",)
+
+
+class TestSuppressionParsing:
+    def test_single_rule(self):
+        lines = parse_suppressions("x = 1  # repro-lint: disable=phase-id-range\n")
+        assert lines == {1: frozenset({"phase-id-range"})}
+
+    def test_comma_separated_rules(self):
+        source = "y = 2\nx = 1  # repro-lint: disable=a-rule, b-rule\n"
+        assert parse_suppressions(source) == {2: frozenset({"a-rule", "b-rule"})}
+
+    def test_all_sentinel(self):
+        lines = parse_suppressions("x = 1  # repro-lint: disable=all\n")
+        assert lines == {1: frozenset({"all"})}
+
+    def test_plain_comments_ignored(self):
+        assert parse_suppressions("x = 1  # a normal comment\n") == {}
+
+    def test_module_reports_suppression(self):
+        module = ParsedModule.from_source(
+            "pass  # repro-lint: disable=no-pass\n"
+        )
+        assert module.is_suppressed("no-pass", 1)
+        assert not module.is_suppressed("other-rule", 1)
+        assert not module.is_suppressed("no-pass", 2)
+
+
+class TestEngine:
+    def test_findings_from_source(self):
+        engine = LintEngine([PassStatementRule()])
+        findings = engine.lint_source("def f():\n    pass\n")
+        assert [f.rule for f in findings] == ["no-pass"]
+        assert findings[0].line == 2
+
+    def test_suppressed_finding_dropped(self):
+        engine = LintEngine([PassStatementRule()])
+        findings = engine.lint_source(
+            "def f():\n    pass  # repro-lint: disable=no-pass\n"
+        )
+        assert findings == []
+
+    def test_all_suppression_drops_every_rule(self):
+        engine = LintEngine([PassStatementRule()])
+        findings = engine.lint_source(
+            "def f():\n    pass  # repro-lint: disable=all\n"
+        )
+        assert findings == []
+
+    def test_package_scope_respected(self):
+        engine = LintEngine([ScopedPassRule()])
+        in_scope = ParsedModule.from_source("pass\n", "src/x/core/mod.py")
+        out_of_scope = ParsedModule.from_source("pass\n", "src/x/cli.py")
+        assert len(engine.lint_module(in_scope)) == 1
+        assert engine.lint_module(out_of_scope) == []
+
+    def test_run_reports_syntax_error(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        report = LintEngine([PassStatementRule()]).run([str(tmp_path)])
+        assert report.files_checked == 0
+        assert len(report.errors) == 1
+        assert report.exit_code == EXIT_ERROR
+
+    def test_run_walks_directories_sorted(self, tmp_path):
+        (tmp_path / "b.py").write_text("pass\n")
+        (tmp_path / "a.py").write_text("pass\n")
+        report = LintEngine([PassStatementRule()]).run([str(tmp_path)])
+        assert report.files_checked == 2
+        assert [f.path for f in report.findings] == sorted(
+            f.path for f in report.findings
+        )
+        assert report.exit_code == EXIT_FINDINGS
+
+    def test_clean_run_exit_code(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        report = LintEngine([PassStatementRule()]).run([str(tmp_path)])
+        assert report.exit_code == EXIT_CLEAN
+
+    def test_default_engine_uses_registered_rules(self):
+        names = {rule.name for rule in LintEngine().rules}
+        assert {
+            "predictor-contract",
+            "determinism",
+            "phase-id-range",
+            "no-float-equality",
+            "mutable-default-args",
+            "units-docstring",
+        } <= names
+
+
+class TestRegistry:
+    def test_six_domain_rules_registered(self):
+        names = {rule.name for rule in default_rules()}
+        assert names >= {
+            "predictor-contract",
+            "determinism",
+            "phase-id-range",
+            "no-float-equality",
+            "mutable-default-args",
+            "units-docstring",
+        }
+
+    def test_duplicate_registration_rejected(self):
+        class Duplicate(LintRule):
+            name = "determinism"
+            description = "imposter"
+
+            def check(self, module):
+                return iter(())
+
+        with pytest.raises(ValueError):
+            register_rule(Duplicate)
+
+    def test_nameless_rule_rejected(self):
+        class Nameless(LintRule):
+            description = "no name"
+
+            def check(self, module):
+                return iter(())
+
+        with pytest.raises(ValueError):
+            register_rule(Nameless)
+
+    def test_registry_snapshot_is_a_copy(self):
+        snapshot = registered_rules()
+        snapshot["bogus"] = PassStatementRule
+        assert "bogus" not in registered_rules()
+
+
+class TestReporters:
+    def _report(self):
+        finding = Finding(
+            path="a.py", line=3, col=4, rule="no-pass", message="pass statement"
+        )
+        return LintReport(findings=[finding], files_checked=2)
+
+    def test_text_report_format(self):
+        text = render_text(self._report())
+        assert "a.py:3:4: no-pass: pass statement" in text
+        assert "1 finding(s)" in text
+
+    def test_text_report_clean(self):
+        text = render_text(LintReport(files_checked=3))
+        assert "3 files clean" in text
+
+    def test_json_report_roundtrip(self):
+        payload = json.loads(render_json(self._report()))
+        assert payload["finding_count"] == 1
+        assert payload["files_checked"] == 2
+        assert payload["exit_code"] == EXIT_FINDINGS
+        assert payload["findings"][0]["rule"] == "no-pass"
+
+
+class TestRuleVisitor:
+    def test_visitor_collects_findings(self):
+        rule = PassStatementRule()
+        module = ParsedModule.from_source("pass\n")
+
+        class Visitor(RuleVisitor):
+            def visit_Pass(self, node):
+                self.report(node, "seen")
+
+        visitor = Visitor(rule, module)
+        visitor.visit(module.tree)
+        assert len(visitor.findings) == 1
+        assert visitor.findings[0].rule == "no-pass"

@@ -1,0 +1,166 @@
+"""Per-rule tests driven by the known-good/known-bad fixture files.
+
+Each rule has at least one fixture that fails without the rule and a
+matching fixture (or suppression) that passes — so a regression in any
+rule turns a ``*_bad`` expectation red.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint.engine import LintEngine
+from repro.devtools.lint.rules import default_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint_fixture(relative_path):
+    engine = LintEngine(default_rules())
+    report = engine.run([str(FIXTURES / relative_path)])
+    assert not report.errors, report.errors
+    return report.findings
+
+
+def rule_names(findings):
+    return {finding.rule for finding in findings}
+
+
+class TestPredictorContractRule:
+    def test_bad_fixture_flagged(self):
+        findings = lint_fixture("predictor_bad.py")
+        assert rule_names(findings) == {"predictor-contract"}
+        messages = " ".join(f.message for f in findings)
+        assert "observe" in messages and "predict" in messages
+        assert "DEFAULT_PHASE" in messages
+
+    def test_good_fixture_clean(self):
+        assert lint_fixture("predictor_good.py") == []
+
+    def test_non_predictor_classes_ignored(self):
+        findings = LintEngine(default_rules()).lint_source(
+            "class Helper:\n    pass\n"
+        )
+        assert findings == []
+
+
+class TestDeterminismRule:
+    def test_bad_fixture_flagged(self):
+        findings = lint_fixture("core/determinism_bad.py")
+        assert rule_names(findings) == {"determinism"}
+        messages = [f.message for f in findings]
+        assert any("time.time" in m for m in messages)
+        assert any("datetime.now" in m for m in messages)
+        assert any("random.random" in m for m in messages)
+        assert any("without a seed" in m for m in messages)
+        assert any("np.random.normal" in m for m in messages)
+
+    def test_good_fixture_clean(self):
+        assert lint_fixture("core/determinism_good.py") == []
+
+    def test_rule_scoped_to_simulation_packages(self):
+        source = "import time\nstart = time.time()\n"
+        engine = LintEngine(default_rules())
+        outside = engine.lint_module(
+            _module(source, "src/repro/analysis/mod.py")
+        )
+        inside = engine.lint_module(_module(source, "src/repro/power/mod.py"))
+        assert outside == []
+        assert rule_names(inside) == {"determinism"}
+
+
+class TestPhaseIdRangeRule:
+    def test_bad_fixture_flagged(self):
+        findings = lint_fixture("phase_range_bad.py")
+        assert rule_names(findings) == {"phase-id-range"}
+        assert len(findings) == 3  # phase = 7, == 0, predicted_phase = -1
+
+    def test_good_fixture_clean(self):
+        assert lint_fixture("phase_range_good.py") == []
+
+    @pytest.mark.parametrize("literal", [1, 2, 3, 4, 5, 6])
+    def test_in_range_literals_allowed(self, literal):
+        engine = LintEngine(default_rules())
+        assert engine.lint_source(f"phase = {literal}\n") == []
+
+    @pytest.mark.parametrize("literal", [0, 7, -1, 100])
+    def test_out_of_range_literals_flagged(self, literal):
+        engine = LintEngine(default_rules())
+        findings = engine.lint_source(f"phase = {literal}\n")
+        assert rule_names(findings) == {"phase-id-range"}
+
+    def test_attribute_targets_checked(self):
+        engine = LintEngine(default_rules())
+        findings = engine.lint_source("obj.predicted_phase = 9\n")
+        assert rule_names(findings) == {"phase-id-range"}
+
+
+class TestFloatEqualityRule:
+    def test_bad_fixture_flagged(self):
+        findings = lint_fixture("core/float_equality_bad.py")
+        assert rule_names(findings) == {"no-float-equality"}
+        assert len(findings) == 2
+
+    def test_good_fixture_clean(self):
+        assert lint_fixture("core/float_equality_good.py") == []
+
+    def test_rule_scoped_to_core_and_power(self):
+        source = "flag = x == 0.0\n"
+        engine = LintEngine(default_rules())
+        assert engine.lint_module(_module(source, "src/repro/cli.py")) == []
+        flagged = engine.lint_module(_module(source, "src/repro/core/x.py"))
+        assert rule_names(flagged) == {"no-float-equality"}
+
+
+class TestMutableDefaultArgsRule:
+    def test_bad_fixture_flagged(self):
+        findings = lint_fixture("mutable_defaults_bad.py")
+        assert rule_names(findings) == {"mutable-default-args"}
+        assert len(findings) == 2  # into=[] and counts=dict()
+
+    def test_good_fixture_clean(self):
+        assert lint_fixture("mutable_defaults_good.py") == []
+
+    def test_lambda_defaults_flagged(self):
+        engine = LintEngine(default_rules())
+        findings = engine.lint_source("f = lambda xs=[]: xs\n")
+        assert rule_names(findings) == {"mutable-default-args"}
+
+
+class TestUnitsDocstringRule:
+    def test_bad_fixture_flagged(self):
+        findings = lint_fixture("power/units_bad.py")
+        assert rule_names(findings) == {"units-docstring"}
+        assert len(findings) == 2  # missing unit word; missing docstring
+
+    def test_good_fixture_clean(self):
+        assert lint_fixture("power/units_good.py") == []
+
+    def test_rule_scoped_to_power_and_cpu(self):
+        source = 'def power_watts(x):\n    """No unit here."""\n    return x\n'
+        engine = LintEngine(default_rules())
+        assert engine.lint_module(_module(source, "src/repro/core/x.py")) == []
+        flagged = engine.lint_module(_module(source, "src/repro/cpu/x.py"))
+        assert rule_names(flagged) == {"units-docstring"}
+
+
+class TestSuppressionFixture:
+    def test_suppressed_fixture_is_clean(self):
+        assert lint_fixture("suppressed.py") == []
+
+    def test_same_code_unsuppressed_is_flagged(self):
+        source = (FIXTURES / "suppressed.py").read_text()
+        stripped = "\n".join(
+            line.split("#")[0].rstrip() for line in source.splitlines()
+        )
+        findings = LintEngine(default_rules()).lint_source(stripped)
+        assert rule_names(findings) == {
+            "phase-id-range",
+            "mutable-default-args",
+        }
+
+
+def _module(source, path):
+    from repro.devtools.lint.engine import ParsedModule
+
+    return ParsedModule.from_source(source, path)

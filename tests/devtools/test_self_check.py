@@ -1,0 +1,74 @@
+"""Self-check: the repository's own sources satisfy every lint rule.
+
+This is the regression that protects the paper invariants repo-wide: a
+PR introducing ``time.time()`` into ``core/``, a float ``==`` in
+``power/``, or an incomplete predictor makes this test fail before the
+sweep-level tests can silently produce garbage.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.devtools.lint import run_lint
+from repro.devtools.lint.cli import main as lint_main
+from repro.devtools.lint.engine import EXIT_CLEAN, LintEngine
+from repro.devtools.lint.rules import default_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+class TestRepositoryIsClean:
+    def test_engine_clean_on_src(self):
+        report = LintEngine(default_rules()).run([str(SRC)])
+        formatted = "\n".join(f.format() for f in report.findings)
+        assert report.findings == [], f"repo lint regressions:\n{formatted}"
+        assert report.errors == []
+        assert report.files_checked > 50
+
+    def test_module_entry_point_clean_on_src(self, capsys):
+        assert lint_main([str(SRC)]) == EXIT_CLEAN
+        assert "clean" in capsys.readouterr().out
+
+
+class TestCliIntegration:
+    def test_repro_lint_src_exits_zero(self, capsys):
+        assert repro_main(["lint", str(SRC)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_repro_lint_json_format(self, capsys):
+        assert repro_main(["lint", str(SRC), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["finding_count"] == 0
+        assert payload["exit_code"] == 0
+
+    def test_repro_lint_list_rules(self, capsys):
+        assert repro_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_name in (
+            "predictor-contract",
+            "determinism",
+            "phase-id-range",
+            "no-float-equality",
+            "mutable-default-args",
+            "units-docstring",
+        ):
+            assert rule_name in out
+        assert "repro-lint: disable=" in out
+
+    def test_repro_lint_nonzero_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "core" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("import time\nstart = time.time()\n")
+        assert repro_main(["lint", str(tmp_path)]) == 1
+        assert "determinism" in capsys.readouterr().out
+
+    def test_run_lint_json_stream(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        import io
+
+        stream = io.StringIO()
+        code = run_lint([str(tmp_path)], output_format="json", stream=stream)
+        assert code == 0
+        assert json.loads(stream.getvalue())["files_checked"] == 1
