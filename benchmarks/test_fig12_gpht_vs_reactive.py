@@ -5,42 +5,43 @@ Runs both governors over the figure's benchmark set and asserts its
 message: proactive GPHT management achieves superior EDP improvements on
 the variable benchmarks with comparable or less performance degradation,
 while the two approaches coincide on the stable Q2 pair.
+
+Both suites run through the :mod:`repro.exec` engine
+(:func:`run_comparison_suite` with ``jobs=2``), exercising the parallel
+fan-out path from the bench layer.
 """
 
 from benchmarks.conftest import run_once
 from repro.analysis.reporting import format_percent, format_table
-from repro.core.governor import PhasePredictionGovernor, ReactiveGovernor
-from repro.core.predictors import GPHTPredictor
-from repro.system.experiment import run_suite
-from repro.system.metrics import mean
+from repro.system.experiment import run_comparison_suite
 from repro.workloads.spec2000 import FIG12_BENCHMARKS, VARIABLE_BENCHMARKS
 
 N_INTERVALS = 300
 
 
-def run_both(machine):
-    gpht = run_suite(
+def run_both():
+    gpht = run_comparison_suite(
         FIG12_BENCHMARKS,
-        lambda: PhasePredictionGovernor(GPHTPredictor(8, 128)),
-        machine,
+        governor="gpht",
         n_intervals=N_INTERVALS,
+        jobs=2,
     )
-    reactive = run_suite(
+    reactive = run_comparison_suite(
         FIG12_BENCHMARKS,
-        lambda: ReactiveGovernor(),
-        machine,
+        governor="reactive",
         n_intervals=N_INTERVALS,
+        jobs=2,
     )
     return gpht, reactive
 
 
-def test_fig12_gpht_vs_reactive(benchmark, report, machine):
-    gpht, reactive = run_once(benchmark, lambda: run_both(machine))
+def test_fig12_gpht_vs_reactive(benchmark, report):
+    gpht, reactive = run_once(benchmark, run_both)
 
     rows = []
     for name in FIG12_BENCHMARKS:
-        g = gpht[name].comparison
-        r = reactive[name].comparison
+        g = gpht.cell(name)
+        r = reactive.cell(name)
         rows.append(
             (
                 name,
@@ -72,45 +73,33 @@ def test_fig12_gpht_vs_reactive(benchmark, report, machine):
     # superior EDP improvements.
     for name in VARIABLE_BENCHMARKS:
         assert (
-            gpht[name].comparison.edp_improvement
-            > reactive[name].comparison.edp_improvement
+            gpht.value(name, "edp_improvement")
+            > reactive.value(name, "edp_improvement")
         ), name
 
     # swim: 'virtually no variability — both approaches achieve almost
     # identical results.'
     swim_gap = abs(
-        gpht["swim_in"].comparison.edp_improvement
-        - reactive["swim_in"].comparison.edp_improvement
+        gpht.value("swim_in", "edp_improvement")
+        - reactive.value("swim_in", "edp_improvement")
     )
     assert swim_gap < 0.02
 
     # mcf: small variability — GPHT achieves slightly better EDP and no
     # more degradation.
     assert (
-        gpht["mcf_inp"].comparison.edp_improvement
-        >= reactive["mcf_inp"].comparison.edp_improvement - 0.005
+        gpht.value("mcf_inp", "edp_improvement")
+        >= reactive.value("mcf_inp", "edp_improvement") - 0.005
     )
 
     # Q2 pair shows the largest improvements of the figure (60-70%).
     for name in ("swim_in", "mcf_inp"):
-        assert gpht[name].comparison.edp_improvement > 0.5, name
+        assert gpht.value(name, "edp_improvement") > 0.5, name
 
     # Averages: GPHT strictly better EDP than reactive, with comparable
     # performance degradation (paper: 27% vs 20% EDP, 5% vs 6% degr).
-    gpht_edp = mean(
-        [gpht[n].comparison.edp_improvement for n in FIG12_BENCHMARKS]
+    assert gpht.mean("edp_improvement") > reactive.mean("edp_improvement") + 0.01
+    assert (
+        gpht.mean("performance_degradation")
+        < reactive.mean("performance_degradation") + 0.02
     )
-    reactive_edp = mean(
-        [reactive[n].comparison.edp_improvement for n in FIG12_BENCHMARKS]
-    )
-    gpht_deg = mean(
-        [gpht[n].comparison.performance_degradation for n in FIG12_BENCHMARKS]
-    )
-    reactive_deg = mean(
-        [
-            reactive[n].comparison.performance_degradation
-            for n in FIG12_BENCHMARKS
-        ]
-    )
-    assert gpht_edp > reactive_edp + 0.01
-    assert gpht_deg < reactive_deg + 0.02

@@ -58,6 +58,7 @@ from repro.system import (
     Machine,
     RunResult,
     run_comparison,
+    run_comparison_suite,
     run_suite,
 )
 from repro.workloads import SegmentSpec, WorkloadTrace, benchmark
@@ -108,4 +109,5 @@ __all__ = [
     "ComparisonMetrics",
     "run_comparison",
     "run_suite",
+    "run_comparison_suite",
 ]

@@ -9,27 +9,31 @@ Each claim is a :class:`Claim`: what the paper says, what this
 reproduction measures, and the shape criterion under which the claim
 counts as reproduced (absolute numbers are not expected to match a
 simulated platform; directions and rough factors are).
+
+Measurement runs through the :mod:`repro.exec` engine — all predictor
+evaluations and baseline-vs-managed suites are independent cells, so
+``repro report --jobs N`` fans them out over processes and a warm
+result cache makes re-certification nearly free.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.analysis.accuracy import evaluate_predictor, misprediction_improvement
 from repro.analysis.reporting import format_table
-from repro.analysis.witnesses import spec_phase_witnesses
-from repro.core.dvfs_policy import derive_bounded_policy
-from repro.core.governor import PhasePredictionGovernor, ReactiveGovernor
-from repro.core.predictors import GPHTPredictor, LastValuePredictor
-from repro.system.experiment import run_suite
+from repro.exec.cache import ResultCache
+from repro.exec.cells import comparison_summary
+from repro.exec.engine import ExecutionEngine, make_engine
+from repro.exec.results import MetricValue
+from repro.exec.spec import ExperimentSpec
+from repro.system.experiment import run_comparison_suite, run_suite
 from repro.system.machine import Machine
-from repro.system.metrics import mean
+from repro.system.metrics import ComparisonMetrics, mean
 from repro.workloads.spec2000 import (
     FIG4_BENCHMARK_ORDER,
     FIG12_BENCHMARKS,
     FIG13_BENCHMARKS,
-    benchmark,
 )
 
 
@@ -55,30 +59,110 @@ class Claim:
         return "REPRODUCED" if self.holds else "NOT REPRODUCED"
 
 
+def _accuracy_cells(
+    engine: ExecutionEngine, n_accuracy: int
+) -> Dict[str, Mapping[str, MetricValue]]:
+    """Evaluate every predictor-accuracy cell the claims need, keyed
+    ``"<benchmark>/<predictor>"``."""
+    wanted = [(name, "GPHT_8_1024") for name in FIG4_BENCHMARK_ORDER]
+    wanted += [("applu_in", "LastValue"), ("applu_in", "GPHT_8_128")]
+    specs = {
+        f"{name}/{predictor}": ExperimentSpec.create(
+            "predictor_accuracy",
+            benchmark=name,
+            n_intervals=n_accuracy,
+            predictor=predictor,
+            phase_edges=None,
+        )
+        for name, predictor in wanted
+    }
+    report = engine.run(list(specs.values()))
+    return {key: report.value(spec) for key, spec in specs.items()}
+
+
+def _suite_metrics(
+    benchmark_names: "Sequence[str]",
+    governor: str,
+    policy: str,
+    n_intervals: int,
+    engine: ExecutionEngine,
+    machine: Optional[Machine],
+) -> Dict[str, Mapping[str, MetricValue]]:
+    """Per-benchmark comparison summaries for one managed suite.
+
+    With the default platform the suite runs through the engine
+    (parallelisable, cacheable); a hand-built ``machine`` falls back to
+    the inline :func:`run_suite` path, flattened to the same summary
+    shape.
+    """
+    if machine is None:
+        return dict(
+            run_comparison_suite(
+                benchmark_names,
+                governor=governor,
+                policy=policy,
+                n_intervals=n_intervals,
+                engine=engine,
+            ).to_dict()
+        )
+    from repro.exec.cells import build_governor
+
+    suite = run_suite(
+        benchmark_names,
+        lambda: build_governor(governor, policy),
+        machine,
+        n_intervals=n_intervals,
+    )
+    return {
+        name: comparison_summary(
+            ComparisonMetrics(
+                baseline=result.baseline, managed=result.managed
+            ),
+            result.managed,
+        )
+        for name, result in suite.items()
+    }
+
+
+def _rate(metrics: Mapping[str, MetricValue], key: str) -> float:
+    value = metrics[key]
+    assert isinstance(value, (int, float))
+    return float(value)
+
+
 def measure_claims(
     n_accuracy: int = 1000,
     n_intervals: int = 300,
     machine: Optional[Machine] = None,
+    engine: Optional[ExecutionEngine] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[Claim]:
     """Re-measure the paper's headline claims.
 
     Args:
         n_accuracy: Trace length for predictor-accuracy claims.
         n_intervals: Trace length for full-system management claims.
-        machine: Platform to run on (default machine when omitted).
+        machine: Platform override; forces the management suites onto
+            the inline path (custom machines cannot be content-hashed).
+        engine: Execution engine (overrides ``jobs``/``cache``).
+        jobs: Worker processes when no engine is given (1 = serial).
+        cache: On-disk result cache when no engine is given.
 
     Returns:
         The claims in presentation order.
     """
-    machine = machine if machine is not None else Machine()
+    if engine is None:
+        engine = make_engine(jobs=jobs, cache=cache)
     claims: List[Claim] = []
 
     # -- prediction claims --------------------------------------------------
-    high_accuracy = 0
-    for name in FIG4_BENCHMARK_ORDER:
-        series = benchmark(name).mem_series(n_accuracy)
-        if evaluate_predictor(GPHTPredictor(8, 1024), series).accuracy > 0.9:
-            high_accuracy += 1
+    accuracy = _accuracy_cells(engine, n_accuracy)
+    high_accuracy = sum(
+        1
+        for name in FIG4_BENCHMARK_ORDER
+        if _rate(accuracy[f"{name}/GPHT_8_1024"], "accuracy") > 0.9
+    )
     claims.append(
         Claim(
             name="above-90% accuracy for many benchmarks",
@@ -89,49 +173,51 @@ def measure_claims(
         )
     )
 
-    applu_series = benchmark("applu_in").mem_series(n_accuracy)
-    applu_last = evaluate_predictor(LastValuePredictor(), applu_series)
-    applu_gpht = evaluate_predictor(GPHTPredictor(8, 1024), applu_series)
-    factor = misprediction_improvement(applu_last, applu_gpht)
+    applu_last_rate = _rate(
+        accuracy["applu_in/LastValue"], "misprediction_rate"
+    )
+    applu_gpht_rate = _rate(
+        accuracy["applu_in/GPHT_8_1024"], "misprediction_rate"
+    )
+    factor = (
+        applu_last_rate / applu_gpht_rate
+        if applu_gpht_rate > 0.0
+        else float("inf")
+    )
     claims.append(
         Claim(
             name="6X misprediction reduction (applu)",
             paper="reduce mispredictions by more than 6X over statistical "
             "approaches",
             measured=f"{factor:.1f}X (last value "
-            f"{applu_last.misprediction_rate:.1%} -> GPHT "
-            f"{applu_gpht.misprediction_rate:.1%})",
+            f"{applu_last_rate:.1%} -> GPHT "
+            f"{applu_gpht_rate:.1%})",
             holds=factor > 6.0,
         )
     )
 
-    small = evaluate_predictor(GPHTPredictor(8, 128), applu_series)
+    small_accuracy = _rate(accuracy["applu_in/GPHT_8_128"], "accuracy")
+    large_accuracy = _rate(accuracy["applu_in/GPHT_8_1024"], "accuracy")
     claims.append(
         Claim(
             name="128-entry PHT is sufficient",
             paper="down to 128 entries, GPHT performs almost identically "
             "to the 1024 entry predictor",
-            measured=f"GPHT(8,128) {small.accuracy:.1%} vs GPHT(8,1024) "
-            f"{applu_gpht.accuracy:.1%} on applu",
-            holds=abs(small.accuracy - applu_gpht.accuracy) < 0.03,
+            measured=f"GPHT(8,128) {small_accuracy:.1%} vs GPHT(8,1024) "
+            f"{large_accuracy:.1%} on applu",
+            holds=abs(small_accuracy - large_accuracy) < 0.03,
         )
     )
 
     # -- management claims --------------------------------------------------
-    gpht_suite = run_suite(
-        FIG12_BENCHMARKS,
-        lambda: PhasePredictionGovernor(GPHTPredictor(8, 128)),
-        machine,
-        n_intervals=n_intervals,
+    gpht_suite = _suite_metrics(
+        FIG12_BENCHMARKS, "gpht", "table2", n_intervals, engine, machine
     )
-    reactive_suite = run_suite(
-        FIG12_BENCHMARKS,
-        lambda: ReactiveGovernor(),
-        machine,
-        n_intervals=n_intervals,
+    reactive_suite = _suite_metrics(
+        FIG12_BENCHMARKS, "reactive", "table2", n_intervals, engine, machine
     )
 
-    equake = gpht_suite["equake_in"].comparison.edp_improvement
+    equake = _rate(gpht_suite["equake_in"], "edp_improvement")
     claims.append(
         Claim(
             name="EDP improvement up to ~34% on variable apps",
@@ -143,7 +229,7 @@ def measure_claims(
     )
 
     q2_floor = min(
-        gpht_suite[name].comparison.edp_improvement
+        _rate(gpht_suite[name], "edp_improvement")
         for name in ("swim_in", "mcf_inp")
     )
     claims.append(
@@ -157,12 +243,15 @@ def measure_claims(
     )
 
     gpht_avg = mean(
-        [gpht_suite[n].comparison.edp_improvement for n in FIG12_BENCHMARKS]
+        [
+            _rate(gpht_suite[name], "edp_improvement")
+            for name in FIG12_BENCHMARKS
+        ]
     )
     reactive_avg = mean(
         [
-            reactive_suite[n].comparison.edp_improvement
-            for n in FIG12_BENCHMARKS
+            _rate(reactive_suite[name], "edp_improvement")
+            for name in FIG12_BENCHMARKS
         ]
     )
     claims.append(
@@ -176,8 +265,8 @@ def measure_claims(
     )
 
     handler_fraction = max(
-        gpht_suite[n].managed.handler_overhead_fraction
-        for n in FIG12_BENCHMARKS
+        _rate(gpht_suite[name], "handler_overhead_fraction")
+        for name in FIG12_BENCHMARKS
     )
     claims.append(
         Claim(
@@ -190,22 +279,16 @@ def measure_claims(
     )
 
     # -- bounded degradation (Section 6.3) ----------------------------------
-    bounded_policy = derive_bounded_policy(
-        0.05, witnesses_by_phase=spec_phase_witnesses()
-    )
-    bounded = run_suite(
-        FIG13_BENCHMARKS,
-        lambda: PhasePredictionGovernor(GPHTPredictor(8, 128), bounded_policy),
-        machine,
-        n_intervals=n_intervals,
+    bounded = _suite_metrics(
+        FIG13_BENCHMARKS, "gpht", "bounded", n_intervals, engine, machine
     )
     worst_degradation = max(
-        bounded[name].comparison.performance_degradation
+        _rate(bounded[name], "performance_degradation")
         for name in FIG13_BENCHMARKS
     )
     reduced_2x = all(
-        bounded[name].comparison.edp_improvement
-        < gpht_suite[name].comparison.edp_improvement / 2
+        _rate(bounded[name], "edp_improvement")
+        < _rate(gpht_suite[name], "edp_improvement") / 2
         for name in FIG13_BENCHMARKS
         if name in gpht_suite
     )

@@ -2,23 +2,108 @@
 
 The paper's evaluation is built from sweeps — PHT sizes (Figure 5),
 frequencies (Figure 7), benchmarks (Figures 4/11).  This module packages
-the recurring sweep shapes behind one call each, returning plain nested
-dictionaries so callers (benches, notebooks, the CLI) can print or test
-them directly.
+the recurring sweep shapes behind one call each.  Every helper returns a
+typed :class:`~repro.exec.results.SweepResult` (cells + parameters +
+provenance); the old nested-dict shape is available via ``.to_dict()``
+and, transitionally, via deprecated dict-style access on the result
+itself.
+
+Execution goes through the :mod:`repro.exec` engine: pass ``engine=``
+(or ``jobs=``/``cache=``) to fan a sweep out over worker processes and
+memoise completed cells on disk.  Serial, parallel and cache-replayed
+runs produce bit-identical results.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence
+import time
+from typing import Callable, Optional, Sequence, Tuple
 
-from repro.analysis.accuracy import evaluate_predictor
 from repro.core.governor import Governor, StaticGovernor
 from repro.core.phases import PhaseTable
-from repro.core.predictors import GPHTPredictor
 from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache
+from repro.exec.cells import comparison_summary
+from repro.exec.engine import ExecutionEngine, make_engine
+from repro.exec.results import Provenance, SweepCell, SweepResult
+from repro.exec.spec import ExperimentSpec
 from repro.system.machine import Machine
 from repro.system.metrics import ComparisonMetrics
 from repro.workloads.spec2000 import benchmark
+
+
+def _resolve_engine(
+    engine: Optional[ExecutionEngine],
+    jobs: int,
+    cache: Optional[ResultCache],
+) -> ExecutionEngine:
+    """One engine from whichever convenience knob the caller used."""
+    if engine is not None:
+        return engine
+    return make_engine(jobs=jobs, cache=cache)
+
+
+def _phase_edges_param(
+    phase_table: Optional[PhaseTable],
+) -> Optional[Tuple[float, ...]]:
+    """Encode an optional custom phase table for spec hashing."""
+    if phase_table is None:
+        return None
+    return phase_table.edges
+
+
+def _accuracy_sweep(
+    sweep_name: str,
+    axis_name: str,
+    benchmark_names: Sequence[str],
+    axis_values: Sequence[int],
+    predictor_for: Callable[[int], str],
+    n_intervals: int,
+    phase_table: Optional[PhaseTable],
+    fixed_params: Sequence[Tuple[str, object]],
+    engine: ExecutionEngine,
+) -> SweepResult:
+    """Shared benchmark-cross-capacity accuracy sweep implementation.
+
+    Each benchmark's ``Mem/Uop`` series is generated exactly once per
+    process and shared by every cell that replays it (see
+    :mod:`repro.exec.cells`).
+    """
+    edges = _phase_edges_param(phase_table)
+    grid = [
+        (name, value, ExperimentSpec.create(
+            "predictor_accuracy",
+            benchmark=name,
+            n_intervals=n_intervals,
+            predictor=predictor_for(value),
+            phase_edges=edges,
+        ))
+        for name in benchmark_names
+        for value in axis_values
+    ]
+    report = engine.run([spec for _, _, spec in grid])
+    cells = tuple(
+        SweepCell.create(
+            (name, value),
+            {
+                "accuracy": report.value(spec)["accuracy"],
+                "misprediction_rate": report.value(spec)["misprediction_rate"],
+            },
+        )
+        for name, value, spec in grid
+    )
+    parameters = dict(fixed_params)
+    parameters["n_intervals"] = n_intervals
+    if edges is not None:
+        parameters["phase_edges"] = edges
+    return SweepResult(
+        name=sweep_name,
+        axes=("benchmark", axis_name),
+        cells=cells,
+        parameters=tuple(sorted(parameters.items())),
+        metric="accuracy",
+        provenance=report.provenance(),
+    )
 
 
 def sweep_pht_entries(
@@ -27,25 +112,40 @@ def sweep_pht_entries(
     gphr_depth: int = 8,
     n_intervals: int = 1000,
     phase_table: Optional[PhaseTable] = None,
-) -> Dict[str, Dict[int, float]]:
+    engine: Optional[ExecutionEngine] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> SweepResult:
     """GPHT accuracy per benchmark per PHT capacity (Figure 5's sweep).
 
+    Args:
+        benchmark_names: Benchmarks to sweep.
+        pht_sizes: PHT capacities to cross them with.
+        gphr_depth: Global phase history depth.
+        n_intervals: Series length per benchmark.
+        phase_table: Phase definitions (default: paper Table 1).
+        engine: Execution engine (overrides ``jobs``/``cache``).
+        jobs: Worker processes when no engine is given (1 = serial).
+        cache: On-disk result cache when no engine is given.
+
     Returns:
-        ``{benchmark: {pht_size: accuracy}}``.
+        A :class:`SweepResult` over axes ``(benchmark, pht_entries)``
+        with primary metric ``accuracy``; ``.to_dict()`` restores the
+        legacy ``{benchmark: {pht_size: accuracy}}`` shape.
     """
     if not pht_sizes:
         raise ConfigurationError("pht_sizes must not be empty")
-    results: Dict[str, Dict[int, float]] = {}
-    for name in benchmark_names:
-        series = benchmark(name).mem_series(n_intervals)
-        per_size: Dict[int, float] = {}
-        for size in pht_sizes:
-            predictor = GPHTPredictor(gphr_depth, size)
-            per_size[size] = evaluate_predictor(
-                predictor, series, phase_table
-            ).accuracy
-        results[name] = per_size
-    return results
+    return _accuracy_sweep(
+        "pht_entries",
+        "pht_entries",
+        benchmark_names,
+        pht_sizes,
+        lambda size: f"GPHT_{gphr_depth}_{size}",
+        n_intervals,
+        phase_table,
+        [("gphr_depth", gphr_depth)],
+        _resolve_engine(engine, jobs, cache),
+    )
 
 
 def sweep_gphr_depth(
@@ -54,25 +154,30 @@ def sweep_gphr_depth(
     pht_entries: int = 1024,
     n_intervals: int = 1000,
     phase_table: Optional[PhaseTable] = None,
-) -> Dict[str, Dict[int, float]]:
+    engine: Optional[ExecutionEngine] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> SweepResult:
     """GPHT accuracy per benchmark per history depth.
 
     Returns:
-        ``{benchmark: {depth: accuracy}}``.
+        A :class:`SweepResult` over axes ``(benchmark, gphr_depth)``
+        with primary metric ``accuracy``; ``.to_dict()`` restores the
+        legacy ``{benchmark: {depth: accuracy}}`` shape.
     """
     if not depths:
         raise ConfigurationError("depths must not be empty")
-    results: Dict[str, Dict[int, float]] = {}
-    for name in benchmark_names:
-        series = benchmark(name).mem_series(n_intervals)
-        per_depth: Dict[int, float] = {}
-        for depth in depths:
-            predictor = GPHTPredictor(depth, pht_entries)
-            per_depth[depth] = evaluate_predictor(
-                predictor, series, phase_table
-            ).accuracy
-        results[name] = per_depth
-    return results
+    return _accuracy_sweep(
+        "gphr_depth",
+        "gphr_depth",
+        benchmark_names,
+        depths,
+        lambda depth: f"GPHT_{depth}_{pht_entries}",
+        n_intervals,
+        phase_table,
+        [("pht_entries", pht_entries)],
+        _resolve_engine(engine, jobs, cache),
+    )
 
 
 def sweep_granularity(
@@ -81,58 +186,133 @@ def sweep_granularity(
     governor_factory: Callable[[], Governor],
     segment_uops: int = 25_000_000,
     n_segments: int = 800,
-) -> Dict[int, ComparisonMetrics]:
+) -> SweepResult:
     """Baseline-vs-managed comparison per PMI granularity.
 
     The workload's intrinsic behaviour (segment size) is held fixed so
     the sweep isolates the sampling effect, exactly as in the
-    granularity ablation bench.
+    granularity ablation bench.  The trace is generated once and shared
+    by every granularity.
+
+    This sweep takes an arbitrary governor *factory*, which cannot be
+    content-hashed, so it always computes inline (no engine fan-out or
+    caching); the result is still a typed :class:`SweepResult`.
 
     Returns:
-        ``{granularity_uops: ComparisonMetrics}``.
+        A :class:`SweepResult` over axis ``(granularity_uops,)`` whose
+        cells carry the comparison summary metrics
+        (``edp_improvement``, ``power_savings``, ...); ``.to_dict()``
+        gives ``{granularity_uops: {metric: value}}``.
     """
     if not granularities:
         raise ConfigurationError("granularities must not be empty")
+    started = time.perf_counter()
     trace = benchmark(benchmark_name).trace(
         n_intervals=n_segments, uops_per_interval=segment_uops
     )
-    results: Dict[int, ComparisonMetrics] = {}
+    cells = []
     for granularity in granularities:
         machine = Machine(granularity_uops=granularity)
         baseline = machine.run(
             trace, StaticGovernor(machine.speedstep.fastest)
         )
         managed = machine.run(trace, governor_factory())
-        results[granularity] = ComparisonMetrics(
-            baseline=baseline, managed=managed
+        summary = comparison_summary(
+            ComparisonMetrics(baseline=baseline, managed=managed), managed
         )
-    return results
+        cells.append(SweepCell.create((granularity,), summary))
+    return SweepResult(
+        name="granularity",
+        axes=("granularity_uops",),
+        cells=tuple(cells),
+        parameters=(
+            ("benchmark", benchmark_name),
+            ("n_segments", n_segments),
+            ("segment_uops", segment_uops),
+        ),
+        metric=None,
+        provenance=Provenance.inline(
+            len(cells), time.perf_counter() - started
+        ),
+    )
 
 
 def sweep_frequencies(
     benchmark_name: str,
     n_intervals: int = 50,
     machine: Optional[Machine] = None,
-) -> Dict[int, Dict[str, float]]:
+    engine: Optional[ExecutionEngine] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> SweepResult:
     """Run a benchmark pinned at every operating point (Figure 7 style).
 
+    With the default platform the sweep runs through the execution
+    engine (one ``pinned_frequency`` cell per operating point); passing
+    a hand-built ``machine`` — whose models cannot be content-hashed —
+    falls back to inline computation.
+
     Returns:
-        ``{frequency_mhz: {"bips": ..., "power_w": ..., "upc": ...,
-        "mem_per_uop": ...}}`` with per-run aggregates.
+        A :class:`SweepResult` over axis ``(frequency_mhz,)``;
+        ``.to_dict()`` restores the legacy ``{frequency_mhz: {"bips":
+        ..., "power_w": ..., "upc": ..., "mem_per_uop": ...}}`` shape.
     """
-    machine = machine if machine is not None else Machine()
-    trace = benchmark(benchmark_name).trace(n_intervals=n_intervals)
-    results: Dict[int, Dict[str, float]] = {}
-    for point in machine.speedstep:
-        run = machine.run(
-            trace, StaticGovernor(point), initial_point=point
+    parameters = (("benchmark", benchmark_name), ("n_intervals", n_intervals))
+    if machine is not None:
+        started = time.perf_counter()
+        trace = benchmark(benchmark_name).trace(n_intervals=n_intervals)
+        cells = []
+        for point in machine.speedstep:
+            run = machine.run(
+                trace, StaticGovernor(point), initial_point=point
+            )
+            records = [m.record for m in run.intervals]
+            cells.append(
+                SweepCell.create(
+                    (point.frequency_mhz,),
+                    {
+                        "bips": run.bips,
+                        "power_w": run.average_power_w,
+                        "upc": sum(r.upc for r in records) / len(records),
+                        "mem_per_uop": sum(r.mem_per_uop for r in records)
+                        / len(records),
+                    },
+                )
+            )
+        return SweepResult(
+            name="frequencies",
+            axes=("frequency_mhz",),
+            cells=tuple(cells),
+            parameters=parameters,
+            metric=None,
+            provenance=Provenance.inline(
+                len(cells), time.perf_counter() - started
+            ),
         )
-        records = [m.record for m in run.intervals]
-        results[point.frequency_mhz] = {
-            "bips": run.bips,
-            "power_w": run.average_power_w,
-            "upc": sum(r.upc for r in records) / len(records),
-            "mem_per_uop": sum(r.mem_per_uop for r in records)
-            / len(records),
-        }
-    return results
+
+    from repro.exec.cells import pinned_frequency_points
+
+    frequencies = pinned_frequency_points()
+    specs = [
+        ExperimentSpec.create(
+            "pinned_frequency",
+            benchmark=benchmark_name,
+            n_intervals=n_intervals,
+            frequency_mhz=frequency,
+        )
+        for frequency in frequencies
+    ]
+    report = _resolve_engine(engine, jobs, cache).run(specs)
+    cells = []
+    for frequency, spec in zip(frequencies, specs):
+        value = dict(report.value(spec))
+        value.pop("frequency_mhz", None)
+        cells.append(SweepCell.create((frequency,), value))
+    return SweepResult(
+        name="frequencies",
+        axes=("frequency_mhz",),
+        cells=tuple(cells),
+        parameters=parameters,
+        metric=None,
+        provenance=report.provenance(),
+    )

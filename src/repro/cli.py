@@ -5,64 +5,155 @@ Exposes the common experiments without writing Python::
     python -m repro list                      # benchmark registry
     python -m repro run applu_in              # baseline vs managed run
     python -m repro run mcf_inp --governor reactive --intervals 500
-    python -m repro run applu_in --policy bounded --json
-    python -m repro accuracy applu_in equake_in
+    python -m repro accuracy applu_in equake_in --jobs 4
+    python -m repro sweep pht --jobs 4 --format json
+    python -m repro report --jobs 4 --progress
     python -m repro quadrants
     python -m repro lint src/ --format json   # domain static analysis
 
-Every command prints aligned text; ``run --json`` and ``run --csv`` emit
-machine-readable exports instead.
+Engine-backed commands (``run``, ``accuracy``, ``sweep``, ``report``)
+share one set of execution flags: ``--jobs N`` fans cells out over
+worker processes and ``--cache-dir``/``--no-cache`` control the
+on-disk result cache (enabled by default, so an immediate re-run
+replays from disk).  ``--progress`` streams per-cell completion and
+the batch's cache statistics to stderr.
+
+Every command prints aligned text; sweep commands accept
+``--format json`` for the typed result payload, and ``run --json`` /
+``run --csv`` emit full per-interval exports.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.analysis.accuracy import evaluate_predictor
+from repro import __version__
 from repro.analysis.characterize import characterization_rows, characterize
 from repro.analysis.reporting import format_percent, format_table
-from repro.analysis.witnesses import spec_phase_witnesses
-from repro.core.dvfs_policy import DVFSPolicy, derive_bounded_policy
-from repro.core.governor import (
-    Governor,
-    PhasePredictionGovernor,
-    ReactiveGovernor,
-    StaticGovernor,
-)
-from repro.core.objectives import derive_objective_policy
 from repro.core.predictors import paper_predictor_suite
-from repro.core.predictors.gpht import GPHTPredictor
 from repro.errors import ReproError
+from repro.exec.cache import NullCache, ResultCache
+from repro.exec.cells import (
+    GOVERNOR_NAMES,
+    POLICY_NAMES,
+    CellValue,
+    build_governor,
+    build_policy,
+)
+from repro.exec.engine import CellCache, ExecutionEngine, make_engine
+from repro.exec.progress import StderrProgress
+from repro.exec.results import Provenance, SweepResult
+from repro.exec.spec import ExperimentSpec
 from repro.system.export import run_to_csv, run_to_json
 from repro.system.machine import Machine
-from repro.system.metrics import ComparisonMetrics
 from repro.workloads.quadrants import place_all
 from repro.workloads.spec2000 import (
+    FIG5_BENCHMARKS,
     SPEC2000_BENCHMARKS,
     benchmark,
     benchmark_names,
 )
 
-#: Policies constructible by name from the command line.
-POLICY_BUILDERS = {
-    "table2": lambda: DVFSPolicy.paper_default(),
-    "bounded": lambda: derive_bounded_policy(
-        0.05, witnesses_by_phase=spec_phase_witnesses()
-    ),
-    "energy": lambda: derive_objective_policy("energy"),
-    "edp": lambda: derive_objective_policy("edp"),
-    "ed2p": lambda: derive_objective_policy("ed2p"),
-}
+# ---------------------------------------------------------------------------
+# Shared option groups (argparse parents)
+# ---------------------------------------------------------------------------
 
 
-def _build_governor(name: str, policy: DVFSPolicy) -> Governor:
-    if name == "gpht":
-        return PhasePredictionGovernor(GPHTPredictor(8, 128), policy)
-    if name == "reactive":
-        return ReactiveGovernor(policy)
-    raise ReproError(f"unknown governor {name!r}")
+def _engine_parent() -> argparse.ArgumentParser:
+    """Execution-engine flags shared by every engine-backed command."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution engine")
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default: 1 = serial)",
+    )
+    group.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "result cache directory (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro)"
+        ),
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+    group.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream per-cell progress and cache statistics to stderr",
+    )
+    return parent
+
+
+def _sweep_parent(default_intervals: int) -> argparse.ArgumentParser:
+    """Sweep flags (benchmark selection, trace length, output format)."""
+    parent = argparse.ArgumentParser(
+        add_help=False, parents=[_engine_parent()]
+    )
+    group = parent.add_argument_group("sweep")
+    group.add_argument(
+        "--benchmarks",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help="benchmarks to sweep (see 'list')",
+    )
+    group.add_argument(
+        "--intervals",
+        type=int,
+        default=default_intervals,
+        help=f"trace length in intervals (default: {default_intervals})",
+    )
+    group.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    return parent
+
+
+def _cli_engine(
+    args: argparse.Namespace,
+) -> Tuple[ExecutionEngine, Optional[StderrProgress]]:
+    """Build the execution engine an engine-backed command asked for."""
+    cache: CellCache
+    if args.no_cache:
+        cache = NullCache()
+    else:
+        root = Path(args.cache_dir) if args.cache_dir else None
+        cache = ResultCache(root)
+    progress = StderrProgress() if args.progress else None
+    hooks = (progress,) if progress is not None else ()
+    return make_engine(jobs=args.jobs, cache=cache, hooks=hooks), progress
+
+
+def _print_provenance(provenance: Optional[Provenance]) -> None:
+    """Batch accounting line for ``--progress``."""
+    if provenance is None:
+        return
+    print(
+        f"{provenance.total_cells} cells: {provenance.cache_hits} cached "
+        f"({provenance.hit_rate:.1%} hit rate), {provenance.executed} "
+        f"executed, {provenance.wall_seconds:.2f}s wall "
+        f"[{provenance.runner}]",
+        file=sys.stderr,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -81,40 +172,59 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    spec = benchmark(args.benchmark)
-    machine = Machine()
-    trace = spec.trace(n_intervals=args.intervals)
-    policy = POLICY_BUILDERS[args.policy]()
-    governor = _build_governor(args.governor, policy)
-
-    baseline = machine.run(trace, StaticGovernor(machine.speedstep.fastest))
-    managed = machine.run(trace, governor)
-
-    if args.json:
-        print(run_to_json(managed))
+    if args.json or args.csv:
+        # Full-fidelity path: the exports need complete interval logs,
+        # which summary cells deliberately do not carry.
+        spec = benchmark(args.benchmark)
+        machine = Machine()
+        trace = spec.trace(n_intervals=args.intervals)
+        managed = machine.run(
+            trace, build_governor(args.governor, args.policy)
+        )
+        if args.json:
+            print(run_to_json(managed))
+        else:
+            print(run_to_csv(managed), end="")
         return 0
-    if args.csv:
-        print(run_to_csv(managed), end="")
-        return 0
 
-    comparison = ComparisonMetrics(baseline=baseline, managed=managed)
+    benchmark(args.benchmark)  # fail fast on unknown names
+    engine, _ = _cli_engine(args)
+    cell_spec = ExperimentSpec.create(
+        "comparison",
+        benchmark=args.benchmark,
+        n_intervals=args.intervals,
+        governor=args.governor,
+        policy=args.policy,
+        gphr_depth=8,
+        pht_entries=128,
+    )
+    report = engine.run([cell_spec])
+    value = report.value(cell_spec)
+    if args.progress:
+        _print_provenance(report.provenance())
+
+    def _f(key: str) -> float:
+        metric = value[key]
+        assert isinstance(metric, (int, float))
+        return float(metric)
+
     rows = [
-        ("governor", managed.governor_name),
-        ("policy", policy.name),
-        ("intervals", str(len(managed.intervals))),
-        ("baseline power", f"{baseline.average_power_w:.2f} W"),
-        ("managed power", f"{managed.average_power_w:.2f} W"),
-        ("baseline BIPS", f"{baseline.bips:.3f}"),
-        ("managed BIPS", f"{managed.bips:.3f}"),
-        ("prediction accuracy", format_percent(managed.prediction_accuracy())),
-        ("DVFS transitions", str(managed.transition_count)),
-        ("power savings", format_percent(comparison.power_savings)),
-        ("energy savings", format_percent(comparison.energy_savings)),
+        ("governor", str(value["governor"])),
+        ("policy", build_policy(args.policy).name),
+        ("intervals", str(value["n_intervals"])),
+        ("baseline power", f"{_f('baseline_power_w'):.2f} W"),
+        ("managed power", f"{_f('managed_power_w'):.2f} W"),
+        ("baseline BIPS", f"{_f('baseline_bips'):.3f}"),
+        ("managed BIPS", f"{_f('managed_bips'):.3f}"),
+        ("prediction accuracy", format_percent(_f("prediction_accuracy"))),
+        ("DVFS transitions", str(value["transition_count"])),
+        ("power savings", format_percent(_f("power_savings"))),
+        ("energy savings", format_percent(_f("energy_savings"))),
         (
             "performance degradation",
-            format_percent(comparison.performance_degradation),
+            format_percent(_f("performance_degradation")),
         ),
-        ("EDP improvement", format_percent(comparison.edp_improvement)),
+        ("EDP improvement", format_percent(_f("edp_improvement"))),
     ]
     print(
         format_table(
@@ -124,23 +234,163 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _accuracy_result(
+    names: Sequence[str], intervals: int, engine: ExecutionEngine
+) -> SweepResult:
+    """Figure 4 predictor suite as a (benchmark, predictor) sweep."""
+    predictors = [p.name for p in paper_predictor_suite()]
+    grid: Dict[Tuple[str, str], ExperimentSpec] = {
+        (name, predictor): ExperimentSpec.create(
+            "predictor_accuracy",
+            benchmark=name,
+            n_intervals=intervals,
+            predictor=predictor,
+            phase_edges=None,
+        )
+        for name in names
+        for predictor in predictors
+    }
+    report = engine.run(list(grid.values()))
+
+    def _metrics(value: CellValue) -> Mapping[str, float]:
+        accuracy = value["accuracy"]
+        misprediction = value["misprediction_rate"]
+        assert isinstance(accuracy, float)
+        assert isinstance(misprediction, float)
+        return {
+            "accuracy": accuracy,
+            "misprediction_rate": misprediction,
+        }
+
+    from repro.exec.results import SweepCell
+
+    cells = tuple(
+        SweepCell.create(key, _metrics(report.value(spec)))
+        for key, spec in grid.items()
+    )
+    return SweepResult(
+        name="accuracy",
+        axes=("benchmark", "predictor"),
+        cells=cells,
+        parameters=(("n_intervals", intervals),),
+        metric="accuracy",
+        provenance=report.provenance(),
+    )
+
+
+def _render_two_axis(result: SweepResult, title: str) -> str:
+    """Pivot a (benchmark, X) sweep into a benchmark-per-row table."""
+    row_axis, col_axis = result.axes
+    columns = result.axis_values(col_axis)
+    rows = [
+        [str(row)]
+        + [round(result.value(row, column) * 100, 1) for column in columns]
+        for row in result.axis_values(row_axis)
+    ]
+    return format_table(
+        [row_axis] + [str(column) for column in columns], rows, title=title
+    )
+
+
 def _cmd_accuracy(args: argparse.Namespace) -> int:
-    names = args.benchmarks or list(benchmark_names())
-    suite = paper_predictor_suite()
-    columns = [p.name for p in suite]
+    names = (
+        args.benchmarks or args.benchmark_args or list(benchmark_names())
+    )
+    engine, _ = _cli_engine(args)
+    result = _accuracy_result(names, args.intervals, engine)
+    if args.progress:
+        _print_provenance(result.provenance)
+    if args.format == "json":
+        print(result.to_json(indent=2))
+        return 0
+    print(
+        _render_two_axis(
+            result,
+            f"prediction accuracy (%) over {args.intervals} intervals",
+        )
+    )
+    return 0
+
+
+def _cmd_sweep_pht(args: argparse.Namespace) -> int:
+    from repro.analysis.sweeps import sweep_pht_entries
+
+    engine, _ = _cli_engine(args)
+    result = sweep_pht_entries(
+        args.benchmarks or list(FIG5_BENCHMARKS),
+        pht_sizes=args.sizes,
+        gphr_depth=args.depth,
+        n_intervals=args.intervals,
+        engine=engine,
+    )
+    if args.progress:
+        _print_provenance(result.provenance)
+    if args.format == "json":
+        print(result.to_json(indent=2))
+        return 0
+    print(
+        _render_two_axis(
+            result,
+            f"GPHT(depth={args.depth}) accuracy (%) per PHT capacity",
+        )
+    )
+    return 0
+
+
+def _cmd_sweep_depth(args: argparse.Namespace) -> int:
+    from repro.analysis.sweeps import sweep_gphr_depth
+
+    engine, _ = _cli_engine(args)
+    result = sweep_gphr_depth(
+        args.benchmarks or list(FIG5_BENCHMARKS),
+        depths=args.depths,
+        pht_entries=args.entries,
+        n_intervals=args.intervals,
+        engine=engine,
+    )
+    if args.progress:
+        _print_provenance(result.provenance)
+    if args.format == "json":
+        print(result.to_json(indent=2))
+        return 0
+    print(
+        _render_two_axis(
+            result,
+            f"GPHT accuracy (%) per history depth "
+            f"(PHT={args.entries})",
+        )
+    )
+    return 0
+
+
+def _cmd_sweep_frequency(args: argparse.Namespace) -> int:
+    from repro.analysis.sweeps import sweep_frequencies
+
+    engine, _ = _cli_engine(args)
+    result = sweep_frequencies(
+        args.benchmark, n_intervals=args.intervals, engine=engine
+    )
+    if args.progress:
+        _print_provenance(result.provenance)
+    if args.format == "json":
+        print(result.to_json(indent=2))
+        return 0
     rows = []
-    for name in names:
-        series = benchmark(name).mem_series(args.intervals)
-        accuracies = []
-        for predictor in paper_predictor_suite():
-            result = evaluate_predictor(predictor, series)
-            accuracies.append(round(result.accuracy * 100, 1))
-        rows.append([name] + accuracies)
+    for frequency in result.axis_values("frequency_mhz"):
+        rows.append(
+            (
+                frequency,
+                f"{result.value(frequency, metric='bips'):.3f}",
+                f"{result.value(frequency, metric='power_w'):.2f}",
+                f"{result.value(frequency, metric='upc'):.3f}",
+                f"{result.value(frequency, metric='mem_per_uop'):.4f}",
+            )
+        )
     print(
         format_table(
-            ["benchmark"] + columns,
+            ["frequency (MHz)", "BIPS", "power (W)", "UPC", "Mem/Uop"],
             rows,
-            title=f"prediction accuracy (%) over {args.intervals} intervals",
+            title=f"operating points: {args.benchmark}",
         )
     )
     return 0
@@ -171,10 +421,19 @@ def _cmd_export_trace(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.paper_report import measure_claims, render_report
 
+    engine, _ = _cli_engine(args)
     claims = measure_claims(
         n_accuracy=args.accuracy_intervals,
         n_intervals=args.intervals,
+        engine=engine,
     )
+    if args.progress:
+        stats = engine.cache_stats
+        print(
+            f"cache: {stats.hits} hits / {stats.misses} misses "
+            f"({stats.hit_rate:.1%} hit rate), {stats.writes} writes",
+            file=sys.stderr,
+        )
     print(render_report(claims))
     return 0 if all(claim.holds for claim in claims) else 1
 
@@ -212,6 +471,11 @@ def _cmd_quadrants(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -221,6 +485,9 @@ def build_parser() -> argparse.ArgumentParser:
             "dynamic power management (MICRO 2006 reproduction)."
         ),
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser(
@@ -229,18 +496,20 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser.set_defaults(func=_cmd_list)
 
     run_parser = subparsers.add_parser(
-        "run", help="run one benchmark, baseline vs managed"
+        "run",
+        parents=[_engine_parent()],
+        help="run one benchmark, baseline vs managed",
     )
     run_parser.add_argument("benchmark", help="benchmark name (see 'list')")
     run_parser.add_argument(
         "--governor",
-        choices=("gpht", "reactive"),
+        choices=GOVERNOR_NAMES,
         default="gpht",
         help="managed governor (default: gpht)",
     )
     run_parser.add_argument(
         "--policy",
-        choices=sorted(POLICY_BUILDERS),
+        choices=sorted(POLICY_NAMES),
         default="table2",
         help="phase-to-DVFS policy (default: the paper's Table 2)",
     )
@@ -258,14 +527,84 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.set_defaults(func=_cmd_run)
 
     accuracy_parser = subparsers.add_parser(
-        "accuracy", help="evaluate the Figure 4 predictor suite"
+        "accuracy",
+        parents=[_sweep_parent(default_intervals=1000)],
+        help="evaluate the Figure 4 predictor suite",
     )
     accuracy_parser.add_argument(
-        "benchmarks", nargs="*",
+        "benchmark_args",
+        nargs="*",
+        metavar="benchmark",
         help="benchmarks to evaluate (default: all 33)",
     )
-    accuracy_parser.add_argument("--intervals", type=int, default=1000)
     accuracy_parser.set_defaults(func=_cmd_accuracy)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="parameter sweeps through the execution engine"
+    )
+    sweep_subparsers = sweep_parser.add_subparsers(
+        dest="sweep_kind", required=True
+    )
+
+    pht_parser = sweep_subparsers.add_parser(
+        "pht",
+        parents=[_sweep_parent(default_intervals=1000)],
+        help="GPHT accuracy per PHT capacity (Figure 5)",
+    )
+    pht_parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[1, 64, 128, 1024],
+        metavar="N",
+        help="PHT capacities (default: 1 64 128 1024)",
+    )
+    pht_parser.add_argument(
+        "--depth", type=int, default=8, help="GPHR depth (default: 8)"
+    )
+    pht_parser.set_defaults(func=_cmd_sweep_pht)
+
+    depth_parser = sweep_subparsers.add_parser(
+        "depth",
+        parents=[_sweep_parent(default_intervals=1000)],
+        help="GPHT accuracy per global history depth",
+    )
+    depth_parser.add_argument(
+        "--depths",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4, 8, 16],
+        metavar="N",
+        help="history depths (default: 1 2 4 8 16)",
+    )
+    depth_parser.add_argument(
+        "--entries", type=int, default=1024,
+        help="PHT capacity (default: 1024)",
+    )
+    depth_parser.set_defaults(func=_cmd_sweep_depth)
+
+    frequency_parser = sweep_subparsers.add_parser(
+        "frequency",
+        parents=[_engine_parent()],
+        help="run one benchmark pinned at every operating point (Figure 7)",
+    )
+    frequency_parser.add_argument(
+        "benchmark",
+        nargs="?",
+        default="applu_in",
+        help="benchmark name (default: applu_in)",
+    )
+    frequency_parser.add_argument(
+        "--intervals", type=int, default=50,
+        help="trace length per point (default: 50)",
+    )
+    frequency_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    frequency_parser.set_defaults(func=_cmd_sweep_frequency)
 
     characterize_parser = subparsers.add_parser(
         "characterize", help="full workload characterisation report"
@@ -286,6 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     report_parser = subparsers.add_parser(
         "report",
+        parents=[_engine_parent()],
         help="re-measure the paper's headline claims (exit 1 if any fails)",
     )
     report_parser.add_argument(

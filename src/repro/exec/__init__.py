@@ -1,0 +1,93 @@
+"""repro.exec — the parallel sweep execution engine.
+
+Every headline figure in the paper is a *sweep*: a cross-product of
+benchmarks, predictor configurations and operating conditions, each
+cell of which is an independent, deterministic computation.  This
+package turns that observation into infrastructure:
+
+* :class:`ExperimentSpec` — a frozen, hashable description of one cell
+  (benchmark, predictor/governor config, machine config, trace length,
+  seed) with a stable content hash;
+* :class:`Runner` — the scheduling interface, with
+  :class:`SerialRunner` and :class:`ProcessPoolRunner` backends;
+* :class:`ResultCache` — an on-disk content-addressed memo of completed
+  cells keyed by spec hash + code version, so re-running a figure only
+  computes the cells that changed;
+* :class:`ExecutionEngine` — ties the three together and reports
+  per-cell timing, completion counts and cache hit-rate through
+  progress hooks;
+* :class:`SweepResult` / :class:`ComparisonSuiteResult` — the typed
+  result objects returned by :mod:`repro.analysis.sweeps` and
+  :func:`repro.system.experiment.run_comparison_suite`.
+
+Determinism is a hard contract: the same spec list produces bit-equal
+results whether executed serially, across processes, or replayed from
+the cache (see ``tests/exec/test_determinism.py``).
+"""
+
+from repro.exec.cache import CacheStats, NullCache, ResultCache, default_cache_dir
+from repro.exec.cells import (
+    CELL_KINDS,
+    GOVERNOR_NAMES,
+    POLICY_NAMES,
+    build_governor,
+    build_policy,
+    build_predictor,
+    evaluate_cell,
+)
+from repro.exec.engine import ExecutionEngine, ExecutionReport, make_engine
+from repro.exec.progress import (
+    CellEvent,
+    ExecutionStats,
+    RecordingProgress,
+    StderrProgress,
+)
+from repro.exec.results import (
+    ComparisonCell,
+    ComparisonSuiteResult,
+    Provenance,
+    SweepCell,
+    SweepResult,
+)
+from repro.exec.runner import ProcessPoolRunner, Runner, SerialRunner, runner_for
+from repro.exec.spec import CODE_VERSION, ExperimentSpec, MachineConfig
+
+__all__ = [
+    # spec
+    "ExperimentSpec",
+    "MachineConfig",
+    "CODE_VERSION",
+    # cells
+    "CELL_KINDS",
+    "GOVERNOR_NAMES",
+    "POLICY_NAMES",
+    "evaluate_cell",
+    "build_predictor",
+    "build_policy",
+    "build_governor",
+    # runners
+    "Runner",
+    "SerialRunner",
+    "ProcessPoolRunner",
+    "runner_for",
+    # cache
+    "ResultCache",
+    "NullCache",
+    "CacheStats",
+    "default_cache_dir",
+    # engine
+    "ExecutionEngine",
+    "ExecutionReport",
+    "make_engine",
+    # observability
+    "CellEvent",
+    "ExecutionStats",
+    "RecordingProgress",
+    "StderrProgress",
+    # results
+    "Provenance",
+    "SweepCell",
+    "SweepResult",
+    "ComparisonCell",
+    "ComparisonSuiteResult",
+]

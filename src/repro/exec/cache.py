@@ -1,0 +1,163 @@
+"""Content-addressed on-disk cache of completed sweep cells.
+
+Each completed cell is persisted as one JSON file under a two-level
+fan-out directory, addressed by the spec's SHA-256 content hash (which
+mixes in :data:`~repro.exec.spec.CODE_VERSION`, so upgrading the
+package invalidates everything).  Entries embed the full spec for
+collision paranoia and human debuggability: a hit is only returned when
+the stored spec round-trips equal to the requested one.
+
+JSON float serialisation is exact (``repr`` round-trip), so a cache
+replay is bit-identical to a fresh computation — the determinism suite
+asserts this.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.exec.cells import CellValue
+from repro.exec.spec import CODE_VERSION, ExperimentSpec
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+@dataclass
+class CacheStats:
+    """Running hit/miss/write counters for one cache instance.
+
+    Attributes:
+        hits: Lookups answered from disk.
+        misses: Lookups that required computation.
+        writes: Entries persisted.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from disk, in [0, 1]."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class ResultCache:
+    """Content-addressed JSON store of completed cell values.
+
+    Args:
+        root: Cache directory (default: :func:`default_cache_dir`).
+        code_version: Version tag mixed into every key.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        code_version: str = CODE_VERSION,
+    ) -> None:
+        self._root = Path(root) if root is not None else default_cache_dir()
+        self._code_version = code_version
+        self.stats = CacheStats()
+
+    @property
+    def root(self) -> Path:
+        """The cache root directory."""
+        return self._root
+
+    def _path(self, spec: ExperimentSpec) -> Path:
+        key = spec.cache_key(self._code_version)
+        return self._root / key[:2] / f"{key}.json"
+
+    def get(self, spec: ExperimentSpec) -> Optional[CellValue]:
+        """Return the cached value for ``spec``, or ``None`` on a miss.
+
+        Corrupt or mismatching entries (hash collision, format drift)
+        count as misses and are left for the next write to replace.
+        """
+        path = self._path(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            stored = ExperimentSpec.from_dict(entry["spec"])
+            if stored != spec or entry.get("code_version") != self._code_version:
+                raise ValueError("cache entry does not match spec")
+            value = entry["value"]
+            if not isinstance(value, dict):
+                raise ValueError("cache entry value is not a mapping")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, spec: ExperimentSpec, value: CellValue) -> None:
+        """Persist one completed cell (atomic rename, last writer wins)."""
+        path = self._path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "code_version": self._code_version,
+            "key": spec.cache_key(self._code_version),
+            "spec": spec.to_dict(),
+            "value": value,
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=str(path.parent),
+            prefix=path.stem,
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self._root.is_dir():
+            return 0
+        return sum(1 for _ in self._root.glob("*/*.json"))
+
+
+@dataclass
+class NullCache:
+    """Cache interface that never stores anything (``--no-cache``)."""
+
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def get(self, spec: ExperimentSpec) -> Optional[CellValue]:
+        """Always a miss."""
+        self.stats.misses += 1
+        return None
+
+    def put(self, spec: ExperimentSpec, value: CellValue) -> None:
+        """Discard the value."""

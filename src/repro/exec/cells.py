@@ -1,0 +1,313 @@
+"""Cell evaluators: the computations behind every sweep cell.
+
+A *cell kind* is a named, pure function from an
+:class:`~repro.exec.spec.ExperimentSpec` to a flat JSON-able metrics
+mapping.  Kinds are registered in :data:`CELL_KINDS` so worker
+processes can evaluate any spec after pickling it — the dispatch is by
+name, never by closure.
+
+Three kinds cover the paper's evaluation space:
+
+* ``predictor_accuracy`` — replay a benchmark's ``Mem/Uop`` series
+  through one named predictor (Figures 4/5 and the depth ablation);
+* ``comparison`` — baseline-vs-managed machine runs under a named
+  governor/policy (Figures 11-13);
+* ``pinned_frequency`` — one run pinned at a single operating point
+  (Figure 7).
+
+Per-process series/trace memoisation: within one sweep a benchmark's
+trace is generated exactly once per process and shared by every cell
+that replays it (series generation costs ~6x a predictor evaluation),
+regardless of how many PHT sizes or governors cross it.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, List, Optional, Tuple, Union, cast
+
+import numpy as np
+
+from repro.analysis.accuracy import evaluate_predictor
+from repro.analysis.witnesses import spec_phase_witnesses
+from repro.core.dvfs_policy import DVFSPolicy, derive_bounded_policy
+from repro.core.governor import (
+    Governor,
+    PhasePredictionGovernor,
+    ReactiveGovernor,
+    StaticGovernor,
+)
+from repro.core.objectives import derive_objective_policy
+from repro.core.phases import PhaseTable
+from repro.core.predictors import GPHTPredictor, PhasePredictor, paper_predictor_suite
+from repro.cpu.frequency import SpeedStepTable
+from repro.errors import ConfigurationError
+from repro.exec.spec import ExperimentSpec
+from repro.system.metrics import ComparisonMetrics, RunResult
+from repro.workloads.segments import WorkloadTrace
+from repro.workloads.spec2000 import benchmark
+
+#: One cell's result: a flat mapping of JSON-able scalars.
+CellValue = Dict[str, Union[str, int, float, bool, None]]
+
+#: Registered cell evaluators by kind name.
+CELL_KINDS: Dict[str, Callable[[ExperimentSpec], CellValue]] = {}
+
+
+def register_cell_kind(
+    name: str,
+) -> Callable[[Callable[[ExperimentSpec], CellValue]], Callable[[ExperimentSpec], CellValue]]:
+    """Class-of-computation registrar for :data:`CELL_KINDS`."""
+
+    def decorate(
+        fn: Callable[[ExperimentSpec], CellValue]
+    ) -> Callable[[ExperimentSpec], CellValue]:
+        CELL_KINDS[name] = fn
+        return fn
+
+    return decorate
+
+
+def evaluate_cell(spec: ExperimentSpec) -> CellValue:
+    """Evaluate one spec through its registered kind.
+
+    This is the (picklable, module-level) function every runner backend
+    calls, in-process or in a worker.
+    """
+    try:
+        fn = CELL_KINDS[spec.kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown cell kind {spec.kind!r}; known: {sorted(CELL_KINDS)}"
+        ) from None
+    return fn(spec)
+
+
+# ---------------------------------------------------------------------------
+# Per-process workload memoisation (the "generate each trace once" audit)
+# ---------------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=256)
+def _mem_series(
+    benchmark_name: str, n_intervals: int, seed: Optional[int]
+) -> "np.ndarray":
+    """One benchmark's ``Mem/Uop`` series, generated once per process.
+
+    The array is marked read-only so the shared copy cannot be mutated
+    by one cell under another cell's feet.
+    """
+    series = benchmark(benchmark_name).mem_series(n_intervals, seed=seed)
+    series.flags.writeable = False
+    return series
+
+
+@functools.lru_cache(maxsize=64)
+def _trace(
+    benchmark_name: str, n_intervals: int, seed: Optional[int]
+) -> WorkloadTrace:
+    """One benchmark's workload trace, generated once per process."""
+    return benchmark(benchmark_name).trace(n_intervals=n_intervals, seed=seed)
+
+
+def clear_workload_memos() -> None:
+    """Drop the per-process series/trace memos (test isolation hook)."""
+    _mem_series.cache_clear()
+    _trace.cache_clear()
+
+
+def workload_memo_stats() -> Dict[str, int]:
+    """Generation counts for the memoised workloads (observability)."""
+    series_info = _mem_series.cache_info()
+    trace_info = _trace.cache_info()
+    return {
+        "series_generated": series_info.misses,
+        "series_reused": series_info.hits,
+        "traces_generated": trace_info.misses,
+        "traces_reused": trace_info.hits,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Named component factories (shared with the CLI)
+# ---------------------------------------------------------------------------
+
+
+def build_predictor(name: str) -> PhasePredictor:
+    """Construct a predictor from its display name.
+
+    Accepts every member of the paper's Figure 4 suite plus any
+    ``GPHT_<depth>_<entries>`` configuration.
+    """
+    if name.startswith("GPHT_"):
+        parts = name.split("_")
+        if len(parts) == 3:
+            try:
+                return GPHTPredictor(int(parts[1]), int(parts[2]))
+            except ValueError:
+                pass
+    for predictor in paper_predictor_suite():
+        if predictor.name == name:
+            return predictor
+    known = [p.name for p in paper_predictor_suite()]
+    raise ConfigurationError(
+        f"unknown predictor {name!r}; known: {known} or GPHT_<depth>_<entries>"
+    )
+
+
+#: Governor registry names accepted by :func:`build_governor`.
+GOVERNOR_NAMES: Tuple[str, ...] = ("gpht", "reactive")
+
+#: Policy registry names accepted by :func:`build_policy`.
+POLICY_NAMES: Tuple[str, ...] = ("table2", "bounded", "energy", "edp", "ed2p")
+
+
+def build_policy(name: str) -> DVFSPolicy:
+    """Construct a phase-to-DVFS policy from its registry name."""
+    if name == "table2":
+        return DVFSPolicy.paper_default()
+    if name == "bounded":
+        return derive_bounded_policy(
+            0.05, witnesses_by_phase=spec_phase_witnesses()
+        )
+    if name in ("energy", "edp", "ed2p"):
+        return derive_objective_policy(name)
+    raise ConfigurationError(
+        f"unknown policy {name!r}; known: table2, bounded, energy, edp, ed2p"
+    )
+
+
+def build_governor(
+    governor: str,
+    policy: str = "table2",
+    gphr_depth: int = 8,
+    pht_entries: int = 128,
+) -> Governor:
+    """Construct a managed governor from registry names."""
+    dvfs_policy = build_policy(policy)
+    if governor == "gpht":
+        return PhasePredictionGovernor(
+            GPHTPredictor(gphr_depth, pht_entries), dvfs_policy
+        )
+    if governor == "reactive":
+        return ReactiveGovernor(dvfs_policy)
+    raise ConfigurationError(
+        f"unknown governor {governor!r}; known: gpht, reactive"
+    )
+
+
+def _phase_table(spec: ExperimentSpec) -> Optional[PhaseTable]:
+    """Rebuild an optional custom phase table from spec parameters."""
+    edges = spec.param("phase_edges")
+    if edges is None:
+        return None
+    if not isinstance(edges, tuple):
+        raise ConfigurationError(
+            f"phase_edges must be a tuple of floats, got {edges!r}"
+        )
+    return PhaseTable(tuple(float(cast(float, e)) for e in edges))
+
+
+# ---------------------------------------------------------------------------
+# Cell kinds
+# ---------------------------------------------------------------------------
+
+
+@register_cell_kind("predictor_accuracy")
+def _cell_predictor_accuracy(spec: ExperimentSpec) -> CellValue:
+    """Replay the benchmark's series through one named predictor."""
+    predictor_name = spec.param("predictor")
+    if not isinstance(predictor_name, str):
+        raise ConfigurationError(
+            f"predictor_accuracy needs a 'predictor' name, got {predictor_name!r}"
+        )
+    series = _mem_series(spec.benchmark, spec.n_intervals, spec.seed)
+    predictor = build_predictor(predictor_name)
+    result = evaluate_predictor(predictor, series, _phase_table(spec))
+    return {
+        "predictor": result.predictor_name,
+        "accuracy": result.accuracy,
+        "misprediction_rate": result.misprediction_rate,
+        "correct": result.correct,
+        "total": result.total,
+    }
+
+
+def comparison_summary(
+    comparison: ComparisonMetrics, managed: RunResult
+) -> CellValue:
+    """Flatten a baseline-vs-managed comparison to JSON-able scalars."""
+    baseline = comparison.baseline
+    return {
+        "governor": managed.governor_name,
+        "edp_improvement": comparison.edp_improvement,
+        "power_savings": comparison.power_savings,
+        "energy_savings": comparison.energy_savings,
+        "performance_degradation": comparison.performance_degradation,
+        "baseline_power_w": baseline.average_power_w,
+        "managed_power_w": managed.average_power_w,
+        "baseline_bips": baseline.bips,
+        "managed_bips": managed.bips,
+        "prediction_accuracy": managed.prediction_accuracy(),
+        "transition_count": managed.transition_count,
+        "handler_overhead_fraction": managed.handler_overhead_fraction,
+        "n_intervals": len(managed.intervals),
+    }
+
+
+@register_cell_kind("comparison")
+def _cell_comparison(spec: ExperimentSpec) -> CellValue:
+    """Baseline-vs-managed machine runs under a named governor."""
+    governor_name = spec.param("governor", "gpht")
+    policy_name = spec.param("policy", "table2")
+    if not isinstance(governor_name, str) or not isinstance(policy_name, str):
+        raise ConfigurationError(
+            "comparison needs string 'governor' and 'policy' parameters"
+        )
+    gphr_depth = int(cast(int, spec.param("gphr_depth", 8)))
+    pht_entries = int(cast(int, spec.param("pht_entries", 128)))
+    machine = spec.machine.build()
+    trace = _trace(spec.benchmark, spec.n_intervals, spec.seed)
+    baseline = machine.run(trace, StaticGovernor(machine.speedstep.fastest))
+    managed = machine.run(
+        trace,
+        build_governor(governor_name, policy_name, gphr_depth, pht_entries),
+    )
+    value = comparison_summary(
+        ComparisonMetrics(baseline=baseline, managed=managed), managed
+    )
+    value["policy"] = policy_name
+    return value
+
+
+@register_cell_kind("pinned_frequency")
+def _cell_pinned_frequency(spec: ExperimentSpec) -> CellValue:
+    """One run pinned at a single operating point (Figure 7 style)."""
+    frequency_mhz = int(cast(int, spec.param("frequency_mhz", 0)))
+    machine = spec.machine.build()
+    matches = [
+        point
+        for point in machine.speedstep
+        if point.frequency_mhz == frequency_mhz
+    ]
+    if not matches:
+        known = [p.frequency_mhz for p in machine.speedstep]
+        raise ConfigurationError(
+            f"no operating point at {frequency_mhz} MHz; known: {known}"
+        )
+    point = matches[0]
+    trace = _trace(spec.benchmark, spec.n_intervals, spec.seed)
+    run = machine.run(trace, StaticGovernor(point), initial_point=point)
+    records = [m.record for m in run.intervals]
+    return {
+        "frequency_mhz": frequency_mhz,
+        "bips": run.bips,
+        "power_w": run.average_power_w,
+        "upc": sum(r.upc for r in records) / len(records),
+        "mem_per_uop": sum(r.mem_per_uop for r in records) / len(records),
+    }
+
+
+def pinned_frequency_points() -> List[int]:
+    """Default-platform operating frequencies, in table order."""
+    return [point.frequency_mhz for point in SpeedStepTable()]

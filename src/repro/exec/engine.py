@@ -1,0 +1,160 @@
+"""The execution engine: cache check, fan-out, collect, memoise.
+
+:class:`ExecutionEngine` is the one entry point every sweep helper and
+CLI command drives.  A batch of :class:`~repro.exec.spec.ExperimentSpec`
+cells is partitioned into cache hits and misses; misses are scheduled
+on the configured :class:`~repro.exec.runner.Runner`, persisted into
+the cache as they complete, and the whole batch is reassembled keyed by
+spec, so results are independent of completion order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exec.cache import CacheStats, NullCache, ResultCache
+from repro.exec.cells import CellValue
+from repro.exec.progress import CellEvent, ExecutionStats, ProgressHook
+from repro.exec.results import Provenance
+from repro.exec.runner import Runner, SerialRunner, runner_for
+from repro.exec.spec import ExperimentSpec
+
+#: Anything with the cache interface (get/put/stats).
+CellCache = Union[ResultCache, NullCache]
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """Results of one engine batch, keyed by spec.
+
+    Attributes:
+        values: Cell metrics per spec (every requested spec present).
+        stats: Aggregate batch accounting.
+        runner_name: Backend that executed the misses.
+    """
+
+    values: Mapping[ExperimentSpec, CellValue]
+    stats: ExecutionStats
+    runner_name: str
+
+    def value(self, spec: ExperimentSpec) -> CellValue:
+        """Metrics of one cell."""
+        return self.values[spec]
+
+    def provenance(self) -> Provenance:
+        """Condense the batch accounting into result provenance."""
+        return Provenance(
+            runner=self.runner_name,
+            total_cells=self.stats.total,
+            cache_hits=self.stats.cache_hits,
+            executed=self.stats.executed,
+            wall_seconds=self.stats.wall_seconds,
+            cell_seconds=self.stats.cell_seconds,
+        )
+
+
+@dataclass
+class ExecutionEngine:
+    """Schedules sweep cells over a runner behind a result cache.
+
+    Attributes:
+        runner: Scheduling backend (default: serial).
+        cache: Result memo (default: :class:`NullCache`, i.e. always
+            recompute; pass a :class:`ResultCache` to persist).
+        hooks: Progress hooks fired once per completed cell.
+    """
+
+    runner: Runner = field(default_factory=SerialRunner)
+    cache: CellCache = field(default_factory=NullCache)
+    hooks: Tuple[ProgressHook, ...] = ()
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> ExecutionReport:
+        """Evaluate every spec, serving repeats and cached cells free.
+
+        Duplicate specs in the batch are evaluated once.  Returns a
+        report whose ``values`` mapping covers every requested spec.
+        """
+        batch: List[ExperimentSpec] = []
+        seen: Dict[ExperimentSpec, None] = {}
+        for spec in specs:
+            if spec not in seen:
+                seen[spec] = None
+                batch.append(spec)
+
+        started = time.perf_counter()
+        stats = ExecutionStats(total=len(batch))
+        values: Dict[ExperimentSpec, CellValue] = {}
+        completed = 0
+
+        pending: List[ExperimentSpec] = []
+        for spec in batch:
+            cached = self.cache.get(spec)
+            if cached is not None:
+                values[spec] = cached
+                stats.cache_hits += 1
+                completed += 1
+                self._fire(
+                    CellEvent(
+                        spec=spec,
+                        value=cached,
+                        seconds=0.0,
+                        cached=True,
+                        completed=completed,
+                        total=len(batch),
+                    )
+                )
+            else:
+                pending.append(spec)
+
+        for index, value, seconds in self.runner.run_cells(pending):
+            spec = pending[index]
+            values[spec] = value
+            self.cache.put(spec, value)
+            stats.executed += 1
+            stats.cell_seconds += seconds
+            completed += 1
+            self._fire(
+                CellEvent(
+                    spec=spec,
+                    value=value,
+                    seconds=seconds,
+                    cached=False,
+                    completed=completed,
+                    total=len(batch),
+                )
+            )
+
+        stats.wall_seconds = time.perf_counter() - started
+        return ExecutionReport(
+            values=values, stats=stats, runner_name=self.runner.name
+        )
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """The cache's running counters."""
+        return self.cache.stats
+
+    def _fire(self, event: CellEvent) -> None:
+        for hook in self.hooks:
+            hook(event)
+
+
+def make_engine(
+    jobs: int = 1,
+    cache: Optional[CellCache] = None,
+    hooks: Tuple[ProgressHook, ...] = (),
+) -> ExecutionEngine:
+    """Convenience constructor mirroring the CLI flags.
+
+    Args:
+        jobs: Worker count (1 = serial).
+        cache: Result cache (``None`` = no caching).
+        hooks: Progress hooks.
+    """
+    return ExecutionEngine(
+        runner=runner_for(jobs),
+        cache=cache if cache is not None else NullCache(),
+        hooks=hooks,
+    )

@@ -1,0 +1,119 @@
+"""Execution observability: per-cell events and aggregate statistics.
+
+The engine reports progress through *hooks*: callables receiving one
+:class:`CellEvent` per completed cell (cached or computed).  Hooks are
+importable by anything that drives the engine — the CLI uses
+:class:`StderrProgress`; the benchmark suites can attach their own to
+collect per-cell timing.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, List, TextIO
+
+from repro.exec.cells import CellValue
+from repro.exec.spec import ExperimentSpec
+
+
+@dataclass(frozen=True)
+class CellEvent:
+    """One completed cell, as seen by progress hooks.
+
+    Attributes:
+        spec: The cell's specification.
+        value: Its computed (or replayed) metrics.
+        seconds: Evaluation wall-clock (0.0 for cache hits).
+        cached: Whether the value came from the result cache.
+        completed: Cells finished so far, including this one.
+        total: Cells in the whole batch.
+    """
+
+    spec: ExperimentSpec
+    value: CellValue
+    seconds: float
+    cached: bool
+    completed: int
+    total: int
+
+
+#: A progress hook: called once per completed cell, in completion order.
+ProgressHook = Callable[[CellEvent], None]
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate accounting for one engine batch.
+
+    Attributes:
+        total: Cells requested.
+        cache_hits: Cells answered from the result cache.
+        executed: Cells actually computed.
+        wall_seconds: End-to-end batch wall-clock.
+        cell_seconds: Summed per-cell evaluation time (> wall_seconds
+            under parallel execution).
+    """
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    wall_seconds: float = 0.0
+    cell_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cells served from the cache, in [0, 1]."""
+        if self.total == 0:
+            return 0.0
+        return self.cache_hits / self.total
+
+    def summary(self) -> str:
+        """One-line human-readable account of the batch."""
+        return (
+            f"{self.total} cells: {self.cache_hits} cached "
+            f"({self.hit_rate:.1%} hit rate), {self.executed} executed, "
+            f"{self.wall_seconds:.2f}s wall, {self.cell_seconds:.2f}s cpu"
+        )
+
+
+class StderrProgress:
+    """Progress hook printing one line per completed cell to stderr.
+
+    Args:
+        stream: Destination (default ``sys.stderr``).
+        per_cell: Emit a line per cell; when ``False`` only the batch
+            summary (via :meth:`finish`) is printed.
+    """
+
+    def __init__(
+        self, stream: TextIO = sys.stderr, per_cell: bool = True
+    ) -> None:
+        self._stream = stream
+        self._per_cell = per_cell
+
+    def __call__(self, event: CellEvent) -> None:
+        """Render one completed cell."""
+        if not self._per_cell:
+            return
+        source = "cache" if event.cached else f"{event.seconds * 1000:.1f}ms"
+        print(
+            f"[{event.completed}/{event.total}] {event.spec.label()} "
+            f"({source})",
+            file=self._stream,
+        )
+
+    def finish(self, stats: ExecutionStats) -> None:
+        """Render the batch summary."""
+        print(stats.summary(), file=self._stream)
+
+
+@dataclass
+class RecordingProgress:
+    """Progress hook that records every event (testing/benchmarks)."""
+
+    events: List[CellEvent] = field(default_factory=list)
+
+    def __call__(self, event: CellEvent) -> None:
+        """Append the event."""
+        self.events.append(event)

@@ -1,0 +1,132 @@
+"""Runner backends: how a batch of specs gets scheduled.
+
+A :class:`Runner` maps a list of specs to their cell values, yielding
+``(index, value, seconds)`` triples as cells complete.  Completion
+order is a scheduling detail — the engine reassembles results by index,
+so every backend produces the same result set (the determinism suite
+holds serial and process-pool execution to bit-equality).
+
+Two backends:
+
+* :class:`SerialRunner` — in-process, in order; zero overhead, and the
+  only backend that can see in-process monkeypatching (tests) or
+  non-default machine objects.
+* :class:`ProcessPoolRunner` — fan-out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`; specs are pickled to
+  workers, which dispatch through the module-level
+  :func:`repro.exec.cells.evaluate_cell`.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Dict, Iterator, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.exec.cells import CellValue, evaluate_cell
+from repro.exec.spec import ExperimentSpec
+
+#: One completed cell: position in the submitted batch, its value, and
+#: the wall-clock seconds its evaluation took.
+CompletedCell = Tuple[int, CellValue, float]
+
+
+def _timed_evaluate(spec: ExperimentSpec) -> Tuple[CellValue, float]:
+    """Evaluate one cell, returning its value and elapsed seconds."""
+    started = time.perf_counter()
+    value = evaluate_cell(spec)
+    return value, time.perf_counter() - started
+
+
+class Runner(ABC):
+    """Scheduling strategy for a batch of independent cells."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short backend identifier recorded in result provenance."""
+
+    @abstractmethod
+    def run_cells(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> Iterator[CompletedCell]:
+        """Evaluate every spec, yielding completions as they happen."""
+
+
+class SerialRunner(Runner):
+    """Evaluate cells one after another in the calling process."""
+
+    @property
+    def name(self) -> str:
+        """Backend identifier."""
+        return "serial"
+
+    def run_cells(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> Iterator[CompletedCell]:
+        """Evaluate in submission order."""
+        for index, spec in enumerate(specs):
+            value, seconds = _timed_evaluate(spec)
+            yield index, value, seconds
+
+
+class ProcessPoolRunner(Runner):
+    """Fan cells out over a pool of worker processes.
+
+    Args:
+        jobs: Worker process count (>= 1).
+        max_pending: Upper bound on queued-but-unfinished submissions,
+            keeping memory flat for very large sweeps.
+    """
+
+    def __init__(self, jobs: int, max_pending: int = 256) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        self.jobs = jobs
+        self.max_pending = max_pending
+
+    @property
+    def name(self) -> str:
+        """Backend identifier, e.g. ``process-pool-4``."""
+        return f"process-pool-{self.jobs}"
+
+    def run_cells(
+        self, specs: Sequence[ExperimentSpec]
+    ) -> Iterator[CompletedCell]:
+        """Evaluate across the pool, yielding in completion order."""
+        if not specs:
+            return
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            pending: Dict["Future[Tuple[CellValue, float]]", int] = {}
+            queue = iter(enumerate(specs))
+            exhausted = False
+            while pending or not exhausted:
+                while not exhausted and len(pending) < self.max_pending:
+                    try:
+                        index, spec = next(queue)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pending[pool.submit(_timed_evaluate, spec)] = index
+                if not pending:
+                    continue
+                done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    value, seconds = future.result()
+                    yield index, value, seconds
+
+
+def runner_for(jobs: int) -> Runner:
+    """Pick the backend for a ``--jobs`` value (1 = serial)."""
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        return SerialRunner()
+    return ProcessPoolRunner(jobs)

@@ -5,6 +5,7 @@ from repro.system.experiment import (
     GovernorFactory,
     compare_governors,
     run_comparison,
+    run_comparison_suite,
     run_suite,
 )
 from repro.system.lkm import KernelLogRecord, PhaseMonitorLKM
@@ -27,4 +28,5 @@ __all__ = [
     "run_comparison",
     "compare_governors",
     "run_suite",
+    "run_comparison_suite",
 ]

@@ -10,9 +10,16 @@ governor under test — and derive the normalised metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence
 
 from repro.core.governor import Governor, StaticGovernor
+
+if TYPE_CHECKING:
+    # Imported lazily at runtime: repro.exec pulls in repro.system
+    # modules, so a module-level import here would be circular.
+    from repro.exec.cache import ResultCache
+    from repro.exec.engine import ExecutionEngine
+    from repro.exec.results import ComparisonSuiteResult
 from repro.system.machine import Machine
 from repro.system.metrics import ComparisonMetrics, RunResult
 from repro.workloads.spec2000 import (
@@ -109,6 +116,11 @@ def run_suite(
 ) -> Dict[str, BenchmarkComparison]:
     """Run a set of benchmarks through :func:`run_comparison`.
 
+    This is the full-fidelity path: every :class:`BenchmarkComparison`
+    carries complete per-interval run logs.  For summary-level suites
+    that should fan out over processes and memoise on disk, use
+    :func:`run_comparison_suite`.
+
     Returns:
         Results keyed by benchmark name, preserving the given order.
     """
@@ -119,3 +131,68 @@ def run_suite(
         )
         for name in benchmark_names
     }
+
+
+def run_comparison_suite(
+    benchmark_names: Sequence[str],
+    governor: str = "gpht",
+    policy: str = "table2",
+    gphr_depth: int = 8,
+    pht_entries: int = 128,
+    n_intervals: int = DEFAULT_TRACE_INTERVALS,
+    engine: Optional["ExecutionEngine"] = None,
+    jobs: int = 1,
+    cache: Optional["ResultCache"] = None,
+) -> "ComparisonSuiteResult":
+    """Run a baseline-vs-managed suite through the execution engine.
+
+    Unlike :func:`run_suite` this takes the governor and policy *by
+    registry name* (see :func:`repro.exec.cells.build_governor`), which
+    makes every cell content-hashable: the suite fans out over worker
+    processes and replays unchanged cells from the on-disk cache.  Each
+    cell carries the flattened comparison summary rather than full
+    per-interval logs.
+
+    Args:
+        benchmark_names: Benchmarks to run, in report order.
+        governor: Managed governor name (``gpht`` or ``reactive``).
+        policy: Policy name (``table2``, ``bounded``, ``energy``,
+            ``edp``, ``ed2p``).
+        gphr_depth: GPHT history depth (``gpht`` governor only).
+        pht_entries: GPHT pattern table capacity.
+        n_intervals: Trace length per run.
+        engine: Execution engine (overrides ``jobs``/``cache``).
+        jobs: Worker processes when no engine is given (1 = serial).
+        cache: On-disk result cache when no engine is given.
+    """
+    from repro.exec.engine import make_engine
+    from repro.exec.results import ComparisonCell, ComparisonSuiteResult
+    from repro.exec.spec import ExperimentSpec
+
+    if engine is None:
+        engine = make_engine(jobs=jobs, cache=cache)
+    specs = [
+        ExperimentSpec.create(
+            "comparison",
+            benchmark=name,
+            n_intervals=n_intervals,
+            governor=governor,
+            policy=policy,
+            gphr_depth=gphr_depth,
+            pht_entries=pht_entries,
+        )
+        for name in benchmark_names
+    ]
+    report = engine.run(specs)
+    cells = tuple(
+        ComparisonCell.create(name, dict(report.value(spec)))
+        for name, spec in zip(benchmark_names, specs)
+    )
+    return ComparisonSuiteResult(
+        name=f"{governor}-{policy}",
+        governor=governor,
+        policy=policy,
+        n_intervals=n_intervals,
+        cells=cells,
+        provenance=report.provenance(),
+    )

@@ -1,0 +1,115 @@
+"""Tests for the content-addressed result cache."""
+
+import json
+
+from repro.exec.cache import (
+    CACHE_DIR_ENV,
+    CacheStats,
+    NullCache,
+    ResultCache,
+    default_cache_dir,
+)
+from repro.exec.spec import ExperimentSpec
+
+
+def make_spec(**overrides):
+    defaults = dict(
+        kind="predictor_accuracy",
+        benchmark="applu_in",
+        n_intervals=200,
+        predictor="LastValue",
+    )
+    defaults.update(overrides)
+    return ExperimentSpec.create(**defaults)
+
+
+class TestDefaultDir:
+    def test_env_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_falls_back_to_home_cache(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert default_cache_dir().name == "repro"
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        assert cache.get(spec) is None
+        cache.put(spec, {"accuracy": 0.5})
+        assert cache.get(spec) == {"accuracy": 0.5}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.writes == 1
+        assert len(cache) == 1
+
+    def test_identical_spec_hits_from_a_fresh_instance(self, tmp_path):
+        ResultCache(tmp_path).put(make_spec(), {"accuracy": 0.25})
+        replay = ResultCache(tmp_path)
+        assert replay.get(make_spec()) == {"accuracy": 0.25}
+
+    def test_any_spec_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(make_spec(), {"accuracy": 0.5})
+        assert cache.get(make_spec(n_intervals=201)) is None
+        assert cache.get(make_spec(predictor="GPHT_8_128")) is None
+        assert cache.get(make_spec(seed=1)) is None
+
+    def test_code_version_change_invalidates(self, tmp_path):
+        ResultCache(tmp_path, code_version="v1").put(
+            make_spec(), {"accuracy": 0.5}
+        )
+        assert ResultCache(tmp_path, code_version="v2").get(make_spec()) is None
+
+    def test_floats_round_trip_bit_exactly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        value = {"accuracy": 2.0 / 3.0, "misprediction_rate": 1e-17}
+        cache.put(spec, value)
+        replay = ResultCache(tmp_path).get(spec)
+        assert replay == value  # exact equality, not approx
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.put(spec, {"accuracy": 0.5})
+        (path,) = tmp_path.glob("*/*.json")
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(spec) is None
+
+    def test_spec_mismatch_in_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.put(spec, {"accuracy": 0.5})
+        (path,) = tmp_path.glob("*/*.json")
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["spec"]["benchmark"] = "swim_in"
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(spec) is None
+
+    def test_put_is_idempotent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.put(spec, {"accuracy": 0.5})
+        cache.put(spec, {"accuracy": 0.5})
+        assert len(cache) == 1
+
+
+class TestNullCache:
+    def test_never_stores(self):
+        cache = NullCache()
+        spec = make_spec()
+        cache.put(spec, {"accuracy": 0.5})
+        assert cache.get(spec) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+
+class TestCacheStats:
+    def test_hit_rate(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == 0.75
+        assert CacheStats().hit_rate == 0.0

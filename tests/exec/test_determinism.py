@@ -1,0 +1,124 @@
+"""The determinism contract: serial == parallel == cache replay.
+
+These tests hold the engine to the guarantee documented in
+``docs/execution_engine.md``: for the same spec list, results are
+bit-identical whether cells run serially, fan out over worker
+processes, or replay from the on-disk cache.
+"""
+
+import pytest
+
+from repro.analysis.sweeps import sweep_pht_entries
+from repro.exec.cache import ResultCache
+from repro.exec.cells import (
+    clear_workload_memos,
+    workload_memo_stats,
+)
+from repro.exec.engine import make_engine
+from repro.system.experiment import run_comparison_suite
+
+BENCHMARKS = ("applu_in", "swim_in", "equake_in")
+PHT_SIZES = (1, 128)
+INTERVALS = 400
+
+
+def pht_sweep(**engine_kwargs):
+    return sweep_pht_entries(
+        BENCHMARKS,
+        pht_sizes=PHT_SIZES,
+        n_intervals=INTERVALS,
+        **engine_kwargs,
+    )
+
+
+class TestSerialVsParallel:
+    def test_bit_identical_results(self):
+        serial = pht_sweep()
+        parallel = pht_sweep(jobs=2)
+        assert serial == parallel  # provenance excluded from equality
+        # belt-and-braces: every float compares exactly
+        for cell_a, cell_b in zip(serial.cells, parallel.cells):
+            assert cell_a.metrics == cell_b.metrics
+        assert parallel.provenance.runner == "process-pool-2"
+
+    def test_comparison_suite_bit_identical(self):
+        serial = run_comparison_suite(
+            ["swim_in", "crafty_in"], n_intervals=30
+        )
+        parallel = run_comparison_suite(
+            ["swim_in", "crafty_in"], n_intervals=30, jobs=2
+        )
+        assert serial == parallel
+
+
+class TestCacheReplay:
+    def test_replay_is_bit_identical_with_full_hit_rate(self, tmp_path):
+        first = pht_sweep(cache=ResultCache(tmp_path))
+        assert first.provenance.cache_hits == 0
+        replay = pht_sweep(cache=ResultCache(tmp_path))
+        assert replay == first
+        assert replay.provenance.cache_hits == replay.provenance.total_cells
+        assert replay.provenance.executed == 0
+
+    def test_parallel_fill_serial_replay(self, tmp_path):
+        filled = pht_sweep(jobs=2, cache=ResultCache(tmp_path))
+        replay = pht_sweep(cache=ResultCache(tmp_path))
+        assert replay == filled
+        assert replay.provenance.hit_rate == 1.0
+
+    def test_spec_change_misses_identical_spec_hits(self, tmp_path):
+        pht_sweep(cache=ResultCache(tmp_path))
+        longer = sweep_pht_entries(
+            BENCHMARKS,
+            pht_sizes=PHT_SIZES,
+            n_intervals=INTERVALS + 1,
+            cache=ResultCache(tmp_path),
+        )
+        assert longer.provenance.cache_hits == 0
+        again = pht_sweep(cache=ResultCache(tmp_path))
+        assert again.provenance.cache_hits == again.provenance.total_cells
+
+
+class TestSeededSweeps:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_explicit_seed_is_respected_and_deterministic(self, jobs):
+        from repro.exec.spec import ExperimentSpec
+
+        def run(seed):
+            specs = [
+                ExperimentSpec.create(
+                    "predictor_accuracy",
+                    benchmark=name,
+                    n_intervals=200,
+                    predictor="GPHT_8_128",
+                    seed=seed,
+                )
+                for name in BENCHMARKS
+            ]
+            report = make_engine(jobs=jobs).run(specs)
+            return [report.value(spec)["accuracy"] for spec in specs]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestSeriesGeneratedOncePerSweep:
+    def test_each_benchmark_series_generated_exactly_once(self):
+        clear_workload_memos()
+        # 3 benchmarks x 4 sizes in one process: 3 generations, 9 reuses.
+        sweep_pht_entries(
+            BENCHMARKS, pht_sizes=(1, 16, 128, 1024), n_intervals=200
+        )
+        stats = workload_memo_stats()
+        assert stats["series_generated"] == len(BENCHMARKS)
+        assert stats["series_reused"] == len(BENCHMARKS) * 3
+
+    def test_traces_shared_across_suite_cells(self):
+        clear_workload_memos()
+        run_comparison_suite(BENCHMARKS, n_intervals=20)
+        run_comparison_suite(
+            BENCHMARKS, governor="reactive", n_intervals=20
+        )
+        stats = workload_memo_stats()
+        assert stats["traces_generated"] == len(BENCHMARKS)
+        assert stats["traces_reused"] == len(BENCHMARKS)

@@ -1,0 +1,125 @@
+"""Tests for the execution engine: scheduling, hooks, accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec.cache import NullCache, ResultCache
+from repro.exec.cells import evaluate_cell
+from repro.exec.engine import ExecutionEngine, make_engine
+from repro.exec.progress import RecordingProgress
+from repro.exec.runner import ProcessPoolRunner, SerialRunner, runner_for
+from repro.exec.spec import ExperimentSpec
+
+
+def accuracy_spec(benchmark="applu_in", n_intervals=200, **params):
+    params.setdefault("predictor", "LastValue")
+    return ExperimentSpec.create(
+        "predictor_accuracy",
+        benchmark=benchmark,
+        n_intervals=n_intervals,
+        **params,
+    )
+
+
+class TestRunnerSelection:
+    def test_one_job_is_serial(self):
+        assert isinstance(runner_for(1), SerialRunner)
+        assert runner_for(1).name == "serial"
+
+    def test_many_jobs_is_a_process_pool(self):
+        runner = runner_for(3)
+        assert isinstance(runner, ProcessPoolRunner)
+        assert runner.name == "process-pool-3"
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            runner_for(0)
+
+
+class TestEngineRun:
+    def test_every_requested_spec_is_answered(self):
+        specs = [accuracy_spec(), accuracy_spec(predictor="GPHT_8_128")]
+        report = make_engine().run(specs)
+        assert set(report.values) == set(specs)
+        for spec in specs:
+            assert report.value(spec) == evaluate_cell(spec)
+
+    def test_duplicates_evaluate_once(self):
+        hook = RecordingProgress()
+        engine = ExecutionEngine(hooks=(hook,))
+        spec = accuracy_spec()
+        report = engine.run([spec, spec, spec])
+        assert report.stats.total == 1
+        assert report.stats.executed == 1
+        assert len(hook.events) == 1
+        assert report.value(spec) == evaluate_cell(spec)
+
+    def test_hooks_see_every_cell_with_counters(self):
+        hook = RecordingProgress()
+        engine = ExecutionEngine(hooks=(hook,))
+        specs = [accuracy_spec(), accuracy_spec(predictor="FixWindow_8")]
+        engine.run(specs)
+        assert [e.completed for e in hook.events] == [1, 2]
+        assert all(e.total == 2 for e in hook.events)
+        assert all(not e.cached for e in hook.events)
+        assert all(e.seconds > 0.0 for e in hook.events)
+
+    def test_cache_hits_are_flagged_in_events(self, tmp_path):
+        spec = accuracy_spec()
+        make_engine(cache=ResultCache(tmp_path)).run([spec])
+        hook = RecordingProgress()
+        make_engine(cache=ResultCache(tmp_path), hooks=(hook,)).run([spec])
+        (event,) = hook.events
+        assert event.cached
+        assert event.seconds == 0.0
+
+    def test_stats_account_hits_and_executions(self, tmp_path):
+        first = accuracy_spec()
+        second = accuracy_spec(predictor="GPHT_8_128")
+        make_engine(cache=ResultCache(tmp_path)).run([first])
+        engine = make_engine(cache=ResultCache(tmp_path))
+        report = engine.run([first, second])
+        assert report.stats.total == 2
+        assert report.stats.cache_hits == 1
+        assert report.stats.executed == 1
+        assert report.stats.hit_rate == 0.5
+        assert report.stats.wall_seconds > 0.0
+        assert engine.cache_stats.hits == 1
+
+    def test_provenance_mirrors_stats(self):
+        report = make_engine().run([accuracy_spec()])
+        provenance = report.provenance()
+        assert provenance.runner == "serial"
+        assert provenance.total_cells == 1
+        assert provenance.executed == 1
+        assert provenance.cache_hits == 0
+
+    def test_empty_batch(self):
+        report = make_engine().run([])
+        assert report.stats.total == 0
+        assert dict(report.values) == {}
+
+    def test_null_cache_never_replays(self):
+        engine = ExecutionEngine(cache=NullCache())
+        spec = accuracy_spec()
+        engine.run([spec])
+        report = engine.run([spec])
+        assert report.stats.cache_hits == 0
+        assert report.stats.executed == 1
+
+    def test_cell_errors_propagate(self):
+        bad = ExperimentSpec.create(
+            "predictor_accuracy",
+            benchmark="applu_in",
+            n_intervals=50,
+            predictor="NoSuchPredictor",
+        )
+        with pytest.raises(ConfigurationError):
+            make_engine().run([bad])
+
+    def test_unknown_kind_fails(self):
+        with pytest.raises(ConfigurationError):
+            make_engine().run(
+                [ExperimentSpec.create("nope", benchmark="applu_in",
+                                       n_intervals=10)]
+            )

@@ -1,0 +1,122 @@
+"""Tests for ExperimentSpec: hashing, validation, round-trips."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec.spec import CODE_VERSION, ExperimentSpec, MachineConfig
+
+
+def make_spec(**overrides):
+    defaults = dict(
+        kind="predictor_accuracy",
+        benchmark="applu_in",
+        n_intervals=500,
+        predictor="GPHT_8_128",
+        phase_edges=None,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec.create(**defaults)
+
+
+class TestCreation:
+    def test_params_are_sorted_regardless_of_kwarg_order(self):
+        a = ExperimentSpec.create(
+            "comparison", benchmark="swim_in", n_intervals=10,
+            governor="gpht", policy="table2",
+        )
+        b = ExperimentSpec.create(
+            "comparison", benchmark="swim_in", n_intervals=10,
+            policy="table2", governor="gpht",
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.params == (("governor", "gpht"), ("policy", "table2"))
+
+    def test_lists_normalise_to_tuples(self):
+        spec = make_spec(phase_edges=[0.005, 0.01])
+        assert spec.param("phase_edges") == (0.005, 0.01)
+        assert hash(spec) == hash(make_spec(phase_edges=(0.005, 0.01)))
+
+    def test_rejects_non_scalar_parameter(self):
+        with pytest.raises(ConfigurationError):
+            make_spec(predictor={"depth": 8})
+        with pytest.raises(ConfigurationError):
+            make_spec(phase_edges=[[1.0]])
+
+    def test_rejects_non_positive_intervals(self):
+        with pytest.raises(ConfigurationError):
+            make_spec(n_intervals=0)
+
+    def test_param_lookup_and_default(self):
+        spec = make_spec()
+        assert spec.param("predictor") == "GPHT_8_128"
+        assert spec.param("missing", 42) == 42
+
+    def test_with_params_replaces_and_stays_sorted(self):
+        spec = make_spec().with_params(predictor="LastValue", zeta=1)
+        assert spec.param("predictor") == "LastValue"
+        assert [name for name, _ in spec.params] == sorted(
+            name for name, _ in spec.params
+        )
+
+
+class TestHashing:
+    def test_cache_key_is_stable_across_processes(self):
+        # A frozen literal guards against accidental format drift: any
+        # change to canonical JSON or hashing must bump CODE_VERSION.
+        spec = ExperimentSpec.create(
+            "predictor_accuracy",
+            benchmark="applu_in",
+            n_intervals=500,
+            predictor="GPHT_8_128",
+            phase_edges=None,
+        )
+        assert spec.cache_key("repro-1.0.0/spec-v1") == (
+            "19748298ec017b961ed5f485d8006a52"
+            "da3d180ea6a9c45d99d404da9dbb05fa"
+        )
+
+    def test_any_field_change_changes_the_key(self):
+        base = make_spec()
+        variants = [
+            make_spec(benchmark="swim_in"),
+            make_spec(n_intervals=501),
+            make_spec(predictor="LastValue"),
+            make_spec(seed=7),
+            make_spec(machine=MachineConfig(granularity_uops=1)),
+            base.with_params(extra=1),
+        ]
+        keys = {spec.cache_key() for spec in variants}
+        assert base.cache_key() not in keys
+        assert len(keys) == len(variants)
+
+    def test_code_version_changes_the_key(self):
+        spec = make_spec()
+        assert spec.cache_key(CODE_VERSION) != spec.cache_key("other-version")
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        spec = make_spec(seed=3, phase_edges=(0.005, 0.02))
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_canonical_json_survives_json_round_trip(self):
+        import json
+
+        spec = make_spec(machine=MachineConfig(handler_overhead_s=2.5e-6))
+        payload = json.loads(spec.canonical_json())
+        assert ExperimentSpec.from_dict(payload) == spec
+
+    def test_machine_config_round_trip(self):
+        config = MachineConfig(granularity_uops=25_000_000)
+        assert MachineConfig.from_dict(config.to_dict()) == config
+        config.build()  # constructible
+
+
+class TestLabel:
+    def test_label_is_compact_and_informative(self):
+        spec = make_spec()
+        label = spec.label()
+        assert "predictor_accuracy" in label
+        assert "applu_in" in label
+        assert "GPHT_8_128" in label

@@ -27,6 +27,7 @@ def test_all_exports_resolve():
         "repro.workloads",
         "repro.system",
         "repro.analysis",
+        "repro.exec",
     ],
 )
 def test_subpackage_all_exports_resolve(module_name):
