@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.phases import PhaseTable
 from repro.core.predictors import PhaseObservation, PhasePredictor
 from repro.errors import ConfigurationError
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,7 @@ def evaluate_predictor(
     predictor: PhasePredictor,
     mem_series: Sequence[float],
     phase_table: Optional[PhaseTable] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> PredictionResult:
     """Replay ``mem_series`` through ``predictor`` and score it.
 
@@ -72,6 +74,9 @@ def evaluate_predictor(
         predictor: The predictor under test (reset in place).
         mem_series: Per-interval ``Mem/Uop`` values (>= 2 samples).
         phase_table: Phase definitions (default: paper Table 1).
+        tracer: Optional trace collector bound to the predictor for the
+            replay; events are stamped with the sample index.  Recording
+            never changes the scored result.
     """
     if len(mem_series) < 2:
         raise ConfigurationError(
@@ -79,10 +84,14 @@ def evaluate_predictor(
         )
     table = phase_table if phase_table is not None else PhaseTable()
     predictor.reset()
+    predictor.bind_tracer(tracer)
+    tracing = tracer.enabled
     predictions: List[int] = []
     actuals: List[int] = []
     pending: Optional[int] = None
-    for value in mem_series:
+    for index, value in enumerate(mem_series):
+        if tracing:
+            tracer.begin_interval(index)
         phase = table.classify(float(value))
         if pending is not None:
             predictions.append(pending)

@@ -21,6 +21,11 @@ the batch's cache statistics to stderr.
 Every command prints aligned text; sweep commands accept
 ``--format json`` for the typed result payload, and ``run --json`` /
 ``run --csv`` emit full per-interval exports.
+
+Observability (see ``docs/observability.md``): engine-backed commands
+accept ``--trace``/``--trace-out FILE`` to record a structured JSONL
+event trace, and the ``trace`` command group records, summarises and
+converts traces (``repro trace record|summarize|export``).
 """
 
 from __future__ import annotations
@@ -34,7 +39,7 @@ from repro import __version__
 from repro.analysis.characterize import characterization_rows, characterize
 from repro.analysis.reporting import format_percent, format_table
 from repro.core.predictors import paper_predictor_suite
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.exec.cache import NullCache, ResultCache
 from repro.exec.cells import (
     GOVERNOR_NAMES,
@@ -47,6 +52,14 @@ from repro.exec.engine import CellCache, ExecutionEngine, make_engine
 from repro.exec.progress import StderrProgress
 from repro.exec.results import Provenance, SweepResult
 from repro.exec.spec import ExperimentSpec
+from repro.obs.events import TraceEvent
+from repro.obs.export import (
+    events_from_jsonl,
+    events_to_csv,
+    events_to_jsonl,
+    summary_text,
+)
+from repro.obs.tracer import RingBufferTracer
 from repro.system.export import run_to_csv, run_to_json
 from repro.system.machine import Machine
 from repro.workloads.quadrants import place_all
@@ -62,13 +75,28 @@ from repro.workloads.spec2000 import (
 # ---------------------------------------------------------------------------
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (clear error instead of a traceback)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer (>= 1), got {value}"
+        )
+    return value
+
+
 def _engine_parent() -> argparse.ArgumentParser:
     """Execution-engine flags shared by every engine-backed command."""
     parent = argparse.ArgumentParser(add_help=False)
     group = parent.add_argument_group("execution engine")
     group.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=1,
         metavar="N",
         help="worker processes (default: 1 = serial)",
@@ -91,6 +119,24 @@ def _engine_parent() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="stream per-cell progress and cache statistics to stderr",
+    )
+    trace_group = parent.add_argument_group("tracing")
+    trace_group.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "record a structured event trace of the run "
+            "(see docs/observability.md)"
+        ),
+    )
+    trace_group.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the recorded trace as JSONL to FILE (implies --trace; "
+            "default: repro-trace.jsonl)"
+        ),
     )
     return parent
 
@@ -123,9 +169,28 @@ def _sweep_parent(default_intervals: int) -> argparse.ArgumentParser:
     return parent
 
 
+def _cli_tracer(args: argparse.Namespace) -> Optional[RingBufferTracer]:
+    """A live collector when ``--trace``/``--trace-out`` was given."""
+    if getattr(args, "trace", False) or getattr(args, "trace_out", None):
+        return RingBufferTracer()
+    return None
+
+
+def _write_trace(
+    tracer: Optional[RingBufferTracer], args: argparse.Namespace
+) -> None:
+    """Persist a recorded trace as JSONL and note it on stderr."""
+    if tracer is None:
+        return
+    out = Path(args.trace_out) if args.trace_out else Path("repro-trace.jsonl")
+    out.write_text(events_to_jsonl(tracer.events()), encoding="utf-8")
+    dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+    print(f"trace: {len(tracer)} events{dropped} -> {out}", file=sys.stderr)
+
+
 def _cli_engine(
     args: argparse.Namespace,
-) -> Tuple[ExecutionEngine, Optional[StderrProgress]]:
+) -> Tuple[ExecutionEngine, Optional[StderrProgress], Optional[RingBufferTracer]]:
     """Build the execution engine an engine-backed command asked for."""
     cache: CellCache
     if args.no_cache:
@@ -135,7 +200,11 @@ def _cli_engine(
         cache = ResultCache(root)
     progress = StderrProgress() if args.progress else None
     hooks = (progress,) if progress is not None else ()
-    return make_engine(jobs=args.jobs, cache=cache, hooks=hooks), progress
+    tracer = _cli_tracer(args)
+    engine = make_engine(
+        jobs=args.jobs, cache=cache, hooks=hooks, tracer=tracer
+    )
+    return engine, progress, tracer
 
 
 def _print_provenance(provenance: Optional[Provenance]) -> None:
@@ -172,6 +241,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    tracer = _cli_tracer(args)
     if args.json or args.csv:
         # Full-fidelity path: the exports need complete interval logs,
         # which summary cells deliberately do not carry.
@@ -179,16 +249,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         machine = Machine()
         trace = spec.trace(n_intervals=args.intervals)
         managed = machine.run(
-            trace, build_governor(args.governor, args.policy)
+            trace, build_governor(args.governor, args.policy), tracer=tracer
         )
         if args.json:
             print(run_to_json(managed))
         else:
             print(run_to_csv(managed), end="")
+        _write_trace(tracer, args)
         return 0
 
     benchmark(args.benchmark)  # fail fast on unknown names
-    engine, _ = _cli_engine(args)
     cell_spec = ExperimentSpec.create(
         "comparison",
         benchmark=args.benchmark,
@@ -198,10 +268,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         gphr_depth=8,
         pht_entries=128,
     )
-    report = engine.run([cell_spec])
-    value = report.value(cell_spec)
-    if args.progress:
-        _print_provenance(report.provenance())
+    if tracer is not None:
+        # Traced runs evaluate inline: a cache hit would skip the
+        # simulation and record nothing, and a worker process cannot
+        # ship its collector back.  The value is bit-identical either
+        # way (tracing is zero-perturbation, the cell is deterministic).
+        from repro.exec.cells import evaluate_cell
+
+        value = evaluate_cell(cell_spec, tracer)
+        _write_trace(tracer, args)
+    else:
+        engine, _, _ = _cli_engine(args)
+        report = engine.run([cell_spec])
+        value = report.value(cell_spec)
+        if args.progress:
+            _print_provenance(report.provenance())
 
     def _f(key: str) -> float:
         metric = value[key]
@@ -296,8 +377,9 @@ def _cmd_accuracy(args: argparse.Namespace) -> int:
     names = (
         args.benchmarks or args.benchmark_args or list(benchmark_names())
     )
-    engine, _ = _cli_engine(args)
+    engine, _, tracer = _cli_engine(args)
     result = _accuracy_result(names, args.intervals, engine)
+    _write_trace(tracer, args)
     if args.progress:
         _print_provenance(result.provenance)
     if args.format == "json":
@@ -315,7 +397,7 @@ def _cmd_accuracy(args: argparse.Namespace) -> int:
 def _cmd_sweep_pht(args: argparse.Namespace) -> int:
     from repro.analysis.sweeps import sweep_pht_entries
 
-    engine, _ = _cli_engine(args)
+    engine, _, tracer = _cli_engine(args)
     result = sweep_pht_entries(
         args.benchmarks or list(FIG5_BENCHMARKS),
         pht_sizes=args.sizes,
@@ -323,6 +405,7 @@ def _cmd_sweep_pht(args: argparse.Namespace) -> int:
         n_intervals=args.intervals,
         engine=engine,
     )
+    _write_trace(tracer, args)
     if args.progress:
         _print_provenance(result.provenance)
     if args.format == "json":
@@ -340,7 +423,7 @@ def _cmd_sweep_pht(args: argparse.Namespace) -> int:
 def _cmd_sweep_depth(args: argparse.Namespace) -> int:
     from repro.analysis.sweeps import sweep_gphr_depth
 
-    engine, _ = _cli_engine(args)
+    engine, _, tracer = _cli_engine(args)
     result = sweep_gphr_depth(
         args.benchmarks or list(FIG5_BENCHMARKS),
         depths=args.depths,
@@ -348,6 +431,7 @@ def _cmd_sweep_depth(args: argparse.Namespace) -> int:
         n_intervals=args.intervals,
         engine=engine,
     )
+    _write_trace(tracer, args)
     if args.progress:
         _print_provenance(result.provenance)
     if args.format == "json":
@@ -366,10 +450,11 @@ def _cmd_sweep_depth(args: argparse.Namespace) -> int:
 def _cmd_sweep_frequency(args: argparse.Namespace) -> int:
     from repro.analysis.sweeps import sweep_frequencies
 
-    engine, _ = _cli_engine(args)
+    engine, _, tracer = _cli_engine(args)
     result = sweep_frequencies(
         args.benchmark, n_intervals=args.intervals, engine=engine
     )
+    _write_trace(tracer, args)
     if args.progress:
         _print_provenance(result.provenance)
     if args.format == "json":
@@ -421,12 +506,13 @@ def _cmd_export_trace(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis.paper_report import measure_claims, render_report
 
-    engine, _ = _cli_engine(args)
+    engine, _, tracer = _cli_engine(args)
     claims = measure_claims(
         n_accuracy=args.accuracy_intervals,
         n_intervals=args.intervals,
         engine=engine,
     )
+    _write_trace(tracer, args)
     if args.progress:
         stats = engine.cache_stats
         print(
@@ -436,6 +522,68 @@ def _cmd_report(args: argparse.Namespace) -> int:
         )
     print(render_report(claims))
     return 0 if all(claim.holds for claim in claims) else 1
+
+
+def _read_trace_file(path: str) -> Tuple[TraceEvent, ...]:
+    """Load a JSONL trace, mapping I/O failures onto the CLI error path."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise ConfigurationError(f"cannot read trace file: {error}") from None
+    return events_from_jsonl(text)
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro.exec.cells import evaluate_cell
+    from repro.obs.tracer import DEFAULT_CAPACITY
+
+    benchmark(args.benchmark)  # fail fast on unknown names
+    cell_spec = ExperimentSpec.create(
+        "comparison",
+        benchmark=args.benchmark,
+        n_intervals=args.intervals,
+        governor=args.governor,
+        policy=args.policy,
+        gphr_depth=8,
+        pht_entries=128,
+    )
+    # Size the ring so a full run never drops events (a handful of
+    # event types per interval, plus headroom).
+    tracer = RingBufferTracer(
+        capacity=max(DEFAULT_CAPACITY, args.intervals * 8)
+    )
+    evaluate_cell(cell_spec, tracer)
+    payload = events_to_jsonl(tracer.events())
+    if args.out:
+        Path(args.out).write_text(payload, encoding="utf-8")
+        print(
+            f"trace: {len(tracer)} events -> {args.out}", file=sys.stderr
+        )
+    else:
+        print(payload, end="")
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    events = _read_trace_file(args.file)
+    print(summary_text(events))
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    events = _read_trace_file(args.file)
+    if args.format == "csv":
+        payload = events_to_csv(events)
+    else:
+        payload = events_to_jsonl(events)
+    if args.out:
+        Path(args.out).write_text(payload, encoding="utf-8")
+        print(
+            f"trace: {len(events)} events -> {args.out}", file=sys.stderr
+        )
+    else:
+        print(payload, end="")
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -643,6 +791,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     quadrant_parser.add_argument("--intervals", type=int, default=400)
     quadrant_parser.set_defaults(func=_cmd_quadrants)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="record, summarise and convert structured event traces",
+    )
+    trace_subparsers = trace_parser.add_subparsers(
+        dest="trace_kind", required=True
+    )
+
+    trace_record = trace_subparsers.add_parser(
+        "record",
+        help="run one benchmark under a governor and record its trace",
+    )
+    trace_record.add_argument("benchmark", help="benchmark name (see 'list')")
+    trace_record.add_argument(
+        "--governor",
+        choices=GOVERNOR_NAMES,
+        default="gpht",
+        help="managed governor (default: gpht)",
+    )
+    trace_record.add_argument(
+        "--policy",
+        choices=sorted(POLICY_NAMES),
+        default="table2",
+        help="phase-to-DVFS policy (default: the paper's Table 2)",
+    )
+    trace_record.add_argument(
+        "--intervals",
+        type=_positive_int,
+        default=300,
+        help="trace length in 100M-uop intervals (default: 300)",
+    )
+    trace_record.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write JSONL to FILE (default: stdout)",
+    )
+    trace_record.set_defaults(func=_cmd_trace_record)
+
+    trace_summarize = trace_subparsers.add_parser(
+        "summarize",
+        help="event counts and derived metrics of a recorded trace",
+    )
+    trace_summarize.add_argument("file", help="JSONL trace file")
+    trace_summarize.set_defaults(func=_cmd_trace_summarize)
+
+    trace_export = trace_subparsers.add_parser(
+        "export",
+        help="convert a recorded trace to CSV or normalised JSONL",
+    )
+    trace_export.add_argument("file", help="JSONL trace file")
+    trace_export.add_argument(
+        "--format",
+        choices=("csv", "jsonl"),
+        default="csv",
+        help="output format (default: csv)",
+    )
+    trace_export.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write to FILE (default: stdout)",
+    )
+    trace_export.set_defaults(func=_cmd_trace_export)
 
     lint_parser = subparsers.add_parser(
         "lint",

@@ -52,6 +52,7 @@ class DVFSPolicy:
         self._phase_table = phase_table
         self._assignments: Dict[int, OperatingPoint] = dict(assignments)
         self._name = name
+        self._lookups: Dict[int, int] = {p: 0 for p in sorted(self._assignments)}
 
     @property
     def name(self) -> str:
@@ -71,11 +72,28 @@ class DVFSPolicy:
     def setting_for(self, phase_id: int) -> OperatingPoint:
         """The operating point to program when ``phase_id`` is predicted."""
         try:
-            return self._assignments[phase_id]
+            setting = self._assignments[phase_id]
         except KeyError:
             raise ConfigurationError(
                 f"phase {phase_id} is not covered by policy {self._name!r}"
             ) from None
+        self._lookups[phase_id] += 1
+        return setting
+
+    @property
+    def lookup_counts(self) -> Dict[int, int]:
+        """Successful ``setting_for`` lookups per phase id (a copy).
+
+        Pure observability — the per-phase residency a governor induced
+        through this policy; recording never affects the returned
+        setting.
+        """
+        return dict(self._lookups)
+
+    def reset_lookup_counts(self) -> None:
+        """Zero the per-phase lookup counters (fresh run)."""
+        for phase_id in self._lookups:
+            self._lookups[phase_id] = 0
 
     def is_monotonic(self) -> bool:
         """Whether more memory-bound phases never get faster settings.

@@ -28,6 +28,8 @@ from repro.core.dvfs_policy import DVFSPolicy
 from repro.core.phases import PhaseTable
 from repro.core.predictors import LastValuePredictor, PhaseObservation, PhasePredictor
 from repro.cpu.frequency import OperatingPoint
+from repro.obs.events import PhaseClassified
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -92,6 +94,14 @@ class Governor(ABC):
     def reset(self) -> None:
         """Forget all accumulated state (fresh run)."""
 
+    def bind_tracer(self, tracer: Tracer) -> None:
+        """Attach a trace collector.
+
+        Recording must be zero-perturbation — no override may let the
+        tracer influence a decision.  The base implementation discards
+        the tracer (static governors have nothing to report).
+        """
+
 
 #: Extracts the classification metric from the interval counters.  The
 #: paper's choice is ``Mem/Uop``; Section 4 demonstrates why UPC-derived
@@ -131,6 +141,7 @@ class PhasePredictionGovernor(Governor):
         self._name = name if name is not None else predictor.name
         self._metric = metric
         self._decisions: List[GovernorDecision] = []
+        self._tracer: Tracer = NULL_TRACER
 
     @property
     def name(self) -> str:
@@ -151,10 +162,25 @@ class PhasePredictionGovernor(Governor):
         """Every decision taken so far, in interval order."""
         return tuple(self._decisions)
 
+    def bind_tracer(self, tracer: Tracer) -> None:
+        """Attach a trace collector to this governor and its predictor."""
+        self._tracer = tracer
+        self._predictor.bind_tracer(tracer)
+
     def decide(self, counters: IntervalCounters) -> GovernorDecision:
         phase_table = self._policy.phase_table
         metric_value = self._metric(counters)
         actual = phase_table.classify(metric_value)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                PhaseClassified(
+                    interval=tracer.interval,
+                    governor=self._name,
+                    metric=metric_value,
+                    phase=actual,
+                )
+            )
         self._predictor.observe(
             PhaseObservation(phase=actual, mem_per_uop=metric_value)
         )

@@ -19,6 +19,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
 
 @dataclass(frozen=True)
 class PhaseObservation:
@@ -43,6 +45,19 @@ class PhasePredictor(ABC):
 
     #: Phase predicted before any observation has been made.
     DEFAULT_PHASE = 1
+
+    #: Trace collector; the shared no-op singleton until bound.  Kept on
+    #: the class so predictors that never bind pay nothing.
+    _tracer: Tracer = NULL_TRACER
+
+    @property
+    def tracer(self) -> Tracer:
+        """The bound trace collector (``NULL_TRACER`` by default)."""
+        return self._tracer
+
+    def bind_tracer(self, tracer: Tracer) -> None:
+        """Attach a trace collector; recording must not change behaviour."""
+        self._tracer = tracer
 
     @property
     @abstractmethod

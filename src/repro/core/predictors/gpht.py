@@ -35,6 +35,7 @@ from typing import Deque, Optional, Tuple
 
 from repro.core.predictors.base import PhaseObservation, PhasePredictor
 from repro.errors import ConfigurationError
+from repro.obs.events import PredictionMade
 
 #: GPHR fill value before any real phase has been observed.  Real phases
 #: are 1-based, so 0 never collides with an observed phase.
@@ -146,10 +147,27 @@ class GPHTPredictor(PhasePredictor):
         self._gphr.appendleft(observation.phase)
 
     def predict(self) -> int:
-        """Predict the next phase from the current GPHR pattern."""
+        """Predict the next phase from the current GPHR pattern.
+
+        While the GPHR still contains ``EMPTY_PHASE`` padding (the first
+        ``gphr_depth`` intervals), the lookup counts as a miss and falls
+        back to last-value, but the padded pattern is neither installed
+        nor trained: real phases are 1-based, so a padded tag can never
+        recur once the register fills — installing it would only seed the
+        PHT with dead entries that sit there until LRU-evicted.
+        """
         last_phase = self._gphr[0]
         if last_phase == EMPTY_PHASE:
             return self.DEFAULT_PHASE
+        if EMPTY_PHASE in self._gphr:
+            # Warm-up: the pattern is still padded — predict last-value,
+            # count the miss, install nothing.
+            self._misses += 1
+            self._emit_prediction(
+                predicted=last_phase, hit=False, installed=False,
+                evicted=False, warmup=True,
+            )
+            return last_phase
         tag = tuple(self._gphr)
         self._pending_tag = tag
         if tag in self._pht:
@@ -159,10 +177,45 @@ class GPHTPredictor(PhasePredictor):
                 self._pht.move_to_end(tag)
             # A freshly installed tag whose outcome is not yet known
             # still falls back to last-value.
-            return stored if stored is not None else last_phase
+            predicted = stored if stored is not None else last_phase
+            self._emit_prediction(
+                predicted=predicted, hit=True, installed=False,
+                evicted=False, warmup=False,
+            )
+            return predicted
         self._misses += 1
+        evicted = len(self._pht) >= self._capacity
         self._install(tag)
+        self._emit_prediction(
+            predicted=last_phase, hit=False, installed=True,
+            evicted=evicted, warmup=False,
+        )
         return last_phase
+
+    def _emit_prediction(
+        self,
+        *,
+        predicted: int,
+        hit: bool,
+        installed: bool,
+        evicted: bool,
+        warmup: bool,
+    ) -> None:
+        """Record a :class:`PredictionMade` event when tracing is on."""
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                PredictionMade(
+                    interval=tracer.interval,
+                    predictor=self.name,
+                    predicted_phase=predicted,
+                    pht_hit=hit,
+                    installed=installed,
+                    evicted=evicted,
+                    warmup=warmup,
+                    occupancy=len(self._pht),
+                )
+            )
 
     def _install(self, tag: Tuple[int, ...]) -> None:
         """Add ``tag`` to the PHT, evicting the LRU entry when full."""

@@ -7,6 +7,11 @@ seeded generator.  Wall-clock reads (``time.time()``,
 ``np.random.normal()``) inside ``core/``, ``power/`` or ``workloads/``
 would silently break that replayability.  Seeded constructions —
 ``np.random.default_rng(seed)``, ``random.Random(seed)`` — are allowed.
+
+The trace collectors in ``obs/`` are held to the same bar: tracing is
+required to be zero-perturbation and deterministic, so a trace event
+must never carry a wall-clock stamp — only simulated time and the
+monotonic interval index.
 """
 
 from __future__ import annotations
@@ -69,9 +74,10 @@ class DeterminismRule(LintRule):
     name = "determinism"
     description = (
         "no time.time()/datetime.now()/unseeded random calls in "
-        "core/, power/ or workloads/ (simulation must be replayable)"
+        "core/, power/, workloads/ or obs/ (simulation and its traces "
+        "must be replayable)"
     )
-    packages: Tuple[str, ...] = ("core", "power", "workloads")
+    packages: Tuple[str, ...] = ("core", "power", "workloads", "obs")
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:
         for node in ast.walk(module.tree):

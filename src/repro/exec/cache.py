@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
+from repro.errors import ReproError
 from repro.exec.cells import CellValue
 from repro.exec.spec import CODE_VERSION, ExperimentSpec
 
@@ -44,11 +45,14 @@ class CacheStats:
         hits: Lookups answered from disk.
         misses: Lookups that required computation.
         writes: Entries persisted.
+        corrupt: Entries found corrupt or mismatching and quarantined
+            (each also counts as a miss).
     """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -92,24 +96,45 @@ class ResultCache:
     def get(self, spec: ExperimentSpec) -> Optional[CellValue]:
         """Return the cached value for ``spec``, or ``None`` on a miss.
 
-        Corrupt or mismatching entries (hash collision, format drift)
-        count as misses and are left for the next write to replace.
+        A missing file is a plain miss.  An entry that exists but is
+        corrupt or mismatching (truncated write, hash collision, format
+        drift) is a miss *and* is quarantined on the spot — renamed to
+        ``<key>.corrupt`` so it stops shadowing the slot even if the
+        recompute never finishes — and counted in ``stats.corrupt``.
         """
         path = self._path(spec)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
+                raw = handle.read()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
             stored = ExperimentSpec.from_dict(entry["spec"])
             if stored != spec or entry.get("code_version") != self._code_version:
                 raise ValueError("cache entry does not match spec")
             value = entry["value"]
             if not isinstance(value, dict):
                 raise ValueError("cache entry value is not a mapping")
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ReproError, ValueError, KeyError, TypeError):
+            self._quarantine(path)
+            self.stats.corrupt += 1
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return value
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a corrupt entry aside (delete it if even that fails)."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
     def put(self, spec: ExperimentSpec, value: CellValue) -> None:
         """Persist one completed cell (atomic rename, last writer wins)."""
@@ -142,7 +167,7 @@ class ResultCache:
         self.stats.writes += 1
 
     def __len__(self) -> int:
-        """Number of entries currently on disk."""
+        """Number of live entries on disk (quarantined files excluded)."""
         if not self._root.is_dir():
             return 0
         return sum(1 for _ in self._root.glob("*/*.json"))

@@ -43,6 +43,7 @@ from repro.core.predictors import GPHTPredictor, PhasePredictor, paper_predictor
 from repro.cpu.frequency import SpeedStepTable
 from repro.errors import ConfigurationError
 from repro.exec.spec import ExperimentSpec
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.system.metrics import ComparisonMetrics, RunResult
 from repro.workloads.segments import WorkloadTrace
 from repro.workloads.spec2000 import benchmark
@@ -50,29 +51,36 @@ from repro.workloads.spec2000 import benchmark
 #: One cell's result: a flat mapping of JSON-able scalars.
 CellValue = Dict[str, Union[str, int, float, bool, None]]
 
+#: A registered cell evaluator: spec + trace collector -> metrics.
+CellEvaluator = Callable[[ExperimentSpec, Tracer], CellValue]
+
 #: Registered cell evaluators by kind name.
-CELL_KINDS: Dict[str, Callable[[ExperimentSpec], CellValue]] = {}
+CELL_KINDS: Dict[str, CellEvaluator] = {}
 
 
 def register_cell_kind(
     name: str,
-) -> Callable[[Callable[[ExperimentSpec], CellValue]], Callable[[ExperimentSpec], CellValue]]:
+) -> Callable[[CellEvaluator], CellEvaluator]:
     """Class-of-computation registrar for :data:`CELL_KINDS`."""
 
-    def decorate(
-        fn: Callable[[ExperimentSpec], CellValue]
-    ) -> Callable[[ExperimentSpec], CellValue]:
+    def decorate(fn: CellEvaluator) -> CellEvaluator:
         CELL_KINDS[name] = fn
         return fn
 
     return decorate
 
 
-def evaluate_cell(spec: ExperimentSpec) -> CellValue:
+def evaluate_cell(
+    spec: ExperimentSpec, tracer: Tracer = NULL_TRACER
+) -> CellValue:
     """Evaluate one spec through its registered kind.
 
     This is the (picklable, module-level) function every runner backend
-    calls, in-process or in a worker.
+    calls, in-process or in a worker.  ``tracer`` records the runtime
+    events of the cell's simulated runs (``repro run --trace`` uses it);
+    worker processes always run with the default no-op tracer, since a
+    live collector cannot cross a process boundary.  Tracing is
+    zero-perturbation: the returned value is identical either way.
     """
     try:
         fn = CELL_KINDS[spec.kind]
@@ -80,7 +88,7 @@ def evaluate_cell(spec: ExperimentSpec) -> CellValue:
         raise ConfigurationError(
             f"unknown cell kind {spec.kind!r}; known: {sorted(CELL_KINDS)}"
         ) from None
-    return fn(spec)
+    return fn(spec, tracer)
 
 
 # ---------------------------------------------------------------------------
@@ -214,7 +222,9 @@ def _phase_table(spec: ExperimentSpec) -> Optional[PhaseTable]:
 
 
 @register_cell_kind("predictor_accuracy")
-def _cell_predictor_accuracy(spec: ExperimentSpec) -> CellValue:
+def _cell_predictor_accuracy(
+    spec: ExperimentSpec, tracer: Tracer = NULL_TRACER
+) -> CellValue:
     """Replay the benchmark's series through one named predictor."""
     predictor_name = spec.param("predictor")
     if not isinstance(predictor_name, str):
@@ -223,7 +233,9 @@ def _cell_predictor_accuracy(spec: ExperimentSpec) -> CellValue:
         )
     series = _mem_series(spec.benchmark, spec.n_intervals, spec.seed)
     predictor = build_predictor(predictor_name)
-    result = evaluate_predictor(predictor, series, _phase_table(spec))
+    result = evaluate_predictor(
+        predictor, series, _phase_table(spec), tracer=tracer
+    )
     return {
         "predictor": result.predictor_name,
         "accuracy": result.accuracy,
@@ -256,8 +268,14 @@ def comparison_summary(
 
 
 @register_cell_kind("comparison")
-def _cell_comparison(spec: ExperimentSpec) -> CellValue:
-    """Baseline-vs-managed machine runs under a named governor."""
+def _cell_comparison(
+    spec: ExperimentSpec, tracer: Tracer = NULL_TRACER
+) -> CellValue:
+    """Baseline-vs-managed machine runs under a named governor.
+
+    Only the managed run is traced — the baseline is pinned fastest and
+    makes no decisions worth recording.
+    """
     governor_name = spec.param("governor", "gpht")
     policy_name = spec.param("policy", "table2")
     if not isinstance(governor_name, str) or not isinstance(policy_name, str):
@@ -272,6 +290,7 @@ def _cell_comparison(spec: ExperimentSpec) -> CellValue:
     managed = machine.run(
         trace,
         build_governor(governor_name, policy_name, gphr_depth, pht_entries),
+        tracer=tracer,
     )
     value = comparison_summary(
         ComparisonMetrics(baseline=baseline, managed=managed), managed
@@ -281,7 +300,9 @@ def _cell_comparison(spec: ExperimentSpec) -> CellValue:
 
 
 @register_cell_kind("pinned_frequency")
-def _cell_pinned_frequency(spec: ExperimentSpec) -> CellValue:
+def _cell_pinned_frequency(
+    spec: ExperimentSpec, tracer: Tracer = NULL_TRACER
+) -> CellValue:
     """One run pinned at a single operating point (Figure 7 style)."""
     frequency_mhz = int(cast(int, spec.param("frequency_mhz", 0)))
     machine = spec.machine.build()
@@ -297,7 +318,9 @@ def _cell_pinned_frequency(spec: ExperimentSpec) -> CellValue:
         )
     point = matches[0]
     trace = _trace(spec.benchmark, spec.n_intervals, spec.seed)
-    run = machine.run(trace, StaticGovernor(point), initial_point=point)
+    run = machine.run(
+        trace, StaticGovernor(point), initial_point=point, tracer=tracer
+    )
     records = [m.record for m in run.intervals]
     return {
         "frequency_mhz": frequency_mhz,

@@ -20,6 +20,8 @@ from repro.exec.progress import CellEvent, ExecutionStats, ProgressHook
 from repro.exec.results import Provenance
 from repro.exec.runner import Runner, SerialRunner, runner_for
 from repro.exec.spec import ExperimentSpec
+from repro.obs.events import CellFinished, CellStarted
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 #: Anything with the cache interface (get/put/stats).
 CellCache = Union[ResultCache, NullCache]
@@ -52,6 +54,7 @@ class ExecutionReport:
             executed=self.stats.executed,
             wall_seconds=self.stats.wall_seconds,
             cell_seconds=self.stats.cell_seconds,
+            cache_corrupt=self.stats.cache_corrupt,
         )
 
 
@@ -64,11 +67,15 @@ class ExecutionEngine:
         cache: Result memo (default: :class:`NullCache`, i.e. always
             recompute; pass a :class:`ResultCache` to persist).
         hooks: Progress hooks fired once per completed cell.
+        tracer: Trace collector for cell lifecycle events
+            (``CellStarted``/``CellFinished``, stamped with the cell's
+            batch position).  Default: the no-op ``NULL_TRACER``.
     """
 
     runner: Runner = field(default_factory=SerialRunner)
     cache: CellCache = field(default_factory=NullCache)
     hooks: Tuple[ProgressHook, ...] = ()
+    tracer: Tracer = NULL_TRACER
 
     def run(self, specs: Sequence[ExperimentSpec]) -> ExecutionReport:
         """Evaluate every spec, serving repeats and cached cells free.
@@ -87,6 +94,9 @@ class ExecutionEngine:
         stats = ExecutionStats(total=len(batch))
         values: Dict[ExperimentSpec, CellValue] = {}
         completed = 0
+        tracer = self.tracer
+        position = {spec: i for i, spec in enumerate(batch)}
+        corrupt_before = self.cache.stats.corrupt
 
         pending: List[ExperimentSpec] = []
         for spec in batch:
@@ -95,6 +105,8 @@ class ExecutionEngine:
                 values[spec] = cached
                 stats.cache_hits += 1
                 completed += 1
+                if tracer.enabled:
+                    tracer.emit(self._cell_finished(spec, position, True, 0.0))
                 self._fire(
                     CellEvent(
                         spec=spec,
@@ -108,6 +120,17 @@ class ExecutionEngine:
             else:
                 pending.append(spec)
 
+        if tracer.enabled:
+            for spec in pending:
+                tracer.emit(
+                    CellStarted(
+                        interval=position[spec],
+                        label=spec.label(),
+                        kind=spec.kind,
+                        benchmark=spec.benchmark,
+                    )
+                )
+
         for index, value, seconds in self.runner.run_cells(pending):
             spec = pending[index]
             values[spec] = value
@@ -115,6 +138,8 @@ class ExecutionEngine:
             stats.executed += 1
             stats.cell_seconds += seconds
             completed += 1
+            if tracer.enabled:
+                tracer.emit(self._cell_finished(spec, position, False, seconds))
             self._fire(
                 CellEvent(
                     spec=spec,
@@ -127,6 +152,7 @@ class ExecutionEngine:
             )
 
         stats.wall_seconds = time.perf_counter() - started
+        stats.cache_corrupt = self.cache.stats.corrupt - corrupt_before
         return ExecutionReport(
             values=values, stats=stats, runner_name=self.runner.name
         )
@@ -140,11 +166,28 @@ class ExecutionEngine:
         for hook in self.hooks:
             hook(event)
 
+    @staticmethod
+    def _cell_finished(
+        spec: ExperimentSpec,
+        position: Mapping[ExperimentSpec, int],
+        cached: bool,
+        seconds: float,
+    ) -> CellFinished:
+        return CellFinished(
+            interval=position[spec],
+            label=spec.label(),
+            kind=spec.kind,
+            benchmark=spec.benchmark,
+            cached=cached,
+            seconds=seconds,
+        )
+
 
 def make_engine(
     jobs: int = 1,
     cache: Optional[CellCache] = None,
     hooks: Tuple[ProgressHook, ...] = (),
+    tracer: Optional[Tracer] = None,
 ) -> ExecutionEngine:
     """Convenience constructor mirroring the CLI flags.
 
@@ -152,9 +195,11 @@ def make_engine(
         jobs: Worker count (1 = serial).
         cache: Result cache (``None`` = no caching).
         hooks: Progress hooks.
+        tracer: Trace collector for cell events (``None`` = no-op).
     """
     return ExecutionEngine(
         runner=runner_for(jobs),
         cache=cache if cache is not None else NullCache(),
         hooks=hooks,
+        tracer=tracer if tracer is not None else NULL_TRACER,
     )

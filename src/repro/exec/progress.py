@@ -53,6 +53,8 @@ class ExecutionStats:
         wall_seconds: End-to-end batch wall-clock.
         cell_seconds: Summed per-cell evaluation time (> wall_seconds
             under parallel execution).
+        cache_corrupt: Cache entries found corrupt during this batch and
+            quarantined (already included in the miss count).
     """
 
     total: int = 0
@@ -60,6 +62,7 @@ class ExecutionStats:
     executed: int = 0
     wall_seconds: float = 0.0
     cell_seconds: float = 0.0
+    cache_corrupt: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -70,11 +73,14 @@ class ExecutionStats:
 
     def summary(self) -> str:
         """One-line human-readable account of the batch."""
-        return (
+        text = (
             f"{self.total} cells: {self.cache_hits} cached "
             f"({self.hit_rate:.1%} hit rate), {self.executed} executed, "
             f"{self.wall_seconds:.2f}s wall, {self.cell_seconds:.2f}s cpu"
         )
+        if self.cache_corrupt:
+            text += f", {self.cache_corrupt} corrupt quarantined"
+        return text
 
 
 class StderrProgress:

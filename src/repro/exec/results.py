@@ -68,6 +68,8 @@ class Provenance:
         executed: Cells actually computed.
         wall_seconds: Batch wall-clock.
         cell_seconds: Summed per-cell evaluation time.
+        cache_corrupt: Cache entries found corrupt during the batch and
+            quarantined (0 for results predating this field).
         code_version: Cache/code version tag at execution time.
     """
 
@@ -77,6 +79,7 @@ class Provenance:
     executed: int
     wall_seconds: float
     cell_seconds: float
+    cache_corrupt: int = 0
     code_version: str = CODE_VERSION
 
     @property
@@ -95,6 +98,7 @@ class Provenance:
             "executed": self.executed,
             "wall_seconds": self.wall_seconds,
             "cell_seconds": self.cell_seconds,
+            "cache_corrupt": self.cache_corrupt,
             "code_version": self.code_version,
         }
 
@@ -108,6 +112,7 @@ class Provenance:
             executed=int(payload["executed"]),
             wall_seconds=float(payload["wall_seconds"]),
             cell_seconds=float(payload["cell_seconds"]),
+            cache_corrupt=int(payload.get("cache_corrupt", 0)),
             code_version=str(payload.get("code_version", CODE_VERSION)),
         )
 

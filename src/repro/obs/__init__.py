@@ -1,0 +1,82 @@
+"""Runtime observability: structured tracing and metrics (``repro.obs``).
+
+The software analogue of the paper's measurement rig (Section 6): where
+the original toggles parallel-port sync bits so counter, DVFS and DAQ
+power timelines can be joined, this package stamps every event with a
+monotonic interval index and records them in a bounded ring buffer.
+
+Layout:
+
+* :mod:`repro.obs.events` — typed, JSON-scalar trace events;
+* :mod:`repro.obs.tracer` — ``NULL_TRACER`` no-op default and the
+  bounded :class:`~repro.obs.tracer.RingBufferTracer` collector;
+* :mod:`repro.obs.metrics` — counter/gauge/histogram registry and
+  trace-derived metrics (:func:`~repro.obs.metrics.trace_metrics`);
+* :mod:`repro.obs.export` — lossless JSONL/CSV export and summaries.
+
+This package must not import :mod:`repro.core` or :mod:`repro.analysis`
+at module scope — the predictor base class imports the tracer, so any
+such import closes a cycle.  Tracing is zero-perturbation: enabling it
+must never change a simulated result (see the tracing determinism
+property tests).
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    CellFinished,
+    CellStarted,
+    DVFSTransition,
+    IntervalSampled,
+    PhaseClassified,
+    PMIHandled,
+    PredictionMade,
+    TraceEvent,
+    event_from_dict,
+    event_types,
+)
+from repro.obs.export import (
+    events_from_jsonl,
+    events_to_csv,
+    events_to_jsonl,
+    summary_text,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    trace_metrics,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    RingBufferTracer,
+    Tracer,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "CellFinished",
+    "CellStarted",
+    "Counter",
+    "DVFSTransition",
+    "Gauge",
+    "Histogram",
+    "IntervalSampled",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PMIHandled",
+    "PhaseClassified",
+    "PredictionMade",
+    "RingBufferTracer",
+    "TraceEvent",
+    "Tracer",
+    "event_from_dict",
+    "event_types",
+    "events_from_jsonl",
+    "events_to_csv",
+    "events_to_jsonl",
+    "summary_text",
+    "trace_metrics",
+]

@@ -1,0 +1,210 @@
+"""Typed trace events for the runtime observability layer.
+
+The paper's instrumentation (Section 6) synchronises three timelines —
+performance-counter samples, the kernel module's DVFS decisions and the
+external DAQ power trace — via sync bits on the parallel port toggled at
+phase boundaries.  The simulated analogue is the **monotonic interval
+index** carried by every event: all events emitted while handling PMI
+*n* are stamped ``interval == n``, so independently recorded streams can
+be joined exactly, the same way the paper joins counter and power traces
+on the toggling phase bit.
+
+Design constraints:
+
+* every event is a frozen dataclass whose fields are JSON scalars
+  (``str``/``int``/``float``/``bool``) — this keeps the JSONL and CSV
+  exports lossless and the round trip exact;
+* each event class declares a stable ``event_type`` string and registers
+  itself in :data:`EVENT_TYPES`, so serialized traces can be re-hydrated
+  into typed events by :func:`event_from_dict`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Tuple, Type, TypeVar, Union
+
+from repro.errors import ConfigurationError
+
+#: JSON-scalar payload value — every event field must be one of these.
+Scalar = Union[str, int, float, bool]
+
+#: Registry of event-type string -> event class, populated by
+#: :func:`register_event`.
+EVENT_TYPES: Dict[str, Type["TraceEvent"]] = {}
+
+_E = TypeVar("_E", bound=Type["TraceEvent"])
+
+
+def register_event(cls: _E) -> _E:
+    """Class decorator: register ``cls`` under its ``event_type``."""
+    key = cls.event_type
+    if not key:
+        raise ConfigurationError(f"{cls.__name__} must declare a non-empty event_type")
+    if key in EVENT_TYPES:
+        raise ConfigurationError(f"duplicate event_type {key!r}")
+    EVENT_TYPES[key] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class for all trace events.
+
+    ``interval`` is the monotonic interval index (the software analogue
+    of the paper's parallel-port sync bits).  Events emitted outside the
+    PMI handler — e.g. sweep-cell lifecycle events — use their batch
+    position instead, keeping the field monotone within a stream.
+    """
+
+    event_type: ClassVar[str] = ""
+
+    interval: int
+
+    def to_dict(self) -> Dict[str, Scalar]:
+        """Flat JSON-ready payload; ``event`` key first."""
+        payload: Dict[str, Scalar] = {"event": self.event_type}
+        for field in dataclasses.fields(self):
+            payload[field.name] = getattr(self, field.name)
+        return payload
+
+
+def event_from_dict(payload: Dict[str, object]) -> TraceEvent:
+    """Re-hydrate a :meth:`TraceEvent.to_dict` payload into a typed event."""
+    try:
+        kind = payload["event"]
+    except KeyError:
+        raise ConfigurationError("trace event payload missing 'event' key") from None
+    cls = EVENT_TYPES.get(str(kind))
+    if cls is None:
+        raise ConfigurationError(f"unknown trace event type {kind!r}")
+    fields = {f.name for f in dataclasses.fields(cls)}
+    kwargs = {str(k): v for k, v in payload.items() if k != "event"}
+    unexpected = set(kwargs) - fields
+    if unexpected:
+        raise ConfigurationError(
+            f"unexpected fields for {kind!r}: {sorted(unexpected)}"
+        )
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(f"malformed {kind!r} event: {exc}") from None
+
+
+@register_event
+@dataclass(frozen=True)
+class IntervalSampled(TraceEvent):
+    """Counters read at a PMI — one per 100M-µop interval.
+
+    ``frequency_mhz`` is the operating frequency *during* the sampled
+    interval (before any decision taken at this PMI applies).
+    """
+
+    event_type: ClassVar[str] = "interval_sampled"
+
+    time_s: float
+    uops: int
+    mem_transactions: int
+    instructions: int
+    tsc_cycles: int
+    mem_per_uop: float
+    upc: float
+    frequency_mhz: float
+
+
+@register_event
+@dataclass(frozen=True)
+class PhaseClassified(TraceEvent):
+    """Governor classified the sampled Mem/Uop metric into a phase id."""
+
+    event_type: ClassVar[str] = "phase_classified"
+
+    governor: str
+    metric: float
+    phase: int
+
+
+@register_event
+@dataclass(frozen=True)
+class PredictionMade(TraceEvent):
+    """GPHT lookup outcome, with PHT install/evict detail.
+
+    ``warmup`` marks lookups made while the GPHR still contains
+    ``EMPTY_PHASE`` padding; these count as misses but install nothing
+    (see the warm-up fix in ``core/predictors/gpht.py``).  ``occupancy``
+    is the PHT occupancy *after* any install performed by this lookup.
+    """
+
+    event_type: ClassVar[str] = "prediction_made"
+
+    predictor: str
+    predicted_phase: int
+    pht_hit: bool
+    installed: bool
+    evicted: bool
+    warmup: bool
+    occupancy: int
+
+
+@register_event
+@dataclass(frozen=True)
+class DVFSTransition(TraceEvent):
+    """Operating-point change requested by the governor at this PMI.
+
+    Only emitted when the requested point differs from the current one
+    (same-point requests are free and unlogged, matching
+    ``DVFSInterface.request``).
+    """
+
+    event_type: ClassVar[str] = "dvfs_transition"
+
+    from_mhz: float
+    to_mhz: float
+    from_voltage_v: float
+    to_voltage_v: float
+    transition_s: float
+    predicted_phase: int
+
+
+@register_event
+@dataclass(frozen=True)
+class PMIHandled(TraceEvent):
+    """PMI handler completed (Figure 8 flow): total cost accounting."""
+
+    event_type: ClassVar[str] = "pmi_handled"
+
+    time_s: float
+    handler_seconds: float
+    transition_s: float
+
+
+@register_event
+@dataclass(frozen=True)
+class CellStarted(TraceEvent):
+    """Sweep cell dispatched for execution (``interval`` = batch index)."""
+
+    event_type: ClassVar[str] = "cell_started"
+
+    label: str
+    kind: str
+    benchmark: str
+
+
+@register_event
+@dataclass(frozen=True)
+class CellFinished(TraceEvent):
+    """Sweep cell completed or served from cache (``interval`` = batch index)."""
+
+    event_type: ClassVar[str] = "cell_finished"
+
+    label: str
+    kind: str
+    benchmark: str
+    cached: bool
+    seconds: float
+
+
+def event_types() -> Tuple[str, ...]:
+    """All registered event-type strings, sorted."""
+    return tuple(sorted(EVENT_TYPES))

@@ -1,0 +1,104 @@
+"""Lossless trace export: JSONL and CSV, plus text summaries.
+
+JSONL is the primary interchange format — one ``event.to_dict()`` object
+per line, round-tripping exactly through :func:`events_from_jsonl`
+because every event field is a JSON scalar.  CSV flattens the stream
+into the union of all field columns (``event`` first, then sorted),
+leaving cells blank where an event type lacks a field.
+
+``summary_text`` renders the :func:`repro.obs.metrics.trace_metrics`
+registry as the repo's standard text tables.  The table helper lives in
+``repro.analysis.reporting``, whose package ``__init__`` eagerly imports
+the predictor stack — importing it at module scope from here would close
+an import cycle (``core.predictors`` -> ``repro.obs`` -> ``analysis`` ->
+``core.predictors``), so it is imported inside the function instead.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.events import TraceEvent, event_from_dict
+from repro.obs.metrics import trace_metrics
+
+
+def events_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """Serialize events as JSON Lines (trailing newline when non-empty)."""
+    lines = [
+        json.dumps(event.to_dict(), sort_keys=False, separators=(",", ":"))
+        for event in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def events_from_jsonl(text: str) -> Tuple[TraceEvent, ...]:
+    """Parse a JSONL trace back into typed events (exact round trip)."""
+    events: List[TraceEvent] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            payload = json.loads(stripped)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"line {lineno}: invalid JSON in trace: {exc}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"line {lineno}: trace line must be a JSON object"
+            )
+        events.append(event_from_dict(payload))
+    return tuple(events)
+
+
+def trace_columns(events: Sequence[TraceEvent]) -> Tuple[str, ...]:
+    """CSV header: ``event``, ``interval``, then the sorted field union."""
+    names = set()
+    for event in events:
+        names.update(event.to_dict())
+    names.discard("event")
+    names.discard("interval")
+    return ("event", "interval") + tuple(sorted(names))
+
+
+def events_to_csv(events: Sequence[TraceEvent]) -> str:
+    """Flatten events into CSV over the union of columns (lossless)."""
+    columns = trace_columns(events)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), restval="")
+    writer.writeheader()
+    for event in events:
+        writer.writerow(event.to_dict())
+    return buffer.getvalue()
+
+
+def summary_text(events: Sequence[TraceEvent]) -> str:
+    """Render the trace's derived metrics as text tables."""
+    # Imported lazily: repro.analysis's package __init__ pulls in the
+    # predictor stack, which itself imports repro.obs (cycle otherwise).
+    from repro.analysis.reporting import format_table
+
+    registry = trace_metrics(events)
+    counts = [
+        (name.split(".", 1)[1], value)
+        for name, value in registry.rows()
+        if name.startswith("events.")
+    ]
+    other = [row for row in registry.rows() if not row[0].startswith("events.")]
+    sections = [
+        format_table(
+            ("event type", "count"),
+            [(kind, count) for kind, count in counts],
+            title=f"Trace summary ({len(events)} events)",
+        )
+    ]
+    if other:
+        sections.append(
+            format_table(("metric", "value"), other, title="Derived metrics")
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,224 @@
+"""Counter/gauge/histogram registry and trace-derived metrics.
+
+Two layers:
+
+* :class:`MetricsRegistry` — a plain get-or-create registry of named
+  :class:`Counter`/:class:`Gauge`/:class:`Histogram` instruments, usable
+  on its own by any component;
+* :func:`trace_metrics` — folds a recorded event stream into the
+  registry, computing the headline observability numbers: predictor PHT
+  hit rate, per-phase residency, DVFS transitions per 1k intervals,
+  sweep-cell cache hit rate and per-cell wall time.
+
+Like the collectors, this module must stay deterministic: metric values
+derive only from the events passed in, never from clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple, Type, TypeVar, Union
+
+from repro.errors import ConfigurationError
+from repro.obs.events import (
+    CellFinished,
+    DVFSTransition,
+    IntervalSampled,
+    PhaseClassified,
+    PMIHandled,
+    PredictionMade,
+    TraceEvent,
+)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (amount={amount})"
+            )
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Streaming summary: count / total / min / max / mean."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+_I = TypeVar("_I", Counter, Gauge, Histogram)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def _get_or_create(self, name: str, cls: Type[_I]) -> _I:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {cls.__name__}"
+                )
+            return existing
+        instrument = cls(name=name)
+        self._instruments[name] = instrument
+        return instrument
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._instruments))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def to_dict(self) -> Dict[str, Dict[str, Union[str, float]]]:
+        """JSON-ready snapshot keyed by metric name (sorted)."""
+        out: Dict[str, Dict[str, Union[str, float]]] = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out[name] = {"kind": "counter", "value": float(instrument.value)}
+            elif isinstance(instrument, Gauge):
+                out[name] = {"kind": "gauge", "value": instrument.value}
+            else:
+                out[name] = {
+                    "kind": "histogram",
+                    "count": float(instrument.count),
+                    "total": instrument.total,
+                    "min": instrument.min if instrument.count else 0.0,
+                    "max": instrument.max if instrument.count else 0.0,
+                    "mean": instrument.mean,
+                }
+        return out
+
+    def rows(self) -> List[Tuple[str, str]]:
+        """(name, rendered value) rows for text tables, sorted by name."""
+        rendered: List[Tuple[str, str]] = []
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                rendered.append((name, str(instrument.value)))
+            elif isinstance(instrument, Gauge):
+                rendered.append((name, f"{instrument.value:.6g}"))
+            else:
+                if instrument.count:
+                    rendered.append(
+                        (
+                            name,
+                            f"n={instrument.count} mean={instrument.mean:.6g} "
+                            f"min={instrument.min:.6g} max={instrument.max:.6g}",
+                        )
+                    )
+                else:
+                    rendered.append((name, "n=0"))
+        return rendered
+
+
+def trace_metrics(events: Iterable[TraceEvent]) -> MetricsRegistry:
+    """Fold a recorded event stream into a :class:`MetricsRegistry`."""
+    registry = MetricsRegistry()
+    intervals = 0
+    transitions = 0
+    pht_hits = 0
+    pht_misses = 0
+    cells_total = 0
+    cells_cached = 0
+
+    for event in events:
+        registry.counter(f"events.{event.event_type}").inc()
+        if isinstance(event, IntervalSampled):
+            intervals += 1
+            registry.histogram("interval.mem_per_uop").observe(event.mem_per_uop)
+            registry.histogram("interval.upc").observe(event.upc)
+        elif isinstance(event, PhaseClassified):
+            registry.counter(f"phase.residency.{event.phase}").inc()
+        elif isinstance(event, PredictionMade):
+            if event.pht_hit:
+                pht_hits += 1
+            else:
+                pht_misses += 1
+            if event.warmup:
+                registry.counter("predictor.warmup_lookups").inc()
+            if event.installed:
+                registry.counter("predictor.pht_installs").inc()
+            if event.evicted:
+                registry.counter("predictor.pht_evictions").inc()
+            registry.gauge("predictor.pht_occupancy").set(float(event.occupancy))
+        elif isinstance(event, DVFSTransition):
+            transitions += 1
+            registry.histogram("dvfs.transition_s").observe(event.transition_s)
+        elif isinstance(event, PMIHandled):
+            registry.histogram("pmi.handler_seconds").observe(event.handler_seconds)
+        elif isinstance(event, CellFinished):
+            cells_total += 1
+            if event.cached:
+                cells_cached += 1
+            else:
+                registry.histogram("cells.seconds").observe(event.seconds)
+
+    registry.counter("predictor.pht_hits").inc(pht_hits)
+    registry.counter("predictor.pht_misses").inc(pht_misses)
+    lookups = pht_hits + pht_misses
+    if lookups:
+        registry.gauge("predictor.pht_hit_rate").set(pht_hits / lookups)
+    registry.counter("dvfs.transitions").inc(transitions)
+    if intervals:
+        registry.gauge("dvfs.transitions_per_1k_intervals").set(
+            1000.0 * transitions / intervals
+        )
+    registry.counter("cells.total").inc(cells_total)
+    registry.counter("cells.cached").inc(cells_cached)
+    if cells_total:
+        registry.gauge("cells.cache_hit_rate").set(cells_cached / cells_total)
+    return registry

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence
 
 from repro.core.governor import Governor, StaticGovernor
+from repro.obs.tracer import Tracer
 
 if TYPE_CHECKING:
     # Imported lazily at runtime: repro.exec pulls in repro.system
@@ -56,6 +57,7 @@ def run_comparison(
     governor_factory: GovernorFactory,
     machine: Optional[Machine] = None,
     n_intervals: int = DEFAULT_TRACE_INTERVALS,
+    tracer: Optional[Tracer] = None,
 ) -> BenchmarkComparison:
     """Run one benchmark under a governor and under the baseline.
 
@@ -64,12 +66,15 @@ def run_comparison(
         governor_factory: Produces the managed governor.
         machine: Platform to run on (a default machine when omitted).
         n_intervals: Trace length in sampling intervals.
+        tracer: Optional trace collector; records the *managed* run only
+            (the baseline is pinned and makes no decisions worth
+            tracing).  Zero-perturbation.
     """
     machine = machine if machine is not None else Machine()
     trace = spec.trace(n_intervals=n_intervals)
     baseline_governor = StaticGovernor(machine.speedstep.fastest)
     baseline = machine.run(trace, baseline_governor)
-    managed = machine.run(trace, governor_factory())
+    managed = machine.run(trace, governor_factory(), tracer=tracer)
     return BenchmarkComparison(
         benchmark_name=spec.name,
         comparison=ComparisonMetrics(baseline=baseline, managed=managed),
@@ -81,6 +86,7 @@ def compare_governors(
     governor_factories: "Dict[str, GovernorFactory]",
     machine: Optional[Machine] = None,
     n_intervals: int = DEFAULT_TRACE_INTERVALS,
+    tracer: Optional[Tracer] = None,
 ) -> Dict[str, ComparisonMetrics]:
     """Run several governors on one benchmark against a shared baseline.
 
@@ -92,6 +98,9 @@ def compare_governors(
         governor_factories: Display label to factory, in report order.
         machine: Platform to run on.
         n_intervals: Trace length in sampling intervals.
+        tracer: Optional trace collector shared by every managed run;
+            the ``PhaseClassified.governor`` field tells the runs apart
+            and the interval index restarts at 0 for each.
 
     Returns:
         ``{label: ComparisonMetrics}`` preserving the given order.
@@ -101,7 +110,7 @@ def compare_governors(
     baseline = machine.run(trace, StaticGovernor(machine.speedstep.fastest))
     comparisons: Dict[str, ComparisonMetrics] = {}
     for label, factory in governor_factories.items():
-        managed = machine.run(trace, factory())
+        managed = machine.run(trace, factory(), tracer=tracer)
         comparisons[label] = ComparisonMetrics(
             baseline=baseline, managed=managed
         )
@@ -113,6 +122,7 @@ def run_suite(
     governor_factory: GovernorFactory,
     machine: Optional[Machine] = None,
     n_intervals: int = DEFAULT_TRACE_INTERVALS,
+    tracer: Optional[Tracer] = None,
 ) -> Dict[str, BenchmarkComparison]:
     """Run a set of benchmarks through :func:`run_comparison`.
 
@@ -127,7 +137,8 @@ def run_suite(
     machine = machine if machine is not None else Machine()
     return {
         name: run_comparison(
-            benchmark(name), governor_factory, machine, n_intervals
+            benchmark(name), governor_factory, machine, n_intervals,
+            tracer=tracer,
         )
         for name in benchmark_names
     }
@@ -143,6 +154,7 @@ def run_comparison_suite(
     engine: Optional["ExecutionEngine"] = None,
     jobs: int = 1,
     cache: Optional["ResultCache"] = None,
+    tracer: Optional[Tracer] = None,
 ) -> "ComparisonSuiteResult":
     """Run a baseline-vs-managed suite through the execution engine.
 
@@ -164,13 +176,15 @@ def run_comparison_suite(
         engine: Execution engine (overrides ``jobs``/``cache``).
         jobs: Worker processes when no engine is given (1 = serial).
         cache: On-disk result cache when no engine is given.
+        tracer: Optional trace collector for cell lifecycle events when
+            no engine is given (an explicit ``engine`` carries its own).
     """
     from repro.exec.engine import make_engine
     from repro.exec.results import ComparisonCell, ComparisonSuiteResult
     from repro.exec.spec import ExperimentSpec
 
     if engine is None:
-        engine = make_engine(jobs=jobs, cache=cache)
+        engine = make_engine(jobs=jobs, cache=cache, tracer=tracer)
     specs = [
         ExperimentSpec.create(
             "comparison",

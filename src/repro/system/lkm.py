@@ -20,6 +20,8 @@ from typing import List, Optional, Tuple
 from repro.core.governor import Governor, IntervalCounters
 from repro.cpu.dvfs import DVFSInterface
 from repro.errors import ConfigurationError
+from repro.obs.events import DVFSTransition, IntervalSampled, PMIHandled
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.pmc.counters import PMCBank
 from repro.pmc.events import PMCEvent
 from repro.pmc.interrupt import DEFAULT_PMI_GRANULARITY_UOPS, PMIController
@@ -79,6 +81,10 @@ class PhaseMonitorLKM:
         port: Parallel port for DAQ synchronisation.
         granularity_uops: PMI pacing (default: the paper's 100M uops).
         handler_overhead_s: Handler execution cost per invocation.
+        tracer: Optional trace collector; every event it records is
+            stamped with the handler's interval index (the software
+            analogue of the parallel-port sync bits).  Defaults to the
+            no-op ``NULL_TRACER``.
     """
 
     def __init__(
@@ -89,6 +95,7 @@ class PhaseMonitorLKM:
         port: Optional[ParallelPort] = None,
         granularity_uops: int = DEFAULT_PMI_GRANULARITY_UOPS,
         handler_overhead_s: float = DEFAULT_HANDLER_OVERHEAD_S,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if granularity_uops <= 0:
             raise ConfigurationError(
@@ -104,6 +111,7 @@ class PhaseMonitorLKM:
         self._port = port if port is not None else ParallelPort()
         self._granularity = granularity_uops
         self._overhead_s = handler_overhead_s
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._log: List[KernelLogRecord] = []
         self._interval_index = 0
         self._loaded = False
@@ -170,6 +178,11 @@ class PhaseMonitorLKM:
             Handler execution time in seconds (fixed overhead plus any
             DVFS transition stall).
         """
+        tracer = self._tracer
+        tracing = tracer.enabled
+        interval_index = self._interval_index
+        if tracing:
+            tracer.begin_interval(interval_index)
         self._port.set_bit(IN_HANDLER_BIT)
         self._bank.stop()
         readings = self._bank.read_all()
@@ -179,9 +192,36 @@ class PhaseMonitorLKM:
             instructions=readings.get(PMCEvent.INSTR_RETIRED, 0.0),
             tsc_cycles=self._bank.tsc_cycles,
         )
-        frequency_before = self._dvfs.current.frequency_mhz
+        point_before = self._dvfs.current
+        frequency_before = point_before.frequency_mhz
+        if tracing:
+            tracer.emit(
+                IntervalSampled(
+                    interval=interval_index,
+                    time_s=time_s,
+                    uops=int(counters.uops),
+                    mem_transactions=int(counters.mem_transactions),
+                    instructions=int(counters.instructions),
+                    tsc_cycles=int(counters.tsc_cycles),
+                    mem_per_uop=counters.mem_per_uop,
+                    upc=counters.upc,
+                    frequency_mhz=float(frequency_before),
+                )
+            )
         decision = self._governor.decide(counters)
         transition_s = self._dvfs.request(decision.setting, time_s)
+        if tracing and decision.setting != point_before:
+            tracer.emit(
+                DVFSTransition(
+                    interval=interval_index,
+                    from_mhz=float(point_before.frequency_mhz),
+                    to_mhz=float(decision.setting.frequency_mhz),
+                    from_voltage_v=point_before.voltage_v,
+                    to_voltage_v=decision.setting.voltage_v,
+                    transition_s=transition_s,
+                    predicted_phase=decision.predicted_phase,
+                )
+            )
         self._log.append(
             KernelLogRecord(
                 interval_index=self._interval_index,
@@ -204,6 +244,15 @@ class PhaseMonitorLKM:
         self._port.clear_bit(IN_HANDLER_BIT)
         handler_seconds = self._overhead_s + transition_s
         self._total_handler_seconds += handler_seconds
+        if tracing:
+            tracer.emit(
+                PMIHandled(
+                    interval=interval_index,
+                    time_s=time_s,
+                    handler_seconds=handler_seconds,
+                    transition_s=transition_s,
+                )
+            )
         return handler_seconds
 
     # -- the "system call" surface used by user-level tooling --------------

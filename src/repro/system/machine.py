@@ -25,6 +25,7 @@ from repro.cpu.frequency import OperatingPoint, SpeedStepTable
 from repro.cpu.pentium_m import PentiumM
 from repro.cpu.timing import TimingModel
 from repro.errors import SimulationError
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.pmc.counters import PMCBank
 from repro.pmc.events import PAPER_COUNTER_CONFIG, PMCEvent
 from repro.pmc.interrupt import DEFAULT_PMI_GRANULARITY_UOPS, PMIController
@@ -111,6 +112,7 @@ class Machine:
         daq: Optional[DataAcquisitionSystem] = None,
         initial_point: Optional[OperatingPoint] = None,
         thermal: Optional[ThermalModel] = None,
+        tracer: Optional[Tracer] = None,
     ) -> RunResult:
         """Execute ``trace`` under ``governor`` and measure everything.
 
@@ -125,11 +127,17 @@ class Machine:
                 every execution slice (a thermally-aware governor can
                 hold a reference to the same model and read its live
                 temperature).
+            tracer: Optional trace collector wired through the kernel
+                module, governor and predictor.  Recording is
+                zero-perturbation: the returned result is bit-identical
+                with or without it.
 
         Returns:
             The complete run accounting.
         """
+        tracer = tracer if tracer is not None else NULL_TRACER
         governor.reset()
+        governor.bind_tracer(tracer)
         dvfs = DVFSInterface(self._speedstep, initial=initial_point)
         core = PentiumM(self._timing, dvfs)
         bank = PMCBank(PAPER_COUNTER_CONFIG)
@@ -142,6 +150,7 @@ class Machine:
             port,
             granularity_uops=self._granularity,
             handler_overhead_s=self._handler_overhead_s,
+            tracer=tracer,
         )
         lkm.load(pmi)
         energy = EnergyAccumulator()

@@ -195,3 +195,55 @@ class TestSnapshot:
         # (1,) has not been touched since the start; it must sit at the
         # least-recently-used front.
         assert ordered[0] == (1,)
+
+
+class TestWarmUp:
+    """Regression: padded-GPHR lookups must never train the PHT.
+
+    While the shift register still contains ``EMPTY_PHASE`` padding the
+    observed tags are artefacts of the fill level, not real history.
+    Installing them wasted PHT capacity (an earlier bug): the padded
+    tags can never recur once the register is full, so they sat dead in
+    the table and could evict live patterns under LRU pressure.
+    """
+
+    def test_no_installs_until_gphr_fills(self):
+        predictor = GPHTPredictor(gphr_depth=4, pht_entries=16)
+        for phase in [1, 2, 3]:  # three observations: one slot still empty
+            predictor.observe(obs(phase))
+            predictor.predict()
+            assert predictor.pht_occupancy == 0
+        predictor.observe(obs(4))  # register full: training starts
+        predictor.predict()
+        assert predictor.pht_occupancy == 1
+
+    def test_warmup_lookups_still_count_as_misses(self):
+        predictor = GPHTPredictor(gphr_depth=4, pht_entries=16)
+        drive(predictor, [1, 2, 3])
+        assert predictor.hits == 0
+        assert predictor.misses == 3
+
+    def test_warmup_predicts_last_value(self):
+        predictor = GPHTPredictor(gphr_depth=8, pht_entries=16)
+        predictor.observe(obs(5))
+        assert predictor.predict() == 5
+
+    def test_tiny_pht_no_longer_poisoned_by_padding(self):
+        """With a 1-entry PHT, a padded install used to evict the only
+        live pattern; warm-up lookups must leave the entry alone."""
+        predictor = GPHTPredictor(gphr_depth=2, pht_entries=1)
+        drive(predictor, [1, 2, 1, 2, 1, 2])
+        snapshot = predictor.snapshot()
+        assert len(snapshot) == 1
+        assert all(0 not in tag for tag in snapshot)  # no padded tags
+
+    def test_accuracy_not_worse_than_with_padded_installs(self):
+        """On a periodic workload the fix strictly helps (or ties):
+        the learned tail must be perfect despite a small PHT."""
+        predictor = GPHTPredictor(gphr_depth=4, pht_entries=4)
+        sequence = [1, 5, 2, 6] * 20
+        predictions = drive(predictor, sequence)
+        tail = [
+            predictions[i] == sequence[i + 1] for i in range(40, 79)
+        ]
+        assert all(tail)

@@ -68,6 +68,16 @@ class TestDeterminismRule:
         assert outside == []
         assert rule_names(inside) == {"determinism"}
 
+    def test_obs_collectors_covered(self):
+        # Trace events must never carry wall-clock stamps: tracing has
+        # to stay deterministic, so the rule covers repro.obs too.
+        source = "import time\nstamp = time.time()\n"
+        engine = LintEngine(default_rules())
+        findings = engine.lint_module(
+            _module(source, "src/repro/obs/tracer.py")
+        )
+        assert rule_names(findings) == {"determinism"}
+
 
 class TestPhaseIdRangeRule:
     def test_bad_fixture_flagged(self):

@@ -89,6 +89,83 @@ class TestResultCache:
         path.write_text(json.dumps(entry), encoding="utf-8")
         assert cache.get(spec) is None
 
+
+class TestCorruptionQuarantine:
+    """Regression: a corrupt entry must be quarantined, not re-read.
+
+    An earlier bug left damaged files (truncated writes, by-hand edits)
+    in place, so every lookup re-parsed the same broken JSON and the
+    entry could never be healed by a fresh ``put``.
+    """
+
+    def corrupt_one_entry(self, tmp_path, text):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.put(spec, {"accuracy": 0.5})
+        (path,) = tmp_path.glob("*/*.json")
+        path.write_text(text, encoding="utf-8")
+        return cache, spec, path
+
+    def test_truncated_json_is_quarantined(self, tmp_path):
+        # A torn write: valid prefix of a real entry, cut mid-payload.
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.put(spec, {"accuracy": 0.5})
+        (path,) = tmp_path.glob("*/*.json")
+        full = path.read_text(encoding="utf-8")
+        path.write_text(full[: len(full) // 2], encoding="utf-8")
+        assert cache.get(spec) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        assert not path.exists()
+        quarantined = list(tmp_path.glob("*/*.corrupt"))
+        assert len(quarantined) == 1
+        assert quarantined[0].name == path.with_suffix(".corrupt").name
+
+    def test_quarantined_entries_excluded_from_len(self, tmp_path):
+        cache, spec, _ = self.corrupt_one_entry(tmp_path, "{not json")
+        assert len(cache) == 1
+        assert cache.get(spec) is None
+        assert len(cache) == 0
+
+    def test_reread_after_quarantine_is_a_plain_miss(self, tmp_path):
+        cache, spec, _ = self.corrupt_one_entry(tmp_path, "{not json")
+        assert cache.get(spec) is None
+        assert cache.stats.corrupt == 1
+        assert cache.get(spec) is None  # file gone: ordinary miss now
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 2
+
+    def test_put_heals_a_quarantined_entry(self, tmp_path):
+        cache, spec, _ = self.corrupt_one_entry(tmp_path, "garbage")
+        assert cache.get(spec) is None
+        cache.put(spec, {"accuracy": 0.75})
+        assert cache.get(spec) == {"accuracy": 0.75}
+
+    def test_spec_mismatch_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.put(spec, {"accuracy": 0.5})
+        (path,) = tmp_path.glob("*/*.json")
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["spec"]["benchmark"] = "swim_in"
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.get(spec) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()
+
+    def test_missing_file_is_not_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(make_spec()) is None
+        assert cache.stats.corrupt == 0
+        assert cache.stats.misses == 1
+
+    def test_corrupt_original_preserved_for_debugging(self, tmp_path):
+        cache, spec, path = self.corrupt_one_entry(tmp_path, "{broken")
+        cache.get(spec)
+        quarantined = path.with_suffix(".corrupt")
+        assert quarantined.read_text(encoding="utf-8") == "{broken"
+
     def test_put_is_idempotent(self, tmp_path):
         cache = ResultCache(tmp_path)
         spec = make_spec()

@@ -1,0 +1,166 @@
+"""Tests for the typed trace event schema and registry."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import (
+    EVENT_TYPES,
+    CellFinished,
+    CellStarted,
+    DVFSTransition,
+    IntervalSampled,
+    PhaseClassified,
+    PMIHandled,
+    PredictionMade,
+    Scalar,
+    TraceEvent,
+    event_from_dict,
+    event_types,
+    register_event,
+)
+
+
+def sample_prediction(**overrides):
+    defaults = dict(
+        interval=3,
+        predictor="GPHT_8_128",
+        predicted_phase=2,
+        pht_hit=True,
+        installed=False,
+        evicted=False,
+        warmup=False,
+        occupancy=17,
+    )
+    defaults.update(overrides)
+    return PredictionMade(**defaults)
+
+
+class TestRegistry:
+    def test_all_event_types_registered(self):
+        assert event_types() == (
+            "cell_finished",
+            "cell_started",
+            "dvfs_transition",
+            "interval_sampled",
+            "phase_classified",
+            "pmi_handled",
+            "prediction_made",
+        )
+
+    def test_registry_maps_type_to_class(self):
+        assert EVENT_TYPES["prediction_made"] is PredictionMade
+        assert EVENT_TYPES["interval_sampled"] is IntervalSampled
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+
+            @register_event
+            @dataclasses.dataclass(frozen=True)
+            class Clash(TraceEvent):
+                event_type = "prediction_made"
+
+    def test_empty_event_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+
+            @register_event
+            @dataclasses.dataclass(frozen=True)
+            class Anonymous(TraceEvent):
+                pass
+
+
+class TestSchema:
+    def test_events_are_frozen(self):
+        event = sample_prediction()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.interval = 4
+
+    def test_every_field_is_a_json_scalar(self):
+        scalar_types = (str, int, float, bool)
+        for cls in EVENT_TYPES.values():
+            instance_fields = dataclasses.fields(cls)
+            assert instance_fields, cls
+            for field in instance_fields:
+                assert field.name.isidentifier()
+        event = sample_prediction()
+        for value in event.to_dict().values():
+            assert isinstance(value, scalar_types)
+
+    def test_to_dict_leads_with_event_key(self):
+        payload = sample_prediction().to_dict()
+        assert next(iter(payload)) == "event"
+        assert payload["event"] == "prediction_made"
+        assert payload["interval"] == 3
+        assert payload["occupancy"] == 17
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "event",
+        [
+            IntervalSampled(
+                interval=0,
+                time_s=0.05,
+                uops=100_000_000,
+                mem_transactions=175_349,
+                instructions=0,
+                tsc_cycles=81_857_933,
+                mem_per_uop=0.00175,
+                upc=1.22,
+                frequency_mhz=1500.0,
+            ),
+            PhaseClassified(
+                interval=1, governor="GPHT_8_128", metric=0.0021, phase=2
+            ),
+            sample_prediction(),
+            DVFSTransition(
+                interval=2,
+                from_mhz=3000.0,
+                to_mhz=1500.0,
+                from_voltage_v=1.4,
+                to_voltage_v=1.2,
+                transition_s=1e-05,
+                predicted_phase=5,
+            ),
+            PMIHandled(
+                interval=4, time_s=0.25, handler_seconds=1e-05, transition_s=0.0
+            ),
+            CellStarted(
+                interval=0,
+                label="comparison/applu_in",
+                kind="comparison",
+                benchmark="applu_in",
+            ),
+            CellFinished(
+                interval=0,
+                label="comparison/applu_in",
+                kind="comparison",
+                benchmark="applu_in",
+                cached=True,
+                seconds=0.0,
+            ),
+        ],
+    )
+    def test_dict_round_trip_is_exact(self, event):
+        assert event_from_dict(event.to_dict()) == event
+
+
+class TestValidation:
+    def test_missing_event_key(self):
+        with pytest.raises(ConfigurationError, match="missing 'event'"):
+            event_from_dict({"interval": 0})
+
+    def test_unknown_event_type(self):
+        with pytest.raises(ConfigurationError, match="unknown trace event"):
+            event_from_dict({"event": "nope", "interval": 0})
+
+    def test_unexpected_fields_rejected(self):
+        payload = sample_prediction().to_dict()
+        payload["extra"] = 1
+        with pytest.raises(ConfigurationError, match="unexpected fields"):
+            event_from_dict(payload)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            event_from_dict({"event": "prediction_made", "interval": 0})

@@ -1,0 +1,116 @@
+"""Tests for trace export: JSONL round trip, CSV flattening, summaries."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import IntervalSampled, PhaseClassified, PredictionMade
+from repro.obs.export import (
+    events_from_jsonl,
+    events_to_csv,
+    events_to_jsonl,
+    summary_text,
+    trace_columns,
+)
+
+
+def sample_events():
+    return (
+        IntervalSampled(
+            interval=0,
+            time_s=0.05457195569088904,
+            uops=100_000_000,
+            mem_transactions=175_349,
+            instructions=0,
+            tsc_cycles=81_857_933,
+            mem_per_uop=2.0 / 3.0,
+            upc=1.2216286886305758,
+            frequency_mhz=1500.0,
+        ),
+        PhaseClassified(
+            interval=0, governor="GPHT_8_128", metric=2.0 / 3.0, phase=5
+        ),
+        PredictionMade(
+            interval=0,
+            predictor="GPHT_8_128",
+            predicted_phase=5,
+            pht_hit=False,
+            installed=False,
+            evicted=False,
+            warmup=True,
+            occupancy=0,
+        ),
+    )
+
+
+class TestJsonl:
+    def test_round_trip_is_exact(self):
+        events = sample_events()
+        assert events_from_jsonl(events_to_jsonl(events)) == events
+
+    def test_one_object_per_line(self):
+        text = events_to_jsonl(sample_events())
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert text.endswith("\n")
+        for line in lines:
+            assert isinstance(json.loads(line), dict)
+
+    def test_floats_serialize_bit_exactly(self):
+        (line,) = events_to_jsonl(sample_events()[:1]).splitlines()
+        assert json.loads(line)["mem_per_uop"] == 2.0 / 3.0
+
+    def test_empty_stream(self):
+        assert events_to_jsonl(()) == ""
+        assert events_from_jsonl("") == ()
+
+    def test_blank_lines_skipped(self):
+        text = events_to_jsonl(sample_events())
+        assert events_from_jsonl("\n" + text + "\n\n") == sample_events()
+
+    def test_invalid_json_reports_line_number(self):
+        text = events_to_jsonl(sample_events()) + "{broken\n"
+        with pytest.raises(ConfigurationError, match="line 4"):
+            events_from_jsonl(text)
+
+    def test_non_object_line_rejected(self):
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            events_from_jsonl("[1, 2]\n")
+
+
+class TestCsv:
+    def test_header_leads_with_event_and_interval(self):
+        columns = trace_columns(sample_events())
+        assert columns[:2] == ("event", "interval")
+        assert list(columns[2:]) == sorted(columns[2:])
+
+    def test_missing_fields_are_blank_cells(self):
+        rows = list(csv.DictReader(io.StringIO(events_to_csv(sample_events()))))
+        assert len(rows) == 3
+        by_event = {row["event"]: row for row in rows}
+        assert by_event["phase_classified"]["uops"] == ""
+        assert by_event["interval_sampled"]["uops"] == "100000000"
+        assert by_event["prediction_made"]["warmup"] == "True"
+
+    def test_lossless_over_the_union_of_fields(self):
+        rows = list(csv.DictReader(io.StringIO(events_to_csv(sample_events()))))
+        for event, row in zip(sample_events(), rows):
+            for key, value in event.to_dict().items():
+                assert row[key] == str(value)
+
+
+class TestSummary:
+    def test_counts_and_metrics_sections(self):
+        text = summary_text(sample_events())
+        assert "Trace summary (3 events)" in text
+        assert "interval_sampled" in text
+        assert "Derived metrics" in text
+        assert "predictor.pht_hit_rate" in text
+        assert "phase.residency.5" in text
+
+    def test_empty_trace(self):
+        text = summary_text(())
+        assert "Trace summary (0 events)" in text

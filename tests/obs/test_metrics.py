@@ -1,0 +1,207 @@
+"""Tests for the metrics registry and trace-derived metrics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import (
+    CellFinished,
+    DVFSTransition,
+    IntervalSampled,
+    PhaseClassified,
+    PMIHandled,
+    PredictionMade,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    trace_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ConfigurationError):
+            Counter("c").inc(-1)
+
+    def test_gauge_keeps_last_value(self):
+        gauge = Gauge("g")
+        gauge.set(1.5)
+        gauge.set(0.25)
+        assert gauge.value == 0.25
+
+    def test_histogram_summary(self):
+        histogram = Histogram("h")
+        for value in (1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 6.0
+        assert histogram.min == 1.0
+        assert histogram.max == 3.0
+        assert histogram.mean == 2.0
+
+    def test_empty_histogram_mean(self):
+        assert Histogram("h").mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert len(registry) == 3
+        assert registry.names() == ("a", "b", "c")
+        assert "a" in registry and "z" not in registry
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.gauge("a")
+
+    def test_to_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("rate").set(0.75)
+        registry.histogram("t").observe(2.0)
+        snapshot = registry.to_dict()
+        assert snapshot["hits"] == {"kind": "counter", "value": 3.0}
+        assert snapshot["rate"] == {"kind": "gauge", "value": 0.75}
+        assert snapshot["t"]["kind"] == "histogram"
+        assert snapshot["t"]["count"] == 1.0
+        assert snapshot["t"]["mean"] == 2.0
+
+    def test_empty_histogram_snapshot_has_finite_bounds(self):
+        registry = MetricsRegistry()
+        registry.histogram("t")
+        snapshot = registry.to_dict()["t"]
+        assert snapshot["min"] == 0.0
+        assert snapshot["max"] == 0.0
+
+    def test_rows_render_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.histogram("empty")
+        rows = dict(registry.rows())
+        assert rows["hits"] == "3"
+        assert rows["empty"] == "n=0"
+
+
+def interval(index, mem_per_uop=0.002, upc=1.0):
+    return IntervalSampled(
+        interval=index,
+        time_s=0.05 * (index + 1),
+        uops=100_000_000,
+        mem_transactions=200_000,
+        instructions=0,
+        tsc_cycles=80_000_000,
+        mem_per_uop=mem_per_uop,
+        upc=upc,
+        frequency_mhz=3000.0,
+    )
+
+
+def prediction(index, hit, warmup=False, installed=False, evicted=False):
+    return PredictionMade(
+        interval=index,
+        predictor="GPHT_8_128",
+        predicted_phase=1,
+        pht_hit=hit,
+        installed=installed,
+        evicted=evicted,
+        warmup=warmup,
+        occupancy=index,
+    )
+
+
+class TestTraceMetrics:
+    def test_event_counts(self):
+        registry = trace_metrics([interval(0), interval(1)])
+        assert registry.counter("events.interval_sampled").value == 2
+
+    def test_predictor_metrics(self):
+        events = [
+            prediction(0, hit=False, warmup=True),
+            prediction(1, hit=False, installed=True),
+            prediction(2, hit=True),
+            prediction(3, hit=True),
+        ]
+        registry = trace_metrics(events)
+        assert registry.counter("predictor.pht_hits").value == 2
+        assert registry.counter("predictor.pht_misses").value == 2
+        assert registry.counter("predictor.warmup_lookups").value == 1
+        assert registry.counter("predictor.pht_installs").value == 1
+        assert "predictor.pht_evictions" not in registry
+        assert registry.gauge("predictor.pht_hit_rate").value == 0.5
+        assert registry.gauge("predictor.pht_occupancy").value == 3.0
+
+    def test_phase_residency(self):
+        events = [
+            PhaseClassified(interval=i, governor="g", metric=0.001, phase=p)
+            for i, p in enumerate([1, 1, 5])
+        ]
+        registry = trace_metrics(events)
+        assert registry.counter("phase.residency.1").value == 2
+        assert registry.counter("phase.residency.5").value == 1
+
+    def test_transitions_per_1k_intervals(self):
+        events = [interval(i) for i in range(100)]
+        events.append(
+            DVFSTransition(
+                interval=10,
+                from_mhz=3000.0,
+                to_mhz=1500.0,
+                from_voltage_v=1.4,
+                to_voltage_v=1.2,
+                transition_s=1e-05,
+                predicted_phase=5,
+            )
+        )
+        registry = trace_metrics(events)
+        assert registry.counter("dvfs.transitions").value == 1
+        assert registry.gauge("dvfs.transitions_per_1k_intervals").value == 10.0
+
+    def test_cell_cache_hit_rate_and_wall_time(self):
+        def cell(index, cached, seconds):
+            return CellFinished(
+                interval=index,
+                label=f"cell-{index}",
+                kind="comparison",
+                benchmark="applu_in",
+                cached=cached,
+                seconds=seconds,
+            )
+
+        registry = trace_metrics(
+            [cell(0, True, 0.0), cell(1, False, 0.5), cell(2, False, 1.5)]
+        )
+        assert registry.counter("cells.total").value == 3
+        assert registry.counter("cells.cached").value == 1
+        assert registry.gauge("cells.cache_hit_rate").value == pytest.approx(
+            1 / 3
+        )
+        assert registry.histogram("cells.seconds").count == 2
+        assert registry.histogram("cells.seconds").mean == 1.0
+
+    def test_pmi_handler_histogram(self):
+        events = [
+            PMIHandled(
+                interval=i, time_s=0.05, handler_seconds=1e-05, transition_s=0.0
+            )
+            for i in range(3)
+        ]
+        registry = trace_metrics(events)
+        assert registry.histogram("pmi.handler_seconds").count == 3
+
+    def test_empty_stream(self):
+        registry = trace_metrics([])
+        assert registry.counter("predictor.pht_hits").value == 0
+        assert "predictor.pht_hit_rate" not in registry

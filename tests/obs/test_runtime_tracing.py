@@ -1,0 +1,121 @@
+"""End-to-end tracing properties: reconciliation and zero perturbation.
+
+Two contracts hold the whole observability layer together:
+
+* **Reconciliation** — the event stream is an exact account of the
+  simulation: ``PredictionMade`` events match the predictor's own
+  hit/miss counters one for one, ``IntervalSampled``/``PMIHandled``
+  match the interval count, and ``DVFSTransition`` matches the managed
+  run's transition count.
+* **Zero perturbation** — recording a trace never changes a result:
+  a traced sweep is bit-identical (over ``to_json``) to an untraced
+  one, serially and across worker processes.
+"""
+
+import pytest
+
+from repro.analysis.accuracy import evaluate_predictor
+from repro.analysis.sweeps import sweep_pht_entries
+from repro.core.governor import PhasePredictionGovernor
+from repro.core.predictors import GPHTPredictor
+from repro.exec.engine import make_engine
+from repro.obs.events import DVFSTransition, PMIHandled, PredictionMade
+from repro.obs.tracer import RingBufferTracer
+from repro.system.machine import Machine
+from repro.workloads.spec2000 import benchmark
+
+INTERVALS = 120
+
+
+def traced_run(name="applu_in", n_intervals=INTERVALS):
+    machine = Machine()
+    trace = benchmark(name).trace(n_intervals=n_intervals)
+    governor = PhasePredictionGovernor(GPHTPredictor(8, 128))
+    tracer = RingBufferTracer()
+    run = machine.run(trace, governor, tracer=tracer)
+    return run, governor, tracer
+
+
+def by_type(tracer, cls):
+    return [e for e in tracer.events() if isinstance(e, cls)]
+
+
+class TestReconciliation:
+    @pytest.mark.parametrize("name", ["applu_in", "mcf_inp", "swim_in"])
+    def test_prediction_events_match_predictor_counters(self, name):
+        _, governor, tracer = traced_run(name)
+        predictions = by_type(tracer, PredictionMade)
+        predictor = governor.predictor
+        assert len(predictions) == predictor.hits + predictor.misses
+        assert sum(e.pht_hit for e in predictions) == predictor.hits
+        assert sum(not e.pht_hit for e in predictions) == predictor.misses
+
+    def test_warmup_lookups_never_install(self):
+        _, _, tracer = traced_run()
+        for event in by_type(tracer, PredictionMade):
+            if event.warmup:
+                assert not event.pht_hit
+                assert not event.installed
+                assert event.occupancy == 0
+
+    def test_final_occupancy_matches_pht(self):
+        _, governor, tracer = traced_run()
+        last = by_type(tracer, PredictionMade)[-1]
+        assert last.occupancy == governor.predictor.pht_occupancy
+
+    def test_one_pmi_event_per_interval(self):
+        run, _, tracer = traced_run()
+        handled = by_type(tracer, PMIHandled)
+        assert len(handled) == len(run.intervals) == INTERVALS
+        assert [e.interval for e in handled] == list(range(INTERVALS))
+
+    def test_transition_events_match_run_count(self):
+        run, _, tracer = traced_run()
+        transitions = by_type(tracer, DVFSTransition)
+        assert len(transitions) == run.transition_count
+        for event in transitions:
+            assert event.from_mhz != event.to_mhz
+
+    def test_offline_replay_reconciles_too(self):
+        series = benchmark("equake_in").mem_series(400)
+        predictor = GPHTPredictor(8, 128)
+        tracer = RingBufferTracer()
+        evaluate_predictor(predictor, series, tracer=tracer)
+        predictions = by_type(tracer, PredictionMade)
+        assert sum(e.pht_hit for e in predictions) == predictor.hits
+        assert sum(not e.pht_hit for e in predictions) == predictor.misses
+
+
+class TestZeroPerturbation:
+    def test_traced_run_is_bit_identical(self):
+        machine = Machine()
+        trace = benchmark("applu_in").trace(n_intervals=60)
+        untraced = machine.run(trace, PhasePredictionGovernor(GPHTPredictor()))
+        traced = machine.run(
+            trace,
+            PhasePredictionGovernor(GPHTPredictor()),
+            tracer=RingBufferTracer(),
+        )
+        assert traced == untraced
+
+    def pht_sweep(self, tracer=None, jobs=1):
+        engine = make_engine(jobs=jobs, tracer=tracer)
+        result = sweep_pht_entries(
+            ["applu_in", "swim_in"],
+            pht_sizes=[1, 128],
+            n_intervals=200,
+            engine=engine,
+        )
+        # Provenance carries wall-clock accounting; the determinism
+        # contract is over the measured payload.
+        return result.with_provenance(None).to_json()
+
+    def test_traced_sweep_to_json_bit_identical_serial(self):
+        tracer = RingBufferTracer()
+        assert self.pht_sweep(tracer) == self.pht_sweep(None)
+        assert len(tracer) > 0  # the trace actually recorded
+
+    def test_traced_sweep_to_json_bit_identical_parallel(self):
+        tracer = RingBufferTracer()
+        assert self.pht_sweep(tracer, jobs=2) == self.pht_sweep(None, jobs=2)
+        assert self.pht_sweep(None, jobs=2) == self.pht_sweep(None, jobs=1)

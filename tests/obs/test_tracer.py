@@ -1,0 +1,102 @@
+"""Tests for the trace collectors (no-op default, bounded ring)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import PhaseClassified
+from repro.obs.tracer import (
+    DEFAULT_CAPACITY,
+    NULL_TRACER,
+    NullTracer,
+    RingBufferTracer,
+    Tracer,
+)
+
+
+def classified(interval, phase=1):
+    return PhaseClassified(
+        interval=interval, governor="g", metric=0.001, phase=phase
+    )
+
+
+class TestNullTracer:
+    def test_disabled_singleton(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert isinstance(NULL_TRACER, Tracer)
+
+    def test_emit_and_begin_interval_are_no_ops(self):
+        NULL_TRACER.begin_interval(5)
+        NULL_TRACER.emit(classified(5))
+        assert NULL_TRACER.interval == -1
+
+    def test_enabled_is_a_class_attribute(self):
+        # The hot-loop guard must not require instance dict lookups.
+        assert "enabled" not in vars(NULL_TRACER)
+        assert NullTracer.enabled is False
+        assert RingBufferTracer.enabled is True
+
+
+class TestRingBufferTracer:
+    def test_records_in_order(self):
+        tracer = RingBufferTracer()
+        events = [classified(i) for i in range(4)]
+        for event in events:
+            tracer.emit(event)
+        assert tracer.events() == tuple(events)
+        assert len(tracer) == 4
+        assert tracer.emitted == 4
+        assert tracer.dropped == 0
+
+    def test_default_capacity(self):
+        assert RingBufferTracer().capacity == DEFAULT_CAPACITY
+
+    def test_ring_bound_keeps_most_recent(self):
+        tracer = RingBufferTracer(capacity=3)
+        for i in range(10):
+            tracer.emit(classified(i))
+        assert [e.interval for e in tracer.events()] == [7, 8, 9]
+        assert tracer.emitted == 10
+        assert tracer.dropped == 7
+        assert len(tracer) == 3
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            RingBufferTracer(capacity=0)
+
+    def test_begin_interval_tracks_index(self):
+        tracer = RingBufferTracer()
+        assert tracer.interval == -1
+        tracer.begin_interval(0)
+        assert tracer.interval == 0
+        tracer.begin_interval(7)
+        assert tracer.interval == 7
+
+    def test_interval_may_restart_at_zero(self):
+        # One tracer may record several runs back to back (e.g. the
+        # governor-comparison harness); each run restarts at 0.
+        tracer = RingBufferTracer()
+        tracer.begin_interval(100)
+        tracer.begin_interval(0)
+        assert tracer.interval == 0
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RingBufferTracer().begin_interval(-1)
+
+    def test_counts_by_type_sorted(self):
+        tracer = RingBufferTracer()
+        tracer.emit(classified(0))
+        tracer.emit(classified(1))
+        assert tracer.counts_by_type() == {"phase_classified": 2}
+
+    def test_clear_resets_everything(self):
+        tracer = RingBufferTracer(capacity=2)
+        tracer.begin_interval(3)
+        for i in range(5):
+            tracer.emit(classified(i))
+        tracer.clear()
+        assert tracer.events() == ()
+        assert tracer.emitted == 0
+        assert tracer.dropped == 0
+        assert tracer.interval == -1

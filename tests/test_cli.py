@@ -135,3 +135,160 @@ class TestExportTrace:
         trace = trace_from_json(out)
         assert trace.name == "swim_in"
         assert len(trace) == 4
+
+
+class TestJobsValidation:
+    @pytest.mark.parametrize("value", ["0", "-1", "-8"])
+    def test_non_positive_jobs_rejected(self, capsys, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "pht", "--jobs", value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "positive integer" in err
+        assert value in err
+
+    def test_non_numeric_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "swim_in", "--jobs", "many"])
+        assert excinfo.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_jobs_one_accepted(self, capsys):
+        code, _, _ = run_cli(
+            capsys, "run", "swim_in", "--intervals", "10", "--no-cache",
+            "--jobs", "1",
+        )
+        assert code == 0
+
+
+class TestTraceFlags:
+    def test_run_trace_writes_jsonl(self, capsys, tmp_path, monkeypatch):
+        from repro.obs.events import PredictionMade
+        from repro.obs.export import events_from_jsonl
+
+        out = tmp_path / "trace.jsonl"
+        code, _, err = run_cli(
+            capsys, "run", "applu_in", "--intervals", "25", "--no-cache",
+            "--trace-out", str(out),
+        )
+        assert code == 0
+        assert "trace:" in err
+        events = events_from_jsonl(out.read_text(encoding="utf-8"))
+        assert len(events) > 0
+        assert any(isinstance(e, PredictionMade) for e in events)
+
+    def test_run_trace_default_output_path(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code, _, _ = run_cli(
+            capsys, "run", "applu_in", "--intervals", "10", "--no-cache",
+            "--trace",
+        )
+        assert code == 0
+        assert (tmp_path / "repro-trace.jsonl").exists()
+
+    def test_traced_run_output_identical_to_untraced(self, capsys, tmp_path):
+        code, untraced, _ = run_cli(
+            capsys, "run", "swim_in", "--intervals", "20", "--no-cache"
+        )
+        assert code == 0
+        code, traced, _ = run_cli(
+            capsys, "run", "swim_in", "--intervals", "20", "--no-cache",
+            "--trace-out", str(tmp_path / "t.jsonl"),
+        )
+        assert code == 0
+        assert traced == untraced
+
+    def test_sweep_trace_records_cell_events(self, capsys, tmp_path):
+        from repro.obs.events import CellFinished, CellStarted
+        from repro.obs.export import events_from_jsonl
+
+        out = tmp_path / "sweep.jsonl"
+        code, _, _ = run_cli(
+            capsys, "sweep", "frequency", "swim_in", "--intervals", "10",
+            "--no-cache", "--trace-out", str(out),
+        )
+        assert code == 0
+        events = events_from_jsonl(out.read_text(encoding="utf-8"))
+        started = [e for e in events if isinstance(e, CellStarted)]
+        finished = [e for e in events if isinstance(e, CellFinished)]
+        assert len(started) == len(finished) > 0
+
+
+class TestTraceCommands:
+    def record(self, capsys, tmp_path, *extra):
+        out = tmp_path / "rec.jsonl"
+        code, _, err = run_cli(
+            capsys, "trace", "record", "applu_in", "--intervals", "30",
+            "--out", str(out), *extra,
+        )
+        assert code == 0
+        assert "trace:" in err
+        return out
+
+    def test_record_reconciles_with_counters(self, capsys, tmp_path):
+        from repro.obs.export import events_from_jsonl
+        from repro.obs.metrics import trace_metrics
+
+        out = self.record(capsys, tmp_path)
+        events = events_from_jsonl(out.read_text(encoding="utf-8"))
+        registry = trace_metrics(events)
+        assert registry.counter("events.interval_sampled").value == 30
+        assert registry.counter("events.pmi_handled").value == 30
+        lookups = (
+            registry.counter("predictor.pht_hits").value
+            + registry.counter("predictor.pht_misses").value
+        )
+        assert lookups == registry.counter("events.prediction_made").value
+
+    def test_record_to_stdout(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "trace", "record", "swim_in", "--intervals", "10"
+        )
+        assert code == 0
+        assert out.splitlines()
+        assert json.loads(out.splitlines()[0])["event"] == "interval_sampled"
+
+    def test_record_rejects_bad_intervals(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "record", "swim_in", "--intervals", "0"])
+        assert excinfo.value.code == 2
+
+    def test_summarize(self, capsys, tmp_path):
+        out = self.record(capsys, tmp_path)
+        code, text, _ = run_cli(capsys, "trace", "summarize", str(out))
+        assert code == 0
+        assert "Trace summary" in text
+        assert "predictor.pht_hit_rate" in text
+
+    def test_export_csv(self, capsys, tmp_path):
+        out = self.record(capsys, tmp_path)
+        code, text, _ = run_cli(capsys, "trace", "export", str(out))
+        assert code == 0
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows
+        assert rows[0]["event"] == "interval_sampled"
+
+    def test_export_jsonl_round_trip(self, capsys, tmp_path):
+        from repro.obs.export import events_from_jsonl
+
+        out = self.record(capsys, tmp_path)
+        code, text, _ = run_cli(
+            capsys, "trace", "export", str(out), "--format", "jsonl"
+        )
+        assert code == 0
+        original = events_from_jsonl(out.read_text(encoding="utf-8"))
+        assert events_from_jsonl(text) == original
+
+    def test_missing_file_is_a_cli_error(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "trace", "summarize", str(tmp_path / "absent.jsonl")
+        )
+        assert code == 2
+        assert "cannot read trace file" in err
+
+    def test_corrupt_file_is_a_cli_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"event": "interval_sampled"\n', encoding="utf-8")
+        code, _, err = run_cli(capsys, "trace", "summarize", str(bad))
+        assert code == 2
+        assert "line 1" in err
