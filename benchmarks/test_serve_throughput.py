@@ -1,0 +1,83 @@
+"""Serving layer — streaming sample throughput and request overhead.
+
+The paper's deployment argument is that phase management is cheap enough
+to run inside the OS with no observable overhead; the serving layer
+makes the analogous claim for the online service: one protocol request
+(parse, dispatch, classify, train, predict, serialize) must stay far
+below the ~100 ms pace of real 100M-uop sampling intervals.
+
+Two benches: the raw ``PhaseSession.feed`` loop (the predictor's hot
+path with no protocol framing) and the full wire path through
+``handle_line``.  Both record samples/sec to ``benchmarks/results``.
+"""
+
+import json
+
+from repro.serve import PhaseSession, SessionConfig, SessionManager, handle_line
+from repro.workloads.spec2000 import benchmark as spec_benchmark
+
+
+def _mem_series(n_intervals):
+    trace = spec_benchmark("applu_in").trace(n_intervals=n_intervals)
+    return list(trace.mem_per_uop_series())
+
+
+def test_serve_session_feed_throughput(benchmark, report):
+    """Raw session throughput: the online predictor loop, no framing."""
+    series = _mem_series(500)
+
+    def stream():
+        session = PhaseSession(SessionConfig())
+        for index, value in enumerate(series):
+            session.feed(index, value)
+        return session
+
+    session = benchmark(stream)
+    assert session.samples == len(series)
+
+    per_sample = benchmark.stats.stats.mean / len(series)
+    rate = 1.0 / per_sample
+    report(
+        "serve_feed_throughput",
+        "Serving layer. PhaseSession.feed: "
+        f"{rate:,.0f} samples/sec ({per_sample * 1e6:.2f} us/sample) "
+        "over the applu_in Mem/Uop series (GPHT 8x128, table2 policy).",
+    )
+    # A sample must cost far less than the ~100 ms interval it models.
+    assert per_sample < 1e-3
+
+
+def test_serve_wire_protocol_throughput(benchmark, report):
+    """Full wire path: JSON parse -> dispatch -> feed -> JSON response."""
+    series = _mem_series(300)
+    lines = [
+        json.dumps(
+            {
+                "op": "sample",
+                "session": "s1",
+                "interval": index,
+                "mem_per_uop": value,
+            }
+        )
+        for index, value in enumerate(series)
+    ]
+
+    def stream():
+        manager = SessionManager()
+        handle_line(manager, json.dumps({"op": "hello"}))
+        for line in lines:
+            handle_line(manager, line)
+        return manager
+
+    manager = benchmark(stream)
+    assert manager.metrics.counter("serve.samples").value == len(series)
+
+    per_request = benchmark.stats.stats.mean / len(series)
+    rate = 1.0 / per_request
+    report(
+        "serve_wire_throughput",
+        "Serving layer. Wire protocol (handle_line): "
+        f"{rate:,.0f} requests/sec ({per_request * 1e6:.2f} us/request) "
+        "for streamed sample requests over one session.",
+    )
+    assert per_request < 5e-3

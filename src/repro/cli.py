@@ -33,7 +33,15 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro import __version__
 from repro.analysis.characterize import characterization_rows, characterize
@@ -69,6 +77,9 @@ from repro.workloads.spec2000 import (
     benchmark,
     benchmark_names,
 )
+
+if TYPE_CHECKING:
+    from repro.serve import SessionManager
 
 # ---------------------------------------------------------------------------
 # Shared option groups (argparse parents)
@@ -176,6 +187,19 @@ def _cli_tracer(args: argparse.Namespace) -> Optional[RingBufferTracer]:
     return None
 
 
+def _write_output_file(path: Path, payload: str) -> None:
+    """Write ``payload`` to ``path``, creating missing parent directories.
+
+    Maps I/O failures (unwritable parent, path is a directory, ...) onto
+    the CLI error path instead of a bare traceback.
+    """
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(payload, encoding="utf-8")
+    except OSError as error:
+        raise ConfigurationError(f"cannot write {path}: {error}") from None
+
+
 def _write_trace(
     tracer: Optional[RingBufferTracer], args: argparse.Namespace
 ) -> None:
@@ -183,7 +207,7 @@ def _write_trace(
     if tracer is None:
         return
     out = Path(args.trace_out) if args.trace_out else Path("repro-trace.jsonl")
-    out.write_text(events_to_jsonl(tracer.events()), encoding="utf-8")
+    _write_output_file(out, events_to_jsonl(tracer.events()))
     dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
     print(f"trace: {len(tracer)} events{dropped} -> {out}", file=sys.stderr)
 
@@ -555,7 +579,7 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
     evaluate_cell(cell_spec, tracer)
     payload = events_to_jsonl(tracer.events())
     if args.out:
-        Path(args.out).write_text(payload, encoding="utf-8")
+        _write_output_file(Path(args.out), payload)
         print(
             f"trace: {len(tracer)} events -> {args.out}", file=sys.stderr
         )
@@ -577,13 +601,100 @@ def _cmd_trace_export(args: argparse.Namespace) -> int:
     else:
         payload = events_to_jsonl(events)
     if args.out:
-        Path(args.out).write_text(payload, encoding="utf-8")
+        _write_output_file(Path(args.out), payload)
         print(
             f"trace: {len(events)} events -> {args.out}", file=sys.stderr
         )
     else:
         print(payload, end="")
     return 0
+
+
+def _serve_manager(args: argparse.Namespace) -> "SessionManager":
+    """Build the session manager a ``serve`` frontend asked for."""
+    from repro.serve import SessionManager
+    from repro.serve.frontends import DEFAULT_CLOCK
+
+    return SessionManager(
+        max_sessions=args.max_sessions,
+        idle_timeout_s=args.idle_timeout,
+        clock=DEFAULT_CLOCK,
+    )
+
+
+def _cmd_serve_stdio(args: argparse.Namespace) -> int:
+    from repro.serve import serve_stdio
+
+    handled = serve_stdio(_serve_manager(args), sys.stdin, sys.stdout)
+    print(f"serve: {handled} requests handled", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve_tcp(args: argparse.Namespace) -> int:
+    from repro.serve import serve_tcp
+
+    print(
+        f"serve: listening on {args.host}:{args.port} "
+        f"(max {args.max_sessions} sessions)",
+        file=sys.stderr,
+    )
+    serve_tcp(
+        _serve_manager(args),
+        host=args.host,
+        port=args.port,
+        queue_depth=args.queue_depth,
+    )
+    return 0
+
+
+def _cmd_serve_replay(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve import SessionConfig, load_trace, replay_trace
+
+    config = SessionConfig(
+        governor=args.governor,
+        policy=args.policy,
+        gphr_depth=args.gphr_depth,
+        pht_entries=args.pht_entries,
+        window_size=args.window_size,
+    )
+    report = replay_trace(
+        load_trace(Path(args.file)), config, snapshot_at=args.snapshot_at
+    )
+    if args.format == "json":
+        print(_json.dumps(report.to_payload(), indent=2, sort_keys=True))
+    else:
+        rows = [
+            ("samples", str(report.samples)),
+            ("governor", report.governor),
+            ("policy", report.policy),
+            ("scored predictions", str(len(report.online_predictions))),
+            ("accuracy", format_percent(report.accuracy)),
+            (
+                "snapshot/restore at",
+                "-" if report.snapshot_at is None else str(report.snapshot_at),
+            ),
+            (
+                "matches offline evaluator",
+                "yes"
+                if report.matches_offline
+                else f"NO (first mismatch at {report.mismatch_index})",
+            ),
+            (
+                "matches recorded phases",
+                "-"
+                if report.trace_phases_match is None
+                else ("yes" if report.trace_phases_match else "NO"),
+            ),
+        ]
+        print(
+            format_table(
+                ["property", "value"], rows, title=f"replay: {args.file}"
+            )
+        )
+    ok = report.matches_offline and report.trace_phases_match is not False
+    return 0 if ok else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -856,6 +967,110 @@ def build_parser() -> argparse.ArgumentParser:
         help="write to FILE (default: stdout)",
     )
     trace_export.set_defaults(func=_cmd_trace_export)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="online streaming phase-prediction service (see docs/serving.md)",
+    )
+    serve_subparsers = serve_parser.add_subparsers(
+        dest="serve_kind", required=True
+    )
+
+    serve_limits = argparse.ArgumentParser(add_help=False)
+    limits_group = serve_limits.add_argument_group("overload protection")
+    limits_group.add_argument(
+        "--max-sessions",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help="live-session ceiling (default: 64)",
+    )
+    limits_group.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict sessions idle longer than this (default: never)",
+    )
+
+    serve_stdio_parser = serve_subparsers.add_parser(
+        "stdio",
+        parents=[serve_limits],
+        help="serve line-delimited JSON over stdin/stdout until EOF",
+    )
+    serve_stdio_parser.set_defaults(func=_cmd_serve_stdio)
+
+    serve_tcp_parser = serve_subparsers.add_parser(
+        "tcp",
+        parents=[serve_limits],
+        help="serve line-delimited JSON over TCP until interrupted",
+    )
+    serve_tcp_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_tcp_parser.add_argument(
+        "--port", type=int, default=8472, help="bind port (default: 8472)"
+    )
+    serve_tcp_parser.add_argument(
+        "--queue-depth",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help="per-connection request queue depth (default: 64)",
+    )
+    serve_tcp_parser.set_defaults(func=_cmd_serve_tcp)
+
+    serve_replay_parser = serve_subparsers.add_parser(
+        "replay",
+        help=(
+            "drive a recorded trace through a live session and verify it "
+            "reproduces the offline evaluator bit-for-bit (exit 1 if not)"
+        ),
+    )
+    serve_replay_parser.add_argument(
+        "file", help="JSONL trace file (from 'repro trace record')"
+    )
+    serve_replay_parser.add_argument(
+        "--governor",
+        choices=("gpht", "reactive", "fixed_window"),
+        default="gpht",
+        help="session governor (default: gpht)",
+    )
+    serve_replay_parser.add_argument(
+        "--policy",
+        choices=sorted(POLICY_NAMES),
+        default="table2",
+        help="phase-to-DVFS policy (default: the paper's Table 2)",
+    )
+    serve_replay_parser.add_argument(
+        "--gphr-depth", type=_positive_int, default=8,
+        help="GPHT history depth (default: 8)",
+    )
+    serve_replay_parser.add_argument(
+        "--pht-entries", type=_positive_int, default=128,
+        help="GPHT pattern-table capacity (default: 128)",
+    )
+    serve_replay_parser.add_argument(
+        "--window-size", type=_positive_int, default=8,
+        help="fixed_window length (default: 8)",
+    )
+    serve_replay_parser.add_argument(
+        "--snapshot-at",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "checkpoint after sample N, round-trip through JSON and "
+            "restore into a fresh session before continuing"
+        ),
+    )
+    serve_replay_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    serve_replay_parser.set_defaults(func=_cmd_serve_replay)
 
     lint_parser = subparsers.add_parser(
         "lint",

@@ -127,6 +127,11 @@ class PhasePredictionGovernor(Governor):
             readings (default: ``Mem/Uop``).  Provided so Section 4's
             UPC-classification pitfall can be demonstrated; production
             policies should keep the DVFS-invariant default.
+        record_decisions: Whether to keep every decision in
+            :attr:`decisions` (the offline-evaluation default).  A
+            long-running service (``repro.serve``) disables this so a
+            session's memory stays bounded; disabling never changes any
+            decision taken.
     """
 
     def __init__(
@@ -135,11 +140,13 @@ class PhasePredictionGovernor(Governor):
         policy: Optional[DVFSPolicy] = None,
         name: Optional[str] = None,
         metric: MetricExtractor = mem_per_uop_metric,
+        record_decisions: bool = True,
     ) -> None:
         self._predictor = predictor
         self._policy = policy if policy is not None else DVFSPolicy.paper_default()
         self._name = name if name is not None else predictor.name
         self._metric = metric
+        self._record_decisions = record_decisions
         self._decisions: List[GovernorDecision] = []
         self._tracer: Tracer = NULL_TRACER
 
@@ -190,7 +197,8 @@ class PhasePredictionGovernor(Governor):
             predicted_phase=predicted,
             setting=self._policy.setting_for(predicted),
         )
-        self._decisions.append(decision)
+        if self._record_decisions:
+            self._decisions.append(decision)
         return decision
 
     @staticmethod
@@ -211,8 +219,17 @@ class ReactiveGovernor(PhasePredictionGovernor):
     last-value predictor.
     """
 
-    def __init__(self, policy: Optional[DVFSPolicy] = None) -> None:
-        super().__init__(LastValuePredictor(), policy, name="Reactive")
+    def __init__(
+        self,
+        policy: Optional[DVFSPolicy] = None,
+        record_decisions: bool = True,
+    ) -> None:
+        super().__init__(
+            LastValuePredictor(),
+            policy,
+            name="Reactive",
+            record_decisions=record_decisions,
+        )
 
 
 class StaticGovernor(Governor):

@@ -18,8 +18,13 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Dict
 
+from repro.errors import ConfigurationError
 from repro.obs.tracer import NULL_TRACER, Tracer
+
+#: A JSON-able predictor checkpoint payload (see ``export_state``).
+PredictorState = Dict[str, object]
 
 
 @dataclass(frozen=True)
@@ -75,6 +80,31 @@ class PhasePredictor(ABC):
     @abstractmethod
     def reset(self) -> None:
         """Forget all history (fresh application start)."""
+
+    # -- checkpointing (repro.serve session snapshot/restore) --------------
+
+    def export_state(self) -> PredictorState:
+        """A lossless, JSON-able snapshot of all mutable predictor state.
+
+        A predictor restored from this payload must emit *bit-identical*
+        predictions to the original from that point on.  Predictors that
+        do not support checkpointing raise ``ConfigurationError``; the
+        base class supports none.
+        """
+        raise ConfigurationError(
+            f"{self.name} does not support state checkpointing"
+        )
+
+    def restore_state(self, state: PredictorState) -> None:
+        """Replace all mutable state with an :meth:`export_state` payload.
+
+        Raises:
+            ConfigurationError: On a malformed payload or one exported
+                from an incompatible predictor configuration.
+        """
+        raise ConfigurationError(
+            f"{self.name} does not support state checkpointing"
+        )
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

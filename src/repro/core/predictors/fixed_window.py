@@ -18,7 +18,11 @@ from __future__ import annotations
 from collections import Counter, deque
 from typing import Deque
 
-from repro.core.predictors.base import PhaseObservation, PhasePredictor
+from repro.core.predictors.base import (
+    PhaseObservation,
+    PhasePredictor,
+    PredictorState,
+)
 from repro.errors import ConfigurationError
 
 _SELECTORS = ("majority", "mean")
@@ -79,3 +83,42 @@ class FixedWindowPredictor(PhasePredictor):
 
     def reset(self) -> None:
         self._window.clear()
+
+    def export_state(self) -> PredictorState:
+        return {
+            "kind": "fixed_window",
+            "window_size": self._window_size,
+            "selector": self._selector,
+            "window": list(self._window),
+        }
+
+    def restore_state(self, state: PredictorState) -> None:
+        if state.get("kind") != "fixed_window":
+            raise ConfigurationError(
+                f"checkpoint kind {state.get('kind')!r} is not 'fixed_window'"
+            )
+        for key, expected in (
+            ("window_size", self._window_size),
+            ("selector", self._selector),
+        ):
+            if state.get(key) != expected:
+                raise ConfigurationError(
+                    f"checkpoint {key}={state.get(key)!r} does not match "
+                    f"this predictor's {key}={expected!r}"
+                )
+        raw = state.get("window")
+        if not isinstance(raw, list):
+            raise ConfigurationError("checkpoint 'window' must be a list")
+        window = []
+        for value in raw:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(
+                    f"window entries must be ints, got {value!r}"
+                )
+            window.append(value)
+        if len(window) > self._window_size:
+            raise ConfigurationError(
+                f"checkpoint window holds {len(window)} entries, size is "
+                f"{self._window_size}"
+            )
+        self._window = deque(window, maxlen=self._window_size)

@@ -31,9 +31,13 @@ entries deployed, up to 1024 in evaluation).
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
-from repro.core.predictors.base import PhaseObservation, PhasePredictor
+from repro.core.predictors.base import (
+    PhaseObservation,
+    PhasePredictor,
+    PredictorState,
+)
 from repro.errors import ConfigurationError
 from repro.obs.events import PredictionMade
 
@@ -238,3 +242,107 @@ class GPHTPredictor(PhasePredictor):
         self._pending_tag = None
         self._hits = 0
         self._misses = 0
+
+    # -- checkpointing ------------------------------------------------------
+
+    def export_state(self) -> PredictorState:
+        """Lossless JSON-able snapshot: GPHR, PHT (tags, stored
+        predictions, LRU order), pending training tag and hit counters.
+
+        PHT entries are listed least-recently-used first, exactly the
+        internal ordering, so a restore reproduces future evictions
+        bit-for-bit.
+        """
+        return {
+            "kind": "gpht",
+            "gphr_depth": self._depth,
+            "pht_entries": self._capacity,
+            "replacement": self._replacement,
+            "gphr": list(self._gphr),
+            "pht": [
+                [list(tag), stored] for tag, stored in self._pht.items()
+            ],
+            "pending_tag": (
+                list(self._pending_tag)
+                if self._pending_tag is not None
+                else None
+            ),
+            "hits": self._hits,
+            "misses": self._misses,
+        }
+
+    def restore_state(self, state: PredictorState) -> None:
+        if state.get("kind") != "gpht":
+            raise ConfigurationError(
+                f"checkpoint kind {state.get('kind')!r} is not 'gpht'"
+            )
+        for key, expected in (
+            ("gphr_depth", self._depth),
+            ("pht_entries", self._capacity),
+            ("replacement", self._replacement),
+        ):
+            if state.get(key) != expected:
+                raise ConfigurationError(
+                    f"checkpoint {key}={state.get(key)!r} does not match "
+                    f"this predictor's {key}={expected!r}"
+                )
+        gphr = _int_list(state, "gphr")
+        if len(gphr) != self._depth:
+            raise ConfigurationError(
+                f"checkpoint GPHR has {len(gphr)} entries, expected "
+                f"{self._depth}"
+            )
+        raw_pht = state.get("pht")
+        if not isinstance(raw_pht, list):
+            raise ConfigurationError("checkpoint 'pht' must be a list")
+        pht: "OrderedDict[Tuple[int, ...], Optional[int]]" = OrderedDict()
+        for entry in raw_pht:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or not isinstance(entry[0], (list, tuple))
+            ):
+                raise ConfigurationError(
+                    f"malformed PHT checkpoint entry: {entry!r}"
+                )
+            tag_values, stored = entry
+            tag = tuple(_as_int(v, "PHT tag") for v in tag_values)
+            if len(tag) != self._depth:
+                raise ConfigurationError(
+                    f"PHT tag {tag} has length {len(tag)}, expected "
+                    f"{self._depth}"
+                )
+            pht[tag] = None if stored is None else _as_int(stored, "PHT value")
+        if len(pht) > self._capacity:
+            raise ConfigurationError(
+                f"checkpoint holds {len(pht)} PHT entries, capacity is "
+                f"{self._capacity}"
+            )
+        raw_pending = state.get("pending_tag")
+        pending: Optional[Tuple[int, ...]] = None
+        if raw_pending is not None:
+            if not isinstance(raw_pending, (list, tuple)):
+                raise ConfigurationError(
+                    f"malformed pending_tag: {raw_pending!r}"
+                )
+            pending = tuple(_as_int(v, "pending tag") for v in raw_pending)
+        self._gphr = deque(gphr, maxlen=self._depth)
+        self._pht = pht
+        self._pending_tag = pending
+        self._hits = _as_int(state.get("hits", 0), "hits")
+        self._misses = _as_int(state.get("misses", 0), "misses")
+
+
+def _as_int(value: object, label: str) -> int:
+    """Narrow a checkpoint scalar to int (bools are not phase ids)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{label} must be an int, got {value!r}")
+    return value
+
+
+def _int_list(state: PredictorState, key: str) -> List[int]:
+    """Extract a list-of-ints field from a checkpoint payload."""
+    raw = state.get(key)
+    if not isinstance(raw, list):
+        raise ConfigurationError(f"checkpoint {key!r} must be a list")
+    return [_as_int(v, key) for v in raw]

@@ -8,7 +8,12 @@ Excellent for stable applications, poor for rapidly varying ones.
 
 from __future__ import annotations
 
-from repro.core.predictors.base import PhaseObservation, PhasePredictor
+from repro.core.predictors.base import (
+    PhaseObservation,
+    PhasePredictor,
+    PredictorState,
+)
+from repro.errors import ConfigurationError
 
 
 class LastValuePredictor(PhasePredictor):
@@ -32,3 +37,28 @@ class LastValuePredictor(PhasePredictor):
     def reset(self) -> None:
         self._last_phase = self.DEFAULT_PHASE
         self._seen_any = False
+
+    def export_state(self) -> PredictorState:
+        return {
+            "kind": "last_value",
+            "last_phase": self._last_phase,
+            "seen_any": self._seen_any,
+        }
+
+    def restore_state(self, state: PredictorState) -> None:
+        if state.get("kind") != "last_value":
+            raise ConfigurationError(
+                f"checkpoint kind {state.get('kind')!r} is not 'last_value'"
+            )
+        last_phase = state.get("last_phase")
+        seen_any = state.get("seen_any")
+        if isinstance(last_phase, bool) or not isinstance(last_phase, int):
+            raise ConfigurationError(
+                f"last_phase must be an int, got {last_phase!r}"
+            )
+        if not isinstance(seen_any, bool):
+            raise ConfigurationError(
+                f"seen_any must be a bool, got {seen_any!r}"
+            )
+        self._last_phase = last_phase
+        self._seen_any = seen_any

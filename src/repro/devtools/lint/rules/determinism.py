@@ -12,6 +12,11 @@ The trace collectors in ``obs/`` are held to the same bar: tracing is
 required to be zero-perturbation and deterministic, so a trace event
 must never carry a wall-clock stamp — only simulated time and the
 monotonic interval index.
+
+``serve/`` joins the list because its correctness contract is bit-for-bit
+equivalence with the offline evaluator: the serving layer never *calls*
+a clock itself — frontends pass ``time.monotonic`` in by reference,
+which this rule deliberately permits (it flags calls, not references).
 """
 
 from __future__ import annotations
@@ -74,10 +79,10 @@ class DeterminismRule(LintRule):
     name = "determinism"
     description = (
         "no time.time()/datetime.now()/unseeded random calls in "
-        "core/, power/, workloads/ or obs/ (simulation and its traces "
-        "must be replayable)"
+        "core/, power/, workloads/, obs/ or serve/ (simulation, its "
+        "traces and the serving layer must be replayable)"
     )
-    packages: Tuple[str, ...] = ("core", "power", "workloads", "obs")
+    packages: Tuple[str, ...] = ("core", "power", "workloads", "obs", "serve")
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:
         for node in ast.walk(module.tree):

@@ -205,6 +205,51 @@ class CellFinished(TraceEvent):
     seconds: float
 
 
+@register_event
+@dataclass(frozen=True)
+class SessionOpened(TraceEvent):
+    """A ``repro.serve`` phase-prediction session was opened.
+
+    ``interval`` is the server's request sequence number (monotone per
+    server, the serving analogue of the PMI interval index).
+    """
+
+    event_type: ClassVar[str] = "session_opened"
+
+    session: str
+    governor: str
+    policy: str
+
+
+@register_event
+@dataclass(frozen=True)
+class SessionClosed(TraceEvent):
+    """A session ended: explicit ``bye`` or idle eviction."""
+
+    event_type: ClassVar[str] = "session_closed"
+
+    session: str
+    reason: str
+    samples: int
+
+
+@register_event
+@dataclass(frozen=True)
+class SessionDegraded(TraceEvent):
+    """A session crossed its latency budget (or recovered from it).
+
+    ``active`` is the degradation state *after* this event;
+    ``latency_s`` is the measured per-sample latency that triggered the
+    change (0.0 on recovery by cool-down).
+    """
+
+    event_type: ClassVar[str] = "session_degraded"
+
+    session: str
+    active: bool
+    latency_s: float
+
+
 def event_types() -> Tuple[str, ...]:
     """All registered event-type strings, sorted."""
     return tuple(sorted(EVENT_TYPES))

@@ -1,0 +1,90 @@
+"""Online streaming phase-prediction service (``repro serve``).
+
+The serving layer turns the repo's offline phase-prediction stack into a
+long-running service: each client holds a :class:`PhaseSession` (live
+predictor + governor + phase table), feeds it counter samples one at a
+time over a versioned line-delimited JSON protocol (stdio or TCP), and
+can checkpoint/restore the session losslessly at any point.
+
+Guarantees:
+
+* **online == offline** — a session fed a ``Mem/Uop`` series emits
+  bit-for-bit the prediction sequence of
+  :func:`repro.analysis.accuracy.evaluate_predictor`;
+* **lossless checkpoints** — ``restore(snapshot(s))`` continues exactly
+  where ``s`` stopped, including full GPHT state (GPHR, PHT tags, LRU
+  order);
+* **overload protection** — session ceiling, idle eviction, bounded
+  per-connection queues and latency-budget degradation to last-value
+  prediction.
+
+See ``docs/serving.md`` for the wire protocol and workflows.
+"""
+
+from repro.serve.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    checkpoint_from_json,
+    checkpoint_to_json,
+    validate_checkpoint,
+)
+from repro.serve.frontends import (
+    DEFAULT_QUEUE_DEPTH,
+    serve_stdio,
+    serve_tcp,
+    serve_tcp_async,
+)
+from repro.serve.manager import (
+    DEFAULT_MAX_SESSIONS,
+    OverloadedError,
+    SessionManager,
+    UnknownSessionError,
+)
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    handle_line,
+    handle_request,
+    parse_response,
+)
+from repro.serve.replay import (
+    ReplayReport,
+    ReplaySample,
+    extract_samples,
+    load_trace,
+    replay_trace,
+)
+from repro.serve.session import (
+    SESSION_GOVERNORS,
+    PhaseSession,
+    SampleOutcome,
+    SessionConfig,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "DEFAULT_MAX_SESSIONS",
+    "DEFAULT_QUEUE_DEPTH",
+    "OverloadedError",
+    "PROTOCOL_VERSION",
+    "PhaseSession",
+    "ReplayReport",
+    "ReplaySample",
+    "SESSION_GOVERNORS",
+    "SampleOutcome",
+    "SessionConfig",
+    "SessionManager",
+    "UnknownSessionError",
+    "checkpoint_from_json",
+    "checkpoint_to_json",
+    "extract_samples",
+    "handle_line",
+    "handle_request",
+    "load_trace",
+    "parse_response",
+    "replay_trace",
+    "serve_stdio",
+    "serve_tcp",
+    "serve_tcp_async",
+    "validate_checkpoint",
+]

@@ -1,0 +1,87 @@
+"""Versioned session checkpoints: validation and JSON round trip.
+
+A checkpoint is the JSON-able payload produced by
+:meth:`repro.serve.session.PhaseSession.snapshot`: the session config,
+the predictor's complete mutable state (for the GPHT: GPHR contents and
+every PHT entry with its tag, stored prediction and LRU position) and
+the scoring/degradation counters.  The format is versioned so an old
+server's checkpoint fails loudly on an incompatible reader instead of
+silently restoring garbage.
+
+The round trip is *lossless by construction*: every field is a JSON
+scalar or a list/object of scalars, and the property tests assert that
+``restore(snapshot(s))`` continues bit-for-bit where ``s`` stopped and
+that ``snapshot(restore(snapshot(s))) == snapshot(s)``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+#: Current checkpoint format version.  Bump on any incompatible change
+#: to the payload layout.
+CHECKPOINT_VERSION = 1
+
+#: A checkpoint payload (JSON-able scalars and containers only).
+Checkpoint = Dict[str, object]
+
+#: Fields every version-1 checkpoint must carry.
+_REQUIRED_FIELDS = ("version", "config", "predictor", "samples")
+
+
+def validate_checkpoint(payload: Checkpoint) -> None:
+    """Structural validation of a checkpoint payload.
+
+    Checks the version and the field skeleton; detailed per-field
+    validation happens where each field is consumed (session config,
+    predictor state).
+
+    Raises:
+        ConfigurationError: On a non-dict payload, a missing field or an
+            unsupported version.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"checkpoint must be a JSON object, got {type(payload).__name__}"
+        )
+    missing = [key for key in _REQUIRED_FIELDS if key not in payload]
+    if missing:
+        raise ConfigurationError(
+            f"checkpoint is missing required fields: {missing}"
+        )
+    version = payload["version"]
+    if version != CHECKPOINT_VERSION:
+        raise ConfigurationError(
+            f"unsupported checkpoint version {version!r}; this server "
+            f"reads version {CHECKPOINT_VERSION}"
+        )
+    if not isinstance(payload["config"], dict):
+        raise ConfigurationError("checkpoint 'config' must be an object")
+    if not isinstance(payload["predictor"], dict):
+        raise ConfigurationError("checkpoint 'predictor' must be an object")
+
+
+def checkpoint_to_json(payload: Checkpoint, indent: int = 0) -> str:
+    """Serialize a checkpoint payload to JSON text."""
+    if indent:
+        return json.dumps(payload, sort_keys=True, indent=indent)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def checkpoint_from_json(text: str) -> Checkpoint:
+    """Parse and structurally validate checkpoint JSON.
+
+    Raises:
+        ConfigurationError: On invalid JSON or an invalid payload.
+    """
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise ConfigurationError(f"invalid checkpoint JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ConfigurationError("checkpoint must be a JSON object")
+    validate_checkpoint(payload)
+    return payload

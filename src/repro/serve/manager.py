@@ -1,0 +1,254 @@
+"""Session lifecycle: creation, lookup, idle eviction, overload limits.
+
+The :class:`SessionManager` is the server-side registry every frontend
+(stdio, TCP) dispatches into.  It enforces the service's protection
+envelope:
+
+* **overload** — at most ``max_sessions`` live sessions; a ``hello``
+  beyond that is rejected with :class:`OverloadedError` (after first
+  sweeping idle sessions), which the wire protocol maps to
+  ``server_overloaded``;
+* **idle eviction** — sessions untouched for ``idle_timeout_s`` are
+  closed on the next sweep, so abandoned clients cannot pin memory.
+
+Time is injectable: with no ``clock`` the manager runs on a logical
+clock that advances one unit per handled request, keeping every test
+(and any clock-free deployment) deterministic.  Frontends inject
+``time.monotonic`` for wall-clock idle timeouts and latency histograms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ReproError
+from repro.obs.events import SessionClosed, SessionOpened
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.serve.session import Clock, Payload, PhaseSession, SessionConfig
+
+#: Default live-session ceiling.
+DEFAULT_MAX_SESSIONS = 64
+
+
+class OverloadedError(ReproError):
+    """The server is at its live-session ceiling."""
+
+
+class UnknownSessionError(ReproError):
+    """The named session does not exist (never did, or was closed)."""
+
+
+class _Entry:
+    """One live session plus its bookkeeping."""
+
+    __slots__ = ("session", "last_used")
+
+    def __init__(self, session: PhaseSession, last_used: float) -> None:
+        self.session = session
+        self.last_used = last_used
+
+
+class SessionManager:
+    """Registry of live :class:`PhaseSession` objects.
+
+    Args:
+        max_sessions: Live-session ceiling (overload protection).
+        idle_timeout_s: Evict sessions untouched for this long; ``None``
+            disables eviction.  Measured on ``clock`` when provided,
+            otherwise on the logical request clock (one unit per
+            request).
+        clock: Injectable time source shared with every session it
+            creates; ``None`` keeps the manager fully deterministic.
+        tracer: Trace collector for session lifecycle events.
+        metrics: Metrics registry; a private one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        idle_timeout_s: Optional[float] = None,
+        clock: Optional[Clock] = None,
+        tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ConfigurationError(
+                f"max_sessions must be >= 1, got {max_sessions}"
+            )
+        if idle_timeout_s is not None and idle_timeout_s <= 0:
+            raise ConfigurationError(
+                f"idle timeout must be > 0, got {idle_timeout_s}"
+            )
+        self._max_sessions = max_sessions
+        self._idle_timeout_s = idle_timeout_s
+        self._clock = clock
+        self._tracer = tracer
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._sessions: Dict[str, _Entry] = {}
+        self._next_id = 1
+        self._requests = 0
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def clock(self) -> Optional[Clock]:
+        """The injected time source (``None`` = logical clock)."""
+        return self._clock
+
+    def now(self) -> float:
+        """Current time: the injected clock, or the logical request count."""
+        if self._clock is not None:
+            return self._clock()
+        return float(self._requests)
+
+    def tick(self) -> None:
+        """Advance the logical clock; called once per handled request."""
+        self._requests += 1
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The shared metrics registry."""
+        return self._metrics
+
+    @property
+    def active_sessions(self) -> int:
+        """Number of live sessions."""
+        return len(self._sessions)
+
+    def session_ids(self) -> Tuple[str, ...]:
+        """Ids of every live session, in creation order."""
+        return tuple(self._sessions)
+
+    def open(self, config: Optional[SessionConfig] = None) -> PhaseSession:
+        """Create a session, enforcing the overload ceiling.
+
+        Raises:
+            OverloadedError: When the server is full even after evicting
+                idle sessions.
+        """
+        session = PhaseSession(
+            config,
+            session_id=self._reserve_slot(),
+            clock=self._clock,
+            tracer=self._tracer,
+            metrics=self._metrics,
+        )
+        return self._register(session)
+
+    def restore(self, checkpoint: Payload) -> PhaseSession:
+        """Open a session from a checkpoint (same overload rules).
+
+        Raises:
+            ConfigurationError: On a malformed checkpoint.
+            OverloadedError: When the server is full.
+        """
+        session = PhaseSession.from_snapshot(
+            checkpoint,
+            session_id=self._reserve_slot(),
+            clock=self._clock,
+            tracer=self._tracer,
+            metrics=self._metrics,
+        )
+        return self._register(session)
+
+    def _reserve_slot(self) -> str:
+        """Sweep idle sessions, enforce the ceiling, mint the next id."""
+        self.evict_idle()
+        if len(self._sessions) >= self._max_sessions:
+            raise OverloadedError(
+                f"server is at its session ceiling ({self._max_sessions}); "
+                "close a session or retry later"
+            )
+        session_id = f"s{self._next_id}"
+        self._next_id += 1
+        return session_id
+
+    def _register(self, session: PhaseSession) -> PhaseSession:
+        self._sessions[session.session_id] = _Entry(session, self.now())
+        self._metrics.counter("serve.sessions_opened").inc()
+        self._metrics.gauge("serve.sessions_active").set(
+            float(len(self._sessions))
+        )
+        if self._tracer.enabled:
+            self._tracer.emit(
+                SessionOpened(
+                    interval=self._requests,
+                    session=session.session_id,
+                    governor=session.config.governor,
+                    policy=session.config.policy,
+                )
+            )
+        return session
+
+    def get(self, session_id: str) -> PhaseSession:
+        """Look up a live session and refresh its idle timer.
+
+        Raises:
+            UnknownSessionError: If the id names no live session.
+        """
+        entry = self._sessions.get(session_id)
+        if entry is None:
+            raise UnknownSessionError(
+                f"unknown session {session_id!r} (closed, evicted or never "
+                "opened)"
+            )
+        entry.last_used = self.now()
+        return entry.session
+
+    def close(self, session_id: str, reason: str = "bye") -> PhaseSession:
+        """Close a session explicitly.
+
+        Raises:
+            UnknownSessionError: If the id names no live session.
+        """
+        entry = self._sessions.pop(session_id, None)
+        if entry is None:
+            raise UnknownSessionError(f"unknown session {session_id!r}")
+        self._note_closed(entry.session, reason)
+        return entry.session
+
+    def evict_idle(self) -> List[str]:
+        """Close every session idle past the timeout; returns their ids."""
+        if self._idle_timeout_s is None:
+            return []
+        now = self.now()
+        expired = [
+            session_id
+            for session_id, entry in self._sessions.items()
+            if now - entry.last_used > self._idle_timeout_s
+        ]
+        for session_id in expired:
+            entry = self._sessions.pop(session_id)
+            self._metrics.counter("serve.sessions_evicted").inc()
+            self._note_closed(entry.session, "evicted")
+        return expired
+
+    def _note_closed(self, session: PhaseSession, reason: str) -> None:
+        self._metrics.counter("serve.sessions_closed").inc()
+        self._metrics.gauge("serve.sessions_active").set(
+            float(len(self._sessions))
+        )
+        if self._tracer.enabled:
+            self._tracer.emit(
+                SessionClosed(
+                    interval=self._requests,
+                    session=session.session_id,
+                    reason=reason,
+                    samples=session.samples,
+                )
+            )
+
+    # -- observability ------------------------------------------------------
+
+    def stats(self) -> Payload:
+        """Server-level statistics (the session-less ``stats`` answer)."""
+        return {
+            "sessions_active": len(self._sessions),
+            "max_sessions": self._max_sessions,
+            "idle_timeout_s": self._idle_timeout_s,
+            "requests": self._requests,
+            "metrics": self._metrics.to_dict(),
+        }

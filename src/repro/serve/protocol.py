@@ -1,0 +1,333 @@
+"""Versioned line-delimited JSON wire protocol for the serving layer.
+
+One request per line, one response per line, in order.  Every request
+is a JSON object with an ``op`` field; every response carries ``ok``
+(and, on failure, a stable ``error`` code plus a human ``message``).
+The same dispatcher serves both frontends — stdio and TCP differ only
+in transport.
+
+Operations (protocol version 1):
+
+=========  ==============================================================
+``hello``  Open a session.  Optional ``protocol`` (must be 1 when given)
+           and any :class:`~repro.serve.session.SessionConfig` fields.
+``sample`` Feed one interval: ``session``, ``interval``, ``mem_per_uop``
+           and optional ``upc``.  Answers the classified phase, the
+           predicted next phase, the recommended frequency, the degraded
+           flag and whether the previous prediction hit.
+``predict`` The standing prediction without feeding a sample.
+``snapshot`` The session's lossless checkpoint (see
+           :mod:`repro.serve.checkpoint`).
+``restore`` Open a *new* session from a checkpoint payload.
+``stats``  Per-session (with ``session``) or server statistics.
+``bye``    Close a session.
+=========  ==============================================================
+
+Error codes: ``bad_request``, ``unknown_session``, ``server_overloaded``,
+``unsupported_protocol``, ``internal``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Tuple
+
+from repro.errors import ConfigurationError, ReproError
+from repro.serve.checkpoint import validate_checkpoint
+from repro.serve.manager import (
+    OverloadedError,
+    SessionManager,
+    UnknownSessionError,
+)
+from repro.serve.session import Payload, SessionConfig
+
+#: Wire protocol version; ``hello`` rejects anything else.
+PROTOCOL_VERSION = 1
+
+#: Server identification string sent in ``hello`` responses.
+SERVER_NAME = "repro-serve"
+
+#: ``SessionConfig`` fields accepted inline in a ``hello`` request.
+_CONFIG_FIELDS = (
+    "governor",
+    "policy",
+    "gphr_depth",
+    "pht_entries",
+    "window_size",
+    "latency_budget_s",
+    "cooldown",
+)
+
+
+class _ProtocolError(ReproError):
+    """Internal: a request failure with a stable wire error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _error(code: str, message: str) -> Payload:
+    return {"ok": False, "error": code, "message": message}
+
+
+def _require(payload: Mapping[str, object], key: str) -> object:
+    try:
+        return payload[key]
+    except KeyError:
+        raise _ProtocolError(
+            "bad_request", f"request is missing required field {key!r}"
+        ) from None
+
+
+def _require_str(payload: Mapping[str, object], key: str) -> str:
+    value = _require(payload, key)
+    if not isinstance(value, str):
+        raise _ProtocolError(
+            "bad_request", f"field {key!r} must be a string, got {value!r}"
+        )
+    return value
+
+
+def _require_int(payload: Mapping[str, object], key: str) -> int:
+    value = _require(payload, key)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _ProtocolError(
+            "bad_request", f"field {key!r} must be an integer, got {value!r}"
+        )
+    return value
+
+
+def _require_number(payload: Mapping[str, object], key: str) -> float:
+    value = _require(payload, key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _ProtocolError(
+            "bad_request", f"field {key!r} must be a number, got {value!r}"
+        )
+    return float(value)
+
+
+def _optional_number(
+    payload: Mapping[str, object], key: str, default: float
+) -> float:
+    if key not in payload:
+        return default
+    return _require_number(payload, key)
+
+
+def handle_request(
+    manager: SessionManager, payload: Mapping[str, object]
+) -> Payload:
+    """Dispatch one already-parsed request; never raises.
+
+    Every domain failure is mapped onto a stable error code so clients
+    can branch without parsing messages.
+    """
+    manager.tick()
+    clock = manager.clock
+    started = clock() if clock is not None else None
+    try:
+        response = _dispatch(manager, payload)
+    except _ProtocolError as error:
+        manager.metrics.counter("serve.errors").inc()
+        response = _error(error.code, str(error))
+    except UnknownSessionError as error:
+        manager.metrics.counter("serve.errors").inc()
+        response = _error("unknown_session", str(error))
+    except OverloadedError as error:
+        manager.metrics.counter("serve.errors").inc()
+        response = _error("server_overloaded", str(error))
+    except ConfigurationError as error:
+        manager.metrics.counter("serve.errors").inc()
+        response = _error("bad_request", str(error))
+    except Exception as error:  # pragma: no cover - defensive last resort
+        manager.metrics.counter("serve.errors").inc()
+        response = _error(
+            "internal", f"{type(error).__name__}: {error}"
+        )
+    if started is not None and clock is not None:
+        manager.metrics.histogram("serve.request_latency_s").observe(
+            clock() - started
+        )
+    return response
+
+
+def _dispatch(
+    manager: SessionManager, payload: Mapping[str, object]
+) -> Payload:
+    op = _require_str(payload, "op")
+    handler = _OPS.get(op)
+    if handler is None:
+        raise _ProtocolError(
+            "bad_request", f"unknown op {op!r}; known: {sorted(_OPS)}"
+        )
+    return handler(manager, payload)
+
+
+def _op_hello(
+    manager: SessionManager, payload: Mapping[str, object]
+) -> Payload:
+    version = payload.get("protocol", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise _ProtocolError(
+            "unsupported_protocol",
+            f"protocol {version!r} is not supported; this server speaks "
+            f"version {PROTOCOL_VERSION}",
+        )
+    config_payload = {
+        key: payload[key] for key in _CONFIG_FIELDS if key in payload
+    }
+    unexpected = set(payload) - set(_CONFIG_FIELDS) - {"op", "protocol"}
+    if unexpected:
+        raise _ProtocolError(
+            "bad_request", f"unknown hello fields: {sorted(unexpected)}"
+        )
+    config = SessionConfig.from_payload(config_payload)
+    session = manager.open(config)
+    return {
+        "ok": True,
+        "op": "hello",
+        "protocol": PROTOCOL_VERSION,
+        "server": SERVER_NAME,
+        "session": session.session_id,
+        "governor": config.governor,
+        "policy": config.policy,
+    }
+
+
+def _op_sample(
+    manager: SessionManager, payload: Mapping[str, object]
+) -> Payload:
+    session = manager.get(_require_str(payload, "session"))
+    interval = _require_int(payload, "interval")
+    mem_per_uop = _require_number(payload, "mem_per_uop")
+    upc = _optional_number(payload, "upc", 0.0)
+    outcome = session.feed(interval, mem_per_uop, upc)
+    return {
+        "ok": True,
+        "op": "sample",
+        "session": session.session_id,
+        "interval": outcome.interval,
+        "phase": outcome.actual_phase,
+        "predicted": outcome.predicted_phase,
+        "frequency_mhz": outcome.frequency_mhz,
+        "degraded": outcome.degraded,
+        "hit": outcome.hit,
+    }
+
+
+def _op_predict(
+    manager: SessionManager, payload: Mapping[str, object]
+) -> Payload:
+    session = manager.get(_require_str(payload, "session"))
+    predicted, frequency_mhz = session.predict()
+    return {
+        "ok": True,
+        "op": "predict",
+        "session": session.session_id,
+        "predicted": predicted,
+        "frequency_mhz": frequency_mhz,
+    }
+
+
+def _op_snapshot(
+    manager: SessionManager, payload: Mapping[str, object]
+) -> Payload:
+    session = manager.get(_require_str(payload, "session"))
+    return {
+        "ok": True,
+        "op": "snapshot",
+        "session": session.session_id,
+        "checkpoint": session.snapshot(),
+    }
+
+
+def _op_restore(
+    manager: SessionManager, payload: Mapping[str, object]
+) -> Payload:
+    checkpoint = _require(payload, "checkpoint")
+    if not isinstance(checkpoint, dict):
+        raise _ProtocolError(
+            "bad_request", "field 'checkpoint' must be an object"
+        )
+    validate_checkpoint(checkpoint)
+    session = manager.restore(checkpoint)
+    return {
+        "ok": True,
+        "op": "restore",
+        "session": session.session_id,
+        "samples": session.samples,
+    }
+
+
+def _op_stats(
+    manager: SessionManager, payload: Mapping[str, object]
+) -> Payload:
+    if "session" in payload:
+        session = manager.get(_require_str(payload, "session"))
+        return {"ok": True, "op": "stats", "stats": session.stats()}
+    return {"ok": True, "op": "stats", "stats": manager.stats()}
+
+
+def _op_bye(
+    manager: SessionManager, payload: Mapping[str, object]
+) -> Payload:
+    session = manager.close(_require_str(payload, "session"))
+    return {
+        "ok": True,
+        "op": "bye",
+        "session": session.session_id,
+        "samples": session.samples,
+    }
+
+
+_OPS = {
+    "hello": _op_hello,
+    "sample": _op_sample,
+    "predict": _op_predict,
+    "snapshot": _op_snapshot,
+    "restore": _op_restore,
+    "stats": _op_stats,
+    "bye": _op_bye,
+}
+
+
+def handle_line(manager: SessionManager, line: str) -> str:
+    """Parse one request line, dispatch it, serialize the response.
+
+    Transport-agnostic: both the stdio and the TCP frontend feed raw
+    lines through here.  Malformed JSON never kills the connection — it
+    answers a ``bad_request`` error like any other failure.
+    """
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        manager.tick()
+        manager.metrics.counter("serve.errors").inc()
+        return _serialize(_error("bad_request", f"invalid JSON: {exc}"))
+    if not isinstance(payload, dict):
+        manager.tick()
+        manager.metrics.counter("serve.errors").inc()
+        return _serialize(
+            _error("bad_request", "request must be a JSON object")
+        )
+    return _serialize(handle_request(manager, payload))
+
+
+def _serialize(response: Payload) -> str:
+    return json.dumps(response, sort_keys=False, separators=(",", ":"))
+
+
+def parse_response(line: str) -> Tuple[bool, Payload]:
+    """Client-side helper: parse a response line into ``(ok, payload)``.
+
+    Raises:
+        ConfigurationError: On malformed response JSON.
+    """
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise ConfigurationError(f"invalid response JSON: {exc}") from None
+    if not isinstance(payload, dict) or "ok" not in payload:
+        raise ConfigurationError(f"malformed response: {line!r}")
+    return bool(payload["ok"]), payload

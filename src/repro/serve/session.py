@@ -1,0 +1,554 @@
+"""Live phase-prediction sessions: the online analogue of the PMI loop.
+
+A :class:`PhaseSession` is the software equivalent of the paper's
+deployed kernel-module handler for one client: it owns a live
+predictor + governor + phase table, is fed one ``(interval_index,
+mem_per_uop, upc)`` sample at a time, and answers with the classified
+phase, the predicted next phase and the recommended DVFS setting —
+exactly the classify/observe/predict/translate cycle of Figure 8, but
+driven by a remote caller instead of a counter overflow.
+
+Correctness contract (the online/offline bridge): fed the same
+``Mem/Uop`` series, a session emits *bit-for-bit* the prediction
+sequence of :func:`repro.analysis.accuracy.evaluate_predictor` with the
+same predictor configuration.  ``tests/properties/
+test_serve_equivalence.py`` holds every supported predictor to this,
+including across a mid-stream snapshot/restore.
+
+Overload protection: when constructed with a ``clock`` and a latency
+budget, a session that misses its budget degrades to last-value
+prediction (the paper's own PHT-miss fallback, applied wholesale) until
+``cooldown`` consecutive samples come back in budget.  Degradation
+changes *predictions only* — the predictor keeps observing every actual
+phase, so its history stays warm for recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.governor import (
+    IntervalCounters,
+    PhasePredictionGovernor,
+    ReactiveGovernor,
+)
+from repro.core.phases import PhaseTable
+from repro.core.predictors import (
+    FixedWindowPredictor,
+    GPHTPredictor,
+    LastValuePredictor,
+    PhaseObservation,
+    PhasePredictor,
+)
+from repro.errors import ConfigurationError
+from repro.obs.events import SessionDegraded
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+#: Injectable time source (seconds).  Sessions never read a clock
+#: themselves — deterministic unless the frontend wires one in.
+Clock = Callable[[], float]
+
+#: Governor kinds a session can host (see :meth:`SessionConfig`).
+SESSION_GOVERNORS = ("gpht", "reactive", "fixed_window")
+
+#: Checkpoint / wire payload: JSON-able scalars and containers only.
+Payload = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Immutable per-session configuration.
+
+    Attributes:
+        governor: ``"gpht"`` (the paper's deployed predictor),
+            ``"reactive"`` (last-value) or ``"fixed_window"``.
+        policy: Phase-to-DVFS policy registry name (see
+            :func:`repro.exec.cells.build_policy`).
+        gphr_depth: GPHT history depth (``gpht`` only).
+        pht_entries: GPHT pattern-table capacity (``gpht`` only).
+        window_size: Sliding-window length (``fixed_window`` only).
+        latency_budget_s: Per-sample latency budget; ``None`` disables
+            degradation (and makes the session fully deterministic).
+        cooldown: Consecutive in-budget samples required to leave
+            degraded mode.
+    """
+
+    governor: str = "gpht"
+    policy: str = "table2"
+    gphr_depth: int = 8
+    pht_entries: int = 128
+    window_size: int = 8
+    latency_budget_s: Optional[float] = None
+    cooldown: int = 16
+
+    def __post_init__(self) -> None:
+        if self.governor not in SESSION_GOVERNORS:
+            raise ConfigurationError(
+                f"unknown session governor {self.governor!r}; "
+                f"known: {SESSION_GOVERNORS}"
+            )
+        if self.latency_budget_s is not None and self.latency_budget_s <= 0:
+            raise ConfigurationError(
+                f"latency budget must be > 0, got {self.latency_budget_s}"
+            )
+        if self.cooldown < 1:
+            raise ConfigurationError(
+                f"cooldown must be >= 1, got {self.cooldown}"
+            )
+
+    def build_predictor(self) -> PhasePredictor:
+        """A fresh predictor matching this configuration."""
+        if self.governor == "gpht":
+            return GPHTPredictor(self.gphr_depth, self.pht_entries)
+        if self.governor == "fixed_window":
+            return FixedWindowPredictor(self.window_size)
+        return LastValuePredictor()
+
+    def to_payload(self) -> Payload:
+        """JSON-able form, embedded in checkpoints and wire messages."""
+        return {
+            "governor": self.governor,
+            "policy": self.policy,
+            "gphr_depth": self.gphr_depth,
+            "pht_entries": self.pht_entries,
+            "window_size": self.window_size,
+            "latency_budget_s": self.latency_budget_s,
+            "cooldown": self.cooldown,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Payload) -> "SessionConfig":
+        """Validate and rebuild a configuration from JSON-able form."""
+        kwargs: Dict[str, object] = {}
+        for key, kind in (
+            ("governor", str),
+            ("policy", str),
+            ("gphr_depth", int),
+            ("pht_entries", int),
+            ("window_size", int),
+            ("cooldown", int),
+        ):
+            if key in payload:
+                value = payload[key]
+                if isinstance(value, bool) or not isinstance(value, kind):
+                    raise ConfigurationError(
+                        f"session config {key!r} must be {kind.__name__}, "
+                        f"got {value!r}"
+                    )
+                kwargs[key] = value
+        if "latency_budget_s" in payload:
+            budget = payload["latency_budget_s"]
+            if budget is not None and not isinstance(budget, (int, float)):
+                raise ConfigurationError(
+                    f"latency_budget_s must be a number or null, got {budget!r}"
+                )
+            kwargs["latency_budget_s"] = (
+                None if budget is None else float(budget)
+            )
+        unknown = set(payload) - {
+            "governor",
+            "policy",
+            "gphr_depth",
+            "pht_entries",
+            "window_size",
+            "latency_budget_s",
+            "cooldown",
+        }
+        if unknown:
+            raise ConfigurationError(
+                f"unknown session config fields: {sorted(unknown)}"
+            )
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class SampleOutcome:
+    """Answer to one fed sample — the wire-level ``sample`` response.
+
+    Attributes:
+        interval: The sample's 0-based interval index.
+        actual_phase: Phase classified for the finished interval.
+        predicted_phase: Phase predicted for the next interval (raw
+            predictor output, the value scored against the next actual).
+        frequency_mhz: Recommended operating frequency for the next
+            interval.
+        degraded: Whether this sample was served in degraded
+            (last-value) mode.
+        hit: Whether the *previous* prediction matched this actual
+            phase; ``None`` for the first sample (nothing to score).
+    """
+
+    interval: int
+    actual_phase: int
+    predicted_phase: int
+    frequency_mhz: int
+    degraded: bool
+    hit: Optional[bool]
+
+
+class PhaseSession:
+    """One client's live predictor + governor + phase table.
+
+    Args:
+        config: Session configuration.
+        session_id: Display id used in trace events and metrics.
+        clock: Injectable time source for latency accounting; ``None``
+            (the default) disables latency measurement and degradation.
+        tracer: Trace collector for degradation events.
+        metrics: Shared metrics registry (the serving
+            ``SessionManager`` passes its own).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SessionConfig] = None,
+        session_id: str = "",
+        clock: Optional[Clock] = None,
+        tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._config = config if config is not None else SessionConfig()
+        self._id = session_id
+        self._clock = clock
+        self._tracer = tracer
+        self._metrics = metrics
+        self._governor = self._build_governor(self._config)
+        self._samples = 0
+        self._scored = 0
+        self._correct = 0
+        self._pending: Optional[int] = None
+        self._degraded = False
+        self._degraded_events = 0
+        self._in_budget_streak = 0
+
+    @staticmethod
+    def _build_governor(config: SessionConfig) -> PhasePredictionGovernor:
+        """The governor hosting this session's predictor.
+
+        Decision recording is off: a service session must hold bounded
+        memory no matter how long it runs.
+        """
+        # Imported here, not at module scope: exec.cells eagerly pulls
+        # the analysis stack, which sessions only need for policy names.
+        from repro.exec.cells import build_policy
+
+        policy = build_policy(config.policy)
+        if config.governor == "reactive":
+            return ReactiveGovernor(policy, record_decisions=False)
+        return PhasePredictionGovernor(
+            config.build_predictor(), policy, record_decisions=False
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def config(self) -> SessionConfig:
+        """The immutable session configuration."""
+        return self._config
+
+    @property
+    def session_id(self) -> str:
+        """The id assigned by the manager (empty when standalone)."""
+        return self._id
+
+    @property
+    def predictor(self) -> PhasePredictor:
+        """The live predictor steering this session."""
+        return self._governor.predictor
+
+    @property
+    def phase_table(self) -> PhaseTable:
+        """The phase definitions classifications use."""
+        return self._governor.policy.phase_table
+
+    @property
+    def samples(self) -> int:
+        """Samples fed so far."""
+        return self._samples
+
+    @property
+    def scored(self) -> int:
+        """Predictions scored so far (``samples - 1`` once running)."""
+        return self._scored
+
+    @property
+    def correct(self) -> int:
+        """Scored predictions that matched the following actual phase."""
+        return self._correct
+
+    @property
+    def accuracy(self) -> float:
+        """Online prediction accuracy, matching the offline definition."""
+        if self._scored == 0:
+            return 1.0
+        return self._correct / self._scored
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the session is currently in degraded mode."""
+        return self._degraded
+
+    @property
+    def degraded_events(self) -> int:
+        """How many times the session entered degraded mode."""
+        return self._degraded_events
+
+    # -- the online loop ----------------------------------------------------
+
+    def feed(
+        self,
+        interval_index: int,
+        mem_per_uop: float,
+        upc: float = 0.0,
+    ) -> SampleOutcome:
+        """Process one completed sampling interval.
+
+        Samples must arrive in order: ``interval_index`` is validated
+        against the session's own monotonic count so a replayed or
+        reordered stream fails loudly instead of silently corrupting
+        predictor history.
+        """
+        if interval_index != self._samples:
+            raise ConfigurationError(
+                f"out-of-order sample: expected interval {self._samples}, "
+                f"got {interval_index}"
+            )
+        if mem_per_uop < 0:
+            raise ConfigurationError(
+                f"Mem/Uop must be >= 0, got {mem_per_uop}"
+            )
+        started = self._clock() if self._clock is not None else None
+        if self._degraded:
+            actual, predicted, frequency_mhz = self._decide_degraded(
+                mem_per_uop
+            )
+        else:
+            actual, predicted, frequency_mhz = self._decide(mem_per_uop, upc)
+        hit: Optional[bool] = None
+        if self._pending is not None:
+            hit = self._pending == actual
+            self._scored += 1
+            if hit:
+                self._correct += 1
+        self._pending = predicted
+        self._samples += 1
+        degraded_now = self._degraded
+        if started is not None and self._clock is not None:
+            self._note_latency(self._clock() - started)
+        if self._metrics is not None:
+            self._metrics.counter("serve.samples").inc()
+        return SampleOutcome(
+            interval=interval_index,
+            actual_phase=actual,
+            predicted_phase=predicted,
+            frequency_mhz=frequency_mhz,
+            degraded=degraded_now,
+            hit=hit,
+        )
+
+    def _decide(self, mem_per_uop: float, upc: float) -> "tuple[int, int, int]":
+        """Normal path: one governor consultation.
+
+        The counters are unit-µop synthetic: ``uops = 1`` makes the
+        governor's ``mem_transactions / uops`` reproduce ``mem_per_uop``
+        *exactly* (no float round trip), which the bit-for-bit
+        online/offline equivalence depends on.
+        """
+        counters = IntervalCounters(
+            uops=1.0,
+            mem_transactions=mem_per_uop,
+            instructions=1.0,
+            tsc_cycles=(1.0 / upc) if upc > 0 else 0.0,
+        )
+        decision = self._governor.decide(counters)
+        return (
+            decision.actual_phase,
+            decision.predicted_phase,
+            decision.setting.frequency_mhz,
+        )
+
+    def _decide_degraded(self, mem_per_uop: float) -> "tuple[int, int, int]":
+        """Degraded path: classify, train, predict last-value.
+
+        The expensive predictor lookup is skipped; the predictor still
+        observes the actual phase so its history stays warm, mirroring
+        the GPHT's own miss fallback (predict the last observed phase).
+        """
+        policy = self._governor.policy
+        actual = policy.phase_table.classify(mem_per_uop)
+        self.predictor.observe(
+            PhaseObservation(phase=actual, mem_per_uop=mem_per_uop)
+        )
+        setting = policy.setting_for(actual)
+        return actual, actual, setting.frequency_mhz
+
+    def predict(self) -> "tuple[int, int]":
+        """The standing prediction and its recommended frequency.
+
+        Before any sample has been fed this is the safe cold-start
+        default (phase 1, the fastest setting).
+        """
+        predicted = (
+            self._pending
+            if self._pending is not None
+            else PhasePredictor.DEFAULT_PHASE
+        )
+        table = self.phase_table
+        clamped = min(max(predicted, 1), table.num_phases)
+        setting = self._governor.policy.setting_for(clamped)
+        return predicted, setting.frequency_mhz
+
+    # -- degradation state machine ------------------------------------------
+
+    def _note_latency(self, seconds: float) -> None:
+        """Update latency accounting and the degradation state machine."""
+        if self._metrics is not None:
+            self._metrics.histogram("serve.sample_latency_s").observe(seconds)
+        budget = self._config.latency_budget_s
+        if budget is None:
+            return
+        if not self._degraded:
+            if seconds > budget:
+                self._degraded = True
+                self._degraded_events += 1
+                self._in_budget_streak = 0
+                self._emit_degraded(active=True, latency_s=seconds)
+            return
+        if seconds <= budget:
+            self._in_budget_streak += 1
+            if self._in_budget_streak >= self._config.cooldown:
+                self._degraded = False
+                self._in_budget_streak = 0
+                self._emit_degraded(active=False, latency_s=seconds)
+        else:
+            self._in_budget_streak = 0
+
+    def _emit_degraded(self, active: bool, latency_s: float) -> None:
+        if self._metrics is not None and active:
+            self._metrics.counter("serve.degradation_events").inc()
+        if self._tracer.enabled:
+            self._tracer.emit(
+                SessionDegraded(
+                    interval=self._samples,
+                    session=self._id,
+                    active=active,
+                    latency_s=latency_s,
+                )
+            )
+
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot(self) -> Payload:
+        """A lossless JSON-able checkpoint of the whole session.
+
+        Covers the configuration, the predictor's full state (for the
+        GPHT: GPHR contents and PHT entries with tags and LRU order),
+        scoring statistics and the degradation state machine, so a
+        restored session continues *bit-for-bit* where this one stops.
+        """
+        from repro.serve.checkpoint import CHECKPOINT_VERSION
+
+        return {
+            "version": CHECKPOINT_VERSION,
+            "config": self._config.to_payload(),
+            "samples": self._samples,
+            "scored": self._scored,
+            "correct": self._correct,
+            "pending_prediction": self._pending,
+            "degraded": self._degraded,
+            "degraded_events": self._degraded_events,
+            "in_budget_streak": self._in_budget_streak,
+            "predictor": self.predictor.export_state(),
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        payload: Payload,
+        session_id: str = "",
+        clock: Optional[Clock] = None,
+        tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "PhaseSession":
+        """Rebuild a session from a :meth:`snapshot` payload.
+
+        Raises:
+            ConfigurationError: On a malformed or version-incompatible
+                checkpoint.
+        """
+        from repro.serve.checkpoint import validate_checkpoint
+
+        validate_checkpoint(payload)
+        config_payload = payload["config"]
+        assert isinstance(config_payload, dict)  # validate_checkpoint did
+        config = SessionConfig.from_payload(config_payload)
+        session = cls(
+            config,
+            session_id=session_id,
+            clock=clock,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        predictor_state = payload["predictor"]
+        assert isinstance(predictor_state, dict)  # validate_checkpoint did
+        session.predictor.restore_state(predictor_state)
+        session._samples = _checkpoint_int(payload, "samples")
+        session._scored = _checkpoint_int(payload, "scored")
+        session._correct = _checkpoint_int(payload, "correct")
+        pending = payload.get("pending_prediction")
+        if pending is not None and (
+            isinstance(pending, bool) or not isinstance(pending, int)
+        ):
+            raise ConfigurationError(
+                f"pending_prediction must be an int or null, got {pending!r}"
+            )
+        session._pending = pending
+        degraded = payload.get("degraded", False)
+        if not isinstance(degraded, bool):
+            raise ConfigurationError(
+                f"degraded must be a bool, got {degraded!r}"
+            )
+        session._degraded = degraded
+        session._degraded_events = _checkpoint_int(
+            payload, "degraded_events", default=0
+        )
+        session._in_budget_streak = _checkpoint_int(
+            payload, "in_budget_streak", default=0
+        )
+        return session
+
+    def stats(self) -> Payload:
+        """JSON-able per-session statistics (the ``stats`` wire answer)."""
+        return {
+            "session": self._id,
+            "governor": self._governor.name,
+            "policy": self._governor.policy.name,
+            "samples": self._samples,
+            "scored": self._scored,
+            "correct": self._correct,
+            "accuracy": self.accuracy,
+            "degraded": self._degraded,
+            "degraded_events": self._degraded_events,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<PhaseSession {self._id or '(anonymous)'} "
+            f"{self._governor.name} samples={self._samples}>"
+        )
+
+
+def _checkpoint_int(payload: Payload, key: str, default: Optional[int] = None) -> int:
+    """Extract a non-negative int field from a checkpoint payload."""
+    value = payload.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"checkpoint {key!r} must be an int, got {value!r}"
+        )
+    if value < 0:
+        raise ConfigurationError(
+            f"checkpoint {key!r} must be >= 0, got {value}"
+        )
+    return value

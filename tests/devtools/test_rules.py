@@ -78,6 +78,27 @@ class TestDeterminismRule:
         )
         assert rule_names(findings) == {"determinism"}
 
+    def test_serve_covered_but_clock_references_allowed(self):
+        # The serving layer's contract is bit-for-bit equivalence with
+        # the offline evaluator, so it may never *call* a clock itself —
+        # but passing time.monotonic by reference (the frontends'
+        # injection pattern) is deliberately permitted.
+        engine = LintEngine(default_rules())
+        call = engine.lint_module(
+            _module(
+                "import time\nnow = time.monotonic()\n",
+                "src/repro/serve/session.py",
+            )
+        )
+        assert rule_names(call) == {"determinism"}
+        reference = engine.lint_module(
+            _module(
+                "import time\nDEFAULT_CLOCK = time.monotonic\n",
+                "src/repro/serve/frontends.py",
+            )
+        )
+        assert reference == []
+
 
 class TestPhaseIdRangeRule:
     def test_bad_fixture_flagged(self):

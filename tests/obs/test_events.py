@@ -47,6 +47,9 @@ class TestRegistry:
             "phase_classified",
             "pmi_handled",
             "prediction_made",
+            "session_closed",
+            "session_degraded",
+            "session_opened",
         )
 
     def test_registry_maps_type_to_class(self):

@@ -1,0 +1,89 @@
+"""Property: the online service is bit-for-bit the offline evaluator.
+
+A :class:`PhaseSession` fed a generated ``Mem/Uop`` workload must emit
+exactly the prediction sequence :func:`evaluate_predictor` produces for
+the same predictor configuration — for every supported governor, and
+even when the session is snapshotted, JSON-round-tripped and restored
+mid-stream.  This is the serving layer's foundational guarantee: the
+deployed service *is* the evaluated predictor, not an approximation.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.accuracy import evaluate_predictor
+from repro.core.phases import PhaseTable
+from repro.serve import PhaseSession, SessionConfig, checkpoint_from_json, checkpoint_to_json
+
+TABLE = PhaseTable()
+
+CONFIGS = [
+    SessionConfig(governor="gpht", gphr_depth=4, pht_entries=16),
+    SessionConfig(governor="gpht", gphr_depth=2, pht_entries=4),
+    SessionConfig(governor="reactive"),
+    SessionConfig(governor="fixed_window", window_size=4),
+]
+
+# Mem/Uop values spanning all six paper phases, plus exact boundary
+# values, drawn per interval.
+mem_values = st.one_of(
+    st.floats(min_value=0.0, max_value=0.06, allow_nan=False),
+    st.sampled_from([edge for edge in TABLE.edges]),
+)
+mem_series = st.lists(mem_values, min_size=2, max_size=80)
+
+
+def run_session(config, series, snapshot_at=None):
+    """Feed a session; optionally checkpoint/restore at ``snapshot_at``."""
+    session = PhaseSession(config)
+    predictions, actuals, pending = [], [], None
+    for index, value in enumerate(series):
+        outcome = session.feed(index, value)
+        if pending is not None:
+            predictions.append(pending)
+            actuals.append(outcome.actual_phase)
+        pending = outcome.predicted_phase
+        if snapshot_at is not None and index + 1 == snapshot_at:
+            checkpoint = checkpoint_from_json(
+                checkpoint_to_json(session.snapshot())
+            )
+            session = PhaseSession.from_snapshot(checkpoint)
+    return tuple(predictions), tuple(actuals), session
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+@given(series=mem_series)
+@settings(max_examples=40, deadline=None)
+def test_session_equals_offline_evaluator(config, series):
+    predictions, actuals, session = run_session(config, series)
+    offline = evaluate_predictor(config.build_predictor(), series, TABLE)
+    assert predictions == offline.predictions
+    assert actuals == offline.actuals
+    assert session.correct == offline.correct
+    assert session.accuracy == offline.accuracy
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+@given(
+    series=st.lists(mem_values, min_size=3, max_size=80),
+    cut=st.floats(min_value=0.01, max_value=0.99),
+)
+@settings(max_examples=40, deadline=None)
+def test_snapshot_restore_mid_stream_changes_nothing(config, series, cut):
+    snapshot_at = max(1, min(len(series) - 1, int(len(series) * cut)))
+    straight, _, _ = run_session(config, series)
+    resumed, _, _ = run_session(config, series, snapshot_at=snapshot_at)
+    assert resumed == straight
+    offline = evaluate_predictor(config.build_predictor(), series, TABLE)
+    assert resumed == offline.predictions
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+@given(series=mem_series)
+@settings(max_examples=25, deadline=None)
+def test_snapshot_is_stable_under_round_trip(config, series):
+    _, _, session = run_session(config, series)
+    snapshot = session.snapshot()
+    assert checkpoint_from_json(checkpoint_to_json(snapshot)) == snapshot
+    restored = PhaseSession.from_snapshot(snapshot)
+    assert restored.snapshot() == snapshot

@@ -1,0 +1,131 @@
+"""Lossless predictor/session checkpointing."""
+
+import pytest
+
+from repro.core.predictors import (
+    FixedWindowPredictor,
+    GPHTPredictor,
+    LastValuePredictor,
+    PhaseObservation,
+    VariableWindowPredictor,
+)
+from repro.errors import ConfigurationError
+from repro.serve import (
+    CHECKPOINT_VERSION,
+    PhaseSession,
+    SessionConfig,
+    checkpoint_from_json,
+    checkpoint_to_json,
+    validate_checkpoint,
+)
+
+SERIES = [0.001, 0.02, 0.001, 0.05, 0.02, 0.001, 0.02, 0.05] * 4
+
+
+def _observe(predictor, phases):
+    for phase in phases:
+        predictor.observe(PhaseObservation(phase=phase, mem_per_uop=0.01))
+
+
+class TestPredictorState:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            LastValuePredictor,
+            lambda: FixedWindowPredictor(4),
+            lambda: GPHTPredictor(4, 8),
+        ],
+    )
+    def test_export_restore_continues_identically(self, factory):
+        phases = [1, 2, 1, 3, 2, 1, 2, 3, 1, 1, 2, 3]
+        trained = factory()
+        _observe(trained, phases)
+        clone = factory()
+        clone.restore_state(trained.export_state())
+        for phase in [2, 1, 3, 2, 1]:
+            _observe(trained, [phase])
+            _observe(clone, [phase])
+            assert trained.predict() == clone.predict()
+
+    def test_export_is_idempotent_after_restore(self):
+        trained = GPHTPredictor(4, 8)
+        _observe(trained, [1, 2, 1, 3, 2, 1, 2, 3])
+        clone = GPHTPredictor(4, 8)
+        clone.restore_state(trained.export_state())
+        assert clone.export_state() == trained.export_state()
+
+    def test_gpht_restore_rejects_config_mismatch(self):
+        state = GPHTPredictor(4, 8).export_state()
+        with pytest.raises(ConfigurationError):
+            GPHTPredictor(8, 8).restore_state(state)
+        with pytest.raises(ConfigurationError):
+            GPHTPredictor(4, 16).restore_state(state)
+
+    def test_restore_rejects_foreign_state(self):
+        with pytest.raises(ConfigurationError):
+            LastValuePredictor().restore_state(
+                GPHTPredictor(4, 8).export_state()
+            )
+
+    def test_unsupported_predictor_raises(self):
+        predictor = VariableWindowPredictor(16, 0.005)
+        with pytest.raises(ConfigurationError, match="checkpointing"):
+            predictor.export_state()
+        with pytest.raises(ConfigurationError, match="checkpointing"):
+            predictor.restore_state({})
+
+
+class TestSessionSnapshot:
+    @pytest.mark.parametrize(
+        "governor", ["gpht", "reactive", "fixed_window"]
+    )
+    def test_restore_continues_bit_for_bit(self, governor):
+        config = SessionConfig(governor=governor)
+        session = PhaseSession(config)
+        for index, value in enumerate(SERIES[:16]):
+            session.feed(index, value)
+        restored = PhaseSession.from_snapshot(session.snapshot())
+        for index, value in enumerate(SERIES[16:], start=16):
+            assert session.feed(index, value) == restored.feed(index, value)
+        assert session.snapshot() == restored.snapshot()
+
+    def test_snapshot_survives_json_round_trip(self):
+        session = PhaseSession()
+        for index, value in enumerate(SERIES[:10]):
+            session.feed(index, value)
+        checkpoint = checkpoint_from_json(checkpoint_to_json(session.snapshot()))
+        assert checkpoint == session.snapshot()
+        restored = PhaseSession.from_snapshot(checkpoint)
+        assert restored.samples == session.samples
+        assert restored.stats() == session.stats()
+
+    def test_snapshot_carries_scoring_state(self):
+        session = PhaseSession(SessionConfig(governor="reactive"))
+        for index in range(6):
+            session.feed(index, 0.001)
+        restored = PhaseSession.from_snapshot(session.snapshot())
+        assert restored.scored == session.scored == 5
+        assert restored.correct == session.correct == 5
+        assert restored.accuracy == 1.0
+
+    def test_version_mismatch_rejected(self):
+        payload = PhaseSession().snapshot()
+        payload["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(ConfigurationError, match="version"):
+            PhaseSession.from_snapshot(payload)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            validate_checkpoint({"version": CHECKPOINT_VERSION})
+
+    def test_corrupt_counter_rejected(self):
+        payload = PhaseSession().snapshot()
+        payload["samples"] = "three"
+        with pytest.raises(ConfigurationError, match="samples"):
+            PhaseSession.from_snapshot(payload)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="JSON"):
+            checkpoint_from_json("{not json")
+        with pytest.raises(ConfigurationError, match="object"):
+            checkpoint_from_json("[1, 2]")

@@ -1,0 +1,206 @@
+"""Wire protocol: dispatch, error codes, JSON line handling."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    PROTOCOL_VERSION,
+    SessionManager,
+    handle_line,
+    handle_request,
+    parse_response,
+)
+
+
+@pytest.fixture
+def manager():
+    return SessionManager(max_sessions=4)
+
+
+def hello(manager, **fields):
+    response = handle_request(manager, {"op": "hello", **fields})
+    assert response["ok"], response
+    return response["session"]
+
+
+class TestHello:
+    def test_opens_a_session(self, manager):
+        response = handle_request(manager, {"op": "hello"})
+        assert response["ok"] is True
+        assert response["protocol"] == PROTOCOL_VERSION
+        assert response["session"] == "s1"
+        assert manager.active_sessions == 1
+
+    def test_accepts_inline_session_config(self, manager):
+        response = handle_request(
+            manager, {"op": "hello", "governor": "reactive", "policy": "table2"}
+        )
+        assert response["ok"] and response["governor"] == "reactive"
+
+    def test_rejects_unsupported_protocol(self, manager):
+        response = handle_request(manager, {"op": "hello", "protocol": 99})
+        assert response["ok"] is False
+        assert response["error"] == "unsupported_protocol"
+
+    def test_rejects_unknown_fields(self, manager):
+        response = handle_request(manager, {"op": "hello", "turbo": True})
+        assert response["error"] == "bad_request"
+
+    def test_rejects_bad_config(self, manager):
+        response = handle_request(manager, {"op": "hello", "governor": "x"})
+        assert response["error"] == "bad_request"
+
+    def test_overload_maps_to_server_overloaded(self, manager):
+        for _ in range(4):
+            hello(manager)
+        response = handle_request(manager, {"op": "hello"})
+        assert response["error"] == "server_overloaded"
+
+
+class TestSample:
+    def test_feeds_and_answers(self, manager):
+        session = hello(manager)
+        response = handle_request(
+            manager,
+            {
+                "op": "sample",
+                "session": session,
+                "interval": 0,
+                "mem_per_uop": 0.001,
+            },
+        )
+        assert response["ok"] is True
+        assert response["interval"] == 0
+        assert response["phase"] == 1
+        assert response["hit"] is None
+        assert response["frequency_mhz"] > 0
+
+    def test_out_of_order_is_bad_request(self, manager):
+        session = hello(manager)
+        response = handle_request(
+            manager,
+            {
+                "op": "sample",
+                "session": session,
+                "interval": 7,
+                "mem_per_uop": 0.001,
+            },
+        )
+        assert response["error"] == "bad_request"
+
+    def test_unknown_session(self, manager):
+        response = handle_request(
+            manager,
+            {"op": "sample", "session": "s77", "interval": 0, "mem_per_uop": 0.1},
+        )
+        assert response["error"] == "unknown_session"
+
+    def test_missing_field_is_bad_request(self, manager):
+        session = hello(manager)
+        response = handle_request(
+            manager, {"op": "sample", "session": session, "interval": 0}
+        )
+        assert response["error"] == "bad_request"
+        assert "mem_per_uop" in response["message"]
+
+    def test_wrong_types_are_bad_request(self, manager):
+        session = hello(manager)
+        response = handle_request(
+            manager,
+            {
+                "op": "sample",
+                "session": session,
+                "interval": True,
+                "mem_per_uop": 0.1,
+            },
+        )
+        assert response["error"] == "bad_request"
+
+
+class TestSnapshotRestore:
+    def test_round_trip_over_the_wire(self, manager):
+        session = hello(manager)
+        for index, value in enumerate([0.001, 0.02, 0.05]):
+            handle_request(
+                manager,
+                {
+                    "op": "sample",
+                    "session": session,
+                    "interval": index,
+                    "mem_per_uop": value,
+                },
+            )
+        snapshot = handle_request(manager, {"op": "snapshot", "session": session})
+        assert snapshot["ok"] is True
+        restored = handle_request(
+            manager, {"op": "restore", "checkpoint": snapshot["checkpoint"]}
+        )
+        assert restored["ok"] is True
+        assert restored["samples"] == 3
+        assert restored["session"] != session
+
+    def test_restore_rejects_garbage(self, manager):
+        response = handle_request(
+            manager, {"op": "restore", "checkpoint": {"version": 1}}
+        )
+        assert response["error"] == "bad_request"
+        response = handle_request(manager, {"op": "restore", "checkpoint": 5})
+        assert response["error"] == "bad_request"
+
+
+class TestStatsAndBye:
+    def test_session_stats(self, manager):
+        session = hello(manager)
+        response = handle_request(manager, {"op": "stats", "session": session})
+        assert response["stats"]["samples"] == 0
+
+    def test_server_stats(self, manager):
+        hello(manager)
+        response = handle_request(manager, {"op": "stats"})
+        assert response["stats"]["sessions_active"] == 1
+
+    def test_bye_closes(self, manager):
+        session = hello(manager)
+        response = handle_request(manager, {"op": "bye", "session": session})
+        assert response["ok"] is True
+        assert manager.active_sessions == 0
+
+
+class TestDispatch:
+    def test_unknown_op(self, manager):
+        response = handle_request(manager, {"op": "reboot"})
+        assert response["error"] == "bad_request"
+
+    def test_missing_op(self, manager):
+        response = handle_request(manager, {})
+        assert response["error"] == "bad_request"
+
+    def test_every_request_ticks_the_logical_clock(self, manager):
+        before = manager.now()
+        handle_request(manager, {"op": "stats"})
+        handle_request(manager, {"op": "nope"})
+        assert manager.now() == before + 2
+
+    def test_errors_counted(self, manager):
+        handle_request(manager, {"op": "nope"})
+        assert manager.metrics.counter("serve.errors").value == 1
+
+
+class TestHandleLine:
+    def test_round_trip(self, manager):
+        line = handle_line(manager, json.dumps({"op": "hello"}))
+        ok, payload = parse_response(line)
+        assert ok and payload["session"] == "s1"
+
+    def test_invalid_json_is_bad_request(self, manager):
+        ok, payload = parse_response(handle_line(manager, "{oops"))
+        assert not ok and payload["error"] == "bad_request"
+
+    def test_non_object_is_bad_request(self, manager):
+        ok, payload = parse_response(handle_line(manager, "[1,2,3]"))
+        assert not ok and payload["error"] == "bad_request"
+
+    def test_responses_are_single_lines(self, manager):
+        line = handle_line(manager, json.dumps({"op": "stats"}))
+        assert "\n" not in line

@@ -1,0 +1,181 @@
+"""Trace replay: the online service must reproduce the offline evaluator."""
+
+import json
+
+import pytest
+
+from repro.analysis.accuracy import evaluate_predictor
+from repro.cli import main
+from repro.core.phases import PhaseTable
+from repro.errors import ConfigurationError
+from repro.obs.events import CellStarted, IntervalSampled
+from repro.serve import (
+    SessionConfig,
+    extract_samples,
+    load_trace,
+    replay_trace,
+)
+
+TABLE = PhaseTable()
+
+
+def sampled_events(series, start_interval=0):
+    """Build interval_sampled events carrying the given Mem/Uop series."""
+    return tuple(
+        IntervalSampled(
+            interval=start_interval + index,
+            time_s=float(index),
+            uops=100_000_000,
+            mem_transactions=int(value * 100_000_000),
+            instructions=80_000_000,
+            tsc_cycles=90_000_000,
+            mem_per_uop=value,
+            upc=1.1,
+            frequency_mhz=1500.0,
+        )
+        for index, value in enumerate(series)
+    )
+
+
+SERIES = [0.001, 0.02, 0.001, 0.05, 0.02, 0.001, 0.02, 0.05, 0.001, 0.02] * 6
+
+
+class TestExtractSamples:
+    def test_lifts_samples_in_order(self):
+        samples = extract_samples(sampled_events(SERIES[:5], start_interval=10))
+        assert [s.trace_interval for s in samples] == [10, 11, 12, 13, 14]
+        assert [s.mem_per_uop for s in samples] == SERIES[:5]
+
+    def test_ignores_other_event_types(self):
+        events = sampled_events(SERIES[:3]) + (
+            CellStarted(interval=0, label="x", kind="comparison", benchmark="b"),
+        )
+        assert len(extract_samples(events)) == 3
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError, match="interval_sampled"):
+            extract_samples(())
+
+
+class TestReplayTrace:
+    @pytest.mark.parametrize("governor", ["gpht", "reactive", "fixed_window"])
+    def test_replay_matches_offline_evaluator(self, governor):
+        config = SessionConfig(governor=governor)
+        report = replay_trace(sampled_events(SERIES), config)
+        offline = evaluate_predictor(config.build_predictor(), SERIES, TABLE)
+        assert report.matches_offline
+        assert report.online_predictions == offline.predictions
+        assert report.actuals == offline.actuals
+        assert report.accuracy == offline.accuracy
+
+    @pytest.mark.parametrize("snapshot_at", [1, 17, 30, 59])
+    def test_mid_stream_snapshot_changes_nothing(self, snapshot_at):
+        straight = replay_trace(sampled_events(SERIES))
+        resumed = replay_trace(
+            sampled_events(SERIES), snapshot_at=snapshot_at
+        )
+        assert resumed.matches_offline
+        assert resumed.online_predictions == straight.online_predictions
+
+    def test_out_of_range_snapshot_rejected(self):
+        events = sampled_events(SERIES[:5])
+        with pytest.raises(ConfigurationError, match="snapshot_at"):
+            replay_trace(events, snapshot_at=0)
+        with pytest.raises(ConfigurationError, match="snapshot_at"):
+            replay_trace(events, snapshot_at=5)
+
+    def test_report_payload_is_json_able(self):
+        payload = replay_trace(sampled_events(SERIES[:10])).to_payload()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["matches_offline"] is True
+
+
+class TestLoadTrace:
+    def test_missing_file_is_a_clean_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_trace(tmp_path / "nope.jsonl")
+
+
+class TestReplayCLI:
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("replay") / "trace.jsonl"
+        code = main(
+            [
+                "trace",
+                "record",
+                "applu_in",
+                "--intervals",
+                "80",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        return out
+
+    def test_replay_reproduces_recorded_run(self, trace_file, capsys):
+        assert main(["serve", "replay", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "matches offline evaluator" in out
+        assert "yes" in out
+
+    def test_replay_with_snapshot_restore(self, trace_file, capsys):
+        code = main(
+            [
+                "serve",
+                "replay",
+                str(trace_file),
+                "--snapshot-at",
+                "40",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["matches_offline"] is True
+        assert payload["snapshot_at"] == 40
+
+    def test_replay_other_governors(self, trace_file):
+        # The trace was recorded under the GPHT; replaying another
+        # governor still matches *its* offline evaluator (the phase
+        # cross-check passes because classification is governor-free).
+        assert main(
+            ["serve", "replay", str(trace_file), "--governor", "reactive"]
+        ) == 0
+
+    def test_missing_trace_exits_2(self, capsys):
+        assert main(["serve", "replay", "/nonexistent/trace.jsonl"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_record_creates_parent_directories(self, tmp_path):
+        # Satellite fix: --out into a missing directory tree must work
+        # instead of dying with FileNotFoundError.
+        out = tmp_path / "deep" / "nested" / "dir" / "trace.jsonl"
+        code = main(
+            [
+                "trace",
+                "record",
+                "ammp_in",
+                "--intervals",
+                "10",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+
+    def test_trace_export_creates_parent_directories(self, trace_file, tmp_path):
+        out = tmp_path / "made" / "up" / "trace.csv"
+        code = main(["trace", "export", str(trace_file), "--out", str(out)])
+        assert code == 0
+        assert out.read_text().startswith("event,")
+
+    def test_unwritable_out_is_a_clean_error(self, trace_file, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("x")
+        out = blocker / "trace.csv"  # parent is a file: mkdir fails
+        assert main(["trace", "export", str(trace_file), "--out", str(out)]) == 2
+        assert "cannot write" in capsys.readouterr().err

@@ -1,0 +1,206 @@
+"""PhaseSession: the online classify/observe/predict loop."""
+
+import pytest
+
+from repro.core.predictors import PhasePredictor
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import RingBufferTracer
+from repro.serve import SESSION_GOVERNORS, PhaseSession, SessionConfig
+
+
+class FakeClock:
+    """Scripted time source: returns queued values, then the last one."""
+
+    def __init__(self, values):
+        self._values = list(values)
+
+    def __call__(self):
+        if len(self._values) > 1:
+            return self._values.pop(0)
+        return self._values[0]
+
+
+class TestSessionConfig:
+    def test_defaults_match_paper_deployment(self):
+        config = SessionConfig()
+        assert config.governor == "gpht"
+        assert config.policy == "table2"
+        assert config.gphr_depth == 8
+        assert config.pht_entries == 128
+
+    def test_unknown_governor_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown session governor"):
+            SessionConfig(governor="oracle")
+
+    def test_nonpositive_latency_budget_rejected(self):
+        with pytest.raises(ConfigurationError, match="latency budget"):
+            SessionConfig(latency_budget_s=0.0)
+
+    def test_payload_round_trip(self):
+        config = SessionConfig(
+            governor="fixed_window", window_size=4, latency_budget_s=0.5
+        )
+        assert SessionConfig.from_payload(config.to_payload()) == config
+
+    def test_from_payload_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown session config"):
+            SessionConfig.from_payload({"governor": "gpht", "depth": 3})
+
+    def test_from_payload_rejects_wrong_types(self):
+        with pytest.raises(ConfigurationError, match="gphr_depth"):
+            SessionConfig.from_payload({"gphr_depth": "8"})
+
+    @pytest.mark.parametrize("governor", SESSION_GOVERNORS)
+    def test_build_predictor_for_every_governor(self, governor):
+        predictor = SessionConfig(governor=governor).build_predictor()
+        assert isinstance(predictor, PhasePredictor)
+
+
+class TestFeed:
+    def test_first_sample_has_no_hit(self):
+        session = PhaseSession()
+        outcome = session.feed(0, 0.001)
+        assert outcome.hit is None
+        assert outcome.interval == 0
+        assert session.samples == 1
+        assert session.scored == 0
+
+    def test_out_of_order_sample_rejected(self):
+        session = PhaseSession()
+        session.feed(0, 0.001)
+        with pytest.raises(ConfigurationError, match="out-of-order"):
+            session.feed(2, 0.001)
+        with pytest.raises(ConfigurationError, match="out-of-order"):
+            session.feed(0, 0.001)
+
+    def test_negative_metric_rejected(self):
+        session = PhaseSession()
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            session.feed(0, -0.1)
+
+    def test_hits_scored_against_next_actual(self):
+        # A constant series: from the second sample on, last-value-style
+        # prediction is always right.
+        session = PhaseSession(SessionConfig(governor="reactive"))
+        outcomes = [session.feed(i, 0.001) for i in range(5)]
+        assert outcomes[0].hit is None
+        assert all(outcome.hit is True for outcome in outcomes[1:])
+        assert session.scored == 4
+        assert session.correct == 4
+        assert session.accuracy == 1.0
+
+    def test_accuracy_defaults_to_one_before_scoring(self):
+        assert PhaseSession().accuracy == 1.0
+
+    def test_recommended_frequency_tracks_predicted_phase(self):
+        session = PhaseSession(SessionConfig(governor="reactive"))
+        low = session.feed(0, 0.001)  # phase 1 -> fastest point
+        high = session.feed(1, 0.05)  # deep-memory phase -> slowest point
+        assert low.frequency_mhz > high.frequency_mhz
+
+    def test_samples_counted_in_metrics(self):
+        metrics = MetricsRegistry()
+        session = PhaseSession(metrics=metrics)
+        session.feed(0, 0.001)
+        session.feed(1, 0.001)
+        assert metrics.counter("serve.samples").value == 2.0
+
+
+class TestPredict:
+    def test_cold_start_is_default_phase(self):
+        predicted, frequency_mhz = PhaseSession().predict()
+        assert predicted == PhasePredictor.DEFAULT_PHASE
+        assert frequency_mhz > 0
+
+    def test_predict_does_not_advance_the_session(self):
+        session = PhaseSession()
+        outcome = session.feed(0, 0.001)
+        before = session.samples
+        predicted, _ = session.predict()
+        assert predicted == outcome.predicted_phase
+        assert session.samples == before
+
+
+class TestDegradation:
+    def _session(self, latencies, budget=1.0, cooldown=2, tracer=None):
+        # feed() reads the clock twice, so each sample consumes a
+        # (start, end) pair: latency k = values[2k+1] - values[2k].
+        ticks = []
+        t = 0.0
+        for latency in latencies:
+            ticks.extend([t, t + latency])
+            t += latency + 1.0
+        return PhaseSession(
+            SessionConfig(latency_budget_s=budget, cooldown=cooldown),
+            clock=FakeClock(ticks or [0.0]),
+            tracer=tracer if tracer is not None else RingBufferTracer(),
+        )
+
+    def test_stays_normal_within_budget(self):
+        session = self._session([0.1, 0.2, 0.3])
+        for i in range(3):
+            assert not session.feed(i, 0.001).degraded
+        assert session.degraded_events == 0
+
+    def test_overrun_enters_degraded_mode(self):
+        session = self._session([0.1, 5.0, 0.1])
+        assert not session.feed(0, 0.001).degraded
+        # The overrunning sample itself was served normally; degradation
+        # applies from the next sample on.
+        assert not session.feed(1, 0.001).degraded
+        assert session.degraded
+        assert session.degraded_events == 1
+        assert session.feed(2, 0.001).degraded
+
+    def test_cooldown_restores_normal_mode(self):
+        session = self._session([5.0, 0.1, 0.1, 0.1], cooldown=2)
+        session.feed(0, 0.001)
+        assert session.degraded
+        session.feed(1, 0.001)
+        assert session.degraded  # one in-budget sample is not enough
+        session.feed(2, 0.001)
+        assert not session.degraded  # cooldown=2 reached
+        assert session.feed(3, 0.001).degraded is False
+
+    def test_overrun_mid_cooldown_resets_the_streak(self):
+        session = self._session([5.0, 0.1, 5.0, 0.1, 0.1, 0.1], cooldown=3)
+        for i in range(5):
+            session.feed(i, 0.001)
+        # Streak was broken by the overrun at sample 2: only samples 3-4
+        # count, so cooldown=3 is not yet reached.
+        assert session.degraded
+        session.feed(5, 0.001)
+        assert not session.degraded
+
+    def test_degraded_mode_predicts_last_value(self):
+        session = self._session([5.0, 0.1, 0.1], cooldown=99)
+        session.feed(0, 0.001)
+        outcome = session.feed(1, 0.05)
+        assert session.degraded
+        assert outcome.predicted_phase == outcome.actual_phase
+
+    def test_degradation_events_traced(self):
+        tracer = RingBufferTracer()
+        session = self._session([5.0], tracer=tracer)
+        session.feed(0, 0.001)
+        kinds = [type(event).__name__ for event in tracer.events()]
+        assert "SessionDegraded" in kinds
+
+    def test_no_clock_means_no_degradation(self):
+        session = PhaseSession(SessionConfig(latency_budget_s=1e-12))
+        for i in range(10):
+            assert not session.feed(i, 0.001).degraded
+
+
+class TestStats:
+    def test_stats_payload_is_json_scalars(self):
+        session = PhaseSession(session_id="s9")
+        session.feed(0, 0.001)
+        stats = session.stats()
+        assert stats["session"] == "s9"
+        assert stats["samples"] == 1
+        assert all(
+            value is None or isinstance(value, (str, int, float, bool))
+            for value in stats.values()
+        )

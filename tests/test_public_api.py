@@ -28,6 +28,7 @@ def test_all_exports_resolve():
         "repro.system",
         "repro.analysis",
         "repro.exec",
+        "repro.serve",
     ],
 )
 def test_subpackage_all_exports_resolve(module_name):
