@@ -8,6 +8,7 @@ heavy experiment body runs once via ``benchmark.pedantic``.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -34,6 +35,23 @@ def report():
         print(f"\n{text}\n[saved to {path}]")
 
     return _report
+
+
+@pytest.fixture(scope="session")
+def report_json():
+    """Persist a machine-readable artifact as ``results/<name>.json``."""
+
+    def _report_json(name: str, payload: dict) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\n[saved to {path}]")
+        return path
+
+    return _report_json
 
 
 def run_once(benchmark, func):

@@ -631,6 +631,23 @@ def _cmd_serve_stdio(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_tcp(args: argparse.Namespace) -> int:
+    if args.workers > 1:
+        from repro.serve import run_sharded
+
+        print(
+            f"serve: listening on {args.host}:{args.port} "
+            f"({args.workers} workers, max {args.max_sessions} sessions)",
+            file=sys.stderr,
+        )
+        run_sharded(
+            args.workers,
+            host=args.host,
+            port=args.port,
+            max_sessions=args.max_sessions,
+            idle_timeout_s=args.idle_timeout,
+            queue_depth=args.queue_depth,
+        )
+        return 0
     from repro.serve import serve_tcp
 
     print(
@@ -645,6 +662,49 @@ def _cmd_serve_tcp(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
     )
     return 0
+
+
+def _cmd_serve_loadgen(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve import run_loadgen
+
+    result = run_loadgen(
+        args.host,
+        args.port,
+        sessions=args.sessions,
+        samples_per_session=args.samples,
+        batch_size=args.batch,
+        connections=args.connections,
+        protocol=args.protocol,
+        governor=args.governor,
+        seed=args.seed,
+    )
+    if args.format == "json":
+        print(_json.dumps(result.to_payload(), indent=2, sort_keys=True))
+    else:
+        rows = [
+            ("sessions", str(result.sessions)),
+            ("samples/session", str(result.samples_per_session)),
+            ("batch size", str(result.batch_size)),
+            ("connections", str(result.connections)),
+            ("protocol", f"v{result.protocol}"),
+            ("requests", str(result.requests)),
+            ("samples", str(result.samples)),
+            ("errors", str(result.errors)),
+            ("elapsed", f"{result.elapsed_s:.3f} s"),
+            ("samples/s", f"{result.samples_per_s:,.0f}"),
+            ("requests/s", f"{result.requests_per_s:,.0f}"),
+            ("outcome digest", result.outcome_digest[:16]),
+        ]
+        print(
+            format_table(
+                ["property", "value"],
+                rows,
+                title=f"loadgen: {args.host}:{args.port}",
+            )
+        )
+    return 0 if result.errors == 0 else 1
 
 
 def _cmd_serve_replay(args: argparse.Namespace) -> int:
@@ -1018,7 +1078,68 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="per-connection request queue depth (default: 64)",
     )
+    serve_tcp_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes; >1 starts the consistent-hash sharded "
+            "router (default: 1, single process)"
+        ),
+    )
     serve_tcp_parser.set_defaults(func=_cmd_serve_tcp)
+
+    serve_loadgen_parser = serve_subparsers.add_parser(
+        "loadgen",
+        help=(
+            "drive a running server with a deterministic workload and "
+            "report throughput + outcome digest (exit 1 on any error)"
+        ),
+    )
+    serve_loadgen_parser.add_argument(
+        "--host", default="127.0.0.1", help="server address (default: 127.0.0.1)"
+    )
+    serve_loadgen_parser.add_argument(
+        "--port", type=int, default=8472, help="server port (default: 8472)"
+    )
+    serve_loadgen_parser.add_argument(
+        "--sessions", type=_positive_int, default=8,
+        help="sessions to drive (default: 8)",
+    )
+    serve_loadgen_parser.add_argument(
+        "--samples", type=_positive_int, default=512,
+        help="samples per session (default: 512)",
+    )
+    serve_loadgen_parser.add_argument(
+        "--batch", type=_positive_int, default=16,
+        help="samples per sample_batch request (default: 16)",
+    )
+    serve_loadgen_parser.add_argument(
+        "--connections", type=_positive_int, default=4,
+        help="concurrent client connections (default: 4)",
+    )
+    serve_loadgen_parser.add_argument(
+        "--protocol", type=_positive_int, default=2, choices=(1, 2),
+        help="wire protocol version (default: 2)",
+    )
+    serve_loadgen_parser.add_argument(
+        "--governor",
+        choices=("gpht", "reactive", "fixed_window"),
+        default="gpht",
+        help="session governor (default: gpht)",
+    )
+    serve_loadgen_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed (default: 0)",
+    )
+    serve_loadgen_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    serve_loadgen_parser.set_defaults(func=_cmd_serve_loadgen)
 
     serve_replay_parser = serve_subparsers.add_parser(
         "replay",

@@ -250,6 +250,24 @@ class SessionDegraded(TraceEvent):
     latency_s: float
 
 
+@register_event
+@dataclass(frozen=True)
+class WorkerDied(TraceEvent):
+    """A shard worker process stopped answering (``repro.serve.shard``).
+
+    Emitted once per worker failure by the router when it first detects
+    the death — via a broken forwarding connection or the process no
+    longer running.  ``interval`` is the router's request sequence
+    number; requests routed to the dead shard answer
+    ``worker_unavailable`` while other shards keep serving.
+    """
+
+    event_type: ClassVar[str] = "worker_died"
+
+    worker: int
+    reason: str
+
+
 def event_types() -> Tuple[str, ...]:
     """All registered event-type strings, sorted."""
     return tuple(sorted(EVENT_TYPES))

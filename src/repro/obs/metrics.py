@@ -28,6 +28,7 @@ from repro.obs.events import (
     PMIHandled,
     PredictionMade,
     TraceEvent,
+    WorkerDied,
 )
 
 
@@ -206,6 +207,8 @@ def trace_metrics(events: Iterable[TraceEvent]) -> MetricsRegistry:
                 cells_cached += 1
             else:
                 registry.histogram("cells.seconds").observe(event.seconds)
+        elif isinstance(event, WorkerDied):
+            registry.counter("serve.workers_died").inc()
 
     registry.counter("predictor.pht_hits").inc(pht_hits)
     registry.counter("predictor.pht_misses").inc(pht_misses)

@@ -25,11 +25,15 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import IO, Optional
+from typing import IO, Awaitable, Callable, Optional
 
 from repro.serve.manager import SessionManager
 from repro.serve.protocol import handle_line
 from repro.serve.session import Clock
+
+#: One request line in, one response line out — the contract both the
+#: in-process dispatcher and the shard router's forwarding loop satisfy.
+LineHandler = Callable[[str], Awaitable[str]]
 
 #: Wall clock used by production frontends (a reference, so tests can
 #: substitute a deterministic callable).
@@ -61,13 +65,21 @@ def serve_stdio(
     return handled
 
 
-async def _handle_connection(
-    manager: SessionManager,
+async def relay_lines(
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
-    queue_depth: int,
+    answer: LineHandler,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
 ) -> None:
-    """One client connection: bounded queue between reader and worker."""
+    """Pump request lines through ``answer`` with bounded buffering.
+
+    The backpressure core shared by the in-process TCP frontend and the
+    shard router: a bounded queue sits between the socket reader and the
+    single worker that calls ``answer`` in order.  When the queue fills,
+    the reader stops consuming and TCP flow control throttles the
+    client; ``writer.drain()`` bounds the outgoing buffer.  Responses
+    stay in request order because one worker drains the queue.
+    """
     queue: "asyncio.Queue[Optional[str]]" = asyncio.Queue(maxsize=queue_depth)
 
     async def read_requests() -> None:
@@ -90,9 +102,7 @@ async def _handle_connection(
             line = await queue.get()
             if line is None:
                 break
-            writer.write(
-                (handle_line(manager, line) + "\n").encode("utf-8")
-            )
+            writer.write((await answer(line) + "\n").encode("utf-8"))
             await writer.drain()
 
     read_task = asyncio.ensure_future(read_requests())
@@ -111,6 +121,20 @@ async def _handle_connection(
             # Connection teardown races server shutdown; either way the
             # transport is gone and there is nothing left to release.
             pass
+
+
+async def _handle_connection(
+    manager: SessionManager,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    queue_depth: int,
+) -> None:
+    """One client connection: bounded queue between reader and worker."""
+
+    async def answer(line: str) -> str:
+        return handle_line(manager, line)
+
+    await relay_lines(reader, writer, answer, queue_depth)
 
 
 async def serve_tcp_async(

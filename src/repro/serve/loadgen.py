@@ -1,0 +1,352 @@
+"""Deterministic load generator for the serving layer.
+
+``repro serve loadgen`` drives a running server (single-process or
+sharded) over TCP with a reproducible workload: every session streams a
+seeded plateau-shaped Mem/Uop series — the same synthetic shape the
+equivalence property tests use — as protocol-v2 ``sample_batch``
+requests (or v1 ``sample`` requests for back-compat testing).
+
+Determinism is the point, not an accident: the sample series depends
+only on ``seed`` and the session index, and the generator digests every
+outcome row (SHA-256 over interval/phase/prediction/frequency) into a
+single hex string.  Two runs against *any* topology — one worker or
+eight, batch size 1 or 64 — must produce the same digest, which is how
+the scale-out benchmark proves the batched + sharded path is bit-for-bit
+equivalent to single-sample serving.
+
+Only throughput numbers (``elapsed_s`` and the derived rates) come from
+the injected wall clock; everything the digest covers is clock-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import threading
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.serve.frontends import DEFAULT_CLOCK
+from repro.serve.protocol import PROTOCOL_VERSION, SUPPORTED_PROTOCOLS
+from repro.serve.session import Clock
+
+#: Plateau levels for the synthetic Mem/Uop series — one per phase band
+#: of the default classifier, so every phase gets exercised.
+_PLATEAU_LEVELS: Tuple[float, ...] = (0.001, 0.011, 0.02, 0.03, 0.045, 0.06)
+
+
+def generate_series(n: int, seed: int = 0) -> List[float]:
+    """A deterministic plateau-shaped Mem/Uop series of length ``n``.
+
+    Phase-like plateaus (runs of one level, length 4..32) drawn from a
+    seeded :class:`random.Random` — stable across processes and runs.
+    """
+    if n < 0:
+        raise ConfigurationError(f"series length must be >= 0, got {n}")
+    rng = Random(seed)
+    series: List[float] = []
+    while len(series) < n:
+        level = _PLATEAU_LEVELS[rng.randrange(len(_PLATEAU_LEVELS))]
+        length = rng.randint(4, 32)
+        series.extend([level] * min(length, n - len(series)))
+    return series
+
+
+@dataclass(frozen=True)
+class LoadgenResult:
+    """Outcome of one load-generator run.
+
+    ``outcome_digest`` is the topology-independent fingerprint: SHA-256
+    over every session's outcome rows, in session order.  Equal digests
+    across worker counts and batch sizes certify bit-for-bit equivalent
+    serving.
+    """
+
+    sessions: int
+    samples_per_session: int
+    batch_size: int
+    connections: int
+    protocol: int
+    requests: int
+    samples: int
+    errors: int
+    elapsed_s: float
+    outcome_digest: str
+
+    @property
+    def samples_per_s(self) -> float:
+        return self.samples / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-ready summary (machine-readable benchmark record)."""
+        return {
+            "sessions": self.sessions,
+            "samples_per_session": self.samples_per_session,
+            "batch_size": self.batch_size,
+            "connections": self.connections,
+            "protocol": self.protocol,
+            "requests": self.requests,
+            "samples": self.samples,
+            "errors": self.errors,
+            "elapsed_s": self.elapsed_s,
+            "samples_per_s": self.samples_per_s,
+            "requests_per_s": self.requests_per_s,
+            "outcome_digest": self.outcome_digest,
+        }
+
+
+class _Connection:
+    """Blocking line-oriented client socket."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self._sock = socket.create_connection((host, port))
+        self._file = self._sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def rpc(self, request: Dict[str, object]) -> Dict[str, object]:
+        payload = json.loads(self.rpc_raw(request))
+        if not isinstance(payload, dict):
+            raise ConfigurationError(f"malformed response: {payload!r}")
+        return payload
+
+    def rpc_raw(self, request: Dict[str, object]) -> str:
+        """One round trip, response returned as its raw line.
+
+        The throughput path uses this to skip response parsing: the
+        server's own serializer always leads with the ``ok`` key, so
+        success is a prefix check on the raw line.
+        """
+        self._file.write(json.dumps(request, separators=(",", ":")) + "\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConfigurationError("server closed the connection")
+        return line
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+
+def _outcome_rows(response: Dict[str, object]) -> List[str]:
+    """Digest rows for one sample/sample_batch response."""
+    rows: List[str] = []
+    if response.get("op") == "sample_batch":
+        outcomes = response.get("outcomes")
+        if not isinstance(outcomes, list):
+            raise ConfigurationError("sample_batch response missing outcomes")
+        for outcome in outcomes:
+            interval, phase, predicted, freq, degraded, hit = outcome
+            rows.append(
+                f"{interval}:{phase}:{predicted}:{freq}:"
+                f"{int(bool(degraded))}:{'-' if hit is None else int(bool(hit))}"
+            )
+    else:
+        hit = response.get("hit")
+        rows.append(
+            f"{response['interval']}:{response['phase']}:"
+            f"{response['predicted']}:{response['frequency_mhz']}:"
+            f"{int(bool(response.get('degraded')))}:"
+            f"{'-' if hit is None else int(bool(hit))}"
+        )
+    return rows
+
+
+def _drive_session(
+    conn: _Connection,
+    session_index: int,
+    samples_per_session: int,
+    batch_size: int,
+    protocol: int,
+    governor: str,
+    seed: int,
+    verify: bool,
+) -> Tuple[int, int, int, str]:
+    """Run one session to completion; returns (requests, samples, errors, digest)."""
+    requests = 0
+    samples = 0
+    errors = 0
+    digest = hashlib.sha256()
+    series = generate_series(samples_per_session, seed + session_index)
+
+    hello: Dict[str, object] = {
+        "op": "hello",
+        "protocol": protocol,
+        "governor": governor,
+    }
+    response = conn.rpc(hello)
+    requests += 1
+    if not response.get("ok"):
+        return requests, samples, errors + 1, digest.hexdigest()
+    session_id = response["session"]
+
+    index = 0
+    while index < len(series):
+        chunk = series[index : index + batch_size]
+        if protocol >= 2 and batch_size > 1:
+            request: Dict[str, object] = {
+                "op": "sample_batch",
+                "session": session_id,
+                "start_interval": index,
+                "samples": chunk,
+            }
+        else:
+            request = {
+                "op": "sample",
+                "session": session_id,
+                "interval": index,
+                "mem_per_uop": chunk[0],
+            }
+            chunk = chunk[:1]
+        requests += 1
+        if verify:
+            response = conn.rpc(request)
+            if not response.get("ok"):
+                errors += 1
+                index += len(chunk)
+                continue
+            for row in _outcome_rows(response):
+                digest.update(row.encode("utf-8"))
+                digest.update(b"\n")
+        else:
+            # Throughput mode: the serializer leads with ``ok``, so a
+            # prefix check replaces a full JSON parse of the response.
+            if not conn.rpc_raw(request).startswith('{"ok":true'):
+                errors += 1
+                index += len(chunk)
+                continue
+        samples += len(chunk)
+        index += len(chunk)
+
+    response = conn.rpc({"op": "bye", "session": session_id})
+    requests += 1
+    if not response.get("ok"):
+        errors += 1
+    return requests, samples, errors, digest.hexdigest() if verify else ""
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    *,
+    sessions: int = 8,
+    samples_per_session: int = 512,
+    batch_size: int = 16,
+    connections: int = 4,
+    protocol: int = PROTOCOL_VERSION,
+    governor: str = "gpht",
+    seed: int = 0,
+    verify: bool = True,
+    clock: Clock = DEFAULT_CLOCK,
+) -> LoadgenResult:
+    """Drive ``host:port`` with a deterministic workload; measure throughput.
+
+    ``connections`` client threads each hold one TCP connection;
+    sessions are assigned to connections round-robin and driven to
+    completion one after another on their thread.  The outcome digest is
+    combined in session-index order, so it is independent of thread
+    scheduling, connection count, batch size and server topology.
+
+    With ``verify=False`` the generator runs in pure throughput mode:
+    responses get a success prefix check instead of a JSON parse and no
+    digest is computed (``outcome_digest`` is empty) — use it when
+    measuring server capacity so client-side verification cost does not
+    pollute the number.
+
+    Raises:
+        ConfigurationError: On invalid parameters (e.g. batching
+            requested on protocol v1).
+    """
+    if sessions < 1:
+        raise ConfigurationError(f"sessions must be >= 1, got {sessions}")
+    if samples_per_session < 1:
+        raise ConfigurationError(
+            f"samples_per_session must be >= 1, got {samples_per_session}"
+        )
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    if connections < 1:
+        raise ConfigurationError(
+            f"connections must be >= 1, got {connections}"
+        )
+    if protocol not in SUPPORTED_PROTOCOLS:
+        raise ConfigurationError(
+            f"protocol must be one of {SUPPORTED_PROTOCOLS}, got {protocol}"
+        )
+    if protocol < 2 and batch_size > 1:
+        raise ConfigurationError(
+            "protocol v1 has no sample_batch op; use --batch 1 or --protocol 2"
+        )
+    connections = min(connections, sessions)
+
+    per_session_digests: List[Optional[str]] = [None] * sessions
+    totals = [0, 0, 0]  # requests, samples, errors
+    totals_lock = threading.Lock()
+
+    def worker(connection_index: int, assigned: Sequence[int]) -> None:
+        conn = _Connection(host, port)
+        try:
+            for session_index in assigned:
+                requests, samples, errors, digest = _drive_session(
+                    conn,
+                    session_index,
+                    samples_per_session,
+                    batch_size,
+                    protocol,
+                    governor,
+                    seed,
+                    verify,
+                )
+                per_session_digests[session_index] = digest
+                with totals_lock:
+                    totals[0] += requests
+                    totals[1] += samples
+                    totals[2] += errors
+        finally:
+            conn.close()
+
+    threads = []
+    started = clock()
+    for connection_index in range(connections):
+        assigned = [
+            s for s in range(sessions) if s % connections == connection_index
+        ]
+        thread = threading.Thread(
+            target=worker,
+            args=(connection_index, assigned),
+            name=f"repro-loadgen-{connection_index}",
+        )
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join()
+    elapsed = clock() - started
+
+    if verify:
+        combined = hashlib.sha256()
+        for digest in per_session_digests:
+            combined.update((digest or "absent").encode("ascii"))
+            combined.update(b"\n")
+        outcome_digest = combined.hexdigest()
+    else:
+        outcome_digest = ""
+    return LoadgenResult(
+        sessions=sessions,
+        samples_per_session=samples_per_session,
+        batch_size=batch_size,
+        connections=connections,
+        protocol=protocol,
+        requests=totals[0],
+        samples=totals[1],
+        errors=totals[2],
+        elapsed_s=elapsed,
+        outcome_digest=outcome_digest,
+    )

@@ -10,6 +10,9 @@ envelope:
   ``server_overloaded``;
 * **idle eviction** — sessions untouched for ``idle_timeout_s`` are
   closed on the next sweep, so abandoned clients cannot pin memory.
+  The wire dispatcher sweeps on *every* handled request (not only when
+  a slot is reserved by ``hello``/``restore``), so eviction fires even
+  when traffic consists solely of samples to other live sessions.
 
 Time is injectable: with no ``clock`` the manager runs on a logical
 clock that advances one unit per handled request, keeping every test
@@ -19,7 +22,7 @@ clock that advances one unit per handled request, keeping every test
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, ReproError
 from repro.obs.events import SessionClosed, SessionOpened
@@ -42,11 +45,17 @@ class UnknownSessionError(ReproError):
 class _Entry:
     """One live session plus its bookkeeping."""
 
-    __slots__ = ("session", "last_used")
+    __slots__ = ("session", "last_used", "protocol")
 
-    def __init__(self, session: PhaseSession, last_used: float) -> None:
+    def __init__(
+        self,
+        session: PhaseSession,
+        last_used: float,
+        protocol: Optional[int] = None,
+    ) -> None:
         self.session = session
         self.last_used = last_used
+        self.protocol = protocol
 
 
 class SessionManager:
@@ -62,6 +71,11 @@ class SessionManager:
             creates; ``None`` keeps the manager fully deterministic.
         tracer: Trace collector for session lifecycle events.
         metrics: Metrics registry; a private one is created when omitted.
+        id_minter: Maps the manager's monotonically increasing sequence
+            number to a session id.  The default mints ``s1``, ``s2``,
+            ...; shard workers inject
+            :func:`repro.serve.shard.mint_shard_session_id` so every id
+            consistent-hashes back to the worker that owns it.
     """
 
     def __init__(
@@ -71,6 +85,7 @@ class SessionManager:
         clock: Optional[Clock] = None,
         tracer: Tracer = NULL_TRACER,
         metrics: Optional[MetricsRegistry] = None,
+        id_minter: Optional[Callable[[int], str]] = None,
     ) -> None:
         if max_sessions < 1:
             raise ConfigurationError(
@@ -85,6 +100,7 @@ class SessionManager:
         self._clock = clock
         self._tracer = tracer
         self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._id_minter = id_minter
         self._sessions: Dict[str, _Entry] = {}
         self._next_id = 1
         self._requests = 0
@@ -122,8 +138,15 @@ class SessionManager:
         """Ids of every live session, in creation order."""
         return tuple(self._sessions)
 
-    def open(self, config: Optional[SessionConfig] = None) -> PhaseSession:
+    def open(
+        self,
+        config: Optional[SessionConfig] = None,
+        protocol: Optional[int] = None,
+    ) -> PhaseSession:
         """Create a session, enforcing the overload ceiling.
+
+        ``protocol`` records the wire protocol version negotiated in
+        ``hello`` (``None`` = latest); :meth:`protocol_of` answers it.
 
         Raises:
             OverloadedError: When the server is full even after evicting
@@ -136,9 +159,13 @@ class SessionManager:
             tracer=self._tracer,
             metrics=self._metrics,
         )
-        return self._register(session)
+        return self._register(session, protocol)
 
-    def restore(self, checkpoint: Payload) -> PhaseSession:
+    def restore(
+        self,
+        checkpoint: Payload,
+        protocol: Optional[int] = None,
+    ) -> PhaseSession:
         """Open a session from a checkpoint (same overload rules).
 
         Raises:
@@ -152,7 +179,7 @@ class SessionManager:
             tracer=self._tracer,
             metrics=self._metrics,
         )
-        return self._register(session)
+        return self._register(session, protocol)
 
     def _reserve_slot(self) -> str:
         """Sweep idle sessions, enforce the ceiling, mint the next id."""
@@ -162,12 +189,36 @@ class SessionManager:
                 f"server is at its session ceiling ({self._max_sessions}); "
                 "close a session or retry later"
             )
-        session_id = f"s{self._next_id}"
+        if self._id_minter is not None:
+            session_id = self._id_minter(self._next_id)
+        else:
+            session_id = f"s{self._next_id}"
         self._next_id += 1
         return session_id
 
-    def _register(self, session: PhaseSession) -> PhaseSession:
-        self._sessions[session.session_id] = _Entry(session, self.now())
+    def protocol_of(self, session_id: str) -> Optional[int]:
+        """The protocol version negotiated for a live session.
+
+        ``None`` means the session was opened without explicit
+        negotiation (treated as the latest version by the dispatcher).
+
+        Raises:
+            UnknownSessionError: If the id names no live session.
+        """
+        entry = self._sessions.get(session_id)
+        if entry is None:
+            raise UnknownSessionError(
+                f"unknown session {session_id!r} (closed, evicted or never "
+                "opened)"
+            )
+        return entry.protocol
+
+    def _register(
+        self, session: PhaseSession, protocol: Optional[int] = None
+    ) -> PhaseSession:
+        self._sessions[session.session_id] = _Entry(
+            session, self.now(), protocol
+        )
         self._metrics.counter("serve.sessions_opened").inc()
         self._metrics.gauge("serve.sessions_active").set(
             float(len(self._sessions))

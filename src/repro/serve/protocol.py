@@ -6,15 +6,25 @@ is a JSON object with an ``op`` field; every response carries ``ok``
 The same dispatcher serves both frontends — stdio and TCP differ only
 in transport.
 
-Operations (protocol version 1):
+Operations (protocol version 2; version 1 still negotiable in ``hello``):
 
 =========  ==============================================================
-``hello``  Open a session.  Optional ``protocol`` (must be 1 when given)
-           and any :class:`~repro.serve.session.SessionConfig` fields.
+``hello``  Open a session.  Optional ``protocol`` (any version in
+           :data:`SUPPORTED_PROTOCOLS`; the response echoes the
+           negotiated version) and any
+           :class:`~repro.serve.session.SessionConfig` fields.
 ``sample`` Feed one interval: ``session``, ``interval``, ``mem_per_uop``
            and optional ``upc``.  Answers the classified phase, the
            predicted next phase, the recommended frequency, the degraded
            flag and whether the previous prediction hit.
+``sample_batch`` (v2) Feed N ordered intervals in one round trip:
+           ``session``, ``start_interval`` and ``samples`` — an array
+           whose elements are each either a number (``mem_per_uop``) or
+           a ``[mem_per_uop, upc]`` pair.  Answers ``outcomes``: one
+           ``[interval, phase, predicted, frequency_mhz, degraded,
+           hit]`` row per sample, bit-for-bit what N ``sample`` requests
+           would have answered.  Validation is atomic: a malformed
+           batch is rejected whole and the session is untouched.
 ``predict`` The standing prediction without feeding a sample.
 ``snapshot`` The session's lossless checkpoint (see
            :mod:`repro.serve.checkpoint`).
@@ -24,13 +34,19 @@ Operations (protocol version 1):
 =========  ==============================================================
 
 Error codes: ``bad_request``, ``unknown_session``, ``server_overloaded``,
-``unsupported_protocol``, ``internal``.
+``unsupported_protocol``, ``internal`` — plus ``worker_unavailable``,
+emitted by the shard router (:mod:`repro.serve.shard`) when the worker
+owning a session's shard has died.
+
+The dispatcher also sweeps idle sessions once per handled request, so
+``idle_timeout_s`` eviction fires under steady-state traffic, not only
+when ``hello``/``restore`` reserve a slot.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Mapping, Tuple
+from typing import List, Mapping, Tuple
 
 from repro.errors import ConfigurationError, ReproError
 from repro.serve.checkpoint import validate_checkpoint
@@ -41,8 +57,15 @@ from repro.serve.manager import (
 )
 from repro.serve.session import Payload, SessionConfig
 
-#: Wire protocol version; ``hello`` rejects anything else.
-PROTOCOL_VERSION = 1
+#: Current (preferred) wire protocol version.
+PROTOCOL_VERSION = 2
+
+#: Versions ``hello`` accepts.  Version 1 is the PR 4 protocol without
+#: ``sample_batch``; a v1 session is served exactly as before.
+SUPPORTED_PROTOCOLS = (1, 2)
+
+#: Hard per-request ceiling on ``sample_batch`` size (memory bound).
+MAX_BATCH_SAMPLES = 4096
 
 #: Server identification string sent in ``hello`` responses.
 SERVER_NAME = "repro-serve"
@@ -124,6 +147,10 @@ def handle_request(
     can branch without parsing messages.
     """
     manager.tick()
+    # Sweep on request cadence: with constant traffic to live sessions
+    # and no new opens, _reserve_slot() never runs, so this is the only
+    # place abandoned sessions can be evicted on time.
+    manager.evict_idle()
     clock = manager.clock
     started = clock() if clock is not None else None
     try:
@@ -168,11 +195,15 @@ def _op_hello(
     manager: SessionManager, payload: Mapping[str, object]
 ) -> Payload:
     version = payload.get("protocol", PROTOCOL_VERSION)
-    if version != PROTOCOL_VERSION:
+    if (
+        isinstance(version, bool)
+        or not isinstance(version, int)
+        or version not in SUPPORTED_PROTOCOLS
+    ):
         raise _ProtocolError(
             "unsupported_protocol",
             f"protocol {version!r} is not supported; this server speaks "
-            f"version {PROTOCOL_VERSION}",
+            f"versions {SUPPORTED_PROTOCOLS}",
         )
     config_payload = {
         key: payload[key] for key in _CONFIG_FIELDS if key in payload
@@ -183,11 +214,11 @@ def _op_hello(
             "bad_request", f"unknown hello fields: {sorted(unexpected)}"
         )
     config = SessionConfig.from_payload(config_payload)
-    session = manager.open(config)
+    session = manager.open(config, protocol=version)
     return {
         "ok": True,
         "op": "hello",
-        "protocol": PROTOCOL_VERSION,
+        "protocol": version,
         "server": SERVER_NAME,
         "session": session.session_id,
         "governor": config.governor,
@@ -213,6 +244,82 @@ def _op_sample(
         "frequency_mhz": outcome.frequency_mhz,
         "degraded": outcome.degraded,
         "hit": outcome.hit,
+    }
+
+
+def _parse_batch_sample(element: object, index: int) -> Tuple[float, float]:
+    """Normalize one ``samples`` array element to ``(mem_per_uop, upc)``."""
+    if isinstance(element, bool):
+        raise _ProtocolError(
+            "bad_request",
+            f"batch sample {index} must be a number or a "
+            f"[mem_per_uop, upc] pair, got {element!r}",
+        )
+    if isinstance(element, (int, float)):
+        return float(element), 0.0
+    if isinstance(element, list) and 1 <= len(element) <= 2:
+        values: List[float] = []
+        for part in element:
+            if isinstance(part, bool) or not isinstance(part, (int, float)):
+                raise _ProtocolError(
+                    "bad_request",
+                    f"batch sample {index} values must be numbers, "
+                    f"got {part!r}",
+                )
+            values.append(float(part))
+        return values[0], (values[1] if len(values) == 2 else 0.0)
+    raise _ProtocolError(
+        "bad_request",
+        f"batch sample {index} must be a number or a "
+        f"[mem_per_uop, upc] pair, got {element!r}",
+    )
+
+
+def _op_sample_batch(
+    manager: SessionManager, payload: Mapping[str, object]
+) -> Payload:
+    session_id = _require_str(payload, "session")
+    session = manager.get(session_id)
+    negotiated = manager.protocol_of(session_id)
+    if negotiated is not None and negotiated < 2:
+        raise _ProtocolError(
+            "unsupported_protocol",
+            "sample_batch requires protocol >= 2; this session negotiated "
+            f"protocol {negotiated} in hello",
+        )
+    start_interval = _require_int(payload, "start_interval")
+    raw = _require(payload, "samples")
+    if not isinstance(raw, list) or not raw:
+        raise _ProtocolError(
+            "bad_request", "field 'samples' must be a non-empty array"
+        )
+    if len(raw) > MAX_BATCH_SAMPLES:
+        raise _ProtocolError(
+            "bad_request",
+            f"batch of {len(raw)} samples exceeds the per-request ceiling "
+            f"of {MAX_BATCH_SAMPLES}; split it",
+        )
+    samples = [
+        _parse_batch_sample(element, index) for index, element in enumerate(raw)
+    ]
+    outcomes = session.feed_batch(start_interval, samples)
+    return {
+        "ok": True,
+        "op": "sample_batch",
+        "session": session.session_id,
+        "start_interval": start_interval,
+        "count": len(outcomes),
+        "outcomes": [
+            [
+                outcome.interval,
+                outcome.actual_phase,
+                outcome.predicted_phase,
+                outcome.frequency_mhz,
+                outcome.degraded,
+                outcome.hit,
+            ]
+            for outcome in outcomes
+        ],
     }
 
 
@@ -284,6 +391,7 @@ def _op_bye(
 _OPS = {
     "hello": _op_hello,
     "sample": _op_sample,
+    "sample_batch": _op_sample_batch,
     "predict": _op_predict,
     "snapshot": _op_snapshot,
     "restore": _op_restore,
@@ -316,6 +424,16 @@ def handle_line(manager: SessionManager, line: str) -> str:
 
 def _serialize(response: Payload) -> str:
     return json.dumps(response, sort_keys=False, separators=(",", ":"))
+
+
+def error_response(code: str, message: str) -> Payload:
+    """A failure payload with a stable error code (router/frontend use)."""
+    return _error(code, message)
+
+
+def serialize_response(response: Payload) -> str:
+    """Serialize a response payload to its single wire line."""
+    return _serialize(response)
 
 
 def parse_response(line: str) -> Tuple[bool, Payload]:

@@ -113,7 +113,10 @@ def load_trace(path: Path) -> Tuple[TraceEvent, ...]:
     """
     try:
         text = path.read_text(encoding="utf-8")
-    except OSError as error:
+    except (OSError, UnicodeDecodeError) as error:
+        # UnicodeDecodeError is a ValueError, not an OSError — without
+        # this clause a binary/corrupt trace file escaped as a raw stack
+        # trace instead of the CLI's one-line error.
         raise ConfigurationError(f"cannot read trace {path}: {error}") from None
     return events_from_jsonl(text)
 

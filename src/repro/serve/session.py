@@ -26,7 +26,7 @@ phase, so its history stays warm for recovery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.governor import (
     IntervalCounters,
@@ -218,7 +218,10 @@ class PhaseSession:
         self._samples = 0
         self._scored = 0
         self._correct = 0
+        self._degraded_scored = 0
+        self._degraded_correct = 0
         self._pending: Optional[int] = None
+        self._pending_degraded = False
         self._degraded = False
         self._degraded_events = 0
         self._in_budget_streak = 0
@@ -270,20 +273,46 @@ class PhaseSession:
 
     @property
     def scored(self) -> int:
-        """Predictions scored so far (``samples - 1`` once running)."""
+        """Normal-mode predictions scored so far.
+
+        Predictions produced while the session was degraded are scored
+        separately (:attr:`degraded_scored`): last-value fallback hits
+        must not be conflated with the configured predictor's accuracy.
+        """
         return self._scored
 
     @property
     def correct(self) -> int:
-        """Scored predictions that matched the following actual phase."""
+        """Scored normal-mode predictions that matched the next actual."""
         return self._correct
 
     @property
     def accuracy(self) -> float:
-        """Online prediction accuracy, matching the offline definition."""
+        """Online prediction accuracy, matching the offline definition.
+
+        Covers only predictions the configured predictor produced; the
+        degraded-mode fallback has its own :attr:`degraded_accuracy`.
+        """
         if self._scored == 0:
             return 1.0
         return self._correct / self._scored
+
+    @property
+    def degraded_scored(self) -> int:
+        """Degraded-mode (last-value fallback) predictions scored."""
+        return self._degraded_scored
+
+    @property
+    def degraded_correct(self) -> int:
+        """Scored degraded-mode predictions that matched the next actual."""
+        return self._degraded_correct
+
+    @property
+    def degraded_accuracy(self) -> float:
+        """Accuracy of the degraded-mode last-value fallback alone."""
+        if self._degraded_scored == 0:
+            return 1.0
+        return self._degraded_correct / self._degraded_scored
 
     @property
     def degraded(self) -> bool:
@@ -310,16 +339,126 @@ class PhaseSession:
         reordered stream fails loudly instead of silently corrupting
         predictor history.
         """
-        if interval_index != self._samples:
+        self._validate_sample(interval_index, mem_per_uop, self._samples)
+        started = self._clock() if self._clock is not None else None
+        outcome = self._feed_one(interval_index, mem_per_uop, upc)
+        if started is not None and self._clock is not None:
+            elapsed = self._clock() - started
+            self._observe_latency(elapsed)
+            self._update_degradation(elapsed)
+        if self._metrics is not None:
+            self._metrics.counter("serve.samples").inc()
+            if outcome.degraded:
+                self._metrics.counter("serve.degraded_samples").inc()
+        return outcome
+
+    def feed_batch(
+        self,
+        start_interval: int,
+        samples: Sequence[Tuple[float, float]],
+    ) -> List[SampleOutcome]:
+        """Process N ordered samples for this session in one call.
+
+        ``samples`` is a sequence of ``(mem_per_uop, upc)`` pairs whose
+        first element corresponds to interval ``start_interval`` (which
+        must equal the session's own sample count, like :meth:`feed`).
+
+        **Bit-for-bit contract:** fed the same values (and, when a
+        latency budget is active, the same clock sequence), the returned
+        outcomes are identical to N single :meth:`feed` calls — including
+        degraded-mode entry/exit mid-batch.  ``tests/properties/
+        test_serve_batching.py`` holds every governor to this for every
+        partition of a stream into batches.
+
+        **Per-batch accounting:** metrics are updated once per batch
+        (``serve.samples += N``, one ``serve.batch_size`` observation,
+        one ``serve.sample_latency_s`` observation covering the whole
+        batch) instead of once per sample — this is the point of the
+        batched wire protocol.  The latency-budget degradation state
+        machine still runs per sample when a budget is configured,
+        because mid-batch transitions are part of the outcome contract.
+
+        **Atomic validation:** the whole batch is validated before the
+        first sample is processed, so a malformed batch leaves the
+        session untouched instead of half-applied.
+        """
+        if start_interval != self._samples:
             raise ConfigurationError(
-                f"out-of-order sample: expected interval {self._samples}, "
+                f"out-of-order batch: expected start interval "
+                f"{self._samples}, got {start_interval}"
+            )
+        for offset, (mem_per_uop, _) in enumerate(samples):
+            if mem_per_uop < 0:
+                raise ConfigurationError(
+                    f"Mem/Uop must be >= 0, got {mem_per_uop} "
+                    f"(batch sample {offset})"
+                )
+        outcomes: List[SampleOutcome] = []
+        clock = self._clock
+        if clock is not None and self._config.latency_budget_s is not None:
+            # The degradation state machine consumes one latency per
+            # sample; anything coarser would diverge from N feed() calls.
+            batch_elapsed = 0.0
+            for offset, (mem_per_uop, upc) in enumerate(samples):
+                sample_started = clock()
+                outcome = self._feed_one(
+                    start_interval + offset, mem_per_uop, upc
+                )
+                elapsed = clock() - sample_started
+                batch_elapsed += elapsed
+                self._update_degradation(elapsed)
+                outcomes.append(outcome)
+            if samples:
+                self._observe_latency(batch_elapsed)
+        elif clock is not None:
+            started = clock()
+            for offset, (mem_per_uop, upc) in enumerate(samples):
+                outcomes.append(
+                    self._feed_one(start_interval + offset, mem_per_uop, upc)
+                )
+            if samples:
+                self._observe_latency(clock() - started)
+        else:
+            for offset, (mem_per_uop, upc) in enumerate(samples):
+                outcomes.append(
+                    self._feed_one(start_interval + offset, mem_per_uop, upc)
+                )
+        if self._metrics is not None and samples:
+            self._metrics.counter("serve.samples").inc(len(samples))
+            self._metrics.histogram("serve.batch_size").observe(
+                float(len(samples))
+            )
+            degraded_count = sum(
+                1 for outcome in outcomes if outcome.degraded
+            )
+            if degraded_count:
+                self._metrics.counter("serve.degraded_samples").inc(
+                    degraded_count
+                )
+        return outcomes
+
+    @staticmethod
+    def _validate_sample(
+        interval_index: int, mem_per_uop: float, expected: int
+    ) -> None:
+        if interval_index != expected:
+            raise ConfigurationError(
+                f"out-of-order sample: expected interval {expected}, "
                 f"got {interval_index}"
             )
         if mem_per_uop < 0:
             raise ConfigurationError(
                 f"Mem/Uop must be >= 0, got {mem_per_uop}"
             )
-        started = self._clock() if self._clock is not None else None
+
+    def _feed_one(
+        self, interval_index: int, mem_per_uop: float, upc: float
+    ) -> SampleOutcome:
+        """Classify, score, train and predict for one validated sample.
+
+        No clock reads, no metrics — the callers own latency accounting
+        (per sample in :meth:`feed`, per batch in :meth:`feed_batch`).
+        """
         if self._degraded:
             actual, predicted, frequency_mhz = self._decide_degraded(
                 mem_per_uop
@@ -329,22 +468,23 @@ class PhaseSession:
         hit: Optional[bool] = None
         if self._pending is not None:
             hit = self._pending == actual
-            self._scored += 1
-            if hit:
-                self._correct += 1
+            if self._pending_degraded:
+                self._degraded_scored += 1
+                if hit:
+                    self._degraded_correct += 1
+            else:
+                self._scored += 1
+                if hit:
+                    self._correct += 1
         self._pending = predicted
+        self._pending_degraded = self._degraded
         self._samples += 1
-        degraded_now = self._degraded
-        if started is not None and self._clock is not None:
-            self._note_latency(self._clock() - started)
-        if self._metrics is not None:
-            self._metrics.counter("serve.samples").inc()
         return SampleOutcome(
             interval=interval_index,
             actual_phase=actual,
             predicted_phase=predicted,
             frequency_mhz=frequency_mhz,
-            degraded=degraded_now,
+            degraded=self._degraded,
             hit=hit,
         )
 
@@ -402,10 +542,13 @@ class PhaseSession:
 
     # -- degradation state machine ------------------------------------------
 
-    def _note_latency(self, seconds: float) -> None:
-        """Update latency accounting and the degradation state machine."""
+    def _observe_latency(self, seconds: float) -> None:
+        """Record one latency observation (a sample's, or a batch's)."""
         if self._metrics is not None:
             self._metrics.histogram("serve.sample_latency_s").observe(seconds)
+
+    def _update_degradation(self, seconds: float) -> None:
+        """Advance the degradation state machine by one sample latency."""
         budget = self._config.latency_budget_s
         if budget is None:
             return
@@ -456,7 +599,10 @@ class PhaseSession:
             "samples": self._samples,
             "scored": self._scored,
             "correct": self._correct,
+            "degraded_scored": self._degraded_scored,
+            "degraded_correct": self._degraded_correct,
             "pending_prediction": self._pending,
+            "pending_degraded": self._pending_degraded,
             "degraded": self._degraded,
             "degraded_events": self._degraded_events,
             "in_budget_streak": self._in_budget_streak,
@@ -497,6 +643,14 @@ class PhaseSession:
         session._samples = _checkpoint_int(payload, "samples")
         session._scored = _checkpoint_int(payload, "scored")
         session._correct = _checkpoint_int(payload, "correct")
+        # Degraded-mode counters are additive: a pre-split checkpoint
+        # simply restores with empty fallback statistics.
+        session._degraded_scored = _checkpoint_int(
+            payload, "degraded_scored", default=0
+        )
+        session._degraded_correct = _checkpoint_int(
+            payload, "degraded_correct", default=0
+        )
         pending = payload.get("pending_prediction")
         if pending is not None and (
             isinstance(pending, bool) or not isinstance(pending, int)
@@ -505,6 +659,9 @@ class PhaseSession:
                 f"pending_prediction must be an int or null, got {pending!r}"
             )
         session._pending = pending
+        session._pending_degraded = _checkpoint_bool(
+            payload, "pending_degraded", default=False
+        )
         degraded = payload.get("degraded", False)
         if not isinstance(degraded, bool):
             raise ConfigurationError(
@@ -531,6 +688,9 @@ class PhaseSession:
             "accuracy": self.accuracy,
             "degraded": self._degraded,
             "degraded_events": self._degraded_events,
+            "degraded_scored": self._degraded_scored,
+            "degraded_correct": self._degraded_correct,
+            "degraded_accuracy": self.degraded_accuracy,
         }
 
     def __repr__(self) -> str:
@@ -550,5 +710,15 @@ def _checkpoint_int(payload: Payload, key: str, default: Optional[int] = None) -
     if value < 0:
         raise ConfigurationError(
             f"checkpoint {key!r} must be >= 0, got {value}"
+        )
+    return value
+
+
+def _checkpoint_bool(payload: Payload, key: str, default: bool) -> bool:
+    """Extract a bool field from a checkpoint payload."""
+    value = payload.get(key, default)
+    if not isinstance(value, bool):
+        raise ConfigurationError(
+            f"checkpoint {key!r} must be a bool, got {value!r}"
         )
     return value

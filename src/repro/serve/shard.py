@@ -1,0 +1,649 @@
+"""Sharded multi-worker TCP serving: consistent-hash router + workers.
+
+``repro serve tcp --workers N`` scales the single-process asyncio server
+out to N worker *processes*.  Each worker runs the ordinary
+:func:`repro.serve.frontends.serve_tcp_async` loop with its own
+:class:`~repro.serve.manager.SessionManager`; a lightweight asyncio
+router accepts client connections, parses just enough of each request
+line to find the session id, and forwards the line to the worker that
+owns that session's shard.
+
+**Routing rule (the topology contract):** a session id is owned by
+worker ``shard_for(session_id, N)`` — a stable CRC-32 hash modulo the
+worker count, identical in every process and across runs.  Workers mint
+session ids that hash back to themselves
+(:func:`mint_shard_session_id`), so session state *never migrates*:
+every request that names a session lands on the worker holding its
+predictor.  Requests that name no session (``hello``, ``restore``) are
+placed round-robin; the worker's self-hashing id then pins all
+follow-up traffic.
+
+**Capacity:** per-worker session ceilings are carved out of the global
+``max_sessions`` (:func:`worker_ceilings`), summing exactly to it.
+
+**Failure semantics:** when a worker dies, requests routed to its shard
+answer the stable error code ``worker_unavailable`` (and a
+``worker_died`` trace event is emitted once per failure); sessions on
+other shards are unaffected.  The session-less ``stats`` op fans out to
+every live worker and answers the aggregated view
+(:func:`aggregate_stats`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import multiprocessing.connection
+import multiprocessing.process
+import re
+import threading
+import zlib
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import ConfigurationError, ReproError
+from repro.obs.events import WorkerDied
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.serve.frontends import (
+    DEFAULT_CLOCK,
+    DEFAULT_QUEUE_DEPTH,
+    relay_lines,
+    serve_tcp_async,
+)
+from repro.serve.manager import DEFAULT_MAX_SESSIONS, SessionManager
+from repro.serve.protocol import (
+    error_response,
+    parse_response,
+    serialize_response,
+)
+from repro.serve.session import Payload
+
+#: How long ``start()`` waits for every worker to report its port and
+#: for the router to bind, before giving up.
+DEFAULT_START_TIMEOUT_S = 30.0
+
+_MetricValue = Union[str, float]
+_MetricsSnapshot = Mapping[str, Mapping[str, object]]
+
+#: Fast-path extraction of a top-level ``"session"`` value.  Only
+#: applied when the line contains exactly one ``"session"`` key and the
+#: value matches a server-minted id (``s<seq>`` or ``s<seq>x<k>``), so a
+#: crafted string value elsewhere in the request cannot misroute it.
+_SESSION_RE = re.compile(r'"session"\s*:\s*"(s[0-9]+(?:x[0-9]+)?)"')
+
+
+def shard_for(session_id: str, workers: int) -> int:
+    """The worker index owning ``session_id``: stable hash mod workers.
+
+    CRC-32 is used instead of the builtin ``hash`` so the mapping is
+    identical in every process (``PYTHONHASHSEED``-independent) and
+    across runs — the router and all workers must agree forever.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return zlib.crc32(session_id.encode("utf-8")) % workers
+
+
+def mint_shard_session_id(seq: int, shard: int, workers: int) -> str:
+    """Mint the ``seq``-th session id that consistent-hashes to ``shard``.
+
+    Tries ``s{seq}`` first (so single-worker deployments keep the
+    familiar ``s1``, ``s2``, ... ids) and then deterministic suffixed
+    candidates until one hashes home.  Expected tries ≈ ``workers``, so
+    this is trivially cheap at session-open time.
+    """
+    if not 0 <= shard < workers:
+        raise ConfigurationError(
+            f"shard must be in [0, {workers}), got {shard}"
+        )
+    candidate = f"s{seq}"
+    suffix = 0
+    while shard_for(candidate, workers) != shard:
+        suffix += 1
+        candidate = f"s{seq}x{suffix}"
+    return candidate
+
+
+def worker_ceilings(max_sessions: int, workers: int) -> List[int]:
+    """Per-worker session ceilings summing exactly to ``max_sessions``."""
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if max_sessions < workers:
+        raise ConfigurationError(
+            f"max_sessions ({max_sessions}) must be >= workers ({workers}) "
+            "so every shard can hold at least one session"
+        )
+    base, extra = divmod(max_sessions, workers)
+    return [base + (1 if index < extra else 0) for index in range(workers)]
+
+
+def merge_metrics(
+    snapshots: Sequence[_MetricsSnapshot],
+) -> Dict[str, Dict[str, _MetricValue]]:
+    """Merge per-worker ``MetricsRegistry.to_dict()`` snapshots.
+
+    Counters and gauges sum (the serve gauges — e.g. active sessions —
+    are population sizes, so summation is the aggregate view);
+    histograms pool count/total/min/max and recompute the mean.
+    """
+    merged: Dict[str, Dict[str, _MetricValue]] = {}
+    for snapshot in snapshots:
+        for name, payload in snapshot.items():
+            kind = payload.get("kind")
+            if not isinstance(kind, str):
+                raise ConfigurationError(
+                    f"metric {name!r} snapshot is missing its kind"
+                )
+            existing = merged.get(name)
+            if existing is not None and existing["kind"] != kind:
+                raise ConfigurationError(
+                    f"metric {name!r} has conflicting kinds across workers: "
+                    f"{existing['kind']!r} vs {kind!r}"
+                )
+            if kind in ("counter", "gauge"):
+                value = _metric_number(name, payload, "value")
+                if existing is None:
+                    merged[name] = {"kind": kind, "value": value}
+                else:
+                    existing["value"] = _as_number(existing["value"]) + value
+            elif kind == "histogram":
+                count = _metric_number(name, payload, "count")
+                total = _metric_number(name, payload, "total")
+                low = _metric_number(name, payload, "min")
+                high = _metric_number(name, payload, "max")
+                if existing is None:
+                    merged[name] = {
+                        "kind": "histogram",
+                        "count": count,
+                        "total": total,
+                        "min": low,
+                        "max": high,
+                        "mean": (total / count) if count else 0.0,
+                    }
+                else:
+                    old_count = _as_number(existing["count"])
+                    new_count = old_count + count
+                    new_total = _as_number(existing["total"]) + total
+                    existing["count"] = new_count
+                    existing["total"] = new_total
+                    if count:
+                        # An empty snapshot reports min/max as 0.0
+                        # (to_dict); only real observations participate.
+                        if old_count:
+                            existing["min"] = min(
+                                _as_number(existing["min"]), low
+                            )
+                            existing["max"] = max(
+                                _as_number(existing["max"]), high
+                            )
+                        else:
+                            existing["min"] = low
+                            existing["max"] = high
+                    existing["mean"] = (
+                        new_total / new_count if new_count else 0.0
+                    )
+            else:
+                raise ConfigurationError(
+                    f"metric {name!r} has unknown kind {kind!r}"
+                )
+    return dict(sorted(merged.items()))
+
+
+def _as_number(value: _MetricValue) -> float:
+    assert isinstance(value, float)  # merged values are always numeric
+    return value
+
+
+def _metric_number(name: str, payload: Mapping[str, object], key: str) -> float:
+    value = payload.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"metric {name!r} field {key!r} must be a number, got {value!r}"
+        )
+    return float(value)
+
+
+def aggregate_stats(
+    per_worker: Sequence[Optional[Mapping[str, object]]],
+) -> Payload:
+    """Fan-in per-worker ``stats`` payloads into the cluster view.
+
+    ``None`` entries mark workers that did not answer (dead); their
+    slot still appears in ``per_worker`` so clients can see the
+    topology.  Summable fields sum; metrics merge via
+    :func:`merge_metrics`.
+    """
+    sessions_active = 0
+    max_sessions = 0
+    requests = 0
+    idle_timeout_s: Optional[float] = None
+    snapshots: List[_MetricsSnapshot] = []
+    for stats in per_worker:
+        if stats is None:
+            continue
+        sessions_active += int(_stats_number(stats, "sessions_active"))
+        max_sessions += int(_stats_number(stats, "max_sessions"))
+        requests += int(_stats_number(stats, "requests"))
+        if idle_timeout_s is None:
+            timeout = stats.get("idle_timeout_s")
+            if isinstance(timeout, (int, float)) and not isinstance(
+                timeout, bool
+            ):
+                idle_timeout_s = float(timeout)
+        metrics = stats.get("metrics")
+        if isinstance(metrics, dict):
+            snapshots.append(metrics)
+    return {
+        "workers": len(per_worker),
+        "workers_alive": sum(1 for stats in per_worker if stats is not None),
+        "sessions_active": sessions_active,
+        "max_sessions": max_sessions,
+        "requests": requests,
+        "idle_timeout_s": idle_timeout_s,
+        "per_worker": [
+            dict(stats) if stats is not None else None for stats in per_worker
+        ],
+        "metrics": merge_metrics(snapshots),
+    }
+
+
+def _stats_number(stats: Mapping[str, object], key: str) -> float:
+    value = stats.get(key, 0)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return 0.0
+    return float(value)
+
+
+def _worker_main(
+    index: int,
+    workers: int,
+    host: str,
+    port_conn: "multiprocessing.connection.Connection",
+    max_sessions: int,
+    idle_timeout_s: Optional[float],
+    queue_depth: int,
+) -> None:
+    """Worker-process entry: one ordinary TCP server on its own port.
+
+    Binds an ephemeral port, reports it to the parent through the pipe,
+    then serves until terminated.  The id minter guarantees every
+    session this worker opens hashes back to ``index``, which is the
+    whole sharding invariant.
+    """
+    manager = SessionManager(
+        max_sessions=max_sessions,
+        idle_timeout_s=idle_timeout_s,
+        clock=DEFAULT_CLOCK,
+        id_minter=lambda seq: mint_shard_session_id(seq, index, workers),
+    )
+
+    async def _run() -> None:
+        loop = asyncio.get_running_loop()
+        ready: "asyncio.Future[int]" = loop.create_future()
+        server_task = asyncio.ensure_future(
+            serve_tcp_async(
+                manager,
+                host=host,
+                port=0,
+                queue_depth=queue_depth,
+                ready=ready,
+            )
+        )
+        port = await ready
+        port_conn.send(port)
+        port_conn.close()
+        await server_task
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+
+
+class ShardedServer:
+    """N worker processes behind a consistent-hash line router.
+
+    The router runs an asyncio loop on a background thread, so
+    :meth:`start`/:meth:`stop` compose with synchronous callers (the
+    CLI, tests, the load generator).  Worker processes are spawned via
+    :mod:`multiprocessing`; each reports its ephemeral port back through
+    a pipe before the router accepts its first client.
+
+    Args:
+        workers: Number of worker processes (shards).
+        host: Bind address for the router and the workers.
+        port: Router port (``0`` picks a free one; :meth:`start` returns
+            the bound port).
+        max_sessions: *Global* session ceiling, carved into per-worker
+            ceilings that sum to it.
+        idle_timeout_s: Per-worker idle eviction timeout.
+        queue_depth: Per-connection request-queue depth (workers and
+            router alike).
+        tracer: Trace collector for ``worker_died`` events.
+        metrics: Router-side metrics registry (requests routed, worker
+            failures); a private one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        idle_timeout_s: Optional[float] = None,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._ceilings = worker_ceilings(max_sessions, workers)
+        self._workers = workers
+        self._host = host
+        self._port = port
+        self._idle_timeout_s = idle_timeout_s
+        self._queue_depth = queue_depth
+        self._tracer = tracer
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._procs: List[multiprocessing.process.BaseProcess] = []
+        self._worker_ports: List[int] = []
+        self._dead: Set[int] = set()
+        self._round_robin = 0
+        self._requests = 0
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._router_port: Optional[int] = None
+        self._client_tasks: Set["asyncio.Task[None]"] = set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Number of shards."""
+        return self._workers
+
+    @property
+    def router_port(self) -> Optional[int]:
+        """The router's bound port (``None`` before :meth:`start`)."""
+        return self._router_port
+
+    @property
+    def worker_ports(self) -> Tuple[int, ...]:
+        """Each worker's bound port, by shard index."""
+        return tuple(self._worker_ports)
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Router-side metrics (requests routed, worker failures)."""
+        return self._metrics
+
+    def start(self, timeout: float = DEFAULT_START_TIMEOUT_S) -> int:
+        """Spawn the workers, start the router; returns the router port.
+
+        Raises:
+            ReproError: When a worker fails to report its port or the
+                router fails to bind within ``timeout``.
+        """
+        if self._thread is not None:
+            raise ReproError("sharded server already started")
+        context = multiprocessing.get_context()
+        pipes = []
+        for index in range(self._workers):
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_worker_main,
+                args=(
+                    index,
+                    self._workers,
+                    self._host,
+                    child_conn,
+                    self._ceilings[index],
+                    self._idle_timeout_s,
+                    self._queue_depth,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._procs.append(process)
+            pipes.append(parent_conn)
+        for index, parent_conn in enumerate(pipes):
+            if not parent_conn.poll(timeout):
+                self.stop()
+                raise ReproError(
+                    f"worker {index} did not report its port within "
+                    f"{timeout:.0f}s"
+                )
+            self._worker_ports.append(int(parent_conn.recv()))
+            parent_conn.close()
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-serve-router", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            self.stop()
+            raise ReproError(
+                f"router did not start within {timeout:.0f}s"
+            )
+        assert self._router_port is not None
+        return self._router_port
+
+    def stop(self) -> None:
+        """Stop the router and terminate every worker process."""
+        loop = self._loop
+        shutdown = self._shutdown
+        if loop is not None and shutdown is not None:
+            try:
+                loop.call_soon_threadsafe(shutdown.set)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        for process in self._procs:
+            if process.is_alive():
+                process.terminate()
+        for process in self._procs:
+            process.join(timeout=10)
+
+    def kill_worker(self, index: int) -> None:
+        """Terminate one worker (failure-injection hook for tests)."""
+        if not 0 <= index < len(self._procs):
+            raise ConfigurationError(
+                f"no worker {index}; have {len(self._procs)}"
+            )
+        process = self._procs[index]
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=10)
+
+    # -- router -------------------------------------------------------------
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._router_main())
+        except Exception:  # pragma: no cover - surfaced via start() timeout
+            self._started.set()
+
+    async def _router_main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        server = await asyncio.start_server(
+            self._on_client, host=self._host, port=self._port
+        )
+        sockets = server.sockets or []
+        if sockets:
+            self._router_port = int(sockets[0].getsockname()[1])
+        self._started.set()
+        async with server:
+            await self._shutdown.wait()
+        for task in list(self._client_tasks):
+            task.cancel()
+        if self._client_tasks:
+            await asyncio.gather(
+                *self._client_tasks, return_exceptions=True
+            )
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+        # One lazily opened upstream connection per worker *per client*,
+        # so each client's responses stay strictly in request order.
+        links: Dict[int, Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = {}
+
+        async def answer(line: str) -> str:
+            return await self._route(line, links)
+
+        try:
+            await relay_lines(reader, writer, answer, self._queue_depth)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            for _, upstream_writer in links.values():
+                upstream_writer.close()
+            if task is not None:
+                self._client_tasks.discard(task)
+
+    async def _route(
+        self,
+        line: str,
+        links: Dict[int, Tuple[asyncio.StreamReader, asyncio.StreamWriter]],
+    ) -> str:
+        """Pick the shard for one request line and forward it."""
+        self._requests += 1
+        self._metrics.counter("serve.router_requests").inc()
+        # Fast path for the hot ops: a ``sample_batch`` line is mostly a
+        # float array the router has no business parsing — when exactly
+        # one ``"session"`` key appears and the value looks like a
+        # server-minted id, routing needs only that.  Anything ambiguous
+        # (no session, several occurrences, weird ids, ``stats``) takes
+        # the full-parse path below.
+        if line.count('"session"') == 1 and '"op":"stats"' not in line:
+            match = _SESSION_RE.search(line)
+            if match is not None:
+                return await self._forward(
+                    shard_for(match.group(1), self._workers), line, links
+                )
+        try:
+            payload = json.loads(line)
+        except ValueError as exc:
+            return serialize_response(
+                error_response("bad_request", f"invalid JSON: {exc}")
+            )
+        if not isinstance(payload, dict):
+            return serialize_response(
+                error_response("bad_request", "request must be a JSON object")
+            )
+        session = payload.get("session")
+        if payload.get("op") == "stats" and "session" not in payload:
+            return await self._aggregate_stats(links)
+        if isinstance(session, str):
+            target = shard_for(session, self._workers)
+        else:
+            # hello/restore (and anything session-less): balanced
+            # placement; the worker's self-hashing id pins the session.
+            target = self._round_robin
+            self._round_robin = (self._round_robin + 1) % self._workers
+        return await self._forward(target, line, links)
+
+    async def _forward(
+        self,
+        worker: int,
+        line: str,
+        links: Dict[int, Tuple[asyncio.StreamReader, asyncio.StreamWriter]],
+    ) -> str:
+        if not self._procs[worker].is_alive():
+            self._note_worker_down(worker, "process is not running")
+            return self._unavailable(worker)
+        try:
+            link = links.get(worker)
+            if link is None:
+                link = await asyncio.open_connection(
+                    self._host, self._worker_ports[worker]
+                )
+                links[worker] = link
+            upstream_reader, upstream_writer = link
+            upstream_writer.write((line + "\n").encode("utf-8"))
+            await upstream_writer.drain()
+            raw = await upstream_reader.readline()
+            if not raw:
+                raise ConnectionError("worker closed the connection")
+            return raw.decode("utf-8", errors="replace").rstrip("\n")
+        except (ConnectionError, OSError) as exc:
+            stale = links.pop(worker, None)
+            if stale is not None:
+                stale[1].close()
+            self._note_worker_down(worker, str(exc))
+            return self._unavailable(worker)
+
+    def _unavailable(self, worker: int) -> str:
+        response = error_response(
+            "worker_unavailable",
+            f"worker {worker} serving this shard is unavailable; "
+            "sessions on other shards are unaffected",
+        )
+        response["worker"] = worker
+        return serialize_response(response)
+
+    def _note_worker_down(self, worker: int, reason: str) -> None:
+        self._metrics.counter("serve.worker_unavailable").inc()
+        if worker in self._dead:
+            return
+        self._dead.add(worker)
+        self._metrics.counter("serve.workers_died").inc()
+        if self._tracer.enabled:
+            self._tracer.emit(
+                WorkerDied(
+                    interval=self._requests, worker=worker, reason=reason
+                )
+            )
+
+    async def _aggregate_stats(
+        self,
+        links: Dict[int, Tuple[asyncio.StreamReader, asyncio.StreamWriter]],
+    ) -> str:
+        per_worker: List[Optional[Mapping[str, object]]] = []
+        stats_line = serialize_response({"op": "stats"})
+        for worker in range(self._workers):
+            answer = await self._forward(worker, stats_line, links)
+            try:
+                ok, payload = parse_response(answer)
+            except ConfigurationError:
+                ok, payload = False, {}
+            stats = payload.get("stats") if ok else None
+            per_worker.append(stats if isinstance(stats, dict) else None)
+        return serialize_response(
+            {"ok": True, "op": "stats", "stats": aggregate_stats(per_worker)}
+        )
+
+
+def run_sharded(
+    workers: int,
+    host: str = "127.0.0.1",
+    port: int = 8472,
+    max_sessions: int = DEFAULT_MAX_SESSIONS,
+    idle_timeout_s: Optional[float] = None,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+) -> None:
+    """Blocking entry point for ``repro serve tcp --workers N``.
+
+    Starts the sharded server and parks until interrupted.
+    """
+    server = ShardedServer(
+        workers=workers,
+        host=host,
+        port=port,
+        max_sessions=max_sessions,
+        idle_timeout_s=idle_timeout_s,
+        queue_depth=queue_depth,
+    )
+    server.start()
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()

@@ -16,6 +16,7 @@ from repro.obs.events import (
     PredictionMade,
     Scalar,
     TraceEvent,
+    WorkerDied,
     event_from_dict,
     event_types,
     register_event,
@@ -50,6 +51,7 @@ class TestRegistry:
             "session_closed",
             "session_degraded",
             "session_opened",
+            "worker_died",
         )
 
     def test_registry_maps_type_to_class(self):
@@ -142,6 +144,9 @@ class TestRoundTrip:
                 benchmark="applu_in",
                 cached=True,
                 seconds=0.0,
+            ),
+            WorkerDied(
+                interval=12, worker=1, reason="process is not running"
             ),
         ],
     )

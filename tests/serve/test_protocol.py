@@ -204,3 +204,165 @@ class TestHandleLine:
     def test_responses_are_single_lines(self, manager):
         line = handle_line(manager, json.dumps({"op": "stats"}))
         assert "\n" not in line
+
+
+class TestSampleBatch:
+    def _batch(self, manager, session, start, samples):
+        return handle_request(
+            manager,
+            {
+                "op": "sample_batch",
+                "session": session,
+                "start_interval": start,
+                "samples": samples,
+            },
+        )
+
+    def test_matches_n_single_samples(self, manager):
+        series = [0.001, 0.02, 0.05, 0.02, 0.001, 0.06]
+        single = hello(manager)
+        singles = [
+            handle_request(
+                manager,
+                {
+                    "op": "sample",
+                    "session": single,
+                    "interval": i,
+                    "mem_per_uop": value,
+                },
+            )
+            for i, value in enumerate(series)
+        ]
+        batched = hello(manager)
+        response = self._batch(manager, batched, 0, series)
+        assert response["ok"] is True
+        assert response["count"] == len(series)
+        assert response["outcomes"] == [
+            [
+                r["interval"],
+                r["phase"],
+                r["predicted"],
+                r["frequency_mhz"],
+                r["degraded"],
+                r["hit"],
+            ]
+            for r in singles
+        ]
+
+    def test_accepts_pair_elements(self, manager):
+        session = hello(manager)
+        response = self._batch(manager, session, 0, [[0.001, 1.5], 0.02])
+        assert response["ok"] is True
+        assert response["count"] == 2
+
+    def test_empty_batch_is_bad_request(self, manager):
+        session = hello(manager)
+        response = self._batch(manager, session, 0, [])
+        assert response["error"] == "bad_request"
+
+    def test_oversized_batch_is_bad_request(self, manager):
+        from repro.serve import MAX_BATCH_SAMPLES
+
+        session = hello(manager)
+        response = self._batch(
+            manager, session, 0, [0.001] * (MAX_BATCH_SAMPLES + 1)
+        )
+        assert response["error"] == "bad_request"
+
+    def test_malformed_elements_are_bad_request(self, manager):
+        session = hello(manager)
+        for bad in [["x"], [True], [[0.1, 0.2, 0.3]], [[]], [None]]:
+            response = self._batch(manager, session, 0, bad)
+            assert response["error"] == "bad_request", bad
+
+    def test_rejection_is_atomic(self, manager):
+        session = hello(manager)
+        response = self._batch(manager, session, 0, [0.001, 0.02, -1.0])
+        assert response["error"] == "bad_request"
+        # The valid prefix was not applied: interval 0 is still next.
+        response = self._batch(manager, session, 0, [0.001])
+        assert response["ok"] is True
+
+    def test_wrong_start_interval_is_bad_request(self, manager):
+        session = hello(manager)
+        response = self._batch(manager, session, 3, [0.001])
+        assert response["error"] == "bad_request"
+
+    def test_unknown_session(self, manager):
+        response = self._batch(manager, "s99", 0, [0.001])
+        assert response["error"] == "unknown_session"
+
+
+class TestProtocolNegotiation:
+    def test_v1_still_negotiable(self, manager):
+        response = handle_request(manager, {"op": "hello", "protocol": 1})
+        assert response["ok"] is True
+        assert response["protocol"] == 1
+
+    def test_v1_session_cannot_sample_batch(self, manager):
+        session = hello(manager, protocol=1)
+        response = handle_request(
+            manager,
+            {
+                "op": "sample_batch",
+                "session": session,
+                "start_interval": 0,
+                "samples": [0.001],
+            },
+        )
+        assert response["ok"] is False
+        assert response["error"] == "unsupported_protocol"
+
+    def test_v1_session_still_samples(self, manager):
+        session = hello(manager, protocol=1)
+        response = handle_request(
+            manager,
+            {
+                "op": "sample",
+                "session": session,
+                "interval": 0,
+                "mem_per_uop": 0.001,
+            },
+        )
+        assert response["ok"] is True
+
+    def test_non_integer_protocol_rejected(self, manager):
+        for version in (1.0, "2", True, None):
+            response = handle_request(
+                manager, {"op": "hello", "protocol": version}
+            )
+            assert response["error"] == "unsupported_protocol", version
+
+
+class TestIdleSweepOnRequestCadence:
+    """Regression: idle eviction must fire under steady-state traffic.
+
+    Before the sweep moved into handle_request, evict_idle() only ran
+    from _reserve_slot(), so with constant traffic to live sessions and
+    no new opens an abandoned session was never evicted.
+    """
+
+    def test_abandoned_session_evicted_without_new_open(self):
+        manager = SessionManager(max_sessions=4, idle_timeout_s=5)
+        busy = hello(manager)
+        idle = hello(manager)
+        assert manager.active_sessions == 2
+        # Drive only the busy session past the idle timeout — no hello,
+        # no restore, just steady sample traffic.
+        for i in range(10):
+            response = handle_request(
+                manager,
+                {
+                    "op": "sample",
+                    "session": busy,
+                    "interval": i,
+                    "mem_per_uop": 0.001,
+                },
+            )
+            assert response["ok"] is True
+        assert manager.active_sessions == 1
+        response = handle_request(
+            manager,
+            {"op": "sample", "session": idle, "interval": 0, "mem_per_uop": 0.1},
+        )
+        assert response["error"] == "unknown_session"

@@ -179,3 +179,47 @@ class TestReplayCLI:
         out = blocker / "trace.csv"  # parent is a file: mkdir fails
         assert main(["trace", "export", str(trace_file), "--out", str(out)]) == 2
         assert "cannot write" in capsys.readouterr().err
+
+
+class TestReplayCLIErrorHandling:
+    """Satellite fix: every bad trace file is one clean error line.
+
+    A binary/undecodable trace used to escape ``load_trace`` as a raw
+    ``UnicodeDecodeError`` stack trace (only ``OSError`` was caught);
+    missing files and sample-free traces must keep their existing clean
+    one-line behaviour.
+    """
+
+    def _run(self, capsys, path):
+        code = main(["serve", "replay", str(path)])
+        return code, capsys.readouterr().err
+
+    def test_undecodable_trace_is_one_clean_error_line(self, capsys, tmp_path):
+        bad = tmp_path / "binary.jsonl"
+        bad.write_bytes(b"\xff\xfe\x00binary garbage\x00")
+        code, err = self._run(capsys, bad)
+        assert code == 2
+        assert err.startswith("error:")
+        assert "cannot read trace" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_missing_trace_is_one_clean_error_line(self, capsys, tmp_path):
+        code, err = self._run(capsys, tmp_path / "absent.jsonl")
+        assert code == 2
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_sample_free_trace_is_one_clean_error_line(self, capsys, tmp_path):
+        empty = tmp_path / "no_samples.jsonl"
+        empty.write_text(
+            json.dumps(CellStarted(
+                interval=0, label="x", kind="run", benchmark="applu_in"
+            ).to_dict()) + "\n",
+            encoding="utf-8",
+        )
+        code, err = self._run(capsys, empty)
+        assert code == 2
+        assert err.startswith("error:")
+        assert "no interval_sampled events" in err
+        assert len(err.strip().splitlines()) == 1

@@ -204,3 +204,135 @@ class TestStats:
             value is None or isinstance(value, (str, int, float, bool))
             for value in stats.values()
         )
+
+
+class TestFeedBatch:
+    def test_matches_single_feeds(self):
+        series = [0.001, 0.001, 0.02, 0.05, 0.02, 0.001, 0.06, 0.06]
+        single = PhaseSession()
+        expected = [single.feed(i, value) for i, value in enumerate(series)]
+        batched = PhaseSession()
+        outcomes = batched.feed_batch(0, [(value, 0.0) for value in series])
+        assert outcomes == expected
+        assert batched.samples == single.samples
+        assert batched.scored == single.scored
+        assert batched.correct == single.correct
+
+    def test_accepts_continuation_batches(self):
+        session = PhaseSession()
+        session.feed_batch(0, [(0.001, 0.0), (0.02, 0.0)])
+        outcomes = session.feed_batch(2, [(0.05, 0.0)])
+        assert outcomes[0].interval == 2
+        assert session.samples == 3
+
+    def test_empty_batch_is_a_noop(self):
+        session = PhaseSession()
+        assert session.feed_batch(0, []) == []
+        assert session.samples == 0
+
+    def test_validation_is_atomic(self):
+        session = PhaseSession()
+        session.feed(0, 0.001)
+        with pytest.raises(ConfigurationError, match="out-of-order"):
+            session.feed_batch(5, [(0.001, 0.0)])
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            session.feed_batch(1, [(0.001, 0.0), (-0.5, 0.0)])
+        # The valid prefix of the rejected batch was NOT applied.
+        assert session.samples == 1
+
+    def test_per_batch_metrics(self):
+        metrics = MetricsRegistry()
+        session = PhaseSession(metrics=metrics)
+        session.feed_batch(0, [(0.001, 0.0)] * 5)
+        assert metrics.counter("serve.samples").value == 5
+        batch_size = metrics.histogram("serve.batch_size")
+        assert batch_size.count == 1
+        assert batch_size.max == 5.0
+
+    def test_one_latency_observation_per_batch(self):
+        metrics = MetricsRegistry()
+        session = PhaseSession(
+            metrics=metrics, clock=FakeClock([0.0, 0.25])
+        )
+        session.feed_batch(0, [(0.001, 0.0)] * 4)
+        latency = metrics.histogram("serve.sample_latency_s")
+        assert latency.count == 1
+        assert latency.total == pytest.approx(0.25)
+
+    def test_degradation_transitions_match_single_feeds(self):
+        # With a latency budget the state machine must run per sample:
+        # the same scripted clock drives a batch and N single feeds to
+        # identical outcomes, including mid-batch degradation entry.
+        def ticks(latencies):
+            values, t = [], 0.0
+            for latency in latencies:
+                values.extend([t, t + latency])
+                t += latency + 1.0
+            return values
+
+        latencies = [0.1, 5.0, 0.1, 0.1, 0.1]
+        series = [0.001, 0.02, 0.05, 0.02, 0.001]
+        config = SessionConfig(latency_budget_s=1.0, cooldown=2)
+        single = PhaseSession(config, clock=FakeClock(ticks(latencies)))
+        expected = [single.feed(i, value) for i, value in enumerate(series)]
+        batched = PhaseSession(config, clock=FakeClock(ticks(latencies)))
+        outcomes = batched.feed_batch(0, [(value, 0.0) for value in series])
+        assert outcomes == expected
+        assert [outcome.degraded for outcome in outcomes] == [
+            outcome.degraded for outcome in expected
+        ]
+        assert batched.degraded == single.degraded
+        assert batched.degraded_events == single.degraded_events
+        assert batched.snapshot() == single.snapshot()
+
+
+class TestDegradedAccounting:
+    """Degraded-mode predictions must not pollute the normal hit rate."""
+
+    def _degraded_session(self, latencies, **kwargs):
+        ticks, t = [], 0.0
+        for latency in latencies:
+            ticks.extend([t, t + latency])
+            t += latency + 1.0
+        return PhaseSession(
+            SessionConfig(latency_budget_s=1.0, cooldown=99, **kwargs),
+            clock=FakeClock(ticks or [0.0]),
+        )
+
+    def test_degraded_hits_scored_separately(self):
+        # Sample 0 overruns: predictions made from sample 1 on are
+        # degraded last-value guesses.  Only prediction 0 (made in
+        # normal mode, scored at sample 1) may count toward `scored`.
+        session = self._degraded_session([5.0, 0.1, 0.1, 0.1, 0.1])
+        for i in range(5):
+            session.feed(i, 0.001)
+        assert session.scored == 1
+        assert session.degraded_scored == 3
+        assert session.scored + session.degraded_scored == 4
+
+    def test_degraded_accuracy_exposed(self):
+        session = self._degraded_session([5.0, 0.1, 0.1])
+        for i in range(3):
+            session.feed(i, 0.001)
+        assert session.degraded_accuracy == 1.0
+        stats = session.stats()
+        assert stats["degraded_scored"] == session.degraded_scored
+        assert stats["degraded_correct"] == session.degraded_correct
+        assert stats["degraded_accuracy"] == session.degraded_accuracy
+
+    def test_counters_survive_checkpoint(self):
+        session = self._degraded_session([5.0, 0.1, 0.1, 0.1])
+        for i in range(4):
+            session.feed(i, 0.001)
+        restored = PhaseSession.from_snapshot(session.snapshot())
+        assert restored.degraded_scored == session.degraded_scored
+        assert restored.degraded_correct == session.degraded_correct
+        assert restored.scored == session.scored
+
+    def test_normal_only_session_has_no_degraded_counts(self):
+        session = PhaseSession()
+        for i in range(5):
+            session.feed(i, 0.001)
+        assert session.degraded_scored == 0
+        assert session.degraded_correct == 0
+        assert session.degraded_accuracy == 1.0

@@ -1,0 +1,312 @@
+"""Sharded multi-worker server: routing, aggregation, failure isolation."""
+
+import json
+import socket
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import (
+    ShardedServer,
+    aggregate_stats,
+    handle_request,
+    merge_metrics,
+    mint_shard_session_id,
+    shard_for,
+    worker_ceilings,
+)
+from repro.serve.manager import SessionManager
+
+
+class TestShardFor:
+    def test_stable_across_calls(self):
+        assert shard_for("s1", 4) == shard_for("s1", 4)
+
+    def test_known_values_pinned(self):
+        # The mapping is part of the wire contract (state never
+        # migrates), so pin concrete values: any change breaks every
+        # deployed topology.
+        assert shard_for("s1", 2) == 0
+        assert shard_for("s2", 2) == 0
+        assert shard_for("s3", 2) == 0
+        assert shard_for("s1x1", 2) == 1
+
+    def test_in_range_and_reasonably_balanced(self):
+        workers = 4
+        counts = [0] * workers
+        for i in range(1000):
+            counts[shard_for(f"s{i}", workers)] += 1
+        assert all(count > 100 for count in counts)
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            shard_for("s1", 0)
+
+
+class TestMintShardSessionId:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 4, 7])
+    def test_minted_ids_hash_home(self, workers):
+        for shard in range(workers):
+            for seq in range(1, 20):
+                minted = mint_shard_session_id(seq, shard, workers)
+                assert shard_for(minted, workers) == shard
+
+    def test_single_worker_keeps_plain_ids(self):
+        assert mint_shard_session_id(1, 0, 1) == "s1"
+        assert mint_shard_session_id(7, 0, 1) == "s7"
+
+    def test_distinct_within_a_shard(self):
+        minted = {mint_shard_session_id(seq, 1, 4) for seq in range(1, 50)}
+        assert len(minted) == 49
+
+    def test_rejects_out_of_range_shard(self):
+        with pytest.raises(ConfigurationError, match="shard"):
+            mint_shard_session_id(1, 2, 2)
+
+
+class TestWorkerCeilings:
+    def test_sums_to_global(self):
+        assert sum(worker_ceilings(64, 4)) == 64
+        assert sum(worker_ceilings(10, 3)) == 10
+
+    def test_remainder_spread_evenly(self):
+        assert worker_ceilings(10, 3) == [4, 3, 3]
+
+    def test_rejects_too_small_global(self):
+        with pytest.raises(ConfigurationError, match="max_sessions"):
+            worker_ceilings(3, 4)
+
+
+class TestMergeMetrics:
+    def test_counters_and_gauges_sum(self):
+        merged = merge_metrics(
+            [
+                {"c": {"kind": "counter", "value": 2.0},
+                 "g": {"kind": "gauge", "value": 1.0}},
+                {"c": {"kind": "counter", "value": 3.0},
+                 "g": {"kind": "gauge", "value": 4.0}},
+            ]
+        )
+        assert merged["c"]["value"] == 5.0
+        assert merged["g"]["value"] == 5.0
+
+    def test_histograms_pool(self):
+        merged = merge_metrics(
+            [
+                {"h": {"kind": "histogram", "count": 2.0, "total": 3.0,
+                       "min": 1.0, "max": 2.0, "mean": 1.5}},
+                {"h": {"kind": "histogram", "count": 1.0, "total": 5.0,
+                       "min": 5.0, "max": 5.0, "mean": 5.0}},
+            ]
+        )
+        assert merged["h"] == {
+            "kind": "histogram",
+            "count": 3.0,
+            "total": 8.0,
+            "min": 1.0,
+            "max": 5.0,
+            "mean": pytest.approx(8.0 / 3.0),
+        }
+
+    def test_empty_histogram_does_not_poison_min(self):
+        # to_dict() reports min/max as 0.0 for empty histograms; that
+        # sentinel must not survive the merge as a fake observation.
+        merged = merge_metrics(
+            [
+                {"h": {"kind": "histogram", "count": 0.0, "total": 0.0,
+                       "min": 0.0, "max": 0.0, "mean": 0.0}},
+                {"h": {"kind": "histogram", "count": 2.0, "total": 6.0,
+                       "min": 2.0, "max": 4.0, "mean": 3.0}},
+            ]
+        )
+        assert merged["h"]["min"] == 2.0
+
+    def test_conflicting_kinds_rejected(self):
+        with pytest.raises(ConfigurationError, match="conflicting"):
+            merge_metrics(
+                [
+                    {"x": {"kind": "counter", "value": 1.0}},
+                    {"x": {"kind": "gauge", "value": 1.0}},
+                ]
+            )
+
+
+class TestAggregateStats:
+    def _worker_stats(self, manager):
+        return handle_request(manager, {"op": "stats"})["stats"]
+
+    def test_sums_real_worker_payloads(self):
+        managers = [SessionManager(max_sessions=3) for _ in range(2)]
+        for manager in managers:
+            handle_request(manager, {"op": "hello"})
+        merged = aggregate_stats([self._worker_stats(m) for m in managers])
+        assert merged["workers"] == 2
+        assert merged["workers_alive"] == 2
+        assert merged["sessions_active"] == 2
+        assert merged["max_sessions"] == 6
+        assert merged["metrics"]["serve.sessions_opened"]["value"] == 2.0
+
+    def test_dead_workers_keep_their_slot(self):
+        manager = SessionManager(max_sessions=3)
+        merged = aggregate_stats([None, self._worker_stats(manager)])
+        assert merged["workers"] == 2
+        assert merged["workers_alive"] == 1
+        assert merged["per_worker"][0] is None
+        assert merged["per_worker"][1] is not None
+
+
+class _Client:
+    """Blocking line client for end-to-end router tests."""
+
+    def __init__(self, port):
+        self._sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+        self._file = self._sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def rpc(self, **request):
+        self._file.write(json.dumps(request) + "\n")
+        self._file.flush()
+        return json.loads(self._file.readline())
+
+    def close(self):
+        self._sock.close()
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    server = ShardedServer(workers=2, max_sessions=8)
+    port = server.start()
+    yield server, port
+    server.stop()
+
+
+class TestShardedServerEndToEnd:
+    def test_sessions_distribute_and_hash_home(self, sharded):
+        server, port = sharded
+        client = _Client(port)
+        try:
+            sessions = [client.rpc(op="hello")["session"] for _ in range(4)]
+            shards = {shard_for(session, 2) for session in sessions}
+            assert shards == {0, 1}  # round-robin hit both workers
+            for session in sessions:
+                response = client.rpc(
+                    op="sample", session=session, interval=0, mem_per_uop=0.001
+                )
+                assert response["ok"] is True, response
+            for session in sessions:
+                assert client.rpc(op="bye", session=session)["ok"]
+        finally:
+            client.close()
+
+    def test_batched_outcomes_match_in_process_session(self, sharded):
+        server, port = sharded
+        series = [0.001, 0.02, 0.05, 0.02, 0.001, 0.06]
+        reference = SessionManager(max_sessions=1)
+        ref_session = handle_request(reference, {"op": "hello"})["session"]
+        expected = handle_request(
+            reference,
+            {
+                "op": "sample_batch",
+                "session": ref_session,
+                "start_interval": 0,
+                "samples": series,
+            },
+        )["outcomes"]
+        client = _Client(port)
+        try:
+            session = client.rpc(op="hello")["session"]
+            response = client.rpc(
+                op="sample_batch",
+                session=session,
+                start_interval=0,
+                samples=series,
+            )
+            assert response["ok"] is True, response
+            assert response["outcomes"] == expected
+            client.rpc(op="bye", session=session)
+        finally:
+            client.close()
+
+    def test_aggregated_stats_fan_in(self, sharded):
+        server, port = sharded
+        client = _Client(port)
+        try:
+            sessions = [client.rpc(op="hello")["session"] for _ in range(2)]
+            response = client.rpc(op="stats")
+            assert response["ok"] is True
+            stats = response["stats"]
+            assert stats["workers"] == 2
+            assert stats["workers_alive"] == 2
+            assert stats["max_sessions"] == 8  # per-worker ceilings sum
+            assert stats["sessions_active"] >= 2
+            assert len(stats["per_worker"]) == 2
+            for session in sessions:
+                client.rpc(op="bye", session=session)
+        finally:
+            client.close()
+
+    def test_per_session_stats_route_by_hash(self, sharded):
+        server, port = sharded
+        client = _Client(port)
+        try:
+            session = client.rpc(op="hello")["session"]
+            response = client.rpc(op="stats", session=session)
+            assert response["ok"] is True
+            assert response["stats"]["session"] == session
+            client.rpc(op="bye", session=session)
+        finally:
+            client.close()
+
+    def test_malformed_json_answered_by_router(self, sharded):
+        server, port = sharded
+        client = _Client(port)
+        try:
+            client._file.write("{nope\n")
+            client._file.flush()
+            response = json.loads(client._file.readline())
+            assert response["ok"] is False
+            assert response["error"] == "bad_request"
+        finally:
+            client.close()
+
+
+class TestWorkerDeath:
+    """Worker failure degrades one shard; the others keep serving.
+
+    Module-scoped server can't be reused here — killing a worker is
+    destructive — so this test pays for its own topology.
+    """
+
+    def test_dead_shard_isolated(self):
+        server = ShardedServer(workers=2, max_sessions=8)
+        port = server.start()
+        try:
+            client = _Client(port)
+            # Open sessions on both shards.
+            by_shard = {}
+            while len(by_shard) < 2:
+                session = client.rpc(op="hello")["session"]
+                by_shard[shard_for(session, 2)] = session
+            server.kill_worker(0)
+            dead = client.rpc(
+                op="sample",
+                session=by_shard[0],
+                interval=0,
+                mem_per_uop=0.001,
+            )
+            assert dead["ok"] is False
+            assert dead["error"] == "worker_unavailable"
+            assert dead["worker"] == 0
+            alive = client.rpc(
+                op="sample",
+                session=by_shard[1],
+                interval=0,
+                mem_per_uop=0.001,
+            )
+            assert alive["ok"] is True, alive
+            stats = client.rpc(op="stats")["stats"]
+            assert stats["workers_alive"] == 1
+            assert stats["per_worker"][0] is None
+            assert server.metrics.counter("serve.workers_died").value == 1
+            client.close()
+        finally:
+            server.stop()
