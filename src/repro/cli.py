@@ -767,6 +767,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args.paths, output_format=args.format)
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.devtools.analyze import run_analyze
+    from repro.devtools.analyze.cli import list_analyses_text
+
+    if args.list_rules:
+        print(list_analyses_text())
+        return 0
+    return run_analyze(args.paths, output_format=args.format)
+
+
 def _cmd_quadrants(args: argparse.Namespace) -> int:
     placements = place_all(SPEC2000_BENCHMARKS, n_intervals=args.intervals)
     rows = [
@@ -1205,7 +1215,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -1215,6 +1225,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="list every registered lint rule and exit",
     )
     lint_parser.set_defaults(func=_cmd_lint)
+
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help=(
+            "run the whole-program analyses (checkpoint completeness, "
+            "async blocking, determinism taint, layering, protocol "
+            "conformance) over source paths"
+        ),
+    )
+    analyze_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories forming the project (default: src)",
+    )
+    analyze_parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    analyze_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every registered analysis and exit",
+    )
+    analyze_parser.set_defaults(func=_cmd_analyze)
 
     return parser
 

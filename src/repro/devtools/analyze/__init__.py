@@ -1,0 +1,60 @@
+"""Whole-program static analysis for the reproduction (``repro analyze``).
+
+Where :mod:`repro.devtools.lint` checks one file at a time, this
+package builds a project-wide view — a module index with dotted names,
+an import graph that distinguishes module-scope from deferred imports,
+and a best-effort call graph — and runs cross-module analyses on top:
+
+* ``checkpoint-completeness`` — every mutable field round-trips
+  through the class's export/restore checkpoint pair;
+* ``async-blocking`` — no blocking primitive is reachable from the
+  asyncio serve path, interprocedurally;
+* ``determinism-taint`` — wall-clock/random/env values never flow into
+  persisted outputs, digests, cache keys, or wire payloads;
+* ``layering`` — the import DAG (substrate below kernel below
+  offline/online layers) plus module-scope cycle detection;
+* ``protocol-conformance`` — wire ops dispatched exactly once, error
+  codes declared and produced, every op exercised by loadgen.
+
+Findings share the linter's report shape and exit codes; suppressions
+require a justification (``# repro-analyze: disable=<rule> -- <why>``).
+See ``docs/static_analysis.md`` for the architecture and rule
+catalogue.
+"""
+
+from repro.devtools.analyze.callgraph import CallGraph, CallSite, FunctionInfo
+from repro.devtools.analyze.cli import main, run_analyze
+from repro.devtools.analyze.engine import (
+    Analysis,
+    AnalyzeEngine,
+    Suppression,
+    parse_analyze_suppressions,
+    register_analysis,
+    registered_analyses,
+)
+from repro.devtools.analyze.analyses import default_analyses
+from repro.devtools.analyze.project import (
+    ImportEdge,
+    Project,
+    ProjectModule,
+    load_project,
+)
+
+__all__ = [
+    "Analysis",
+    "AnalyzeEngine",
+    "CallGraph",
+    "CallSite",
+    "FunctionInfo",
+    "ImportEdge",
+    "Project",
+    "ProjectModule",
+    "Suppression",
+    "default_analyses",
+    "load_project",
+    "main",
+    "parse_analyze_suppressions",
+    "register_analysis",
+    "registered_analyses",
+    "run_analyze",
+]

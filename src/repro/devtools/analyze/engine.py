@@ -1,0 +1,216 @@
+"""Whole-program analysis engine: registry, suppressions, reports.
+
+Mirrors the per-file lint engine's shape (same :class:`Finding` and
+:class:`LintReport` types, same exit-code semantics) but runs
+:class:`Analysis` objects over a whole :class:`Project` instead of
+rules over single modules.
+
+Suppression syntax
+------------------
+
+Cross-module findings assert *invariants* (lossless checkpoints, a
+non-blocking serve path), so silencing one requires saying why::
+
+    self._governor = self._build_governor(...)  # repro-analyze: disable=checkpoint-completeness -- rebuilt from config on restore
+
+A ``repro-analyze: disable=`` comment **without** a ``-- <why>``
+justification does not suppress anything; it is itself reported under
+the ``suppression`` rule.  This is the mandatory-justification policy:
+every silenced finding carries its reasoning in the diff, next to the
+code it excuses.
+"""
+
+from __future__ import annotations
+
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.devtools.lint.engine import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    Finding,
+    LintReport,
+)
+
+from repro.devtools.analyze.project import Project, load_project
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "EXIT_FINDINGS",
+    "Analysis",
+    "AnalyzeEngine",
+    "Suppression",
+    "parse_analyze_suppressions",
+    "register_analysis",
+    "registered_analyses",
+]
+
+#: Rule name under which malformed suppressions are reported.
+SUPPRESSION_RULE = "suppression"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-analyze:\s*disable=([A-Za-z0-9_,\- ]+?)"
+    r"(?:\s*--\s*(.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``repro-analyze`` suppression comment.
+
+    Attributes:
+        line: 1-based line the comment sits on (the suppressed line).
+        rules: Rule names it names (``all`` matches every rule).
+        justification: The text after ``--``; ``None`` when missing, in
+            which case the suppression is inert and reported.
+    """
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: Optional[str]
+
+    @property
+    def valid(self) -> bool:
+        """Whether this suppression carries a justification."""
+        return bool(self.justification)
+
+    def matches(self, rule: str) -> bool:
+        """Whether this (valid) suppression silences ``rule``."""
+        return self.valid and (rule in self.rules or "all" in self.rules)
+
+
+def parse_analyze_suppressions(source: str) -> Dict[int, Suppression]:
+    """Map 1-based line numbers to their suppression comments."""
+    suppressions: Dict[int, Suppression] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        if not rules:
+            continue
+        suppressions[lineno] = Suppression(
+            line=lineno,
+            rules=rules,
+            justification=match.group(2),
+        )
+    return suppressions
+
+
+class Analysis(ABC):
+    """One whole-program analysis: inspects a project, yields findings.
+
+    Class attributes:
+        name: Stable identifier (reports, suppressions, ``--list-rules``).
+        description: One-line summary shown by ``--list-rules``.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    @abstractmethod
+    def check(self, project: Project) -> Iterator[Finding]:
+        """Yield every violation this analysis finds in ``project``."""
+
+    def finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        """Build a finding attributed to this analysis."""
+        return Finding(
+            path=path, line=line, col=col, rule=self.name, message=message
+        )
+
+    def __repr__(self) -> str:
+        return f"<Analysis {self.name}>"
+
+
+_REGISTRY: Dict[str, Type[Analysis]] = {}
+
+
+def register_analysis(analysis_class: Type[Analysis]) -> Type[Analysis]:
+    """Class decorator adding an analysis to the global registry.
+
+    Raises:
+        ValueError: On a missing or duplicate analysis name.
+    """
+    if not analysis_class.name:
+        raise ValueError(f"analysis {analysis_class.__name__} has no name")
+    existing = _REGISTRY.get(analysis_class.name)
+    if existing is not None and existing is not analysis_class:
+        raise ValueError(f"duplicate analysis name {analysis_class.name!r}")
+    _REGISTRY[analysis_class.name] = analysis_class
+    return analysis_class
+
+
+def registered_analyses() -> Dict[str, Type[Analysis]]:
+    """A copy of the analysis registry, keyed by name."""
+    return dict(_REGISTRY)
+
+
+class AnalyzeEngine:
+    """Runs analyses over a project and aggregates a report.
+
+    Args:
+        analyses: Analysis instances to apply (default: every registered
+            analysis, in name order).
+    """
+
+    def __init__(self, analyses: Sequence[Analysis] = ()) -> None:
+        self._analyses: List[Analysis] = list(analyses)
+        if not self._analyses:
+            self._analyses = [
+                analysis_class()
+                for _, analysis_class in sorted(_REGISTRY.items())
+            ]
+
+    @property
+    def analyses(self) -> Tuple[Analysis, ...]:
+        """The analyses this engine applies, in order."""
+        return tuple(self._analyses)
+
+    def analyze_project(self, project: Project) -> List[Finding]:
+        """Run every analysis; apply suppressions; report malformed ones."""
+        suppressions_by_path: Dict[str, Dict[int, Suppression]] = {
+            module.path: parse_analyze_suppressions(module.parsed.source)
+            for module in project.modules()
+        }
+        findings: List[Finding] = []
+        for analysis in self._analyses:
+            for found in analysis.check(project):
+                per_line = suppressions_by_path.get(found.path, {})
+                suppression = per_line.get(found.line)
+                if suppression is not None and suppression.matches(found.rule):
+                    continue
+                findings.append(found)
+        for path, per_line in suppressions_by_path.items():
+            for suppression in per_line.values():
+                if not suppression.valid:
+                    findings.append(
+                        Finding(
+                            path=path,
+                            line=suppression.line,
+                            col=0,
+                            rule=SUPPRESSION_RULE,
+                            message=(
+                                "suppression without justification has no "
+                                "effect; write '# repro-analyze: "
+                                f"disable={','.join(suppression.rules)} "
+                                "-- <why this is safe>'"
+                            ),
+                        )
+                    )
+        return sorted(findings)
+
+    def run(self, paths: Sequence[str]) -> LintReport:
+        """Analyze every Python file under ``paths`` as one project."""
+        project, errors, files_checked = load_project(list(paths))
+        report = LintReport(files_checked=files_checked, errors=errors)
+        report.findings.extend(self.analyze_project(project))
+        report.findings.sort()
+        return report

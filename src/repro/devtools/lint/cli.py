@@ -11,13 +11,9 @@ import argparse
 import sys
 from typing import List, Optional, Sequence, TextIO
 
-from repro.devtools.lint.engine import (
-    EXIT_CLEAN,
-    LintEngine,
-    render_json,
-    render_text,
-)
+from repro.devtools.lint.engine import EXIT_CLEAN, LintEngine
 from repro.devtools.lint.rules import default_rules
+from repro.devtools.reporting import OUTPUT_FORMATS, renderer_for
 
 #: Paths linted when none are given on the command line.
 DEFAULT_PATHS = ("src",)
@@ -43,8 +39,8 @@ def run_lint(
     out = stream if stream is not None else sys.stdout
     engine = LintEngine(default_rules())
     report = engine.run(list(paths))
-    renderer = render_json if output_format == "json" else render_text
-    print(renderer(report), file=out)
+    renderer = renderer_for(output_format)
+    print(renderer(report, "repro lint"), file=out)
     return report.exit_code
 
 
@@ -65,7 +61,7 @@ def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=OUTPUT_FORMATS,
         default="text",
         help="report format (default: text)",
     )

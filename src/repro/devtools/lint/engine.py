@@ -23,7 +23,6 @@ Suppression syntax: a finding is silenced by placing
 from __future__ import annotations
 
 import ast
-import json
 import re
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -333,20 +332,14 @@ class LintEngine:
 
 
 def render_text(report: LintReport) -> str:
-    """The human-readable report: one line per finding plus a summary."""
-    lines = [f.format() for f in report.findings]
-    lines.extend(f"error: {message}" for message in report.errors)
-    noun = "file" if report.files_checked == 1 else "files"
-    if not report.findings and not report.errors:
-        lines.append(f"repro lint: {report.files_checked} {noun} clean")
-    else:
-        lines.append(
-            f"repro lint: {len(report.findings)} finding(s), "
-            f"{len(report.errors)} error(s) in {report.files_checked} {noun}"
-        )
-    return "\n".join(lines)
+    """The human-readable report (see :mod:`repro.devtools.reporting`)."""
+    from repro.devtools.reporting import render_text as _render_text
+
+    return _render_text(report, tool="repro lint")
 
 
 def render_json(report: LintReport) -> str:
-    """The machine-readable report as a JSON document."""
-    return json.dumps(report.to_dict(), indent=2)
+    """The machine-readable report (see :mod:`repro.devtools.reporting`)."""
+    from repro.devtools.reporting import render_json as _render_json
+
+    return _render_json(report, tool="repro lint")

@@ -14,6 +14,14 @@ eight, batch size 1 or 64 — must produce the same digest, which is how
 the scale-out benchmark proves the batched + sharded path is bit-for-bit
 equivalent to single-sample serving.
 
+In verify mode every session also finishes with a checkpoint round
+trip — ``predict``, ``stats``, ``snapshot``, ``restore``, and a second
+``predict`` on the restored twin — so every wire op has an executable
+spec and losslessness is asserted end to end, over the wire, under
+load.  The extra ops do not touch the outcome digest (only sample
+outcomes are digested), so digests stay comparable across verify and
+older generators.
+
 Only throughput numbers (``elapsed_s`` and the derived rates) come from
 the injected wall clock; everything the digest covers is clock-free.
 """
@@ -160,6 +168,65 @@ def _outcome_rows(response: Dict[str, object]) -> List[str]:
     return rows
 
 
+def _verify_checkpoint(
+    conn: _Connection, session_id: str, expected_samples: int
+) -> Tuple[int, int]:
+    """Exercise predict/stats/snapshot/restore against a fed session.
+
+    Verify mode is the protocol's executable spec: every wire op must be
+    drivable by the generator, and the checkpoint ops carry a semantic
+    check — a session restored over the wire must predict exactly what
+    the original predicts (losslessness, observed end to end).  Returns
+    ``(requests, errors)``; outcome digests are unaffected because only
+    sample outcomes are digested.
+    """
+    requests = 0
+    errors = 0
+
+    predict = conn.rpc({"op": "predict", "session": session_id})
+    requests += 1
+    if not predict.get("ok"):
+        return requests, errors + 1
+
+    stats = conn.rpc({"op": "stats", "session": session_id})
+    requests += 1
+    session_stats = stats.get("stats")
+    if not stats.get("ok") or not (
+        isinstance(session_stats, dict)
+        and session_stats.get("samples") == expected_samples
+    ):
+        errors += 1
+
+    snapshot = conn.rpc({"op": "snapshot", "session": session_id})
+    requests += 1
+    if not snapshot.get("ok"):
+        return requests, errors + 1
+
+    restore = conn.rpc(
+        {"op": "restore", "checkpoint": snapshot["checkpoint"]}
+    )
+    requests += 1
+    if not restore.get("ok"):
+        return requests, errors + 1
+    restored_id = restore["session"]
+    if restore.get("samples") != expected_samples:
+        errors += 1
+
+    twin = conn.rpc({"op": "predict", "session": restored_id})
+    requests += 1
+    if not twin.get("ok") or (
+        twin.get("predicted") != predict.get("predicted")
+        or twin.get("frequency_mhz") != predict.get("frequency_mhz")
+    ):
+        errors += 1
+
+    bye = conn.rpc({"op": "bye", "session": restored_id})
+    requests += 1
+    if not bye.get("ok"):
+        errors += 1
+    return requests, errors
+
+
 def _drive_session(
     conn: _Connection,
     session_index: int,
@@ -225,6 +292,13 @@ def _drive_session(
                 continue
         samples += len(chunk)
         index += len(chunk)
+
+    if verify:
+        extra_requests, extra_errors = _verify_checkpoint(
+            conn, str(session_id), samples
+        )
+        requests += extra_requests
+        errors += extra_errors
 
     response = conn.rpc({"op": "bye", "session": session_id})
     requests += 1

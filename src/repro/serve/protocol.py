@@ -70,6 +70,20 @@ MAX_BATCH_SAMPLES = 4096
 #: Server identification string sent in ``hello`` responses.
 SERVER_NAME = "repro-serve"
 
+#: Every error code the serve tier may put on the wire.  This is the
+#: closed registry clients program against; ``repro analyze``'s
+#: protocol-conformance check cross-references each code produced
+#: anywhere in the serve package against it (and flags phantom codes
+#: that are declared but never produced).
+ERROR_CODES = (
+    "bad_request",
+    "unknown_session",
+    "server_overloaded",
+    "unsupported_protocol",
+    "worker_unavailable",
+    "internal",
+)
+
 #: ``SessionConfig`` fields accepted inline in a ``hello`` request.
 _CONFIG_FIELDS = (
     "governor",

@@ -209,12 +209,12 @@ class PhaseSession:
         tracer: Tracer = NULL_TRACER,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
-        self._config = config if config is not None else SessionConfig()
+        self._config = config if config is not None else SessionConfig()  # repro-analyze: disable=checkpoint-completeness -- rebuilt by from_snapshot from the checkpoint's config payload (constructor argument)
         self._id = session_id
         self._clock = clock
         self._tracer = tracer
         self._metrics = metrics
-        self._governor = self._build_governor(self._config)
+        self._governor = self._build_governor(self._config)  # repro-analyze: disable=checkpoint-completeness -- rebuilt from config on restore; the predictor's mutable state is re-applied via restore_state
         self._samples = 0
         self._scored = 0
         self._correct = 0

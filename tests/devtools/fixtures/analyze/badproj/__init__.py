@@ -1,0 +1,1 @@
+"""Known-bad fixture project: one violation per analysis."""

@@ -1,0 +1,1 @@
+"""Kernel layer of the bad fixture project."""

@@ -1,0 +1,7 @@
+"""A kernel module reaching up into the serving layer (forbidden)."""
+
+from badproj.serve import handlers
+
+
+def misuse(line):
+    return handlers.handle(line)

@@ -1,0 +1,22 @@
+"""A predictor whose checkpoint pair silently drops a mutable field."""
+
+
+class LeakyPredictor:
+    """Bug: ``_hits`` is neither exported nor restored."""
+
+    def __init__(self, depth):
+        self._depth = depth  # wiring: reconstructed by the constructor
+        self._window = []
+        self._hits = 0
+
+    def update(self, phase):
+        self._window.append(phase)
+        if len(self._window) > self._depth:
+            self._window.pop(0)
+        self._hits += 1
+
+    def export_state(self):
+        return {"window": list(self._window)}
+
+    def restore_state(self, state):
+        self._window = [int(item) for item in state["window"]]

@@ -1,0 +1,18 @@
+"""Wall-clock taint reaching a serialised record through a helper."""
+
+import json
+import time
+
+
+def _stamp():
+    return time.time()
+
+
+def build_record(value):
+    captured_at = _stamp()
+    return {"value": value, "at": captured_at}
+
+
+def persist(value):
+    record = build_record(value)
+    return json.dumps(record, sort_keys=True)

@@ -1,0 +1,1 @@
+"""Serving layer of the bad fixture project."""

@@ -1,0 +1,16 @@
+"""An async handler with a blocking call buried two frames deep."""
+
+import time
+
+
+async def handle(line):
+    return _relay(line)
+
+
+def _relay(line):
+    return _commit(line)
+
+
+def _commit(line):
+    time.sleep(0.01)
+    return line

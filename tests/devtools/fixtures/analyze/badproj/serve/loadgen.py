@@ -1,0 +1,5 @@
+"""A load generator that forgets the ``stats`` op."""
+
+
+def drive(rpc):
+    return rpc({"op": "hello"})

@@ -1,0 +1,36 @@
+"""A wire protocol violating every conformance check once.
+
+* ``stats`` dispatches to ``_op_status`` (name mismatch);
+* ``_op_orphan`` is defined but never registered;
+* ``"mystery"`` is emitted but not declared in ``ERROR_CODES``;
+* ``"never_emitted"`` is declared but never produced;
+* ``stats`` never appears in the fixture load generator.
+"""
+
+ERROR_CODES = ("bad_request", "never_emitted")
+
+
+class _ProtocolError(Exception):
+    def __init__(self, code, message):
+        super().__init__(message)
+        self.code = code
+
+
+def _op_hello(payload):
+    if "bad" in payload:
+        raise _ProtocolError("mystery", "who am I")
+    return {"ok": True, "op": "hello"}
+
+
+def _op_status(payload):
+    return {"ok": True, "op": "stats"}
+
+
+def _op_orphan(payload):
+    return {"ok": True}
+
+
+_OPS = {
+    "hello": _op_hello,
+    "stats": _op_status,
+}

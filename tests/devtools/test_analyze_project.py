@@ -1,0 +1,179 @@
+"""Project model and call graph construction."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.analyze.project import (
+    Project,
+    load_project,
+    module_name_for,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analyze"
+
+
+class TestModuleNaming:
+    def test_dotted_name_from_package_chain(self):
+        path = FIXTURES / "goodproj" / "core" / "predictor.py"
+        assert module_name_for(path) == "goodproj.core.predictor"
+
+    def test_init_module_names_the_package(self):
+        path = FIXTURES / "goodproj" / "core" / "__init__.py"
+        assert module_name_for(path) == "goodproj.core"
+
+    def test_file_outside_any_package_is_its_stem(self, tmp_path):
+        path = tmp_path / "standalone.py"
+        path.write_text("x = 1\n")
+        assert module_name_for(path) == "standalone"
+
+
+class TestImportGraph:
+    def test_module_scope_vs_deferred_imports(self):
+        project = Project.from_sources(
+            {
+                "pkg.a": "import json\n\ndef f():\n    import pickle\n",
+            }
+        )
+        module = project.get("pkg.a")
+        edges = {edge.target: edge.deferred for edge in module.imports}
+        assert edges == {"json": False, "pickle": True}
+
+    def test_type_checking_imports_are_deferred(self):
+        project = Project.from_sources(
+            {
+                "pkg.a": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    from pkg.b import Thing\n"
+                ),
+                "pkg.b": "class Thing:\n    pass\n",
+            }
+        )
+        module = project.get("pkg.a")
+        edge = [e for e in module.imports if e.target == "pkg.b"][0]
+        assert edge.deferred
+
+    def test_relative_import_resolution(self):
+        project = Project.from_sources(
+            {
+                "pkg.sub.a": "from . import b\nfrom ..top import c\n",
+                "pkg.sub.b": "",
+                "pkg.top": "c = 1\n",
+            }
+        )
+        targets = {e.target for e in project.get("pkg.sub.a").imports}
+        assert "pkg.sub" in targets
+        assert "pkg.top" in targets
+
+    def test_is_internal_covers_packages_and_modules(self):
+        project = Project.from_sources({"pkg.sub.mod": ""})
+        assert project.is_internal("pkg.sub.mod")
+        assert project.is_internal("pkg.sub")
+        assert project.is_internal("pkg")
+        assert not project.is_internal("json")
+
+    def test_find_suffix_unique_match(self):
+        project = Project.from_sources(
+            {"a.serve.protocol": "", "a.serve.loadgen": ""}
+        )
+        assert project.find_suffix("serve.protocol").name == "a.serve.protocol"
+        assert project.find_suffix("missing.module") is None
+
+
+class TestLoadProject:
+    def test_loads_fixture_tree(self):
+        project, errors, files = load_project(
+            [str(FIXTURES / "goodproj")]
+        )
+        assert errors == []
+        assert files == 7
+        assert project.get("goodproj.core.predictor") is not None
+
+    def test_syntax_error_is_reported_not_fatal(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        project, errors, files = load_project([str(tmp_path)])
+        assert files == 1
+        assert len(errors) == 1
+        assert "syntax error" in errors[0]
+
+
+class TestCallGraph:
+    def _graph(self, sources):
+        project = Project.from_sources(sources)
+        return project, project.callgraph
+
+    def test_name_call_resolves_to_module_function(self):
+        _, graph = self._graph(
+            {"m": "def helper():\n    pass\n\ndef entry():\n    helper()\n"}
+        )
+        sites = graph.calls_from["m:entry"]
+        assert sites[0].callee == "m:helper"
+
+    def test_from_import_resolves_across_modules(self):
+        _, graph = self._graph(
+            {
+                "a": "def tool():\n    pass\n",
+                "b": "from a import tool\n\ndef entry():\n    tool()\n",
+            }
+        )
+        assert graph.calls_from["b:entry"][0].callee == "a:tool"
+
+    def test_module_attr_call_resolves_internal_and_external(self):
+        _, graph = self._graph(
+            {
+                "a": "def tool():\n    pass\n",
+                "b": (
+                    "import a\nimport time\n\n"
+                    "def entry():\n    a.tool()\n    time.sleep(1)\n"
+                ),
+            }
+        )
+        sites = graph.calls_from["b:entry"]
+        assert sites[0].callee == "a:tool"
+        assert sites[1].external == "time.sleep"
+
+    def test_self_method_resolves_within_class_and_bases(self):
+        _, graph = self._graph(
+            {
+                "m": (
+                    "class Base:\n"
+                    "    def shared(self):\n        pass\n"
+                    "class Child(Base):\n"
+                    "    def entry(self):\n        self.shared()\n"
+                )
+            }
+        )
+        assert graph.calls_from["m:Child.entry"][0].callee == "m:Base.shared"
+
+    def test_constructor_call_resolves_to_init(self):
+        _, graph = self._graph(
+            {
+                "m": (
+                    "class Thing:\n"
+                    "    def __init__(self):\n        pass\n"
+                    "def entry():\n    Thing()\n"
+                )
+            }
+        )
+        assert graph.calls_from["m:entry"][0].callee == "m:Thing.__init__"
+
+    def test_unresolved_attribute_call_keeps_tail(self):
+        _, graph = self._graph(
+            {"m": "def entry(writer):\n    writer.drain()\n"}
+        )
+        site = graph.calls_from["m:entry"][0]
+        assert site.callee is None
+        assert site.external is None
+        assert site.tail == "drain"
+
+    def test_async_functions_are_indexed(self):
+        _, graph = self._graph({"m": "async def go():\n    pass\n"})
+        assert [info.fid for info in graph.async_functions()] == ["m:go"]
+
+
+class TestFromSourcesErrors:
+    def test_bad_source_raises(self):
+        with pytest.raises(SyntaxError):
+            Project.from_sources({"m": "def broken(:\n"})
