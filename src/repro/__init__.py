@@ -27,7 +27,14 @@ Quickstart::
     governor = PhasePredictionGovernor(GPHTPredictor(8, 128))
     result = machine.run(trace, governor)
     print(result.bips, result.average_power_w, result.edp)
+
+Everything in ``__all__`` is the package's stable public surface — see
+``docs/api.md`` for the compatibility guarantees.  The heavier layers
+(serving sessions, the execution engine, batch evaluation) resolve
+lazily on first attribute access, so ``import repro`` stays cheap.
 """
+
+import importlib
 
 from repro.core import (
     DVFSPolicy,
@@ -64,6 +71,39 @@ from repro.system import (
 from repro.workloads import SegmentSpec, WorkloadTrace, benchmark
 
 __version__ = "1.0.0"
+
+#: Heavy layers resolved on first attribute access (PEP 562), so that
+#: ``import repro`` does not pay for the serving stack or the execution
+#: engine.  These names are as stable as the eager ones above.
+_LAZY_EXPORTS = {
+    # evaluation (scalar and batch fast path)
+    "PredictionResult": "repro.analysis",
+    "evaluate_predictor": "repro.analysis",
+    "evaluate_predictor_batch": "repro.analysis",
+    # execution engine
+    "ExecutionEngine": "repro.exec",
+    "ExperimentSpec": "repro.exec",
+    "make_engine": "repro.exec",
+    # serving sessions
+    "PhaseSession": "repro.serve",
+    "SessionConfig": "repro.serve",
+    "SampleOutcome": "repro.serve",
+    "BatchOutcomes": "repro.serve",
+}
+
+
+def __getattr__(name):
+    """Resolve the lazily exported layers on demand (PEP 562)."""
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
 
 __all__ = [
     "__version__",
@@ -110,4 +150,4 @@ __all__ = [
     "run_comparison",
     "run_suite",
     "run_comparison_suite",
-]
+] + list(_LAZY_EXPORTS)

@@ -14,6 +14,7 @@ import importlib
 from repro.analysis.accuracy import (
     PredictionResult,
     evaluate_predictor,
+    evaluate_predictor_batch,
     evaluate_suite,
     misprediction_improvement,
 )
@@ -36,6 +37,7 @@ _LAZY_EXPORTS = {
     "sweep_granularity": "repro.analysis.sweeps",
     "sweep_frequencies": "repro.analysis.sweeps",
     "Claim": "repro.analysis.paper_report",
+    "claims_payload": "repro.analysis.paper_report",
     "measure_claims": "repro.analysis.paper_report",
     "render_report": "repro.analysis.paper_report",
 }
@@ -43,6 +45,7 @@ _LAZY_EXPORTS = {
 __all__ = [
     "PredictionResult",
     "evaluate_predictor",
+    "evaluate_predictor_batch",
     "evaluate_suite",
     "misprediction_improvement",
     "sample_variation_pct",

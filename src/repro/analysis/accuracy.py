@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.phases import PhaseTable
 from repro.core.predictors import PhaseObservation, PhasePredictor
 from repro.errors import ConfigurationError
@@ -102,6 +104,46 @@ def evaluate_predictor(
         predictor_name=predictor.name,
         predictions=tuple(predictions),
         actuals=tuple(actuals),
+    )
+
+
+def evaluate_predictor_batch(
+    predictor: PhasePredictor,
+    mem_series: Sequence[float],
+    phase_table: Optional[PhaseTable] = None,
+    tracer: Tracer = NULL_TRACER,
+) -> PredictionResult:
+    """Vectorized :func:`evaluate_predictor` — bit-identical results.
+
+    Classifies the whole series in one :meth:`PhaseTable.classify_batch`
+    call and drives the predictor through its fused
+    :meth:`PhasePredictor.predict_batch` cycle, so kernelized predictors
+    (GPHT, last-value, fixed-window) skip all per-sample Python
+    dispatch; every other predictor transparently runs the scalar-loop
+    default and still produces the same :class:`PredictionResult`.
+
+    When ``tracer`` is enabled the evaluation delegates to the scalar
+    :func:`evaluate_predictor`, which stamps per-interval trace events —
+    the scored result is identical either way.
+    """
+    if len(mem_series) < 2:
+        raise ConfigurationError(
+            f"evaluation needs >= 2 samples, got {len(mem_series)}"
+        )
+    if tracer.enabled:
+        return evaluate_predictor(predictor, mem_series, phase_table, tracer)
+    table = phase_table if phase_table is not None else PhaseTable()
+    predictor.reset()
+    predictor.bind_tracer(tracer)
+    # One float64 round-trip matches the scalar path's float(value)
+    # coercion exactly, whatever the input container was.
+    values: List[float] = np.asarray(mem_series, dtype=np.float64).tolist()
+    phases = table.classify_batch(values)
+    predictions = predictor.predict_batch(phases, values)
+    return PredictionResult(
+        predictor_name=predictor.name,
+        predictions=tuple(predictions[:-1]),
+        actuals=tuple(phases[1:]),
     )
 
 

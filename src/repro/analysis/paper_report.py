@@ -306,6 +306,24 @@ def measure_claims(
     return claims
 
 
+def claims_payload(claims: List[Claim]) -> Dict[str, object]:
+    """The reproduction certificate as a JSON-ready mapping."""
+    return {
+        "reproduced": sum(1 for claim in claims if claim.holds),
+        "total": len(claims),
+        "claims": [
+            {
+                "name": claim.name,
+                "paper": claim.paper,
+                "measured": claim.measured,
+                "holds": claim.holds,
+                "verdict": claim.verdict,
+            }
+            for claim in claims
+        ],
+    }
+
+
 def render_report(claims: List[Claim]) -> str:
     """Render the claims as the reproduction-certificate table."""
     rows = [

@@ -31,6 +31,7 @@ converts traces (``repro trace record|summarize|export``).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import (
@@ -152,10 +153,32 @@ def _engine_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _format_parent(
+    *, sarif: bool = False, json_help: str = "typed JSON payload"
+) -> argparse.ArgumentParser:
+    """The one shared ``--format`` flag for result-printing commands.
+
+    Every subcommand that prints a result accepts the same spelling:
+    ``--format {text,json}`` (plus ``sarif`` for the static-analysis
+    frontends).  Per-command variants (``csv``/``jsonl``, bespoke
+    defaults) are gone — default is always ``text``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    choices = ("text", "json", "sarif") if sarif else ("text", "json")
+    parent.add_argument(
+        "--format",
+        choices=choices,
+        default="text",
+        help=f"output format: text (default) or {json_help}"
+        + (" or SARIF 2.1.0" if sarif else ""),
+    )
+    return parent
+
+
 def _sweep_parent(default_intervals: int) -> argparse.ArgumentParser:
     """Sweep flags (benchmark selection, trace length, output format)."""
     parent = argparse.ArgumentParser(
-        add_help=False, parents=[_engine_parent()]
+        add_help=False, parents=[_engine_parent(), _format_parent()]
     )
     group = parent.add_argument_group("sweep")
     group.add_argument(
@@ -170,12 +193,6 @@ def _sweep_parent(default_intervals: int) -> argparse.ArgumentParser:
         type=int,
         default=default_intervals,
         help=f"trace length in intervals (default: {default_intervals})",
-    )
-    group.add_argument(
-        "--format",
-        choices=("text", "json"),
-        default="text",
-        help="output format (default: text)",
     )
     return parent
 
@@ -528,7 +545,11 @@ def _cmd_export_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.analysis.paper_report import measure_claims, render_report
+    from repro.analysis.paper_report import (
+        claims_payload,
+        measure_claims,
+        render_report,
+    )
 
     engine, _, tracer = _cli_engine(args)
     claims = measure_claims(
@@ -544,7 +565,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
             f"({stats.hit_rate:.1%} hit rate), {stats.writes} writes",
             file=sys.stderr,
         )
-    print(render_report(claims))
+    if args.format == "json":
+        print(json.dumps(claims_payload(claims), indent=2))
+    else:
+        print(render_report(claims))
     return 0 if all(claim.holds for claim in claims) else 1
 
 
@@ -589,17 +613,24 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.obs.export import summary_payload
+
     events = _read_trace_file(args.file)
-    print(summary_text(events))
+    if args.format == "json":
+        print(json.dumps(summary_payload(events), indent=2))
+    else:
+        print(summary_text(events))
     return 0
 
 
 def _cmd_trace_export(args: argparse.Namespace) -> int:
     events = _read_trace_file(args.file)
-    if args.format == "csv":
-        payload = events_to_csv(events)
-    else:
+    # Shared --format spelling: text renders CSV, json renders the
+    # normalised JSONL stream.
+    if args.format == "json":
         payload = events_to_jsonl(events)
+    else:
+        payload = events_to_csv(events)
     if args.out:
         _write_output_file(Path(args.out), payload)
         print(
@@ -914,7 +945,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     frequency_parser = sweep_subparsers.add_parser(
         "frequency",
-        parents=[_engine_parent()],
+        parents=[_engine_parent(), _format_parent()],
         help="run one benchmark pinned at every operating point (Figure 7)",
     )
     frequency_parser.add_argument(
@@ -926,12 +957,6 @@ def build_parser() -> argparse.ArgumentParser:
     frequency_parser.add_argument(
         "--intervals", type=int, default=50,
         help="trace length per point (default: 50)",
-    )
-    frequency_parser.add_argument(
-        "--format",
-        choices=("text", "json"),
-        default="text",
-        help="output format (default: text)",
     )
     frequency_parser.set_defaults(func=_cmd_sweep_frequency)
 
@@ -954,7 +979,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     report_parser = subparsers.add_parser(
         "report",
-        parents=[_engine_parent()],
+        parents=[_engine_parent(), _format_parent()],
         help="re-measure the paper's headline claims (exit 1 if any fails)",
     )
     report_parser.add_argument(
@@ -1014,6 +1039,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace_summarize = trace_subparsers.add_parser(
         "summarize",
+        parents=[_format_parent()],
         help="event counts and derived metrics of a recorded trace",
     )
     trace_summarize.add_argument("file", help="JSONL trace file")
@@ -1021,15 +1047,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace_export = trace_subparsers.add_parser(
         "export",
-        help="convert a recorded trace to CSV or normalised JSONL",
+        parents=[_format_parent(json_help="normalised JSONL")],
+        help="convert a recorded trace to CSV (text) or normalised JSONL"
+        " (json)",
     )
     trace_export.add_argument("file", help="JSONL trace file")
-    trace_export.add_argument(
-        "--format",
-        choices=("csv", "jsonl"),
-        default="csv",
-        help="output format (default: csv)",
-    )
     trace_export.add_argument(
         "--out",
         default=None,
@@ -1102,6 +1124,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve_loadgen_parser = serve_subparsers.add_parser(
         "loadgen",
+        parents=[_format_parent()],
         help=(
             "drive a running server with a deterministic workload and "
             "report throughput + outcome digest (exit 1 on any error)"
@@ -1143,16 +1166,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0,
         help="workload seed (default: 0)",
     )
-    serve_loadgen_parser.add_argument(
-        "--format",
-        choices=("text", "json"),
-        default="text",
-        help="output format (default: text)",
-    )
     serve_loadgen_parser.set_defaults(func=_cmd_serve_loadgen)
 
     serve_replay_parser = serve_subparsers.add_parser(
         "replay",
+        parents=[_format_parent()],
         help=(
             "drive a recorded trace through a live session and verify it "
             "reproduces the offline evaluator bit-for-bit (exit 1 if not)"
@@ -1195,16 +1213,11 @@ def build_parser() -> argparse.ArgumentParser:
             "restore into a fresh session before continuing"
         ),
     )
-    serve_replay_parser.add_argument(
-        "--format",
-        choices=("text", "json"),
-        default="text",
-        help="output format (default: text)",
-    )
     serve_replay_parser.set_defaults(func=_cmd_serve_replay)
 
     lint_parser = subparsers.add_parser(
         "lint",
+        parents=[_format_parent(sarif=True)],
         help="run the domain-aware static analysis over source paths",
     )
     lint_parser.add_argument(
@@ -1212,12 +1225,6 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=["src"],
         help="files or directories to lint (default: src)",
-    )
-    lint_parser.add_argument(
-        "--format",
-        choices=("text", "json", "sarif"),
-        default="text",
-        help="report format (default: text)",
     )
     lint_parser.add_argument(
         "--list-rules",
@@ -1228,6 +1235,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze_parser = subparsers.add_parser(
         "analyze",
+        parents=[_format_parent(sarif=True)],
         help=(
             "run the whole-program analyses (checkpoint completeness, "
             "async blocking, determinism taint, layering, protocol "
@@ -1239,12 +1247,6 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=["src"],
         help="files or directories forming the project (default: src)",
-    )
-    analyze_parser.add_argument(
-        "--format",
-        choices=("text", "json", "sarif"),
-        default="text",
-        help="report format (default: text)",
     )
     analyze_parser.add_argument(
         "--list-rules",

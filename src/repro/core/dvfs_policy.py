@@ -80,6 +80,32 @@ class DVFSPolicy:
         self._lookups[phase_id] += 1
         return setting
 
+    def record_lookups(self, counts: Mapping[int, int]) -> None:
+        """Bulk-record ``setting_for`` lookups (the batch fast path).
+
+        Equivalent to calling :meth:`setting_for` ``counts[p]`` times for
+        each phase ``p`` and discarding the settings — the per-phase
+        residency counters advance identically, which keeps batch and
+        scalar feeding bit-for-bit equal in observability too.
+
+        Raises:
+            ConfigurationError: If any phase is not covered (matching the
+                scalar lookup's failure) or a count is negative.
+        """
+        for phase_id, count in counts.items():
+            if phase_id not in self._assignments:
+                raise ConfigurationError(
+                    f"phase {phase_id} is not covered by policy "
+                    f"{self._name!r}"
+                )
+            if count < 0:
+                raise ConfigurationError(
+                    f"lookup count for phase {phase_id} must be >= 0, "
+                    f"got {count}"
+                )
+        for phase_id, count in counts.items():
+            self._lookups[phase_id] += count
+
     @property
     def lookup_counts(self) -> Dict[int, int]:
         """Successful ``setting_for`` lookups per phase id (a copy).

@@ -27,6 +27,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 #: Upper bin edges of the paper's Table 1.  Phase ``i`` (1-based) covers
@@ -81,6 +83,7 @@ class PhaseTable:
                 f"edges must be strictly increasing: {edge_tuple}"
             )
         self._edges = edge_tuple
+        self._edge_array = np.asarray(edge_tuple, dtype=np.float64)
         bounds = (0.0,) + edge_tuple + (float("inf"),)
         self._definitions = tuple(
             PhaseDefinition(phase_id=i + 1, lower=bounds[i], upper=bounds[i + 1])
@@ -126,6 +129,36 @@ class PhaseTable:
     def classify_series(self, values: Sequence[float]) -> List[int]:
         """Classify a whole series of ``Mem/Uop`` observations."""
         return [self.classify(v) for v in values]
+
+    def classify_batch(self, values: Sequence[float]) -> List[int]:
+        """Vectorized :meth:`classify` over a whole series.
+
+        Bit-identical to ``[self.classify(v) for v in values]`` — values
+        equal to an edge land in the upper bin in both paths, because
+        ``searchsorted(side="right")`` counts edges ``<= v`` exactly as
+        the scalar scan's strict ``v < edge`` test does.
+
+        Raises:
+            ConfigurationError: If any value is negative; the first
+                offending value (in series order) is reported, matching
+                the scalar path's failure point.
+        """
+        array = np.asarray(values, dtype=np.float64)
+        if array.ndim != 1:
+            raise ConfigurationError(
+                f"expected a 1-D series, got shape {array.shape}"
+            )
+        if array.size == 0:
+            return []
+        negative = array < 0
+        if negative.any():
+            first_bad = array[int(np.argmax(negative))]
+            raise ConfigurationError(
+                f"Mem/Uop must be >= 0, got {first_bad}"
+            )
+        indices = np.searchsorted(self._edge_array, array, side="right")
+        result: List[int] = (indices + 1).tolist()
+        return result
 
     def definition(self, phase_id: int) -> PhaseDefinition:
         """Return the definition of ``phase_id``.

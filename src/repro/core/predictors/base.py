@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Sequence
 
 from repro.errors import ConfigurationError
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -80,6 +80,49 @@ class PhasePredictor(ABC):
     @abstractmethod
     def reset(self) -> None:
         """Forget all history (fresh application start)."""
+
+    # -- batch evaluation (vectorized fast path) ----------------------------
+
+    def observe_batch(
+        self, phases: Sequence[int], mem_values: Sequence[float]
+    ) -> None:
+        """Record a run of completed intervals in one call.
+
+        ``phases[i]`` and ``mem_values[i]`` describe the same interval,
+        in execution order.  Equivalent to calling :meth:`observe` once
+        per sample; subclasses may override with a batch kernel, but the
+        result must be bit-identical to the scalar loop — same mutable
+        state (and so the same :meth:`export_state` payload) afterwards.
+        """
+        observe = self.observe
+        for phase, value in zip(phases, mem_values):
+            observe(PhaseObservation(phase=phase, mem_per_uop=value))
+
+    def predict_batch(
+        self, phases: Sequence[int], mem_values: Sequence[float]
+    ) -> List[int]:
+        """Run the fused observe/predict cycle over a run of intervals.
+
+        For each sample ``i`` the predictor first observes
+        ``(phases[i], mem_values[i])`` and then predicts the next phase;
+        the returned list holds those predictions, one per sample.  This
+        is exactly the per-interval cycle the PMI handler drives, so
+        ``predict_batch(p, m)[i]`` must be bit-identical to what scalar
+        ``observe``/``predict`` calls would have returned — including
+        hit/miss accounting and any other mutable state.
+
+        Kernelized overrides must fall back to this scalar loop when a
+        trace collector is bound and enabled, so per-interval trace
+        events are never silently dropped.
+        """
+        observe = self.observe
+        predict = self.predict
+        predictions: List[int] = []
+        append = predictions.append
+        for phase, value in zip(phases, mem_values):
+            observe(PhaseObservation(phase=phase, mem_per_uop=value))
+            append(predict())
+        return predictions
 
     # -- checkpointing (repro.serve session snapshot/restore) --------------
 

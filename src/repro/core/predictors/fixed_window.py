@@ -16,7 +16,7 @@ lists:
 from __future__ import annotations
 
 from collections import Counter, deque
-from typing import Deque
+from typing import Deque, Dict, List, Sequence
 
 from repro.core.predictors.base import (
     PhaseObservation,
@@ -80,6 +80,69 @@ class FixedWindowPredictor(PhasePredictor):
             if phase in tied:
                 return phase
         raise AssertionError("unreachable: tie set drawn from the window")
+
+    def observe_batch(
+        self, phases: Sequence[int], mem_values: Sequence[float]
+    ) -> None:
+        """Batch kernel: extend the window; ``maxlen`` evicts the rest."""
+        self._window.extend(phases)
+
+    def predict_batch(
+        self, phases: Sequence[int], mem_values: Sequence[float]
+    ) -> List[int]:
+        """Batch kernel for the fused observe/predict cycle.
+
+        Slides incrementally over ``existing window + phases`` with a
+        running sum (``"mean"``) or running counts plus
+        last-occurrence positions (``"majority"``).  The majority
+        tie-break — most recently observed among the tied phases — is
+        exactly the scalar reversed-window scan: that scan returns the
+        tied phase whose latest occurrence index is greatest.  The
+        scalar predictor emits no trace events, so the kernel holds
+        with or without a tracer bound.
+        """
+        if not len(phases):
+            return []
+        size = self._window_size
+        sequence = list(self._window)
+        left = 0
+        predictions: List[int] = []
+        append = predictions.append
+        if self._selector == "mean":
+            total = sum(sequence)
+            for phase in phases:
+                sequence.append(phase)
+                total += phase
+                if len(sequence) - left > size:
+                    total -= sequence[left]
+                    left += 1
+                append(round(total / (len(sequence) - left)))
+        else:
+            counts: Dict[int, int] = dict(Counter(sequence))
+            last_pos: Dict[int, int] = {
+                phase: i for i, phase in enumerate(sequence)
+            }
+            for phase in phases:
+                index = len(sequence)
+                sequence.append(phase)
+                counts[phase] = counts.get(phase, 0) + 1
+                last_pos[phase] = index
+                if index + 1 - left > size:
+                    evicted = sequence[left]
+                    remaining = counts[evicted] - 1
+                    if remaining:
+                        counts[evicted] = remaining
+                    else:
+                        del counts[evicted]
+                    left += 1
+                best_count = max(counts.values())
+                tied = [p for p, n in counts.items() if n == best_count]
+                if len(tied) == 1:
+                    append(tied[0])
+                else:
+                    append(max(tied, key=last_pos.__getitem__))
+        self._window = deque(sequence[left:], maxlen=size)
+        return predictions
 
     def reset(self) -> None:
         self._window.clear()

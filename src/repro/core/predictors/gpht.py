@@ -31,7 +31,7 @@ entries deployed, up to 1024 in evaluation).
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List, Optional, Sequence, Tuple
 
 from repro.core.predictors.base import (
     PhaseObservation,
@@ -195,6 +195,89 @@ class GPHTPredictor(PhasePredictor):
             evicted=evicted, warmup=False,
         )
         return last_phase
+
+    def observe_batch(
+        self, phases: Sequence[int], mem_values: Sequence[float]
+    ) -> None:
+        """Batch kernel for :meth:`observe`.
+
+        Only the first sample can train the PHT (``observe`` clears the
+        pending tag, and no ``predict`` runs in between to set a new
+        one); the rest merely shift into the GPHR.
+        """
+        if not len(phases):
+            return
+        pending = self._pending_tag
+        if pending is not None and pending in self._pht:
+            self._pht[pending] = phases[0]
+            if self._replacement == "lru":
+                self._pht.move_to_end(pending)
+        self._pending_tag = None
+        self._gphr.extendleft(phases)
+
+    def predict_batch(
+        self, phases: Sequence[int], mem_values: Sequence[float]
+    ) -> List[int]:
+        """Batch kernel for the fused observe/predict cycle.
+
+        Replays the exact scalar state machine over local variables —
+        the GPHR as an immutable tuple rebuilt by slicing (each shifted
+        register state *is* the next lookup tag, so no per-sample
+        ``tuple(deque)`` copies), the PHT trained/probed in place with
+        the same LRU moves, installs and evictions.  Falls back to the
+        scalar loop while tracing so ``PredictionMade`` events keep
+        their per-interval stream.
+        """
+        if self._tracer.enabled:
+            return PhasePredictor.predict_batch(self, phases, mem_values)
+        pht = self._pht
+        depth = self._depth
+        capacity = self._capacity
+        lru = self._replacement == "lru"
+        move_to_end = pht.move_to_end
+        popitem = pht.popitem
+        pending = self._pending_tag
+        hits = self._hits
+        misses = self._misses
+        tag_now = tuple(self._gphr)
+        default_phase = self.DEFAULT_PHASE
+        predictions: List[int] = []
+        append = predictions.append
+        for phase in phases:
+            # -- observe: train the consulted entry, shift the GPHR.
+            if pending is not None and pending in pht:
+                pht[pending] = phase
+                if lru:
+                    move_to_end(pending)
+            pending = None
+            tag_now = (phase,) + tag_now[: depth - 1]
+            # -- predict from the shifted register.
+            last_phase = tag_now[0]
+            if last_phase == EMPTY_PHASE:
+                append(default_phase)
+                continue
+            if EMPTY_PHASE in tag_now:
+                misses += 1
+                append(last_phase)
+                continue
+            pending = tag_now
+            if tag_now in pht:
+                hits += 1
+                stored = pht[tag_now]
+                if lru:
+                    move_to_end(tag_now)
+                append(stored if stored is not None else last_phase)
+                continue
+            misses += 1
+            if len(pht) >= capacity:
+                popitem(last=False)
+            pht[tag_now] = None
+            append(last_phase)
+        self._gphr = deque(tag_now, maxlen=depth)
+        self._pending_tag = pending
+        self._hits = hits
+        self._misses = misses
+        return predictions
 
     def _emit_prediction(
         self,

@@ -8,6 +8,8 @@ Excellent for stable applications, poor for rapidly varying ones.
 
 from __future__ import annotations
 
+from typing import List, Sequence
+
 from repro.core.predictors.base import (
     PhaseObservation,
     PhasePredictor,
@@ -33,6 +35,28 @@ class LastValuePredictor(PhasePredictor):
 
     def predict(self) -> int:
         return self._last_phase if self._seen_any else self.DEFAULT_PHASE
+
+    def observe_batch(
+        self, phases: Sequence[int], mem_values: Sequence[float]
+    ) -> None:
+        """Batch kernel: only the final phase survives as state."""
+        if len(phases):
+            self._last_phase = phases[-1]
+            self._seen_any = True
+
+    def predict_batch(
+        self, phases: Sequence[int], mem_values: Sequence[float]
+    ) -> List[int]:
+        """Batch kernel: each fused cycle predicts the phase just seen.
+
+        The scalar predictor emits no trace events, so the kernel is
+        valid (and bit-identical) whether or not a tracer is bound.
+        """
+        if not len(phases):
+            return []
+        self._last_phase = phases[-1]
+        self._seen_any = True
+        return list(phases)
 
     def reset(self) -> None:
         self._last_phase = self.DEFAULT_PHASE

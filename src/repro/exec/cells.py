@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union, cast
 
 import numpy as np
 
-from repro.analysis.accuracy import evaluate_predictor
+from repro.analysis.accuracy import evaluate_predictor_batch
 from repro.analysis.witnesses import spec_phase_witnesses
 from repro.core.dvfs_policy import DVFSPolicy, derive_bounded_policy
 from repro.core.governor import (
@@ -243,7 +243,9 @@ def _cell_predictor_accuracy(
         )
     series = _mem_series(spec.benchmark, spec.n_intervals, spec.seed)
     predictor = build_predictor(predictor_name)
-    result = evaluate_predictor(
+    # Batch path; bit-identical to the scalar evaluator (and delegates
+    # back to it when tracing), so cached cell values stay compatible.
+    result = evaluate_predictor_batch(
         predictor, series, _phase_table(spec), tracer=tracer
     )
     return {

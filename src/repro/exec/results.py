@@ -15,12 +15,10 @@ iteration, ``len``) still works but emits a :class:`DeprecationWarning`
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import (
     Any,
     Dict,
-    Iterator,
     List,
     Mapping,
     Optional,
@@ -45,16 +43,6 @@ def _parameter_from_json(value: Any) -> ParameterValue:
     if isinstance(value, list):
         return tuple(value)
     return value  # type: ignore[no-any-return]
-
-_LEGACY_WARNING = (
-    "dict-style access to sweep results is deprecated; use the typed "
-    "result API (cells / value() / axis_values()) or .to_dict()"
-)
-
-
-def _warn_legacy() -> None:
-    warnings.warn(_LEGACY_WARNING, DeprecationWarning, stacklevel=3)
-
 
 @dataclass(frozen=True)
 class Provenance:
@@ -384,48 +372,6 @@ class SweepResult:
         """Inverse of :meth:`to_json`."""
         return cls.from_payload(json.loads(text))
 
-    # -- deprecated dict-style access (legacy return-path shim) -------------
-
-    def __getitem__(self, key: KeyValue) -> Any:
-        """Deprecated: index like the old nested dict."""
-        _warn_legacy()
-        return self.to_dict()[key]
-
-    def __iter__(self) -> Iterator[KeyValue]:
-        """Deprecated: iterate first-axis keys like the old dict."""
-        _warn_legacy()
-        return iter(self.to_dict())
-
-    def __len__(self) -> int:
-        """Deprecated: first-axis cardinality like the old dict."""
-        _warn_legacy()
-        return len(self.to_dict())
-
-    def __contains__(self, key: object) -> bool:
-        """Deprecated: membership on first-axis keys."""
-        _warn_legacy()
-        return key in self.to_dict()
-
-    def keys(self) -> Any:
-        """Deprecated: the old dict's ``keys()``."""
-        _warn_legacy()
-        return self.to_dict().keys()
-
-    def items(self) -> Any:
-        """Deprecated: the old dict's ``items()``."""
-        _warn_legacy()
-        return self.to_dict().items()
-
-    def get(self, key: KeyValue, default: Any = None) -> Any:
-        """Deprecated: the old dict's ``get()``."""
-        _warn_legacy()
-        return self.to_dict().get(key, default)
-
-    def values(self) -> Any:
-        """Deprecated: the old dict's ``values()``."""
-        _warn_legacy()
-        return self.to_dict().values()
-
 
 @dataclass(frozen=True)
 class ComparisonCell:
@@ -622,47 +568,3 @@ class ComparisonSuiteResult:
     def from_json(cls, text: str) -> "ComparisonSuiteResult":
         """Inverse of :meth:`to_json`."""
         return cls.from_payload(json.loads(text))
-
-    # -- deprecated dict-style access (legacy return-path shim) -------------
-
-    def __getitem__(self, benchmark: str) -> Dict[str, MetricValue]:
-        """Deprecated: index like the old per-benchmark dict."""
-        _warn_legacy()
-        return self.to_dict()[benchmark]
-
-    def __iter__(self) -> Iterator[str]:
-        """Deprecated: iterate benchmark names like the old dict."""
-        _warn_legacy()
-        return iter(self.to_dict())
-
-    def __len__(self) -> int:
-        """Deprecated: benchmark count like the old dict."""
-        _warn_legacy()
-        return len(self.cells)
-
-    def __contains__(self, benchmark: object) -> bool:
-        """Deprecated: membership on benchmark names."""
-        _warn_legacy()
-        return any(cell.benchmark == benchmark for cell in self.cells)
-
-    def keys(self) -> Any:
-        """Deprecated: the old dict's ``keys()``."""
-        _warn_legacy()
-        return self.to_dict().keys()
-
-    def items(self) -> Any:
-        """Deprecated: the old dict's ``items()``."""
-        _warn_legacy()
-        return self.to_dict().items()
-
-    def values(self) -> Any:
-        """Deprecated: the old dict's ``values()``."""
-        _warn_legacy()
-        return self.to_dict().values()
-
-    def get(
-        self, benchmark: str, default: Any = None
-    ) -> Any:
-        """Deprecated: the old dict's ``get()``."""
-        _warn_legacy()
-        return self.to_dict().get(benchmark, default)

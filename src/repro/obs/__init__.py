@@ -38,6 +38,7 @@ from repro.obs.export import (
     events_from_jsonl,
     events_to_csv,
     events_to_jsonl,
+    summary_payload,
     summary_text,
 )
 from repro.obs.metrics import (
@@ -77,6 +78,7 @@ __all__ = [
     "events_from_jsonl",
     "events_to_csv",
     "events_to_jsonl",
+    "summary_payload",
     "summary_text",
     "trace_metrics",
 ]

@@ -19,7 +19,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.obs.events import TraceEvent, event_from_dict
@@ -75,6 +75,30 @@ def events_to_csv(events: Sequence[TraceEvent]) -> str:
     for event in events:
         writer.writerow(event.to_dict())
     return buffer.getvalue()
+
+
+def summary_payload(events: Sequence[TraceEvent]) -> Dict[str, Any]:
+    """The trace's derived metrics as a JSON-ready mapping.
+
+    Mirrors :func:`summary_text`'s split — ``event_counts`` holds the
+    per-type tallies, ``metrics`` the remaining derived instruments —
+    but carries the registry's typed snapshot (counters as ints,
+    gauges/histograms as their ``to_dict`` entries) instead of the
+    rendered table strings.
+    """
+    registry = trace_metrics(events)
+    event_counts: Dict[str, Any] = {}
+    metrics: Dict[str, Any] = {}
+    for name, entry in registry.to_dict().items():
+        if name.startswith("events."):
+            event_counts[name.split(".", 1)[1]] = int(float(entry["value"]))
+        else:
+            metrics[name] = entry
+    return {
+        "events": len(events),
+        "event_counts": event_counts,
+        "metrics": metrics,
+    }
 
 
 def summary_text(events: Sequence[TraceEvent]) -> str:

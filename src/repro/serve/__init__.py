@@ -71,6 +71,7 @@ from repro.serve.replay import (
 )
 from repro.serve.session import (
     SESSION_GOVERNORS,
+    BatchOutcomes,
     PhaseSession,
     SampleOutcome,
     SessionConfig,
@@ -87,6 +88,7 @@ from repro.serve.shard import (
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "BatchOutcomes",
     "Checkpoint",
     "DEFAULT_MAX_SESSIONS",
     "DEFAULT_QUEUE_DEPTH",

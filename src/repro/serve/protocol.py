@@ -323,17 +323,9 @@ def _op_sample_batch(
         "session": session.session_id,
         "start_interval": start_interval,
         "count": len(outcomes),
-        "outcomes": [
-            [
-                outcome.interval,
-                outcome.actual_phase,
-                outcome.predicted_phase,
-                outcome.frequency_mhz,
-                outcome.degraded,
-                outcome.hit,
-            ]
-            for outcome in outcomes
-        ],
+        # Straight from the columnar container — the fast path never
+        # materializes per-sample outcome objects.
+        "outcomes": outcomes.rows(),
     }
 
 

@@ -25,8 +25,19 @@ phase, so its history stays warm for recovery.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+    overload,
+)
 
 from repro.core.governor import (
     IntervalCounters,
@@ -188,6 +199,134 @@ class SampleOutcome:
     hit: Optional[bool]
 
 
+class BatchOutcomes(Sequence[SampleOutcome]):
+    """Columnar answer to one :meth:`PhaseSession.feed_batch` call.
+
+    Reads like an immutable sequence of :class:`SampleOutcome` — length,
+    indexing, slicing, iteration, and equality against any sequence of
+    outcomes — but stores the response fields as parallel columns and
+    only materializes ``SampleOutcome`` objects on access.  Building one
+    frozen dataclass per sample costs more than the entire batched
+    decision cycle, so the fast path never does: the wire layer
+    serializes straight from :meth:`rows`.
+    """
+
+    __slots__ = (
+        "_start_interval",
+        "_actual",
+        "_predicted",
+        "_frequencies",
+        "_degraded",
+        "_hits",
+    )
+
+    def __init__(
+        self,
+        start_interval: int,
+        actual_phases: List[int],
+        predicted_phases: List[int],
+        frequencies_mhz: List[int],
+        degraded: List[bool],
+        hits: List[Optional[bool]],
+    ) -> None:
+        self._start_interval = start_interval
+        self._actual = actual_phases
+        self._predicted = predicted_phases
+        self._frequencies = frequencies_mhz
+        self._degraded = degraded
+        self._hits = hits
+
+    @classmethod
+    def from_outcomes(
+        cls, start_interval: int, outcomes: Sequence[SampleOutcome]
+    ) -> "BatchOutcomes":
+        """Column-pack already-materialized outcomes (the slow paths)."""
+        return cls(
+            start_interval,
+            [outcome.actual_phase for outcome in outcomes],
+            [outcome.predicted_phase for outcome in outcomes],
+            [outcome.frequency_mhz for outcome in outcomes],
+            [outcome.degraded for outcome in outcomes],
+            [outcome.hit for outcome in outcomes],
+        )
+
+    def __len__(self) -> int:
+        return len(self._actual)
+
+    def _make(self, index: int) -> SampleOutcome:
+        return SampleOutcome(
+            interval=self._start_interval + index,
+            actual_phase=self._actual[index],
+            predicted_phase=self._predicted[index],
+            frequency_mhz=self._frequencies[index],
+            degraded=self._degraded[index],
+            hit=self._hits[index],
+        )
+
+    @overload
+    def __getitem__(self, index: int) -> SampleOutcome: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> List[SampleOutcome]: ...
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[SampleOutcome, List[SampleOutcome]]:
+        if isinstance(index, slice):
+            return [
+                self._make(i)
+                for i in range(*index.indices(len(self._actual)))
+            ]
+        n = len(self._actual)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("batch outcome index out of range")
+        return self._make(index)
+
+    def __iter__(self) -> Iterator[SampleOutcome]:
+        for i in range(len(self._actual)):
+            yield self._make(i)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BatchOutcomes):
+            other = list(other)
+        if isinstance(other, (list, tuple)):
+            return len(other) == len(self) and all(
+                mine == theirs for mine, theirs in zip(self, other)
+            )
+        return NotImplemented
+
+    def rows(self) -> List[List[object]]:
+        """Wire-protocol rows: ``[interval, phase, predicted,
+        frequency_mhz, degraded, hit]`` per sample, ready to serialize
+        without materializing any :class:`SampleOutcome`."""
+        start = self._start_interval
+        return [
+            [start + i, actual, predicted, frequency, degraded, hit]
+            for i, (actual, predicted, frequency, degraded, hit) in enumerate(
+                zip(
+                    self._actual,
+                    self._predicted,
+                    self._frequencies,
+                    self._degraded,
+                    self._hits,
+                )
+            )
+        ]
+
+    @property
+    def degraded_count(self) -> int:
+        """How many samples in the batch were served degraded."""
+        return sum(self._degraded)
+
+    def __repr__(self) -> str:
+        return (
+            f"<BatchOutcomes n={len(self._actual)} "
+            f"start={self._start_interval}>"
+        )
+
+
 class PhaseSession:
     """One client's live predictor + governor + phase table.
 
@@ -215,6 +354,7 @@ class PhaseSession:
         self._tracer = tracer
         self._metrics = metrics
         self._governor = self._build_governor(self._config)  # repro-analyze: disable=checkpoint-completeness -- rebuilt from config on restore; the predictor's mutable state is re-applied via restore_state
+        self._frequency_by_phase: Optional[Dict[int, int]] = None  # repro-analyze: disable=checkpoint-completeness -- derived cache, rebuilt lazily from the policy assignments
         self._samples = 0
         self._scored = 0
         self._correct = 0
@@ -356,12 +496,15 @@ class PhaseSession:
         self,
         start_interval: int,
         samples: Sequence[Tuple[float, float]],
-    ) -> List[SampleOutcome]:
+    ) -> BatchOutcomes:
         """Process N ordered samples for this session in one call.
 
         ``samples`` is a sequence of ``(mem_per_uop, upc)`` pairs whose
         first element corresponds to interval ``start_interval`` (which
         must equal the session's own sample count, like :meth:`feed`).
+        Returns a :class:`BatchOutcomes` — a columnar sequence that
+        compares equal to the list of :class:`SampleOutcome` objects N
+        single :meth:`feed` calls would have produced.
 
         **Bit-for-bit contract:** fed the same values (and, when a
         latency budget is active, the same clock sequence), the returned
@@ -369,6 +512,12 @@ class PhaseSession:
         degraded-mode entry/exit mid-batch.  ``tests/properties/
         test_serve_batching.py`` holds every governor to this for every
         partition of a stream into batches.
+
+        **Fast path:** without a latency budget no per-sample clock
+        reads are needed, so a session in its normal state takes the
+        vectorized route (:meth:`PhaseTable.classify_batch` + the
+        predictor's :meth:`~repro.core.predictors.base.PhasePredictor.
+        predict_batch` kernel) instead of N scalar decision cycles.
 
         **Per-batch accounting:** metrics are updated once per batch
         (``serve.samples += N``, one ``serve.batch_size`` observation,
@@ -393,11 +542,11 @@ class PhaseSession:
                     f"Mem/Uop must be >= 0, got {mem_per_uop} "
                     f"(batch sample {offset})"
                 )
-        outcomes: List[SampleOutcome] = []
         clock = self._clock
         if clock is not None and self._config.latency_budget_s is not None:
             # The degradation state machine consumes one latency per
             # sample; anything coarser would diverge from N feed() calls.
+            scalar_outcomes: List[SampleOutcome] = []
             batch_elapsed = 0.0
             for offset, (mem_per_uop, upc) in enumerate(samples):
                 sample_started = clock()
@@ -407,35 +556,133 @@ class PhaseSession:
                 elapsed = clock() - sample_started
                 batch_elapsed += elapsed
                 self._update_degradation(elapsed)
-                outcomes.append(outcome)
+                scalar_outcomes.append(outcome)
             if samples:
                 self._observe_latency(batch_elapsed)
+            outcomes = BatchOutcomes.from_outcomes(
+                start_interval, scalar_outcomes
+            )
         elif clock is not None:
             started = clock()
-            for offset, (mem_per_uop, upc) in enumerate(samples):
-                outcomes.append(
-                    self._feed_one(start_interval + offset, mem_per_uop, upc)
-                )
+            outcomes = self._feed_batch_unbudgeted(start_interval, samples)
             if samples:
                 self._observe_latency(clock() - started)
         else:
-            for offset, (mem_per_uop, upc) in enumerate(samples):
-                outcomes.append(
-                    self._feed_one(start_interval + offset, mem_per_uop, upc)
-                )
+            outcomes = self._feed_batch_unbudgeted(start_interval, samples)
         if self._metrics is not None and samples:
             self._metrics.counter("serve.samples").inc(len(samples))
             self._metrics.histogram("serve.batch_size").observe(
                 float(len(samples))
             )
-            degraded_count = sum(
-                1 for outcome in outcomes if outcome.degraded
-            )
+            degraded_count = outcomes.degraded_count
             if degraded_count:
                 self._metrics.counter("serve.degraded_samples").inc(
                     degraded_count
                 )
         return outcomes
+
+    def _feed_batch_unbudgeted(
+        self,
+        start_interval: int,
+        samples: Sequence[Tuple[float, float]],
+    ) -> BatchOutcomes:
+        """Batch body when no per-sample latency accounting is needed.
+
+        Falls back to the scalar loop in the two states the fast path
+        does not model: a session stuck in degraded mode (possible only
+        via a restored checkpoint, since without a budget the state
+        machine never transitions) and a predictor with a live tracer
+        (the scalar cycle owns per-interval event emission).
+        """
+        if self._degraded or self.predictor.tracer.enabled:
+            return BatchOutcomes.from_outcomes(
+                start_interval,
+                [
+                    self._feed_one(start_interval + offset, mem_per_uop, upc)
+                    for offset, (mem_per_uop, upc) in enumerate(samples)
+                ],
+            )
+        return self._feed_batch_fast(start_interval, samples)
+
+    def _feed_batch_fast(
+        self,
+        start_interval: int,
+        samples: Sequence[Tuple[float, float]],
+    ) -> BatchOutcomes:
+        """Vectorized normal-mode decision cycle for a validated batch.
+
+        Mirrors N :meth:`_feed_one` calls exactly, column-at-a-time:
+
+        * classification — :meth:`PhaseTable.classify_batch` over the raw
+          ``mem_per_uop`` values (the scalar path's unit-µop synthetic
+          counters reproduce the value bit-exactly, so classifying it
+          directly is identical);
+        * prediction — the predictor's fused ``predict_batch`` cycle,
+          then the governor's range clamp (skipped wholesale when every
+          prediction is already in range, the overwhelmingly common
+          case);
+        * policy translation — a cached phase→frequency map plus one
+          bulk :meth:`DVFSPolicy.record_lookups` call, advancing the
+          per-phase residency counters exactly as N ``setting_for``
+          lookups would;
+        * scoring — the first sample settles the carried-over pending
+          prediction (degraded-tagged if it was made in degraded mode),
+          every later sample scores its predecessor's prediction into
+          the normal counters.
+
+        ``upc`` is ignored here as in the scalar path: it only feeds the
+        synthetic TSC counter, which the Mem/Uop metric never reads.
+        """
+        n = len(samples)
+        if n == 0:
+            return BatchOutcomes(start_interval, [], [], [], [], [])
+        mem_values = [sample[0] for sample in samples]
+        table = self.phase_table
+        actual = table.classify_batch(mem_values)
+        predicted = self.predictor.predict_batch(actual, mem_values)
+        num_phases = table.num_phases
+        if min(predicted) < 1 or max(predicted) > num_phases:
+            predicted = [
+                min(max(phase, 1), num_phases) for phase in predicted
+            ]
+        frequency_map = self._frequency_by_phase
+        if frequency_map is None:
+            frequency_map = {
+                phase_id: point.frequency_mhz
+                for phase_id, point in (
+                    self._governor.policy.assignments.items()
+                )
+            }
+            self._frequency_by_phase = frequency_map
+        frequencies = [frequency_map[phase] for phase in predicted]
+        self._governor.policy.record_lookups(Counter(predicted))
+        pending = self._pending
+        first_hit: Optional[bool] = (
+            None if pending is None else pending == actual[0]
+        )
+        hits: List[Optional[bool]] = [first_hit]
+        rest_hits = [
+            prediction == outcome
+            for prediction, outcome in zip(predicted, actual[1:])
+        ]
+        hits.extend(rest_hits)
+        if first_hit is not None:
+            if self._pending_degraded:
+                self._degraded_scored += 1
+                if first_hit:
+                    self._degraded_correct += 1
+            else:
+                self._scored += 1
+                if first_hit:
+                    self._correct += 1
+        self._scored += len(rest_hits)
+        self._correct += sum(rest_hits)
+        self._pending = predicted[-1]
+        self._pending_degraded = False
+        self._samples += n
+        return BatchOutcomes(
+            start_interval, actual, predicted, frequencies, [False] * n, hits
+        )
 
     @staticmethod
     def _validate_sample(

@@ -56,22 +56,23 @@ class TestPHTSweep:
 
 
 class TestLegacyDictShim:
-    def test_dict_style_access_warns_but_works(self):
+    def test_dict_style_access_is_gone(self):
+        # PR-2's DeprecationWarning shims have been removed outright;
+        # nested-dict consumers must go through to_dict() explicitly.
         result = sweep_pht_entries(
             ["applu_in"], pht_sizes=(1, 128), n_intervals=300
         )
-        with pytest.warns(DeprecationWarning):
-            assert result["applu_in"][128] == result.value("applu_in", 128)
-        with pytest.warns(DeprecationWarning):
-            assert set(result) == {"applu_in"}
-        with pytest.warns(DeprecationWarning):
-            assert len(result) == 1
-        with pytest.warns(DeprecationWarning):
-            assert "applu_in" in result
-        with pytest.warns(DeprecationWarning):
-            assert list(result.keys()) == ["applu_in"]
-        with pytest.warns(DeprecationWarning):
-            assert result.get("missing") is None
+        with pytest.raises(TypeError):
+            result["applu_in"]
+        with pytest.raises(TypeError):
+            len(result)
+        with pytest.raises(TypeError):
+            "applu_in" in result
+        for legacy in ("keys", "items", "values", "get"):
+            assert not hasattr(result, legacy)
+        assert result.to_dict()["applu_in"][128] == result.value(
+            "applu_in", 128
+        )
 
     def test_typed_access_does_not_warn(self, recwarn):
         result = sweep_pht_entries(

@@ -126,21 +126,19 @@ class TestSweepResultRoundTrips:
         assert nested["applu_in"][128] == 0.75
 
 
-class TestLegacyShimWarnings:
-    def test_every_dict_style_entry_point_warns(self):
+class TestDictStyleShimRemoved:
+    def test_no_dict_style_surface_remains(self):
+        # The PR-2 deprecation shims have graduated to removal: the only
+        # nested-dict paths are the explicit to_dict()/from_dict() pair.
         result = make_sweep()
-        for access in (
-            lambda: result["applu_in"],
-            lambda: list(result),
-            lambda: len(result),
-            lambda: "applu_in" in result,
-            lambda: result.keys(),
-            lambda: result.items(),
-            lambda: result.values(),
-            lambda: result.get("applu_in"),
-        ):
-            with pytest.warns(DeprecationWarning, match="deprecated"):
-                access()
+        with pytest.raises(TypeError):
+            result["applu_in"]
+        with pytest.raises(TypeError):
+            len(result)
+        with pytest.raises(TypeError):
+            iter(result)
+        for legacy in ("keys", "items", "values", "get"):
+            assert not hasattr(result, legacy)
 
 
 class TestProvenance:
@@ -183,9 +181,13 @@ class TestComparisonSuiteResult:
         )
         assert rebuilt == suite
 
-    def test_dict_style_access_warns(self):
+    def test_dict_style_surface_removed(self):
         suite = make_suite()
-        with pytest.warns(DeprecationWarning):
-            assert suite["swim_in"]["edp_improvement"] == 0.6
-        with pytest.warns(DeprecationWarning):
-            assert set(suite.keys()) == {"applu_in", "swim_in"}
+        with pytest.raises(TypeError):
+            suite["swim_in"]
+        with pytest.raises(TypeError):
+            iter(suite)
+        for legacy in ("keys", "items", "values", "get"):
+            assert not hasattr(suite, legacy)
+        # The supported nested path remains the explicit conversion.
+        assert suite.to_dict()["swim_in"]["edp_improvement"] == 0.6

@@ -260,24 +260,49 @@ class TestTraceCommands:
         assert "Trace summary" in text
         assert "predictor.pht_hit_rate" in text
 
-    def test_export_csv(self, capsys, tmp_path):
+    def test_summarize_json(self, capsys, tmp_path):
+        out = self.record(capsys, tmp_path)
+        code, text, _ = run_cli(
+            capsys, "trace", "summarize", str(out), "--format", "json"
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["event_counts"]["interval_sampled"] > 0
+        assert "predictor.pht_hit_rate" in payload["metrics"]
+        assert payload["events"] == sum(payload["event_counts"].values())
+
+    def test_export_csv_is_text_format(self, capsys, tmp_path):
         out = self.record(capsys, tmp_path)
         code, text, _ = run_cli(capsys, "trace", "export", str(out))
         assert code == 0
         rows = list(csv.DictReader(io.StringIO(text)))
         assert rows
         assert rows[0]["event"] == "interval_sampled"
+        # --format text is the same CSV rendering, spelled like every
+        # other result-printing subcommand.
+        code, explicit, _ = run_cli(
+            capsys, "trace", "export", str(out), "--format", "text"
+        )
+        assert code == 0
+        assert explicit == text
 
-    def test_export_jsonl_round_trip(self, capsys, tmp_path):
+    def test_export_json_round_trip(self, capsys, tmp_path):
         from repro.obs.export import events_from_jsonl
 
         out = self.record(capsys, tmp_path)
         code, text, _ = run_cli(
-            capsys, "trace", "export", str(out), "--format", "jsonl"
+            capsys, "trace", "export", str(out), "--format", "json"
         )
         assert code == 0
         original = events_from_jsonl(out.read_text(encoding="utf-8"))
         assert events_from_jsonl(text) == original
+
+    def test_export_rejects_legacy_format_spellings(self, capsys, tmp_path):
+        out = self.record(capsys, tmp_path)
+        for legacy in ("csv", "jsonl"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["trace", "export", str(out), "--format", legacy])
+            assert excinfo.value.code == 2
 
     def test_missing_file_is_a_cli_error(self, capsys, tmp_path):
         code, _, err = run_cli(

@@ -49,3 +49,40 @@ def test_quickstart_from_docstring_runs():
     assert result.bips > 0
     assert result.average_power_w > 0
     assert result.edp > 0
+
+
+class TestStableTopLevelSurface:
+    """docs/api.md promises these import straight from ``repro``."""
+
+    DOCUMENTED = [
+        "PhasePredictor",
+        "PhaseObservation",
+        "PhaseSession",
+        "SessionConfig",
+        "SampleOutcome",
+        "BatchOutcomes",
+        "ExecutionEngine",
+        "ExperimentSpec",
+        "make_engine",
+        "PredictionResult",
+        "evaluate_predictor",
+        "evaluate_predictor_batch",
+    ]
+
+    def test_documented_names_import_from_repro(self):
+        for name in self.DOCUMENTED:
+            assert name in repro.__all__, name
+            assert hasattr(repro, name), name
+
+    def test_lazy_names_are_the_submodule_objects(self):
+        from repro.analysis import evaluate_predictor_batch
+        from repro.exec import ExecutionEngine
+        from repro.serve import PhaseSession
+
+        assert repro.PhaseSession is PhaseSession
+        assert repro.ExecutionEngine is ExecutionEngine
+        assert repro.evaluate_predictor_batch is evaluate_predictor_batch
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.no_such_name
