@@ -102,6 +102,21 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_int_or_zero(text: str) -> int:
+    """argparse type: an integer >= 0 (0 means 'disabled')."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}"
+        )
+    return value
+
+
 def _engine_parent() -> argparse.ArgumentParser:
     """Execution-engine flags shared by every engine-backed command."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -662,12 +677,16 @@ def _cmd_serve_stdio(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_tcp(args: argparse.Namespace) -> int:
-    if args.workers > 1:
+    # Checkpointing and auto-restart live in the sharded router, so any
+    # resilience flag routes through it even with a single worker.
+    if args.workers > 1 or args.auto_restart or args.checkpoint_every > 0:
         from repro.serve import run_sharded
 
         print(
             f"serve: listening on {args.host}:{args.port} "
-            f"({args.workers} workers, max {args.max_sessions} sessions)",
+            f"({args.workers} workers, max {args.max_sessions} sessions"
+            + (", auto-restart" if args.auto_restart else "")
+            + ")",
             file=sys.stderr,
         )
         run_sharded(
@@ -677,6 +696,9 @@ def _cmd_serve_tcp(args: argparse.Namespace) -> int:
             max_sessions=args.max_sessions,
             idle_timeout_s=args.idle_timeout,
             queue_depth=args.queue_depth,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            auto_restart=args.auto_restart,
         )
         return 0
     from repro.serve import serve_tcp
@@ -698,19 +720,57 @@ def _cmd_serve_tcp(args: argparse.Namespace) -> int:
 def _cmd_serve_loadgen(args: argparse.Namespace) -> int:
     import json as _json
 
-    from repro.serve import run_loadgen
+    from repro.serve import ChaosSchedule, ShardedServer, run_loadgen
+    from repro.serve.loadgen import parse_chaos_event
 
-    result = run_loadgen(
-        args.host,
-        args.port,
-        sessions=args.sessions,
-        samples_per_session=args.samples,
-        batch_size=args.batch,
-        connections=args.connections,
-        protocol=args.protocol,
-        governor=args.governor,
-        seed=args.seed,
-    )
+    events = [parse_chaos_event(spec) for spec in args.chaos_kill or []]
+    if events and not args.self_host:
+        raise ConfigurationError(
+            "--chaos-kill needs --self-host N (kills target the "
+            "in-process server's workers)"
+        )
+
+    server: "ShardedServer | None" = None
+    host, port = args.host, args.port
+    if args.self_host:
+        # Self-hosted chaos mode: spin up a sharded server in-process so
+        # the kill schedule has workers to terminate, with auto-restart
+        # and checkpointing on — the recovery path under test.
+        server = ShardedServer(
+            workers=args.self_host,
+            host="127.0.0.1",
+            port=0,
+            max_sessions=args.max_sessions,
+            checkpoint_every=args.checkpoint_every,
+            auto_restart=True,
+        )
+        host = "127.0.0.1"
+        port = server.start()
+        print(
+            f"loadgen: self-hosting {args.self_host} workers on port {port}",
+            file=sys.stderr,
+        )
+    try:
+        chaos = (
+            ChaosSchedule(server.kill_worker, events)
+            if server is not None and events
+            else None
+        )
+        result = run_loadgen(
+            host,
+            port,
+            sessions=args.sessions,
+            samples_per_session=args.samples,
+            batch_size=args.batch,
+            connections=args.connections,
+            protocol=args.protocol,
+            governor=args.governor,
+            seed=args.seed,
+            chaos=chaos,
+        )
+    finally:
+        if server is not None:
+            server.stop()
     if args.format == "json":
         print(_json.dumps(result.to_payload(), indent=2, sort_keys=True))
     else:
@@ -723,6 +783,8 @@ def _cmd_serve_loadgen(args: argparse.Namespace) -> int:
             ("requests", str(result.requests)),
             ("samples", str(result.samples)),
             ("errors", str(result.errors)),
+            ("recoveries", str(result.recoveries)),
+            ("replayed samples", str(result.replayed_samples)),
             ("elapsed", f"{result.elapsed_s:.3f} s"),
             ("samples/s", f"{result.samples_per_s:,.0f}"),
             ("requests/s", f"{result.requests_per_s:,.0f}"),
@@ -1120,11 +1182,41 @@ def build_parser() -> argparse.ArgumentParser:
             "router (default: 1, single process)"
         ),
     )
+    recovery_group = serve_tcp_parser.add_argument_group("self-healing")
+    recovery_group.add_argument(
+        "--checkpoint-every",
+        type=_positive_int_or_zero,
+        default=0,
+        metavar="K",
+        help=(
+            "checkpoint each session every K samples so restarted "
+            "workers can restore it (default: 0, disabled; "
+            "--auto-restart implies 32)"
+        ),
+    )
+    recovery_group.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "durable checkpoint directory; sessions rebalance onto the "
+            "new topology when --workers changes between runs "
+            "(default: a private temporary directory)"
+        ),
+    )
+    recovery_group.add_argument(
+        "--auto-restart",
+        action="store_true",
+        help=(
+            "respawn dead workers and restore their sessions from "
+            "checkpoints instead of answering worker_unavailable forever"
+        ),
+    )
     serve_tcp_parser.set_defaults(func=_cmd_serve_tcp)
 
     serve_loadgen_parser = serve_subparsers.add_parser(
         "loadgen",
-        parents=[_format_parent()],
+        parents=[_format_parent(), serve_limits],
         help=(
             "drive a running server with a deterministic workload and "
             "report throughput + outcome digest (exit 1 on any error)"
@@ -1165,6 +1257,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve_loadgen_parser.add_argument(
         "--seed", type=int, default=0,
         help="workload seed (default: 0)",
+    )
+    chaos_group = serve_loadgen_parser.add_argument_group("chaos testing")
+    chaos_group.add_argument(
+        "--self-host",
+        type=_positive_int,
+        default=0,
+        metavar="N",
+        help=(
+            "start an in-process sharded server with N workers "
+            "(auto-restart + checkpointing on) and drive that instead "
+            "of --host/--port"
+        ),
+    )
+    chaos_group.add_argument(
+        "--chaos-kill",
+        action="append",
+        metavar="REQUESTS:WORKER",
+        help=(
+            "kill WORKER after REQUESTS generator requests (repeatable; "
+            "needs --self-host); the run must still verify with zero "
+            "errors and the undisturbed outcome digest"
+        ),
+    )
+    chaos_group.add_argument(
+        "--checkpoint-every",
+        type=_positive_int_or_zero,
+        default=0,
+        metavar="K",
+        help=(
+            "checkpoint cadence for the self-hosted server "
+            "(default: 0 — auto-restart picks its default of 32)"
+        ),
     )
     serve_loadgen_parser.set_defaults(func=_cmd_serve_loadgen)
 

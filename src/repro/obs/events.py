@@ -268,6 +268,58 @@ class WorkerDied(TraceEvent):
     reason: str
 
 
+@register_event
+@dataclass(frozen=True)
+class WorkerRestarted(TraceEvent):
+    """A dead shard worker was respawned by the router (auto-restart).
+
+    Emitted after the replacement process reported its port and
+    restored its shard's sessions from the checkpoint store.
+    ``sessions_restored`` counts the sessions the new process adopted;
+    clients replay at most one checkpoint cadence of samples per
+    restored session.
+    """
+
+    event_type: ClassVar[str] = "worker_restarted"
+
+    worker: int
+    sessions_restored: int
+
+
+@register_event
+@dataclass(frozen=True)
+class SessionMigrated(TraceEvent):
+    """A live session moved workers via drain–snapshot–restore.
+
+    Emitted by the router once the session is live on ``to_worker`` and
+    closed on ``from_worker``; ``samples`` is the sample count carried
+    across, so the move is provably lossless in the trace.
+    """
+
+    event_type: ClassVar[str] = "session_migrated"
+
+    session: str
+    from_worker: int
+    to_worker: int
+    samples: int
+
+
+@register_event
+@dataclass(frozen=True)
+class SessionRestored(TraceEvent):
+    """A session was re-opened under its original id from a checkpoint.
+
+    Emitted by the session manager for recovery adoptions (worker boot
+    restoring its shard from the checkpoint store) and migration
+    restores — alongside the ordinary ``session_opened`` event.
+    """
+
+    event_type: ClassVar[str] = "session_restored"
+
+    session: str
+    samples: int
+
+
 def event_types() -> Tuple[str, ...]:
     """All registered event-type strings, sorted."""
     return tuple(sorted(EVENT_TYPES))

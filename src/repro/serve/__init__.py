@@ -23,8 +23,14 @@ Guarantees:
 * **overload protection** — session ceiling, idle eviction, bounded
   per-connection queues and latency-budget degradation to last-value
   prediction;
-* **shard isolation** — sessions never migrate between workers, and a
-  worker death degrades only its own shard (``worker_unavailable``).
+* **shard isolation** — a worker death degrades only its own shard
+  (``worker_unavailable``), and with auto-restart the router respawns
+  the worker and restores its sessions from durable checkpoints
+  (``worker_recovering`` while it does), bounding the loss to one
+  checkpoint cadence of replayable samples;
+* **lossless migration** — the router-level ``migrate`` op moves a live
+  session between workers via drain–snapshot–restore, preserving its id
+  and every bit of predictor state.
 
 See ``docs/serving.md`` for the wire protocol and workflows.
 """
@@ -32,6 +38,8 @@ See ``docs/serving.md`` for the wire protocol and workflows.
 from repro.serve.checkpoint import (
     CHECKPOINT_VERSION,
     Checkpoint,
+    CheckpointStore,
+    StoredCheckpoint,
     checkpoint_from_json,
     checkpoint_to_json,
     validate_checkpoint,
@@ -44,12 +52,15 @@ from repro.serve.frontends import (
     serve_tcp_async,
 )
 from repro.serve.loadgen import (
+    ChaosEvent,
+    ChaosSchedule,
     LoadgenResult,
     generate_series,
     run_loadgen,
 )
 from repro.serve.manager import (
     DEFAULT_MAX_SESSIONS,
+    MIGRATED_CLOSE_REASON,
     OverloadedError,
     SessionManager,
     UnknownSessionError,
@@ -77,6 +88,7 @@ from repro.serve.session import (
     SessionConfig,
 )
 from repro.serve.shard import (
+    DEFAULT_CHECKPOINT_EVERY,
     ShardedServer,
     aggregate_stats,
     merge_metrics,
@@ -89,11 +101,16 @@ from repro.serve.shard import (
 __all__ = [
     "CHECKPOINT_VERSION",
     "BatchOutcomes",
+    "ChaosEvent",
+    "ChaosSchedule",
     "Checkpoint",
+    "CheckpointStore",
+    "DEFAULT_CHECKPOINT_EVERY",
     "DEFAULT_MAX_SESSIONS",
     "DEFAULT_QUEUE_DEPTH",
     "LoadgenResult",
     "MAX_BATCH_SAMPLES",
+    "MIGRATED_CLOSE_REASON",
     "OverloadedError",
     "PROTOCOL_VERSION",
     "PhaseSession",
@@ -105,6 +122,7 @@ __all__ = [
     "SessionConfig",
     "SessionManager",
     "ShardedServer",
+    "StoredCheckpoint",
     "UnknownSessionError",
     "aggregate_stats",
     "checkpoint_from_json",

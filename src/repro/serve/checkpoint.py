@@ -12,12 +12,23 @@ The round trip is *lossless by construction*: every field is a JSON
 scalar or a list/object of scalars, and the property tests assert that
 ``restore(snapshot(s))`` continues bit-for-bit where ``s`` stopped and
 that ``snapshot(restore(snapshot(s))) == snapshot(s)``.
+
+:class:`CheckpointStore` makes checkpoints *durable*: one atomically
+written JSON file per session id under a shared directory.  It is the
+substrate of the sharded server's self-healing — workers persist live
+sessions on a request cadence and restore them at (re)boot, so a killed
+worker costs clients a bounded replay window instead of their sessions.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict
+import os
+import queue
+import threading
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Tuple, Union
+from urllib.parse import quote, unquote
 
 from repro.errors import ConfigurationError
 
@@ -62,6 +73,17 @@ def validate_checkpoint(payload: Checkpoint) -> None:
         raise ConfigurationError("checkpoint 'config' must be an object")
     if not isinstance(payload["predictor"], dict):
         raise ConfigurationError("checkpoint 'predictor' must be an object")
+    samples = payload["samples"]
+    if isinstance(samples, bool) or not isinstance(samples, int):
+        raise ConfigurationError(
+            "checkpoint 'samples' must be a non-negative integer, "
+            f"got {samples!r}"
+        )
+    if samples < 0:
+        raise ConfigurationError(
+            f"checkpoint 'samples' must be a non-negative integer, "
+            f"got {samples}"
+        )
 
 
 def checkpoint_to_json(payload: Checkpoint, indent: int = 0) -> str:
@@ -85,3 +107,226 @@ def checkpoint_from_json(text: str) -> Checkpoint:
         raise ConfigurationError("checkpoint must be a JSON object")
     validate_checkpoint(payload)
     return payload
+
+
+#: Suffix of every checkpoint file a :class:`CheckpointStore` manages.
+_STORE_SUFFIX = ".ckpt.json"
+
+
+class StoredCheckpoint(NamedTuple):
+    """One durable session checkpoint: id, negotiated protocol, payload."""
+
+    session: str
+    protocol: Optional[int]
+    checkpoint: Checkpoint
+
+
+class CheckpointStore:
+    """Durable per-session checkpoints: one JSON file per session id.
+
+    The store is the recovery substrate of the sharded server: workers
+    persist live sessions here on a request cadence, and a respawned
+    worker (or a rebalanced topology) restores them at boot.  Files are
+    written atomically — serialize to ``<name>.tmp``, then
+    ``os.replace`` — so a crash mid-write can never corrupt the
+    previous checkpoint of the same session.
+
+    Writes are offloaded to a single background writer thread by
+    default, so the worker's event loop only pays the in-memory
+    snapshot cost per checkpoint; the thread preserves per-store
+    operation order (a ``save`` queued before a ``delete`` lands
+    first).  Pass ``synchronous=True`` (or call :meth:`flush`) when a
+    test needs writes to be durable the moment ``save`` returns.  Reads
+    (:meth:`load`, :meth:`load_all`) are always synchronous — they only
+    happen off the hot path, at worker boot and router recovery.
+
+    Session ids are percent-encoded into file names, so any id the wire
+    protocol accepts maps to exactly one flat file under ``root`` and
+    can never escape the directory.
+    """
+
+    def __init__(
+        self, root: Union[str, Path], synchronous: bool = False
+    ) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._synchronous = synchronous
+        self._queue: "queue.Queue[Optional[Tuple[str, Optional[str]]]]" = (
+            queue.Queue()
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        if not synchronous:
+            self._thread = threading.Thread(
+                target=self._writer_main,
+                name="repro-serve-checkpoint-writer",
+                daemon=True,
+            )
+            self._thread.start()
+
+    @property
+    def root(self) -> Path:
+        """The directory holding the checkpoint files."""
+        return self._root
+
+    def _path_for(self, session_id: str) -> Path:
+        if not session_id:
+            raise ConfigurationError("session id must be a non-empty string")
+        return self._root / (quote(session_id, safe="") + _STORE_SUFFIX)
+
+    # -- writes -------------------------------------------------------------
+
+    def save(
+        self,
+        session_id: str,
+        checkpoint: Checkpoint,
+        protocol: Optional[int] = None,
+    ) -> None:
+        """Persist one session's checkpoint (latest wins).
+
+        The payload is validated *before* it is queued, so a malformed
+        checkpoint fails loudly at the call site instead of silently in
+        the writer thread.
+        """
+        validate_checkpoint(checkpoint)
+        record = json.dumps(
+            {
+                "session": session_id,
+                "protocol": protocol,
+                "checkpoint": checkpoint,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        self._submit(session_id, record)
+
+    def delete(self, session_id: str) -> None:
+        """Drop a session's checkpoint (no-op when absent)."""
+        self._submit(session_id, None)
+
+    def _submit(self, session_id: str, record: Optional[str]) -> None:
+        path = self._path_for(session_id)
+        if self._synchronous or self._closed:
+            self._apply(str(path), record)
+        else:
+            self._queue.put((str(path), record))
+
+    @staticmethod
+    def _apply(path: str, record: Optional[str]) -> None:
+        if record is None:
+            try:
+                os.remove(path)
+            except FileNotFoundError:
+                pass
+        else:
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(record)
+            os.replace(tmp, path)
+
+    def _writer_main(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is None:
+                    return
+                try:
+                    self._apply(*item)
+                except OSError:  # pragma: no cover - disk-level failure
+                    # A failed write must never kill the writer thread:
+                    # the previous checkpoint of the session stays valid
+                    # (atomic replace) and the next cadence retries.
+                    pass
+            finally:
+                self._queue.task_done()
+
+    def flush(self) -> None:
+        """Block until every queued write/delete has hit the disk."""
+        if self._thread is not None:
+            self._queue.join()
+
+    def close(self) -> None:
+        """Drain the writer thread; further writes become synchronous."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            self._queue.put(None)
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    # -- reads --------------------------------------------------------------
+
+    def load(self, session_id: str) -> Optional[StoredCheckpoint]:
+        """The latest stored checkpoint for ``session_id``.
+
+        Returns ``None`` when the session has no durable checkpoint.
+
+        Raises:
+            ConfigurationError: When the stored file exists but is
+                corrupt (truncated write of a non-atomic producer, disk
+                damage); recovery paths that prefer to skip corrupt
+                entries use :meth:`load_all`.
+        """
+        path = self._path_for(session_id)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        return self._parse(text)
+
+    def load_all(self) -> List[StoredCheckpoint]:
+        """Every stored checkpoint, sorted by session id.
+
+        Corrupt files are skipped (best-effort recovery must not be
+        blocked by one damaged entry).
+        """
+        stored: List[StoredCheckpoint] = []
+        for path in sorted(self._root.glob("*" + _STORE_SUFFIX)):
+            try:
+                stored.append(self._parse(path.read_text(encoding="utf-8")))
+            except (OSError, ConfigurationError):
+                continue
+        stored.sort(key=lambda record: record.session)
+        return stored
+
+    def sessions(self) -> Tuple[str, ...]:
+        """Ids with a durable checkpoint, sorted (decoded from file names)."""
+        return tuple(
+            sorted(
+                unquote(path.name[: -len(_STORE_SUFFIX)])
+                for path in self._root.glob("*" + _STORE_SUFFIX)
+            )
+        )
+
+    @staticmethod
+    def _parse(text: str) -> StoredCheckpoint:
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"corrupt checkpoint store entry: {exc}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                "corrupt checkpoint store entry: not an object"
+            )
+        session = payload.get("session")
+        if not isinstance(session, str) or not session:
+            raise ConfigurationError(
+                "corrupt checkpoint store entry: missing session id"
+            )
+        protocol = payload.get("protocol")
+        if protocol is not None and (
+            isinstance(protocol, bool) or not isinstance(protocol, int)
+        ):
+            raise ConfigurationError(
+                "corrupt checkpoint store entry: bad protocol"
+            )
+        checkpoint = payload.get("checkpoint")
+        if not isinstance(checkpoint, dict):
+            raise ConfigurationError(
+                "corrupt checkpoint store entry: missing checkpoint"
+            )
+        validate_checkpoint(checkpoint)
+        return StoredCheckpoint(session, protocol, checkpoint)

@@ -22,16 +22,28 @@ clock that advances one unit per handled request, keeping every test
 
 from __future__ import annotations
 
+import re
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, ReproError
-from repro.obs.events import SessionClosed, SessionOpened
+from repro.obs.events import SessionClosed, SessionOpened, SessionRestored
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.serve.checkpoint import CheckpointStore
 from repro.serve.session import Clock, Payload, PhaseSession, SessionConfig
 
 #: Default live-session ceiling.
 DEFAULT_MAX_SESSIONS = 64
+
+#: ``close()`` reason marking a migration hand-off.  Unlike every other
+#: close, a migration must *keep* the session's durable checkpoint: the
+#: target worker takes ownership of the store entry and overwrites it
+#: when it registers the restored session.
+MIGRATED_CLOSE_REASON = "migrated"
+
+#: Server-minted id shape (``s<seq>`` / ``s<seq>x<k>``); used to keep
+#: the minting sequence ahead of ids adopted via :meth:`restore_as`.
+_MINTED_ID_RE = re.compile(r"^s([0-9]+)(?:x[0-9]+)?$")
 
 
 class OverloadedError(ReproError):
@@ -45,7 +57,7 @@ class UnknownSessionError(ReproError):
 class _Entry:
     """One live session plus its bookkeeping."""
 
-    __slots__ = ("session", "last_used", "protocol")
+    __slots__ = ("session", "last_used", "protocol", "checkpointed_samples")
 
     def __init__(
         self,
@@ -56,6 +68,9 @@ class _Entry:
         self.session = session
         self.last_used = last_used
         self.protocol = protocol
+        # Sample count at the last durable checkpoint; drives the
+        # checkpoint cadence (see SessionManager.maybe_checkpoint).
+        self.checkpointed_samples = session.samples
 
 
 class SessionManager:
@@ -76,6 +91,17 @@ class SessionManager:
             ...; shard workers inject
             :func:`repro.serve.shard.mint_shard_session_id` so every id
             consistent-hashes back to the worker that owns it.
+        checkpoint_store: Durable checkpoint store.  When set, every
+            session gets an initial checkpoint at registration (so the
+            replay window is bounded from the first sample), the
+            dispatcher re-checkpoints on the ``checkpoint_every``
+            cadence, and closing/evicting a session drops its entry —
+            except a :data:`MIGRATED_CLOSE_REASON` close, which hands
+            the entry to the migration target.
+        checkpoint_every: Re-checkpoint a session once it has advanced
+            this many samples past its last durable checkpoint.  ``0``
+            disables cadence checkpointing (initial checkpoints are
+            still written when a store is configured).
     """
 
     def __init__(
@@ -86,6 +112,8 @@ class SessionManager:
         tracer: Tracer = NULL_TRACER,
         metrics: Optional[MetricsRegistry] = None,
         id_minter: Optional[Callable[[int], str]] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        checkpoint_every: int = 0,
     ) -> None:
         if max_sessions < 1:
             raise ConfigurationError(
@@ -95,12 +123,18 @@ class SessionManager:
             raise ConfigurationError(
                 f"idle timeout must be > 0, got {idle_timeout_s}"
             )
+        if checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
         self._max_sessions = max_sessions
         self._idle_timeout_s = idle_timeout_s
         self._clock = clock
         self._tracer = tracer
         self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._id_minter = id_minter
+        self._checkpoint_store = checkpoint_store
+        self._checkpoint_every = checkpoint_every
         self._sessions: Dict[str, _Entry] = {}
         self._next_id = 1
         self._requests = 0
@@ -181,20 +215,73 @@ class SessionManager:
         )
         return self._register(session, protocol)
 
+    def restore_as(
+        self,
+        session_id: str,
+        checkpoint: Payload,
+        protocol: Optional[int] = None,
+    ) -> PhaseSession:
+        """Restore a checkpoint *under its original id* (recovery path).
+
+        Unlike :meth:`restore`, which mints a fresh id, this re-opens
+        the session as the same wire identity — the contract worker
+        recovery and session migration depend on: clients keep talking
+        to the id they opened.  The minting sequence is bumped past the
+        adopted id so a later ``hello`` can never collide with it.
+
+        Raises:
+            ConfigurationError: On a malformed checkpoint, an empty id,
+                or an id that is already live on this manager.
+            OverloadedError: When the server is full.
+        """
+        if not session_id:
+            raise ConfigurationError("session id must be a non-empty string")
+        if session_id in self._sessions:
+            raise ConfigurationError(
+                f"session {session_id!r} is already live on this server; "
+                "close it before restoring over it"
+            )
+        self._ensure_capacity()
+        session = PhaseSession.from_snapshot(
+            checkpoint,
+            session_id=session_id,
+            clock=self._clock,
+            tracer=self._tracer,
+            metrics=self._metrics,
+        )
+        match = _MINTED_ID_RE.match(session_id)
+        if match is not None:
+            self._next_id = max(self._next_id, int(match.group(1)) + 1)
+        self._register(session, protocol)
+        self._metrics.counter("serve.sessions_restored").inc()
+        if self._tracer.enabled:
+            self._tracer.emit(
+                SessionRestored(
+                    interval=self._requests,
+                    session=session_id,
+                    samples=session.samples,
+                )
+            )
+        return session
+
     def _reserve_slot(self) -> str:
         """Sweep idle sessions, enforce the ceiling, mint the next id."""
-        self.evict_idle()
-        if len(self._sessions) >= self._max_sessions:
-            raise OverloadedError(
-                f"server is at its session ceiling ({self._max_sessions}); "
-                "close a session or retry later"
-            )
+        self._ensure_capacity()
         if self._id_minter is not None:
             session_id = self._id_minter(self._next_id)
         else:
             session_id = f"s{self._next_id}"
         self._next_id += 1
         return session_id
+
+    def _ensure_capacity(self) -> None:
+        """Sweep idle sessions, then enforce the live-session ceiling."""
+        self.evict_idle()
+        if len(self._sessions) >= self._max_sessions:
+            raise OverloadedError(
+                f"server is at its session ceiling ({self._max_sessions}); "
+                "close a session or retry later"
+            )
 
     def protocol_of(self, session_id: str) -> Optional[int]:
         """The protocol version negotiated for a live session.
@@ -213,12 +300,44 @@ class SessionManager:
             )
         return entry.protocol
 
+    def maybe_checkpoint(self, session_id: str) -> bool:
+        """Persist ``session_id`` if it advanced a full cadence.
+
+        Called by the wire dispatcher after every successful request
+        that names a session; cheap when nothing is due (one dict
+        lookup and an integer compare).  Returns whether a checkpoint
+        was written.
+        """
+        store = self._checkpoint_store
+        if store is None or self._checkpoint_every <= 0:
+            return False
+        entry = self._sessions.get(session_id)
+        if entry is None:
+            return False
+        session = entry.session
+        if session.samples - entry.checkpointed_samples < (
+            self._checkpoint_every
+        ):
+            return False
+        store.save(session_id, session.snapshot(), entry.protocol)
+        entry.checkpointed_samples = session.samples
+        self._metrics.counter("serve.checkpoints_written").inc()
+        return True
+
     def _register(
         self, session: PhaseSession, protocol: Optional[int] = None
     ) -> PhaseSession:
         self._sessions[session.session_id] = _Entry(
             session, self.now(), protocol
         )
+        if self._checkpoint_store is not None:
+            # Initial checkpoint: from this moment the session survives
+            # a worker death with a replay window of at most
+            # checkpoint_every samples (plus any in-flight batch).
+            self._checkpoint_store.save(
+                session.session_id, session.snapshot(), protocol
+            )
+            self._metrics.counter("serve.checkpoints_written").inc()
         self._metrics.counter("serve.sessions_opened").inc()
         self._metrics.gauge("serve.sessions_active").set(
             float(len(self._sessions))
@@ -258,6 +377,11 @@ class SessionManager:
         entry = self._sessions.pop(session_id, None)
         if entry is None:
             raise UnknownSessionError(f"unknown session {session_id!r}")
+        if (
+            self._checkpoint_store is not None
+            and reason != MIGRATED_CLOSE_REASON
+        ):
+            self._checkpoint_store.delete(session_id)
         self._note_closed(entry.session, reason)
         return entry.session
 
@@ -273,6 +397,8 @@ class SessionManager:
         ]
         for session_id in expired:
             entry = self._sessions.pop(session_id)
+            if self._checkpoint_store is not None:
+                self._checkpoint_store.delete(session_id)
             self._metrics.counter("serve.sessions_evicted").inc()
             self._note_closed(entry.session, "evicted")
         return expired

@@ -27,16 +27,27 @@ Operations (protocol version 2; version 1 still negotiable in ``hello``):
            batch is rejected whole and the session is untouched.
 ``predict`` The standing prediction without feeding a sample.
 ``snapshot`` The session's lossless checkpoint (see
-           :mod:`repro.serve.checkpoint`).
-``restore`` Open a *new* session from a checkpoint payload.
+           :mod:`repro.serve.checkpoint`) plus the negotiated
+           ``protocol`` version, so a restore elsewhere can preserve
+           the session's protocol pinning.
+``restore`` Open a session from a checkpoint payload.  By default a
+           fresh id is minted; with an explicit ``session`` field the
+           checkpoint is restored *under that id* (the recovery and
+           migration path — the id must not be live), and an optional
+           ``protocol`` field re-pins the negotiated version.
 ``stats``  Per-session (with ``session``) or server statistics.
-``bye``    Close a session.
+``bye``    Close a session.  Optional ``reason`` is recorded in the
+           ``session_closed`` trace event; the reserved reason
+           ``migrated`` keeps the session's durable checkpoint (the
+           migration target owns it now).
 =========  ==============================================================
 
 Error codes: ``bad_request``, ``unknown_session``, ``server_overloaded``,
-``unsupported_protocol``, ``internal`` — plus ``worker_unavailable``,
-emitted by the shard router (:mod:`repro.serve.shard`) when the worker
-owning a session's shard has died.
+``unsupported_protocol``, ``internal`` — plus ``worker_unavailable`` and
+``worker_recovering``, emitted by the shard router
+(:mod:`repro.serve.shard`) when the worker owning a session's shard has
+died (permanently, or while its auto-restarted replacement is still
+coming up; such error responses carry a boolean ``recovering`` detail).
 
 The dispatcher also sweeps idle sessions once per handled request, so
 ``idle_timeout_s`` eviction fires under steady-state traffic, not only
@@ -46,7 +57,8 @@ when ``hello``/``restore`` reserve a slot.
 from __future__ import annotations
 
 import json
-from typing import List, Mapping, Tuple
+import re
+from typing import List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError, ReproError
 from repro.serve.checkpoint import validate_checkpoint
@@ -81,8 +93,14 @@ ERROR_CODES = (
     "server_overloaded",
     "unsupported_protocol",
     "worker_unavailable",
+    "worker_recovering",
     "internal",
 )
+
+#: Ids accepted in a restore-with-id request: conservative filesystem-
+#: and log-safe charset, bounded length.  Server-minted ids (``s1``,
+#: ``s17x3``) are a strict subset.
+_SESSION_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
 
 #: ``SessionConfig`` fields accepted inline in a ``hello`` request.
 _CONFIG_FIELDS = (
@@ -190,6 +208,13 @@ def handle_request(
         manager.metrics.histogram("serve.request_latency_s").observe(
             clock() - started
         )
+    if response.get("ok"):
+        # Cadence checkpointing rides the dispatcher: any successful op
+        # that names a session (sample/sample_batch advance it; the
+        # rest are free no-ops) may trigger a durable checkpoint.
+        session_id = response.get("session")
+        if isinstance(session_id, str):
+            manager.maybe_checkpoint(session_id)
     return response
 
 
@@ -346,13 +371,31 @@ def _op_predict(
 def _op_snapshot(
     manager: SessionManager, payload: Mapping[str, object]
 ) -> Payload:
-    session = manager.get(_require_str(payload, "session"))
+    session_id = _require_str(payload, "session")
+    session = manager.get(session_id)
     return {
         "ok": True,
         "op": "snapshot",
         "session": session.session_id,
+        # The negotiated protocol travels with the checkpoint so a
+        # restore on another worker preserves the session's pinning.
+        "protocol": manager.protocol_of(session_id),
         "checkpoint": session.snapshot(),
     }
+
+
+def _restore_protocol(payload: Mapping[str, object]) -> Optional[int]:
+    """The optional ``protocol`` re-pin of a restore request."""
+    if "protocol" not in payload:
+        return None
+    version = _require_int(payload, "protocol")
+    if version not in SUPPORTED_PROTOCOLS:
+        raise _ProtocolError(
+            "unsupported_protocol",
+            f"protocol {version!r} is not supported; this server speaks "
+            f"versions {SUPPORTED_PROTOCOLS}",
+        )
+    return version
 
 
 def _op_restore(
@@ -364,7 +407,18 @@ def _op_restore(
             "bad_request", "field 'checkpoint' must be an object"
         )
     validate_checkpoint(checkpoint)
-    session = manager.restore(checkpoint)
+    version = _restore_protocol(payload)
+    if "session" in payload:
+        session_id = _require_str(payload, "session")
+        if _SESSION_ID_RE.match(session_id) is None:
+            raise _ProtocolError(
+                "bad_request",
+                f"invalid session id {session_id!r}: expected 1-64 "
+                "characters from [A-Za-z0-9_.-], starting alphanumeric",
+            )
+        session = manager.restore_as(session_id, checkpoint, version)
+    else:
+        session = manager.restore(checkpoint, version)
     return {
         "ok": True,
         "op": "restore",
@@ -385,7 +439,16 @@ def _op_stats(
 def _op_bye(
     manager: SessionManager, payload: Mapping[str, object]
 ) -> Payload:
-    session = manager.close(_require_str(payload, "session"))
+    reason = "bye"
+    if "reason" in payload:
+        reason = _require_str(payload, "reason")
+        if not reason or len(reason) > 64:
+            raise _ProtocolError(
+                "bad_request",
+                "field 'reason' must be a non-empty string of at most "
+                "64 characters",
+            )
+    session = manager.close(_require_str(payload, "session"), reason=reason)
     return {
         "ok": True,
         "op": "bye",

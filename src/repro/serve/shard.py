@@ -12,21 +12,41 @@ owns that session's shard.
 worker ``shard_for(session_id, N)`` — a stable CRC-32 hash modulo the
 worker count, identical in every process and across runs.  Workers mint
 session ids that hash back to themselves
-(:func:`mint_shard_session_id`), so session state *never migrates*:
-every request that names a session lands on the worker holding its
-predictor.  Requests that name no session (``hello``, ``restore``) are
-placed round-robin; the worker's self-hashing id then pins all
-follow-up traffic.
+(:func:`mint_shard_session_id`), so every request that names a session
+lands on the worker holding its predictor.  Requests that name no
+session (``hello``, ``restore``) are placed round-robin over the *live*
+workers; the worker's self-hashing id then pins all follow-up traffic.
+The router additionally keeps a small override table for sessions moved
+off their hash home by ``migrate``.
 
 **Capacity:** per-worker session ceilings are carved out of the global
 ``max_sessions`` (:func:`worker_ceilings`), summing exactly to it.
 
-**Failure semantics:** when a worker dies, requests routed to its shard
-answer the stable error code ``worker_unavailable`` (and a
-``worker_died`` trace event is emitted once per failure); sessions on
-other shards are unaffected.  The session-less ``stats`` op fans out to
-every live worker and answers the aggregated view
-(:func:`aggregate_stats`).
+**Failure semantics and self-healing:** with ``checkpoint_every > 0``
+every worker persists its live sessions to a shared
+:class:`~repro.serve.checkpoint.CheckpointStore` on a sample cadence.
+When a worker dies:
+
+* without ``auto_restart``, requests routed to its shard answer the
+  stable error code ``worker_unavailable`` (one ``worker_died`` trace
+  event per failure); sessions on other shards are unaffected;
+* with ``auto_restart``, the router respawns the process in the
+  background — requests meanwhile answer ``worker_recovering`` — and
+  the replacement restores the shard's sessions from their latest
+  checkpoints at boot (``worker_restarted`` event).  Clients then
+  replay at most one checkpoint cadence of samples per session instead
+  of losing the session.
+
+**Migration:** the router-level ``migrate`` op moves a live session to
+another worker losslessly via drain–snapshot–restore: new traffic for
+the session is gated, in-flight requests drain, the source worker
+snapshots, the target restores under the same id (and protocol), and
+the source closes the original with the reserved ``migrated`` reason so
+the durable checkpoint changes owner instead of being deleted.
+
+The session-less ``stats`` op fans out to every live worker and answers
+the aggregated view (:func:`aggregate_stats`), including how many
+workers are mid-restart.
 """
 
 from __future__ import annotations
@@ -37,21 +57,28 @@ import multiprocessing
 import multiprocessing.connection
 import multiprocessing.process
 import re
+import shutil
+import tempfile
 import threading
 import zlib
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import ConfigurationError, ReproError
-from repro.obs.events import WorkerDied
+from repro.obs.events import SessionMigrated, WorkerDied, WorkerRestarted
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.serve.checkpoint import CheckpointStore
 from repro.serve.frontends import (
     DEFAULT_CLOCK,
     DEFAULT_QUEUE_DEPTH,
     relay_lines,
     serve_tcp_async,
 )
-from repro.serve.manager import DEFAULT_MAX_SESSIONS, SessionManager
+from repro.serve.manager import (
+    DEFAULT_MAX_SESSIONS,
+    MIGRATED_CLOSE_REASON,
+    SessionManager,
+)
 from repro.serve.protocol import (
     error_response,
     parse_response,
@@ -63,14 +90,26 @@ from repro.serve.session import Payload
 #: for the router to bind, before giving up.
 DEFAULT_START_TIMEOUT_S = 30.0
 
+#: Checkpoint cadence (samples between durable checkpoints) used when
+#: ``auto_restart`` is requested without an explicit ``checkpoint_every``
+#: — auto-restart without checkpoints would recover empty workers.
+DEFAULT_CHECKPOINT_EVERY = 32
+
 _MetricValue = Union[str, float]
 _MetricsSnapshot = Mapping[str, Mapping[str, object]]
+_Link = Tuple[asyncio.StreamReader, asyncio.StreamWriter]
 
 #: Fast-path extraction of a top-level ``"session"`` value.  Only
 #: applied when the line contains exactly one ``"session"`` key and the
 #: value matches a server-minted id (``s<seq>`` or ``s<seq>x<k>``), so a
 #: crafted string value elsewhere in the request cannot misroute it.
 _SESSION_RE = re.compile(r'"session"\s*:\s*"(s[0-9]+(?:x[0-9]+)?)"')
+
+#: Ops the router must handle itself (cluster ``stats`` fan-out,
+#: ``migrate``); lines that may carry one of these never take the
+#: forward fast path.  A false positive (the text appearing inside a
+#: string value) only costs a full parse, never a misroute.
+_ROUTER_OP_RE = re.compile(r'"op"\s*:\s*"(?:stats|migrate)"')
 
 
 def shard_for(session_id: str, workers: int) -> int:
@@ -206,13 +245,17 @@ def _metric_number(name: str, payload: Mapping[str, object], key: str) -> float:
 
 def aggregate_stats(
     per_worker: Sequence[Optional[Mapping[str, object]]],
+    recovering: Sequence[int] = (),
 ) -> Payload:
     """Fan-in per-worker ``stats`` payloads into the cluster view.
 
-    ``None`` entries mark workers that did not answer (dead); their
-    slot still appears in ``per_worker`` so clients can see the
-    topology.  Summable fields sum; metrics merge via
-    :func:`merge_metrics`.
+    ``None`` entries mark workers that did not answer (dead, or still
+    restarting); their slot still appears in ``per_worker`` so clients
+    can see the topology.  ``recovering`` names the worker indices the
+    router is currently respawning — mid-restart the cluster view stays
+    well-formed: the recovering slot is ``None``, ``workers_alive``
+    excludes it and ``workers_recovering`` counts it.  Summable fields
+    sum; metrics merge via :func:`merge_metrics`.
     """
     sessions_active = 0
     max_sessions = 0
@@ -234,9 +277,13 @@ def aggregate_stats(
         metrics = stats.get("metrics")
         if isinstance(metrics, dict):
             snapshots.append(metrics)
+    recovering_set = {
+        index for index in recovering if 0 <= index < len(per_worker)
+    }
     return {
         "workers": len(per_worker),
         "workers_alive": sum(1 for stats in per_worker if stats is not None),
+        "workers_recovering": len(recovering_set),
         "sessions_active": sessions_active,
         "max_sessions": max_sessions,
         "requests": requests,
@@ -255,6 +302,38 @@ def _stats_number(stats: Mapping[str, object], key: str) -> float:
     return float(value)
 
 
+def _adopt_shard_sessions(
+    manager: SessionManager,
+    store: CheckpointStore,
+    index: int,
+    workers: int,
+    overrides: Mapping[str, int],
+) -> int:
+    """Restore this shard's sessions from the checkpoint store at boot.
+
+    A stored session belongs to this worker when the router's override
+    table (sessions moved by ``migrate``) or, failing that, the
+    consistent hash says so.  Restoring by hash is also what rebalances
+    sessions automatically when ``--workers`` changes between runs over
+    the same checkpoint directory.  Adoption is best-effort per
+    session: a checkpoint this build cannot read, or one past the
+    ceiling, is skipped rather than blocking worker boot.
+    """
+    restored = 0
+    for record in store.load_all():
+        owner = overrides.get(record.session)
+        if owner is None:
+            owner = shard_for(record.session, workers)
+        if owner != index:
+            continue
+        try:
+            manager.restore_as(record.session, record.checkpoint, record.protocol)
+        except ReproError:
+            continue
+        restored += 1
+    return restored
+
+
 def _worker_main(
     index: int,
     workers: int,
@@ -263,20 +342,35 @@ def _worker_main(
     max_sessions: int,
     idle_timeout_s: Optional[float],
     queue_depth: int,
+    checkpoint_dir: Optional[str],
+    checkpoint_every: int,
+    overrides: Dict[str, int],
 ) -> None:
     """Worker-process entry: one ordinary TCP server on its own port.
 
-    Binds an ephemeral port, reports it to the parent through the pipe,
-    then serves until terminated.  The id minter guarantees every
-    session this worker opens hashes back to ``index``, which is the
-    whole sharding invariant.
+    Restores its shard's sessions from the checkpoint store (when
+    configured), binds an ephemeral port, reports ``(port,
+    sessions_restored)`` to the parent through the pipe, then serves
+    until terminated.  The id minter guarantees every session this
+    worker opens hashes back to ``index``, which is the whole sharding
+    invariant.
     """
+    store = (
+        CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+    )
     manager = SessionManager(
         max_sessions=max_sessions,
         idle_timeout_s=idle_timeout_s,
         clock=DEFAULT_CLOCK,
         id_minter=lambda seq: mint_shard_session_id(seq, index, workers),
+        checkpoint_store=store,
+        checkpoint_every=checkpoint_every,
     )
+    restored = 0
+    if store is not None:
+        restored = _adopt_shard_sessions(
+            manager, store, index, workers, overrides
+        )
 
     async def _run() -> None:
         loop = asyncio.get_running_loop()
@@ -291,7 +385,7 @@ def _worker_main(
             )
         )
         port = await ready
-        port_conn.send(port)
+        port_conn.send((port, restored))
         port_conn.close()
         await server_task
 
@@ -320,9 +414,21 @@ class ShardedServer:
         idle_timeout_s: Per-worker idle eviction timeout.
         queue_depth: Per-connection request-queue depth (workers and
             router alike).
-        tracer: Trace collector for ``worker_died`` events.
+        tracer: Trace collector for worker lifecycle and migration
+            events.
         metrics: Router-side metrics registry (requests routed, worker
-            failures); a private one is created when omitted.
+            failures, restarts, migrations); a private one is created
+            when omitted.
+        checkpoint_every: Durable-checkpoint cadence in samples per
+            session; ``0`` disables checkpointing (unless
+            ``auto_restart`` forces :data:`DEFAULT_CHECKPOINT_EVERY`).
+        checkpoint_dir: Directory for the shared checkpoint store.
+            ``None`` with checkpointing enabled uses a private temporary
+            directory removed on :meth:`stop`; pass an explicit path to
+            keep checkpoints across runs (sessions then rebalance onto
+            the new topology at the next :meth:`start`).
+        auto_restart: Respawn dead workers in the background and restore
+            their shard's sessions from the checkpoint store.
     """
 
     def __init__(
@@ -335,7 +441,16 @@ class ShardedServer:
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         tracer: Tracer = NULL_TRACER,
         metrics: Optional[MetricsRegistry] = None,
+        checkpoint_every: int = 0,
+        checkpoint_dir: Optional[str] = None,
+        auto_restart: bool = False,
     ) -> None:
+        if checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if auto_restart and checkpoint_every == 0:
+            checkpoint_every = DEFAULT_CHECKPOINT_EVERY
         self._ceilings = worker_ceilings(max_sessions, workers)
         self._workers = workers
         self._host = host
@@ -344,17 +459,30 @@ class ShardedServer:
         self._queue_depth = queue_depth
         self._tracer = tracer
         self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._checkpoint_every = checkpoint_every
+        self._checkpoint_dir = checkpoint_dir
+        self._auto_restart = auto_restart
+        self._checkpoint_path: Optional[str] = None
+        self._owns_checkpoint_dir = False
         self._procs: List[multiprocessing.process.BaseProcess] = []
         self._worker_ports: List[int] = []
         self._dead: Set[int] = set()
+        self._recovering: Set[int] = set()
+        self._overrides: Dict[str, int] = {}
         self._round_robin = 0
         self._requests = 0
         self._thread: Optional[threading.Thread] = None
         self._started = threading.Event()
+        self._stopping = False
+        self._start_error: Optional[BaseException] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._shutdown: Optional[asyncio.Event] = None
         self._router_port: Optional[int] = None
         self._client_tasks: Set["asyncio.Task[None]"] = set()
+        self._restart_tasks: Set["asyncio.Task[None]"] = set()
+        self._migrating: Dict[str, asyncio.Event] = {}
+        self._inflight: Dict[str, int] = {}
+        self._drain_events: Dict[str, asyncio.Event] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -378,31 +506,84 @@ class ShardedServer:
         """Router-side metrics (requests routed, worker failures)."""
         return self._metrics
 
+    @property
+    def checkpoint_path(self) -> Optional[str]:
+        """The active checkpoint directory (``None`` when disabled)."""
+        return self._checkpoint_path
+
+    def _worker_args(
+        self, index: int, overrides: Dict[str, int]
+    ) -> Tuple[object, ...]:
+        return (
+            index,
+            self._workers,
+            self._host,
+            None,  # placeholder: the pipe end is appended by the caller
+            self._ceilings[index],
+            self._idle_timeout_s,
+            self._queue_depth,
+            self._checkpoint_path,
+            self._checkpoint_every,
+            overrides,
+        )
+
+    def _spawn_worker(
+        self,
+        index: int,
+        overrides: Dict[str, int],
+        timeout: float,
+    ) -> Tuple[multiprocessing.process.BaseProcess, int, int]:
+        """Spawn one worker and wait for ``(port, restored)`` (blocking)."""
+        context = multiprocessing.get_context()
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        args = list(self._worker_args(index, overrides))
+        args[3] = child_conn
+        process = context.Process(
+            target=_worker_main, args=tuple(args), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        try:
+            if not parent_conn.poll(timeout):
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=10)
+                raise ReproError(
+                    f"worker {index} did not report its port within "
+                    f"{timeout:.0f}s"
+                )
+            port, restored = parent_conn.recv()
+        finally:
+            parent_conn.close()
+        return process, int(port), int(restored)
+
     def start(self, timeout: float = DEFAULT_START_TIMEOUT_S) -> int:
         """Spawn the workers, start the router; returns the router port.
 
         Raises:
             ReproError: When a worker fails to report its port or the
-                router fails to bind within ``timeout``.
+                router fails to bind within ``timeout`` (e.g. the
+                requested port is already in use) — the underlying bind
+                error is chained.
         """
         if self._thread is not None:
             raise ReproError("sharded server already started")
+        self._stopping = False
+        if self._checkpoint_dir is not None:
+            self._checkpoint_path = self._checkpoint_dir
+        elif self._checkpoint_every > 0:
+            self._checkpoint_path = tempfile.mkdtemp(
+                prefix="repro-serve-checkpoints-"
+            )
+            self._owns_checkpoint_dir = True
         context = multiprocessing.get_context()
         pipes = []
         for index in range(self._workers):
             parent_conn, child_conn = context.Pipe(duplex=False)
+            args = list(self._worker_args(index, {}))
+            args[3] = child_conn
             process = context.Process(
-                target=_worker_main,
-                args=(
-                    index,
-                    self._workers,
-                    self._host,
-                    child_conn,
-                    self._ceilings[index],
-                    self._idle_timeout_s,
-                    self._queue_depth,
-                ),
-                daemon=True,
+                target=_worker_main, args=tuple(args), daemon=True
             )
             process.start()
             child_conn.close()
@@ -415,7 +596,8 @@ class ShardedServer:
                     f"worker {index} did not report its port within "
                     f"{timeout:.0f}s"
                 )
-            self._worker_ports.append(int(parent_conn.recv()))
+            port, _restored = parent_conn.recv()
+            self._worker_ports.append(int(port))
             parent_conn.close()
         self._thread = threading.Thread(
             target=self._thread_main, name="repro-serve-router", daemon=True
@@ -426,11 +608,24 @@ class ShardedServer:
             raise ReproError(
                 f"router did not start within {timeout:.0f}s"
             )
-        assert self._router_port is not None
+        if self._router_port is None:
+            # The router loop died before binding (port in use, bad
+            # host, ...).  Surface the real failure instead of the
+            # pre-fix AssertionError.
+            error = self._start_error
+            self.stop()
+            raise ReproError(
+                f"router failed to start: {error}"
+            ) from error
         return self._router_port
 
     def stop(self) -> None:
-        """Stop the router and terminate every worker process."""
+        """Stop the router, terminate workers, and reset all state.
+
+        Idempotent, and safe on a server that never started (or failed
+        mid-:meth:`start`); afterwards :meth:`start` works again.
+        """
+        self._stopping = True
         loop = self._loop
         shutdown = self._shutdown
         if loop is not None and shutdown is not None:
@@ -439,12 +634,33 @@ class ShardedServer:
             except RuntimeError:  # pragma: no cover - loop already closed
                 pass
         if self._thread is not None:
-            self._thread.join(timeout=10)
+            self._thread.join(timeout=30)
         for process in self._procs:
             if process.is_alive():
                 process.terminate()
         for process in self._procs:
             process.join(timeout=10)
+        if self._owns_checkpoint_dir and self._checkpoint_path is not None:
+            shutil.rmtree(self._checkpoint_path, ignore_errors=True)
+        self._checkpoint_path = None
+        self._owns_checkpoint_dir = False
+        self._thread = None
+        self._procs = []
+        self._worker_ports = []
+        self._dead = set()
+        self._recovering = set()
+        self._overrides = {}
+        self._round_robin = 0
+        self._started = threading.Event()
+        self._start_error = None
+        self._loop = None
+        self._shutdown = None
+        self._router_port = None
+        self._client_tasks = set()
+        self._restart_tasks = set()
+        self._migrating = {}
+        self._inflight = {}
+        self._drain_events = {}
 
     def kill_worker(self, index: int) -> None:
         """Terminate one worker (failure-injection hook for tests)."""
@@ -462,7 +678,10 @@ class ShardedServer:
     def _thread_main(self) -> None:
         try:
             asyncio.run(self._router_main())
-        except Exception:  # pragma: no cover - surfaced via start() timeout
+        except Exception as error:
+            # Keep the failure for start() to re-raise as a clean
+            # ReproError; set() unblocks the waiting starter either way.
+            self._start_error = error
             self._started.set()
 
     async def _router_main(self) -> None:
@@ -483,6 +702,13 @@ class ShardedServer:
             await asyncio.gather(
                 *self._client_tasks, return_exceptions=True
             )
+        if self._restart_tasks:
+            # Restart tasks hold a live executor job (process spawn);
+            # let them finish so their cleanup runs — _restart_worker
+            # tears the fresh process down again when stopping.
+            await asyncio.wait(
+                set(self._restart_tasks), timeout=DEFAULT_START_TIMEOUT_S
+            )
 
     async def _on_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -492,7 +718,7 @@ class ShardedServer:
             self._client_tasks.add(task)
         # One lazily opened upstream connection per worker *per client*,
         # so each client's responses stay strictly in request order.
-        links: Dict[int, Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = {}
+        links: Dict[int, _Link] = {}
 
         async def answer(line: str) -> str:
             return await self._route(line, links)
@@ -504,29 +730,29 @@ class ShardedServer:
         finally:
             for _, upstream_writer in links.values():
                 upstream_writer.close()
+            for _, upstream_writer in links.values():
+                try:
+                    await upstream_writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
             if task is not None:
                 self._client_tasks.discard(task)
 
-    async def _route(
-        self,
-        line: str,
-        links: Dict[int, Tuple[asyncio.StreamReader, asyncio.StreamWriter]],
-    ) -> str:
+    async def _route(self, line: str, links: Dict[int, _Link]) -> str:
         """Pick the shard for one request line and forward it."""
         self._requests += 1
         self._metrics.counter("serve.router_requests").inc()
         # Fast path for the hot ops: a ``sample_batch`` line is mostly a
         # float array the router has no business parsing — when exactly
-        # one ``"session"`` key appears and the value looks like a
-        # server-minted id, routing needs only that.  Anything ambiguous
-        # (no session, several occurrences, weird ids, ``stats``) takes
-        # the full-parse path below.
-        if line.count('"session"') == 1 and '"op":"stats"' not in line:
+        # one ``"session"`` key appears, the value looks like a
+        # server-minted id and the op cannot be router-handled, routing
+        # needs only that.  Anything ambiguous (no session, several
+        # occurrences, weird ids, ``stats``/``migrate``) takes the
+        # full-parse path below.
+        if line.count('"session"') == 1 and _ROUTER_OP_RE.search(line) is None:
             match = _SESSION_RE.search(line)
             if match is not None:
-                return await self._forward(
-                    shard_for(match.group(1), self._workers), line, links
-                )
+                return await self._forward_session(match.group(1), line, links)
         try:
             payload = json.loads(line)
         except ValueError as exc:
@@ -537,86 +763,401 @@ class ShardedServer:
             return serialize_response(
                 error_response("bad_request", "request must be a JSON object")
             )
-        session = payload.get("session")
-        if payload.get("op") == "stats" and "session" not in payload:
+        op = payload.get("op")
+        if op == "stats" and "session" not in payload:
             return await self._aggregate_stats(links)
+        if op == "migrate":
+            return await self._migrate(payload, links)
+        session = payload.get("session")
         if isinstance(session, str):
-            target = shard_for(session, self._workers)
-        else:
-            # hello/restore (and anything session-less): balanced
-            # placement; the worker's self-hashing id pins the session.
-            target = self._round_robin
-            self._round_robin = (self._round_robin + 1) % self._workers
+            return await self._forward_session(session, line, links)
+        # hello/restore (and anything session-less): balanced placement
+        # over live workers; the worker's self-hashing id pins the
+        # session afterwards.
+        target = self._place()
+        if target is None:
+            return self._no_workers()
         return await self._forward(target, line, links)
 
-    async def _forward(
-        self,
-        worker: int,
-        line: str,
-        links: Dict[int, Tuple[asyncio.StreamReader, asyncio.StreamWriter]],
+    def _place(self, exclude: Optional[int] = None) -> Optional[int]:
+        """Round-robin placement over live workers; ``None`` if none.
+
+        Skips dead and mid-restart shards (the pre-fix router cycled
+        through dead workers and bounced new sessions off them while
+        live workers had free capacity).  A worker discovered dead here
+        is noted — which schedules its restart under ``auto_restart``.
+        """
+        for _ in range(self._workers):
+            candidate = self._round_robin
+            self._round_robin = (self._round_robin + 1) % self._workers
+            if candidate == exclude:
+                continue
+            if candidate in self._recovering:
+                continue
+            if not self._procs[candidate].is_alive():
+                self._note_worker_down(candidate, "process is not running")
+                continue
+            if candidate in self._dead:
+                continue
+            return candidate
+        return None
+
+    def _no_workers(self) -> str:
+        if self._recovering:
+            response = error_response(
+                "worker_recovering",
+                "no live worker can take the session yet; workers are "
+                "restarting — retry shortly",
+            )
+            response["recovering"] = True
+        else:
+            response = error_response(
+                "worker_unavailable",
+                "no live workers available to place the session",
+            )
+            response["recovering"] = False
+        return serialize_response(response)
+
+    async def _forward_session(
+        self, session_id: str, line: str, links: Dict[int, _Link]
     ) -> str:
+        """Route one session-addressed line, honoring migration state.
+
+        New traffic for a session mid-migration parks on the gate until
+        the move finishes (then routes to the new owner); the in-flight
+        counter lets ``migrate`` drain outstanding requests before it
+        snapshots.
+        """
+        gate = self._migrating.get(session_id)
+        if gate is not None:
+            await gate.wait()
+        self._inflight[session_id] = self._inflight.get(session_id, 0) + 1
+        try:
+            worker = self._overrides.get(session_id)
+            if worker is None:
+                worker = shard_for(session_id, self._workers)
+            return await self._forward(worker, line, links)
+        finally:
+            remaining = self._inflight[session_id] - 1
+            if remaining:
+                self._inflight[session_id] = remaining
+            else:
+                del self._inflight[session_id]
+                drained = self._drain_events.pop(session_id, None)
+                if drained is not None:
+                    drained.set()
+
+    async def _forward(
+        self, worker: int, line: str, links: Dict[int, _Link]
+    ) -> str:
+        if worker in self._recovering:
+            return self._unavailable(worker)
         if not self._procs[worker].is_alive():
             self._note_worker_down(worker, "process is not running")
             return self._unavailable(worker)
-        try:
-            link = links.get(worker)
-            if link is None:
-                link = await asyncio.open_connection(
-                    self._host, self._worker_ports[worker]
-                )
-                links[worker] = link
-            upstream_reader, upstream_writer = link
-            upstream_writer.write((line + "\n").encode("utf-8"))
-            await upstream_writer.drain()
-            raw = await upstream_reader.readline()
-            if not raw:
-                raise ConnectionError("worker closed the connection")
-            return raw.decode("utf-8", errors="replace").rstrip("\n")
-        except (ConnectionError, OSError) as exc:
-            stale = links.pop(worker, None)
-            if stale is not None:
-                stale[1].close()
-            self._note_worker_down(worker, str(exc))
-            return self._unavailable(worker)
+        last_error = "connection failed"
+        for attempt in range(2):
+            try:
+                link = links.get(worker)
+                if link is None:
+                    link = await asyncio.open_connection(
+                        self._host, self._worker_ports[worker]
+                    )
+                    links[worker] = link
+                upstream_reader, upstream_writer = link
+                upstream_writer.write((line + "\n").encode("utf-8"))
+                await upstream_writer.drain()
+                raw = await upstream_reader.readline()
+                if not raw:
+                    raise ConnectionError("worker closed the connection")
+                return raw.decode("utf-8", errors="replace").rstrip("\n")
+            except (ConnectionError, OSError) as exc:
+                last_error = str(exc)
+                stale = links.pop(worker, None)
+                if stale is not None:
+                    stale[1].close()
+                # A dead cached link to a since-restarted worker is not
+                # a worker death: retry once on a fresh connection
+                # (which resolves the worker's *current* port) before
+                # concluding anything about the process.
+                if attempt == 0 and self._procs[worker].is_alive():
+                    continue
+                break
+        self._note_worker_down(worker, last_error)
+        return self._unavailable(worker)
 
     def _unavailable(self, worker: int) -> str:
-        response = error_response(
-            "worker_unavailable",
-            f"worker {worker} serving this shard is unavailable; "
-            "sessions on other shards are unaffected",
-        )
+        recovering = worker in self._recovering
+        if recovering:
+            response = error_response(
+                "worker_recovering",
+                f"worker {worker} is restarting; its sessions will answer "
+                "again shortly — retry",
+            )
+        else:
+            response = error_response(
+                "worker_unavailable",
+                f"worker {worker} serving this shard is unavailable; "
+                "sessions on other shards are unaffected",
+            )
         response["worker"] = worker
+        response["recovering"] = recovering
         return serialize_response(response)
 
     def _note_worker_down(self, worker: int, reason: str) -> None:
         self._metrics.counter("serve.worker_unavailable").inc()
-        if worker in self._dead:
+        if worker not in self._dead:
+            self._dead.add(worker)
+            self._metrics.counter("serve.workers_died").inc()
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    WorkerDied(
+                        interval=self._requests, worker=worker, reason=reason
+                    )
+                )
+        if (
+            self._auto_restart
+            and not self._stopping
+            and worker not in self._recovering
+            and self._loop is not None
+        ):
+            self._recovering.add(worker)
+            task = self._loop.create_task(self._restart_worker(worker))
+            self._restart_tasks.add(task)
+            task.add_done_callback(self._restart_tasks.discard)
+
+    async def _restart_worker(self, worker: int) -> None:
+        """Respawn a dead worker off-loop and swap it into the topology.
+
+        The replacement process restores the shard's sessions from the
+        checkpoint store during boot (before it reports its port), so
+        by the time the shard leaves the ``recovering`` state its
+        sessions answer again.
+        """
+        overrides = dict(self._overrides)
+        loop = asyncio.get_running_loop()
+        old = self._procs[worker]
+
+        def respawn() -> Tuple[multiprocessing.process.BaseProcess, int, int]:
+            if old.is_alive():  # defensive: marked down but not exited
+                old.terminate()
+            old.join(timeout=10)
+            return self._spawn_worker(worker, overrides, DEFAULT_START_TIMEOUT_S)
+
+        try:
+            process, port, restored = await loop.run_in_executor(None, respawn)
+        except Exception:
+            # Leave the shard dead-but-retriable: the next request that
+            # routes here schedules another attempt.
+            self._recovering.discard(worker)
+            self._metrics.counter("serve.worker_restart_failures").inc()
             return
-        self._dead.add(worker)
-        self._metrics.counter("serve.workers_died").inc()
+        if self._stopping:
+            process.terminate()
+            process.join(timeout=10)
+            self._recovering.discard(worker)
+            return
+        self._procs[worker] = process
+        self._worker_ports[worker] = port
+        self._dead.discard(worker)
+        self._recovering.discard(worker)
+        self._metrics.counter("serve.worker_restarts").inc()
         if self._tracer.enabled:
             self._tracer.emit(
-                WorkerDied(
-                    interval=self._requests, worker=worker, reason=reason
+                WorkerRestarted(
+                    interval=self._requests,
+                    worker=worker,
+                    sessions_restored=restored,
                 )
             )
 
-    async def _aggregate_stats(
-        self,
-        links: Dict[int, Tuple[asyncio.StreamReader, asyncio.StreamWriter]],
+    # -- migration ----------------------------------------------------------
+
+    async def _drain_session(self, session_id: str) -> None:
+        """Wait until no request for ``session_id`` is in flight."""
+        while self._inflight.get(session_id, 0):
+            event = self._drain_events.get(session_id)
+            if event is None:
+                event = asyncio.Event()
+                self._drain_events[session_id] = event
+            await event.wait()
+
+    @staticmethod
+    def _parse_answer(answer: str) -> Tuple[bool, Payload]:
+        try:
+            return parse_response(answer)
+        except ConfigurationError:
+            return False, {}
+
+    async def _migrate(
+        self, payload: Mapping[str, object], links: Dict[int, _Link]
     ) -> str:
+        """Drain–snapshot–restore one session onto another worker.
+
+        The move is lossless and identity-preserving: traffic for the
+        session is gated, in-flight requests drain, the source worker
+        answers ``snapshot`` (carrying the negotiated protocol), the
+        target restores under the same id, and only then does the
+        source close its copy — with the reserved ``migrated`` reason,
+        so the durable checkpoint transfers to the target instead of
+        being deleted.  On any failure before the restore succeeds the
+        session keeps serving from the source untouched.
+        """
+        session = payload.get("session")
+        if not isinstance(session, str) or not session:
+            return serialize_response(
+                error_response(
+                    "bad_request", "migrate requires a string 'session' field"
+                )
+            )
+        unexpected = set(payload) - {"op", "session", "worker"}
+        if unexpected:
+            return serialize_response(
+                error_response(
+                    "bad_request",
+                    f"unknown migrate fields: {sorted(unexpected)}",
+                )
+            )
+        explicit: Optional[int] = None
+        if "worker" in payload:
+            worker_field = payload["worker"]
+            if (
+                isinstance(worker_field, bool)
+                or not isinstance(worker_field, int)
+                or not 0 <= worker_field < self._workers
+            ):
+                return serialize_response(
+                    error_response(
+                        "bad_request",
+                        "field 'worker' must be an integer in "
+                        f"[0, {self._workers})",
+                    )
+                )
+            explicit = worker_field
+        # Serialize with any in-progress migration of the same session,
+        # then gate new traffic and drain what is already in flight.
+        while session in self._migrating:
+            await self._migrating[session].wait()
+        gate = asyncio.Event()
+        self._migrating[session] = gate
+        try:
+            await self._drain_session(session)
+            source = self._overrides.get(session)
+            if source is None:
+                source = shard_for(session, self._workers)
+            target = (
+                explicit if explicit is not None else self._place(exclude=source)
+            )
+            if target is None:
+                return self._no_workers()
+            if target == source:
+                return serialize_response(
+                    {
+                        "ok": True,
+                        "op": "migrate",
+                        "session": session,
+                        "from_worker": source,
+                        "to_worker": source,
+                        "migrated": False,
+                    }
+                )
+            snapshot_line = serialize_response(
+                {"op": "snapshot", "session": session}
+            )
+            answer = await self._forward(source, snapshot_line, links)
+            ok, snapshot = self._parse_answer(answer)
+            if not ok:
+                return answer  # propagate the worker's error verbatim
+            checkpoint = snapshot.get("checkpoint")
+            if not isinstance(checkpoint, dict):
+                return serialize_response(
+                    error_response(
+                        "internal",
+                        f"worker {source} answered snapshot without a "
+                        "checkpoint",
+                    )
+                )
+            restore_payload: Dict[str, object] = {
+                "op": "restore",
+                "session": session,
+                "checkpoint": checkpoint,
+            }
+            protocol = snapshot.get("protocol")
+            if isinstance(protocol, int) and not isinstance(protocol, bool):
+                restore_payload["protocol"] = protocol
+            answer = await self._forward(
+                target, serialize_response(restore_payload), links
+            )
+            ok, restored = self._parse_answer(answer)
+            if not ok:
+                return answer  # source copy is untouched and still live
+            bye_line = serialize_response(
+                {
+                    "op": "bye",
+                    "session": session,
+                    "reason": MIGRATED_CLOSE_REASON,
+                }
+            )
+            answer = await self._forward(source, bye_line, links)
+            ok, _closed = self._parse_answer(answer)
+            if not ok:
+                # The source died between snapshot and close; the target
+                # already owns the session and routing flips below, so
+                # the stale copy (if the worker comes back) is
+                # unreachable and will idle out.
+                self._metrics.counter("serve.migration_close_failures").inc()
+            if target == shard_for(session, self._workers):
+                self._overrides.pop(session, None)
+            else:
+                self._overrides[session] = target
+            samples = restored.get("samples")
+            samples_count = (
+                samples
+                if isinstance(samples, int) and not isinstance(samples, bool)
+                else 0
+            )
+            self._metrics.counter("serve.sessions_migrated").inc()
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    SessionMigrated(
+                        interval=self._requests,
+                        session=session,
+                        from_worker=source,
+                        to_worker=target,
+                        samples=samples_count,
+                    )
+                )
+            return serialize_response(
+                {
+                    "ok": True,
+                    "op": "migrate",
+                    "session": session,
+                    "from_worker": source,
+                    "to_worker": target,
+                    "samples": samples_count,
+                    "migrated": True,
+                }
+            )
+        finally:
+            self._migrating.pop(session, None)
+            gate.set()
+
+    async def _aggregate_stats(self, links: Dict[int, _Link]) -> str:
         per_worker: List[Optional[Mapping[str, object]]] = []
         stats_line = serialize_response({"op": "stats"})
         for worker in range(self._workers):
             answer = await self._forward(worker, stats_line, links)
-            try:
-                ok, payload = parse_response(answer)
-            except ConfigurationError:
-                ok, payload = False, {}
+            ok, payload = self._parse_answer(answer)
             stats = payload.get("stats") if ok else None
             per_worker.append(stats if isinstance(stats, dict) else None)
         return serialize_response(
-            {"ok": True, "op": "stats", "stats": aggregate_stats(per_worker)}
+            {
+                "ok": True,
+                "op": "stats",
+                "stats": aggregate_stats(
+                    per_worker, recovering=sorted(self._recovering)
+                ),
+            }
         )
 
 
@@ -627,6 +1168,9 @@ def run_sharded(
     max_sessions: int = DEFAULT_MAX_SESSIONS,
     idle_timeout_s: Optional[float] = None,
     queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    checkpoint_every: int = 0,
+    checkpoint_dir: Optional[str] = None,
+    auto_restart: bool = False,
 ) -> None:
     """Blocking entry point for ``repro serve tcp --workers N``.
 
@@ -639,6 +1183,9 @@ def run_sharded(
         max_sessions=max_sessions,
         idle_timeout_s=idle_timeout_s,
         queue_depth=queue_depth,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        auto_restart=auto_restart,
     )
     server.start()
     try:

@@ -15,8 +15,11 @@ from repro.obs.events import (
     PMIHandled,
     PredictionMade,
     Scalar,
+    SessionMigrated,
+    SessionRestored,
     TraceEvent,
     WorkerDied,
+    WorkerRestarted,
     event_from_dict,
     event_types,
     register_event,
@@ -50,8 +53,11 @@ class TestRegistry:
             "prediction_made",
             "session_closed",
             "session_degraded",
+            "session_migrated",
             "session_opened",
+            "session_restored",
             "worker_died",
+            "worker_restarted",
         )
 
     def test_registry_maps_type_to_class(self):
@@ -148,6 +154,15 @@ class TestRoundTrip:
             WorkerDied(
                 interval=12, worker=1, reason="process is not running"
             ),
+            WorkerRestarted(interval=18, worker=1, sessions_restored=3),
+            SessionMigrated(
+                interval=25,
+                session="s4",
+                from_worker=0,
+                to_worker=1,
+                samples=128,
+            ),
+            SessionRestored(interval=19, session="s4", samples=96),
         ],
     )
     def test_dict_round_trip_is_exact(self, event):

@@ -1,4 +1,6 @@
-"""Lossless predictor/session checkpointing."""
+"""Lossless predictor/session checkpointing and the durable store."""
+
+import json
 
 import pytest
 
@@ -12,6 +14,7 @@ from repro.core.predictors import (
 from repro.errors import ConfigurationError
 from repro.serve import (
     CHECKPOINT_VERSION,
+    CheckpointStore,
     PhaseSession,
     SessionConfig,
     checkpoint_from_json,
@@ -129,3 +132,106 @@ class TestSessionSnapshot:
             checkpoint_from_json("{not json")
         with pytest.raises(ConfigurationError, match="object"):
             checkpoint_from_json("[1, 2]")
+
+    # Regression: validate_checkpoint never type-checked `samples`, so
+    # a numeric *string* sailed through validation and blew up later
+    # (or silently corrupted arithmetic on the counter).
+    @pytest.mark.parametrize("bad", ["12", -1, True, 3.5, None])
+    def test_non_int_or_negative_samples_rejected(self, bad):
+        payload = PhaseSession().snapshot()
+        payload["samples"] = bad
+        with pytest.raises(ConfigurationError, match="samples"):
+            validate_checkpoint(payload)
+
+    def test_zero_samples_accepted(self):
+        validate_checkpoint(PhaseSession().snapshot())
+
+
+def _snapshot(samples=3):
+    session = PhaseSession()
+    for index in range(samples):
+        session.feed(index, SERIES[index])
+    return session.snapshot()
+
+
+class TestCheckpointStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path, synchronous=True)
+        checkpoint = _snapshot()
+        store.save("s1", checkpoint, protocol=2)
+        record = store.load("s1")
+        assert record is not None
+        assert record.session == "s1"
+        assert record.protocol == 2
+        assert record.checkpoint == checkpoint
+
+    def test_load_missing_returns_none(self, tmp_path):
+        store = CheckpointStore(tmp_path, synchronous=True)
+        assert store.load("nope") is None
+
+    def test_delete_removes_and_tolerates_missing(self, tmp_path):
+        store = CheckpointStore(tmp_path, synchronous=True)
+        store.save("s1", _snapshot())
+        store.delete("s1")
+        store.delete("s1")
+        assert store.load("s1") is None
+        assert store.sessions() == ()
+
+    def test_load_all_sorted_by_session(self, tmp_path):
+        store = CheckpointStore(tmp_path, synchronous=True)
+        for session_id in ("s2", "s10", "s1x1"):
+            store.save(session_id, _snapshot())
+        assert [r.session for r in store.load_all()] == ["s10", "s1x1", "s2"]
+        assert store.sessions() == ("s10", "s1x1", "s2")
+
+    def test_hostile_session_ids_stay_inside_root(self, tmp_path):
+        store = CheckpointStore(tmp_path, synchronous=True)
+        hostile = "../escape/attempt"
+        store.save(hostile, _snapshot())
+        files = list(tmp_path.iterdir())
+        assert len(files) == 1
+        assert store.load(hostile) is not None
+        assert store.sessions() == (hostile,)
+
+    def test_invalid_checkpoint_rejected_before_write(self, tmp_path):
+        store = CheckpointStore(tmp_path, synchronous=True)
+        bad = _snapshot()
+        bad["samples"] = "12"
+        with pytest.raises(ConfigurationError, match="samples"):
+            store.save("s1", bad)
+        assert store.load("s1") is None
+
+    def test_corrupt_file_raises_but_load_all_skips(self, tmp_path):
+        store = CheckpointStore(tmp_path, synchronous=True)
+        store.save("s1", _snapshot())
+        corrupt = tmp_path / "s2.ckpt.json"
+        corrupt.write_text("{broken", encoding="utf-8")
+        with pytest.raises(ConfigurationError):
+            store.load("s2")
+        assert [r.session for r in store.load_all()] == ["s1"]
+
+    def test_background_writer_flush_and_close(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        checkpoint = _snapshot()
+        for index in range(8):
+            store.save(f"s{index}", checkpoint)
+        store.flush()
+        assert len(store.sessions()) == 8
+        store.close()
+        store.close()  # idempotent
+        # A closed store degrades to synchronous writes.
+        store.save("late", checkpoint)
+        assert store.load("late") is not None
+
+    def test_record_is_versioned_wire_json(self, tmp_path):
+        store = CheckpointStore(tmp_path, synchronous=True)
+        store.save("s1", _snapshot(), protocol=1)
+        raw = json.loads((tmp_path / "s1.ckpt.json").read_text("utf-8"))
+        assert raw["session"] == "s1"
+        assert raw["protocol"] == 1
+        assert raw["checkpoint"]["version"] == CHECKPOINT_VERSION
+
+    def test_empty_session_id_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path, synchronous=True)
+        with pytest.raises(ConfigurationError, match="session"):
+            store.save("", _snapshot())

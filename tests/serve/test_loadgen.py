@@ -1,13 +1,16 @@
-"""Deterministic load generator: series, digests, end-to-end runs."""
+"""Deterministic load generator: series, digests, chaos, end-to-end runs."""
 
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.serve import (
+    ChaosEvent,
+    ChaosSchedule,
     ShardedServer,
     generate_series,
     run_loadgen,
 )
+from repro.serve.loadgen import parse_chaos_event
 
 
 class TestGenerateSeries:
@@ -48,6 +51,54 @@ class TestValidation:
             run_loadgen("127.0.0.1", 1, sessions=0)
         with pytest.raises(ConfigurationError, match="batch_size"):
             run_loadgen("127.0.0.1", 1, batch_size=0)
+
+    def test_chaos_requires_verify_mode(self):
+        chaos = ChaosSchedule(lambda worker: None, [ChaosEvent(1, 0)])
+        with pytest.raises(ConfigurationError, match="verify"):
+            run_loadgen("127.0.0.1", 1, chaos=chaos, verify=False)
+
+    def test_recovery_knobs_validated(self):
+        with pytest.raises(ConfigurationError, match="recovery_attempts"):
+            run_loadgen("127.0.0.1", 1, recovery_attempts=0)
+        with pytest.raises(ConfigurationError, match="recovery_delay_s"):
+            run_loadgen("127.0.0.1", 1, recovery_delay_s=-1.0)
+
+
+class TestChaosSchedule:
+    def test_fires_at_exact_request_counts(self):
+        killed = []
+        schedule = ChaosSchedule(
+            killed.append, [ChaosEvent(5, 1), ChaosEvent(2, 0)]
+        )
+        for expected in ([], [0], [0], [0], [0, 1], [0, 1]):
+            schedule.note_request()
+            assert killed == expected
+        assert schedule.requests == 6
+        assert [e.worker for e in schedule.fired] == [0, 1]
+        assert schedule.pending == ()
+
+    def test_each_event_fires_once(self):
+        killed = []
+        schedule = ChaosSchedule(killed.append, [ChaosEvent(1, 0)])
+        for _ in range(10):
+            schedule.note_request()
+        assert killed == [0]
+
+    def test_event_validation(self):
+        with pytest.raises(ConfigurationError, match="after_requests"):
+            ChaosEvent(0, 0)
+        with pytest.raises(ConfigurationError, match="worker"):
+            ChaosEvent(1, -1)
+
+
+class TestParseChaosEvent:
+    def test_parses_requests_and_worker(self):
+        assert parse_chaos_event("40:1") == ChaosEvent(40, 1)
+
+    @pytest.mark.parametrize("spec", ["", "40", "40:1:2", "a:b", "4.5:0"])
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError, match="chaos event"):
+            parse_chaos_event(spec)
 
 
 @pytest.fixture(scope="module")

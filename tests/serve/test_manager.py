@@ -1,11 +1,13 @@
-"""SessionManager: lifecycle, overload protection, idle eviction."""
+"""SessionManager: lifecycle, overload, eviction, durable checkpoints."""
 
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.obs.events import SessionClosed, SessionOpened
+from repro.obs.events import SessionClosed, SessionOpened, SessionRestored
 from repro.obs.tracer import RingBufferTracer
 from repro.serve import (
+    MIGRATED_CLOSE_REASON,
+    CheckpointStore,
     OverloadedError,
     SessionConfig,
     SessionManager,
@@ -149,3 +151,124 @@ class TestObservability:
         assert stats["sessions_active"] == 1
         assert stats["max_sessions"] == 8
         assert isinstance(stats["metrics"], dict)
+
+
+def _store_manager(tmp_path, cadence=4, **kwargs):
+    store = CheckpointStore(tmp_path, synchronous=True)
+    manager = SessionManager(
+        max_sessions=kwargs.pop("max_sessions", 4),
+        checkpoint_store=store,
+        checkpoint_every=cadence,
+        **kwargs,
+    )
+    return store, manager
+
+
+class TestDurableCheckpoints:
+    def test_open_writes_the_initial_checkpoint(self, tmp_path):
+        store, manager = _store_manager(tmp_path)
+        session = manager.open()
+        record = store.load(session.session_id)
+        assert record is not None
+        assert record.checkpoint["samples"] == 0
+
+    def test_cadence_gates_checkpoint_writes(self, tmp_path):
+        store, manager = _store_manager(tmp_path, cadence=4)
+        session = manager.open()
+        for index in range(3):
+            session.feed(index, 0.02)
+            assert manager.maybe_checkpoint(session.session_id) is False
+        assert store.load(session.session_id).checkpoint["samples"] == 0
+        session.feed(3, 0.02)
+        assert manager.maybe_checkpoint(session.session_id) is True
+        assert store.load(session.session_id).checkpoint["samples"] == 4
+        assert (
+            manager.metrics.counter("serve.checkpoints_written").value == 2
+        )
+
+    def test_maybe_checkpoint_without_store_is_a_noop(self):
+        manager = SessionManager()
+        session = manager.open()
+        assert manager.maybe_checkpoint(session.session_id) is False
+        assert manager.maybe_checkpoint("s999") is False
+
+    def test_close_deletes_the_checkpoint(self, tmp_path):
+        store, manager = _store_manager(tmp_path)
+        session = manager.open()
+        manager.close(session.session_id)
+        assert store.load(session.session_id) is None
+
+    def test_migrated_close_keeps_the_checkpoint(self, tmp_path):
+        # The target worker's restore takes ownership of the store
+        # file; a `migrated` close on the source must not race it with
+        # a delete.
+        store, manager = _store_manager(tmp_path)
+        session = manager.open()
+        manager.close(session.session_id, reason=MIGRATED_CLOSE_REASON)
+        assert store.load(session.session_id) is not None
+
+    def test_eviction_deletes_the_checkpoint(self, tmp_path):
+        store, manager = _store_manager(tmp_path, idle_timeout_s=2)
+        session = manager.open()
+        for _ in range(5):
+            manager.tick()
+        assert manager.evict_idle() == [session.session_id]
+        assert store.load(session.session_id) is None
+
+    def test_negative_cadence_rejected(self):
+        with pytest.raises(ConfigurationError, match="checkpoint_every"):
+            SessionManager(checkpoint_every=-1)
+
+
+class TestRestoreAs:
+    def test_preserves_the_session_id(self):
+        manager = SessionManager()
+        original = manager.open()
+        for index in range(4):
+            original.feed(index, 0.02)
+        checkpoint = original.snapshot()
+        manager.close(original.session_id)
+        restored = manager.restore_as(original.session_id, checkpoint)
+        assert restored.session_id == original.session_id
+        assert restored.samples == 4
+        assert manager.get(original.session_id) is restored
+
+    def test_live_id_collision_rejected(self):
+        manager = SessionManager()
+        session = manager.open()
+        with pytest.raises(ConfigurationError, match="already"):
+            manager.restore_as(session.session_id, session.snapshot())
+
+    def test_empty_id_rejected(self):
+        manager = SessionManager()
+        with pytest.raises(ConfigurationError, match="session"):
+            manager.restore_as("", manager.open().snapshot())
+
+    def test_minted_ids_never_collide_with_restored_ones(self):
+        # Adopting "s3" must push the minting counter past 3, or the
+        # next opened session would reuse a restored id.
+        manager = SessionManager()
+        checkpoint = SessionManager().open().snapshot()
+        manager.restore_as("s3", checkpoint)
+        fresh = manager.open()
+        assert fresh.session_id not in ("s3",)
+        assert manager.active_sessions == 2
+
+    def test_respects_the_ceiling(self):
+        manager = SessionManager(max_sessions=1)
+        checkpoint = SessionManager().open().snapshot()
+        manager.open()
+        with pytest.raises(OverloadedError):
+            manager.restore_as("other", checkpoint)
+
+    def test_emits_session_restored_event(self):
+        tracer = RingBufferTracer()
+        manager = SessionManager(tracer=tracer)
+        donor = SessionManager().open()
+        for index in range(3):
+            donor.feed(index, 0.02)
+        manager.restore_as("s7", donor.snapshot())
+        restored = [
+            e for e in tracer.events() if isinstance(e, SessionRestored)
+        ]
+        assert [(e.session, e.samples) for e in restored] == [("s7", 3)]

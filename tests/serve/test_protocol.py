@@ -148,6 +148,103 @@ class TestSnapshotRestore:
         response = handle_request(manager, {"op": "restore", "checkpoint": 5})
         assert response["error"] == "bad_request"
 
+    def test_snapshot_carries_negotiated_protocol(self, manager):
+        session = hello(manager, protocol=1)
+        snapshot = handle_request(
+            manager, {"op": "snapshot", "session": session}
+        )
+        assert snapshot["protocol"] == 1
+
+    def test_restore_under_explicit_id(self, manager):
+        session = hello(manager)
+        handle_request(
+            manager,
+            {
+                "op": "sample",
+                "session": session,
+                "interval": 0,
+                "mem_per_uop": 0.02,
+            },
+        )
+        checkpoint = handle_request(
+            manager, {"op": "snapshot", "session": session}
+        )["checkpoint"]
+        handle_request(manager, {"op": "bye", "session": session})
+        restored = handle_request(
+            manager,
+            {"op": "restore", "session": session, "checkpoint": checkpoint},
+        )
+        assert restored["ok"] is True, restored
+        assert restored["session"] == session
+        assert restored["samples"] == 1
+
+    def test_restore_under_live_id_rejected(self, manager):
+        session = hello(manager)
+        checkpoint = handle_request(
+            manager, {"op": "snapshot", "session": session}
+        )["checkpoint"]
+        response = handle_request(
+            manager,
+            {"op": "restore", "session": session, "checkpoint": checkpoint},
+        )
+        assert response["ok"] is False
+        assert response["error"] == "bad_request"
+
+    @pytest.mark.parametrize(
+        "bad_id", ["", "-leading", "has space", "a" * 65, 7]
+    )
+    def test_restore_invalid_ids_rejected(self, manager, bad_id):
+        session = hello(manager)
+        checkpoint = handle_request(
+            manager, {"op": "snapshot", "session": session}
+        )["checkpoint"]
+        handle_request(manager, {"op": "bye", "session": session})
+        response = handle_request(
+            manager,
+            {"op": "restore", "session": bad_id, "checkpoint": checkpoint},
+        )
+        assert response["error"] == "bad_request"
+
+    def test_restore_re_pins_the_wire_protocol(self, manager):
+        # Migration path: a v1 session restored on another worker must
+        # stay v1 — the batch op keeps being refused after the move.
+        session = hello(manager, protocol=1)
+        snapshot = handle_request(
+            manager, {"op": "snapshot", "session": session}
+        )
+        handle_request(manager, {"op": "bye", "session": session})
+        restored = handle_request(
+            manager,
+            {
+                "op": "restore",
+                "session": session,
+                "protocol": snapshot["protocol"],
+                "checkpoint": snapshot["checkpoint"],
+            },
+        )
+        assert restored["ok"] is True
+        batch = handle_request(
+            manager,
+            {
+                "op": "sample_batch",
+                "session": session,
+                "start_interval": 0,
+                "samples": [0.02, 0.02],
+            },
+        )
+        assert batch["error"] == "unsupported_protocol"
+
+    def test_restore_rejects_unsupported_protocol_pin(self, manager):
+        session = hello(manager)
+        checkpoint = handle_request(
+            manager, {"op": "snapshot", "session": session}
+        )["checkpoint"]
+        response = handle_request(
+            manager,
+            {"op": "restore", "protocol": 99, "checkpoint": checkpoint},
+        )
+        assert response["error"] == "unsupported_protocol"
+
 
 class TestStatsAndBye:
     def test_session_stats(self, manager):
@@ -165,6 +262,23 @@ class TestStatsAndBye:
         response = handle_request(manager, {"op": "bye", "session": session})
         assert response["ok"] is True
         assert manager.active_sessions == 0
+
+    def test_bye_accepts_a_close_reason(self, manager):
+        session = hello(manager)
+        response = handle_request(
+            manager, {"op": "bye", "session": session, "reason": "migrated"}
+        )
+        assert response["ok"] is True
+        assert manager.active_sessions == 0
+
+    @pytest.mark.parametrize("bad", ["", "x" * 65, 7, None])
+    def test_bye_rejects_malformed_reasons(self, manager, bad):
+        session = hello(manager)
+        response = handle_request(
+            manager, {"op": "bye", "session": session, "reason": bad}
+        )
+        assert response["error"] == "bad_request"
+        assert manager.active_sessions == 1  # session untouched
 
 
 class TestDispatch:

@@ -5,7 +5,7 @@ import socket
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 from repro.serve import (
     ShardedServer,
     aggregate_stats,
@@ -307,6 +307,98 @@ class TestWorkerDeath:
             assert stats["workers_alive"] == 1
             assert stats["per_worker"][0] is None
             assert server.metrics.counter("serve.workers_died").value == 1
+            client.close()
+        finally:
+            server.stop()
+
+    def test_placement_skips_dead_workers(self):
+        # Regression: round-robin placement used to cycle through dead
+        # shards too, bouncing every other hello off a known-dead
+        # worker while the live one had free capacity.
+        server = ShardedServer(workers=2, max_sessions=8)
+        port = server.start()
+        try:
+            client = _Client(port)
+            server.kill_worker(0)
+            sessions = []
+            for _ in range(4):
+                response = client.rpc(op="hello")
+                assert response["ok"] is True, response
+                sessions.append(response["session"])
+            assert {shard_for(s, 2) for s in sessions} == {1}
+            for session in sessions:
+                assert client.rpc(op="bye", session=session)["ok"]
+            client.close()
+        finally:
+            server.stop()
+
+    def test_no_live_workers_is_a_clean_error(self):
+        server = ShardedServer(workers=2, max_sessions=8)
+        port = server.start()
+        try:
+            client = _Client(port)
+            server.kill_worker(0)
+            server.kill_worker(1)
+            response = client.rpc(op="hello")
+            assert response["ok"] is False
+            assert response["error"] == "worker_unavailable"
+            assert response["recovering"] is False
+            client.close()
+        finally:
+            server.stop()
+
+
+class TestRouterLifecycle:
+    def test_bind_conflict_raises_clean_error(self):
+        # Regression: a router bind failure used to be swallowed by the
+        # router thread and surface as `assert self._router_port is not
+        # None` — an AssertionError with no hint of the real cause.
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            busy_port = blocker.getsockname()[1]
+            server = ShardedServer(workers=1, port=busy_port)
+            with pytest.raises(ReproError, match="router failed to start"):
+                server.start()
+            server.stop()
+        finally:
+            blocker.close()
+
+    def test_stop_is_idempotent_and_server_restartable(self):
+        # Regression: stop() used to leave _thread/_procs/_worker_ports
+        # populated, so a second start() hit "already started" and a
+        # stopped server could never come back.
+        server = ShardedServer(workers=2, max_sessions=8)
+        try:
+            server.start()
+            server.stop()
+            server.stop()  # idempotent
+            port = server.start()
+            client = _Client(port)
+            response = client.rpc(op="hello")
+            assert response["ok"] is True, response
+            assert client.rpc(op="bye", session=response["session"])["ok"]
+            client.close()
+        finally:
+            server.stop()
+
+    def test_restartable_after_failed_start(self):
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            busy_port = blocker.getsockname()[1]
+            server = ShardedServer(workers=1, port=busy_port)
+            with pytest.raises(ReproError):
+                server.start()
+        finally:
+            blocker.close()
+        server._port = 0  # any free port this time
+        port = server.start()
+        try:
+            client = _Client(port)
+            assert client.rpc(op="hello")["ok"] is True
             client.close()
         finally:
             server.stop()

@@ -317,3 +317,43 @@ class TestTraceCommands:
         code, _, err = run_cli(capsys, "trace", "summarize", str(bad))
         assert code == 2
         assert "line 1" in err
+
+
+class TestServeLoadgenCLI:
+    def test_chaos_kill_requires_self_host(self, capsys):
+        code, _, err = run_cli(
+            capsys, "serve", "loadgen", "--chaos-kill", "10:0"
+        )
+        assert code == 2
+        assert "--self-host" in err
+
+    def test_self_host_chaos_run_recovers(self, capsys):
+        # connections=1 makes the kill schedule fully deterministic, so
+        # the digest-verified run must survive the mid-stream kill with
+        # zero errors and at least one recorded recovery.
+        code, out, err = run_cli(
+            capsys,
+            "serve",
+            "loadgen",
+            "--self-host",
+            "2",
+            "--chaos-kill",
+            "10:0",
+            "--sessions",
+            "2",
+            "--samples",
+            "48",
+            "--batch",
+            "8",
+            "--connections",
+            "1",
+            "--format",
+            "json",
+        )
+        assert code == 0
+        assert "self-hosting 2 workers" in err
+        payload = json.loads(out)
+        assert payload["errors"] == 0
+        assert payload["recoveries"] >= 1
+        assert payload["replayed_samples"] >= 0
+        assert payload["outcome_digest"]
