@@ -15,7 +15,9 @@ The package provides:
   the IPCxMEM exploration suite;
 * :mod:`repro.system` — the wired-up machine, kernel-module analogue,
   and experiment harnesses;
-* :mod:`repro.analysis` — predictor evaluation and reporting helpers.
+* :mod:`repro.analysis` — predictor evaluation and reporting helpers;
+* :mod:`repro.learn` — trainable phase predictors and a counter-driven
+  learned power model, trained from recorded traces or live workloads.
 
 Quickstart::
 
@@ -89,6 +91,19 @@ _LAZY_EXPORTS = {
     "SessionConfig": "repro.serve",
     "SampleOutcome": "repro.serve",
     "BatchOutcomes": "repro.serve",
+    # learned models (see docs/learning.md)
+    "DecisionTree": "repro.learn",
+    "DecisionTreePhasePredictor": "repro.learn",
+    "MarkovKPredictor": "repro.learn",
+    "LearnedPowerModel": "repro.learn",
+    "ModelArtifact": "repro.learn",
+    "PhaseWindowDataset": "repro.learn",
+    "PowerDataset": "repro.learn",
+    "build_model": "repro.learn",
+    "compare_models": "repro.learn",
+    "train_markov": "repro.learn",
+    "train_phase_tree": "repro.learn",
+    "train_power_model": "repro.learn",
 }
 
 

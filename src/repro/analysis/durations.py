@@ -125,6 +125,66 @@ class DurationStatistics:
                 return length
         raise AssertionError("unreachable: midpoint within total count")
 
+    def to_payload(self) -> List[List[object]]:
+        """Lossless JSON-able form of the recorded histograms.
+
+        Entries keep their insertion order (first-recorded phase first,
+        first-recorded length first) so a rebuilt instance is exactly the
+        original, not merely statistically equivalent.
+        """
+        return [
+            [phase, [[length, count] for length, count in histogram.items()]]
+            for phase, histogram in self._histograms.items()
+        ]
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "DurationStatistics":
+        """Rebuild statistics from a :meth:`to_payload` value.
+
+        Raises:
+            ConfigurationError: On a malformed payload.
+        """
+        if not isinstance(payload, list):
+            raise ConfigurationError(
+                f"duration statistics payload must be a list, got {payload!r}"
+            )
+        statistics = cls()
+        for entry in payload:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise ConfigurationError(
+                    f"malformed duration histogram entry: {entry!r}"
+                )
+            phase, pairs = entry
+            if isinstance(phase, bool) or not isinstance(phase, int):
+                raise ConfigurationError(
+                    f"duration histogram phase must be an int, got {phase!r}"
+                )
+            if not isinstance(pairs, (list, tuple)):
+                raise ConfigurationError(
+                    f"duration histogram for phase {phase} must be a list, "
+                    f"got {pairs!r}"
+                )
+            histogram = statistics._histograms[phase]
+            for pair in pairs:
+                if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+                    raise ConfigurationError(
+                        f"malformed duration histogram pair: {pair!r}"
+                    )
+                length, count = pair
+                for value in (length, count):
+                    if isinstance(value, bool) or not isinstance(value, int):
+                        raise ConfigurationError(
+                            f"duration histogram values must be ints, "
+                            f"got {value!r}"
+                        )
+                if length < 1 or count < 1:
+                    raise ConfigurationError(
+                        f"duration histogram pair must be >= 1, "
+                        f"got ({length}, {count})"
+                    )
+                histogram[length] = count
+        return statistics
+
     def continuation_probability(self, phase: int, elapsed: int) -> float:
         """P(run continues past ``elapsed`` | it reached ``elapsed``).
 

@@ -805,15 +805,31 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
 
     from repro.serve import SessionConfig, load_trace, replay_trace
 
-    config = SessionConfig(
-        governor=args.governor,
-        policy=args.policy,
-        gphr_depth=args.gphr_depth,
-        pht_entries=args.pht_entries,
-        window_size=args.window_size,
-    )
+    predictor_state: Optional[Dict[str, object]] = None
+    if args.model:
+        from repro.learn import ModelArtifact, session_config_params
+
+        artifact = ModelArtifact.load(args.model)
+        params = session_config_params(artifact)
+        params["policy"] = args.policy
+        config = SessionConfig.from_payload(params)
+        predictor_state = dict(artifact.state)
+    else:
+        config = SessionConfig(
+            governor=args.governor,
+            policy=args.policy,
+            gphr_depth=args.gphr_depth,
+            pht_entries=args.pht_entries,
+            window_size=args.window_size,
+            history_length=args.history_length,
+            markov_order=args.markov_order,
+            markov_alpha=args.markov_alpha,
+        )
     report = replay_trace(
-        load_trace(Path(args.file)), config, snapshot_at=args.snapshot_at
+        load_trace(Path(args.file)),
+        config,
+        snapshot_at=args.snapshot_at,
+        predictor_state=predictor_state,
     )
     if args.format == "json":
         print(_json.dumps(report.to_payload(), indent=2, sort_keys=True))
@@ -848,6 +864,267 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         )
     ok = report.matches_offline and report.trace_phases_match is not False
     return 0 if ok else 1
+
+
+def _learn_source_series(args: argparse.Namespace) -> Tuple[List[float], Dict[str, object]]:
+    """The ``Mem/Uop`` series a learn command trains/evaluates on.
+
+    Exactly one of ``--trace FILE`` (recorded ``repro.obs`` JSONL) and
+    ``--benchmark NAME`` (live workload generator) provides it.
+    """
+    from repro.obs.events import IntervalSampled
+
+    if args.trace:
+        events = _read_trace_file(args.trace)
+        series = [
+            event.mem_per_uop
+            for event in events
+            if isinstance(event, IntervalSampled)
+        ]
+        if not series:
+            raise ConfigurationError(
+                f"trace {args.trace} contains no interval_sampled events"
+            )
+        return series, {"trace": args.trace}
+    series_array = benchmark(args.benchmark).mem_series(
+        args.intervals, seed=args.seed
+    )
+    return list(series_array), {
+        "benchmark": args.benchmark,
+        "n_intervals": args.intervals,
+        "seed": args.seed,
+    }
+
+
+def _cmd_learn_train(args: argparse.Namespace) -> int:
+    from repro.learn import (
+        phase_dataset_from_series,
+        power_dataset_from_benchmark,
+        power_dataset_from_events,
+        train_markov,
+        train_phase_tree,
+        train_power_model,
+    )
+
+    if args.model == "power":
+        if args.trace:
+            # Raises with the precise reason (traces carry no power).
+            power_dataset_from_events(_read_trace_file(args.trace))
+        dataset = power_dataset_from_benchmark(
+            args.benchmark, args.intervals, seed=args.seed
+        )
+        source: Dict[str, object] = {
+            "benchmark": args.benchmark,
+            "n_intervals": args.intervals,
+            "seed": args.seed,
+        }
+        _, artifact = train_power_model(
+            dataset,
+            max_depth=args.max_depth,
+            min_samples_leaf=args.min_leaf,
+            source=source,
+        )
+    else:
+        series, source = _learn_source_series(args)
+        history = args.history if args.model == "tree" else max(args.order, 1)
+        phase_dataset = phase_dataset_from_series(
+            series, history_length=history
+        )
+        if args.model == "tree":
+            _, artifact = train_phase_tree(
+                phase_dataset,
+                max_depth=args.max_depth,
+                min_samples_leaf=args.min_leaf,
+                source=source,
+            )
+        else:
+            _, artifact = train_markov(
+                phase_dataset,
+                order=args.order,
+                alpha=args.alpha,
+                source=source,
+            )
+    out = Path(args.out)
+    _write_output_file(out, artifact.to_json())
+    examples = artifact.training["examples"]
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "out": str(out),
+                    "kind": artifact.kind,
+                    "name": artifact.name,
+                    "examples": examples,
+                    "digest": artifact.digest(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        rows = [
+            ("artifact", str(out)),
+            ("kind", artifact.kind),
+            ("model", artifact.name),
+            ("examples", str(examples)),
+            ("digest", artifact.digest()[:16]),
+        ]
+        print(
+            format_table(
+                ["property", "value"], rows, title=f"learn train: {args.model}"
+            )
+        )
+    return 0
+
+
+def _cmd_learn_eval(args: argparse.Namespace) -> int:
+    from repro.core.phases import PhaseTable
+    from repro.learn import (
+        LearnedPowerModel,
+        ModelArtifact,
+        build_model,
+        power_dataset_from_benchmark,
+        power_dataset_from_events,
+    )
+
+    artifact = ModelArtifact.load(args.artifact)
+    model = build_model(artifact)
+    if isinstance(model, LearnedPowerModel):
+        if args.trace:
+            power_dataset_from_events(_read_trace_file(args.trace))
+        dataset = power_dataset_from_benchmark(
+            args.benchmark, args.intervals, seed=args.seed
+        )
+        evaluation = model.evaluate(dataset)
+        ok = args.max_mae_w is None or evaluation.mae_w <= args.max_mae_w
+        if args.format == "json":
+            payload = dict(evaluation.to_payload())
+            payload["kind"] = artifact.kind
+            payload["passed"] = ok
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            rows = [
+                ("model", artifact.name),
+                ("samples", str(evaluation.samples)),
+                ("MAE", f"{evaluation.mae_w:.4f} W"),
+                ("RMSE", f"{evaluation.rmse_w:.4f} W"),
+                ("max abs error", f"{evaluation.max_abs_error_w:.4f} W"),
+                ("mean power", f"{evaluation.mean_power_w:.4f} W"),
+                (
+                    "MAE floor",
+                    "-"
+                    if args.max_mae_w is None
+                    else f"{args.max_mae_w:.4f} W ({'ok' if ok else 'FAIL'})",
+                ),
+            ]
+            print(
+                format_table(
+                    ["property", "value"], rows,
+                    title=f"learn eval: {args.artifact}",
+                )
+            )
+        return 0 if ok else 1
+
+    from repro.analysis.accuracy import evaluate_predictor_batch
+
+    series, _ = _learn_source_series(args)
+    result = evaluate_predictor_batch(model, series, PhaseTable())
+    ok = result.accuracy >= args.min_accuracy
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "kind": artifact.kind,
+                    "model": artifact.name,
+                    "samples": len(series),
+                    "scored": result.total,
+                    "correct": result.correct,
+                    "accuracy": result.accuracy,
+                    "misprediction_rate": result.misprediction_rate,
+                    "min_accuracy": args.min_accuracy,
+                    "passed": ok,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        rows = [
+            ("model", artifact.name),
+            ("samples", str(len(series))),
+            ("scored", str(result.total)),
+            ("accuracy", format_percent(result.accuracy)),
+            (
+                "accuracy floor",
+                f"{format_percent(args.min_accuracy)}"
+                f" ({'ok' if ok else 'FAIL'})",
+            ),
+        ]
+        print(
+            format_table(
+                ["property", "value"], rows,
+                title=f"learn eval: {args.artifact}",
+            )
+        )
+    return 0 if ok else 1
+
+
+def _cmd_learn_compare(args: argparse.Namespace) -> int:
+    from repro.learn import DEFAULT_COMPARE_BENCHMARKS, compare_models
+
+    engine, _, tracer = _cli_engine(args)
+    payload = compare_models(
+        engine,
+        benchmarks=tuple(args.benchmarks or DEFAULT_COMPARE_BENCHMARKS),
+        n_intervals=args.intervals,
+        models=tuple(args.models),
+        train_intervals=args.train_intervals,
+        train_seed=args.train_seed,
+    )
+    _write_trace(tracer, args)
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    summary = payload["summary"]
+    assert isinstance(summary, dict)
+    rows = []
+    for model, stats in summary.items():
+        assert isinstance(stats, dict)
+        mean_accuracy = stats["mean_accuracy"]
+        mean_misprediction = stats["mean_misprediction_rate"]
+        overhead = stats["mean_overhead_units"]
+        assert isinstance(mean_accuracy, float)
+        assert isinstance(mean_misprediction, float)
+        assert isinstance(overhead, float)
+        rows.append(
+            (
+                str(model),
+                format_percent(mean_accuracy),
+                format_percent(mean_misprediction),
+                f"{overhead:.1f}",
+                str(stats["benchmarks_won"]),
+            )
+        )
+    benchmarks_used = payload["benchmarks"]
+    assert isinstance(benchmarks_used, list)
+    print(
+        format_table(
+            [
+                "model",
+                "mean accuracy",
+                "mean mispredict",
+                "overhead",
+                "wins",
+            ],
+            rows,
+            title=(
+                f"learned vs paper predictors over "
+                f"{len(benchmarks_used)} benchmarks, "
+                f"{args.intervals} intervals"
+            ),
+        )
+    )
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -1305,7 +1582,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_replay_parser.add_argument(
         "--governor",
-        choices=("gpht", "reactive", "fixed_window"),
+        choices=("gpht", "reactive", "fixed_window", "learned_tree", "markov"),
         default="gpht",
         help="session governor (default: gpht)",
     )
@@ -1328,6 +1605,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="fixed_window length (default: 8)",
     )
     serve_replay_parser.add_argument(
+        "--history-length", type=_positive_int, default=4,
+        help="learned_tree feature-window length (default: 4)",
+    )
+    serve_replay_parser.add_argument(
+        "--markov-order", type=_positive_int, default=3,
+        help="markov context length (default: 3)",
+    )
+    serve_replay_parser.add_argument(
+        "--markov-alpha", type=float, default=0.5,
+        help="markov smoothing strength (default: 0.5)",
+    )
+    serve_replay_parser.add_argument(
+        "--model",
+        default=None,
+        metavar="FILE",
+        help=(
+            "trained model artifact (from 'repro learn train'); sets the "
+            "governor from the artifact and pre-loads its state into both "
+            "the session and the offline reference"
+        ),
+    )
+    serve_replay_parser.add_argument(
         "--snapshot-at",
         type=_positive_int,
         default=None,
@@ -1338,6 +1637,144 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve_replay_parser.set_defaults(func=_cmd_serve_replay)
+
+    learn_parser = subparsers.add_parser(
+        "learn",
+        help=(
+            "train, evaluate and compare learned phase predictors and "
+            "power models (see docs/learning.md)"
+        ),
+    )
+    learn_subparsers = learn_parser.add_subparsers(
+        dest="learn_kind", required=True
+    )
+
+    learn_source = argparse.ArgumentParser(add_help=False)
+    source_group = learn_source.add_argument_group("training data")
+    source_exclusive = source_group.add_mutually_exclusive_group(
+        required=True
+    )
+    source_exclusive.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="recorded repro.obs JSONL trace (from 'repro trace record')",
+    )
+    source_exclusive.add_argument(
+        "--benchmark",
+        default=None,
+        metavar="NAME",
+        help="live workload generator (see 'list')",
+    )
+    source_group.add_argument(
+        "--intervals",
+        type=_positive_int,
+        default=1000,
+        help="trace length for --benchmark (default: 1000)",
+    )
+    source_group.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="workload seed for --benchmark (default: deterministic)",
+    )
+
+    learn_train = learn_subparsers.add_parser(
+        "train",
+        parents=[learn_source, _format_parent()],
+        help="train a model and write a versioned, byte-reproducible artifact",
+    )
+    learn_train.add_argument(
+        "--model",
+        choices=("tree", "markov", "power"),
+        default="tree",
+        help="model family (default: tree)",
+    )
+    learn_train.add_argument(
+        "--history", type=_positive_int, default=4,
+        help="tree feature-window length (default: 4)",
+    )
+    learn_train.add_argument(
+        "--order", type=_positive_int, default=3,
+        help="markov context length (default: 3)",
+    )
+    learn_train.add_argument(
+        "--alpha", type=float, default=0.5,
+        help="markov smoothing strength (default: 0.5)",
+    )
+    learn_train.add_argument(
+        "--max-depth", type=_positive_int, default=8,
+        help="tree depth bound (default: 8)",
+    )
+    learn_train.add_argument(
+        "--min-leaf", type=_positive_int, default=2,
+        help="tree leaf occupancy bound (default: 2)",
+    )
+    learn_train.add_argument(
+        "--out",
+        default="repro-model.json",
+        metavar="FILE",
+        help="artifact output path (default: repro-model.json)",
+    )
+    learn_train.set_defaults(func=_cmd_learn_train)
+
+    learn_eval = learn_subparsers.add_parser(
+        "eval",
+        parents=[learn_source, _format_parent()],
+        help=(
+            "score a trained artifact on a trace or benchmark "
+            "(exit 1 below the floor)"
+        ),
+    )
+    learn_eval.add_argument(
+        "artifact", help="model artifact file (from 'learn train')"
+    )
+    learn_eval.add_argument(
+        "--min-accuracy",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="phase-model accuracy floor in [0, 1] (default: 0)",
+    )
+    learn_eval.add_argument(
+        "--max-mae-w",
+        type=float,
+        default=None,
+        metavar="W",
+        help="power-model MAE ceiling in watts (default: none)",
+    )
+    learn_eval.set_defaults(func=_cmd_learn_eval)
+
+    learn_compare = learn_subparsers.add_parser(
+        "compare",
+        parents=[_sweep_parent(default_intervals=512)],
+        help=(
+            "accuracy-vs-overhead grid of learned predictors vs the "
+            "paper's GPHT, through the execution engine"
+        ),
+    )
+    learn_compare.add_argument(
+        "--models",
+        nargs="+",
+        choices=("tree", "markov", "gpht", "last_value"),
+        default=["tree", "markov", "gpht", "last_value"],
+        metavar="MODEL",
+        help="models to compare (default: tree markov gpht last_value)",
+    )
+    learn_compare.add_argument(
+        "--train-intervals",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="training trace length (default: same as --intervals)",
+    )
+    learn_compare.add_argument(
+        "--train-seed",
+        type=int,
+        default=101,
+        help="training workload seed (default: 101)",
+    )
+    learn_compare.set_defaults(func=_cmd_learn_compare)
 
     lint_parser = subparsers.add_parser(
         "lint",

@@ -25,7 +25,18 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Deque, Optional, Tuple
 
-from repro.core.predictors.base import PhaseObservation, PhasePredictor
+from repro.core.predictors._checkpoint import (
+    as_int,
+    as_opt_int,
+    check_config,
+    check_kind,
+    int_list,
+)
+from repro.core.predictors.base import (
+    PhaseObservation,
+    PhasePredictor,
+    PredictorState,
+)
 from repro.core.predictors.gpht import EMPTY_PHASE
 from repro.errors import ConfigurationError
 
@@ -148,3 +159,91 @@ class ConfidenceGPHTPredictor(PhasePredictor):
         self._gphr = deque([EMPTY_PHASE] * self._depth, maxlen=self._depth)
         self._pht.clear()
         self._pending_tag = None
+
+    # -- checkpointing ------------------------------------------------------
+
+    def export_state(self) -> PredictorState:
+        """Lossless JSON-able snapshot: GPHR, PHT entries (tag,
+        prediction, confidence) in LRU order, and the pending tag.
+        """
+        return {
+            "kind": "confidence_gpht",
+            "gphr_depth": self._depth,
+            "pht_entries": self._capacity,
+            "max_confidence": self._max_confidence,
+            "use_threshold": self._use_threshold,
+            "gphr": list(self._gphr),
+            "pht": [
+                [list(tag), entry.prediction, entry.confidence]
+                for tag, entry in self._pht.items()
+            ],
+            "pending_tag": (
+                list(self._pending_tag)
+                if self._pending_tag is not None
+                else None
+            ),
+        }
+
+    def restore_state(self, state: PredictorState) -> None:
+        check_kind(state, "confidence_gpht")
+        check_config(
+            state,
+            (
+                ("gphr_depth", self._depth),
+                ("pht_entries", self._capacity),
+                ("max_confidence", self._max_confidence),
+                ("use_threshold", self._use_threshold),
+            ),
+        )
+        gphr = int_list(state, "gphr")
+        if len(gphr) != self._depth:
+            raise ConfigurationError(
+                f"checkpoint GPHR has {len(gphr)} entries, expected "
+                f"{self._depth}"
+            )
+        raw_pht = state.get("pht")
+        if not isinstance(raw_pht, list):
+            raise ConfigurationError("checkpoint 'pht' must be a list")
+        pht: "OrderedDict[Tuple[int, ...], _Entry]" = OrderedDict()
+        for raw_entry in raw_pht:
+            if (
+                not isinstance(raw_entry, (list, tuple))
+                or len(raw_entry) != 3
+                or not isinstance(raw_entry[0], (list, tuple))
+            ):
+                raise ConfigurationError(
+                    f"malformed PHT checkpoint entry: {raw_entry!r}"
+                )
+            tag_values, prediction, confidence = raw_entry
+            tag = tuple(as_int(v, "PHT tag") for v in tag_values)
+            if len(tag) != self._depth:
+                raise ConfigurationError(
+                    f"PHT tag {tag} has length {len(tag)}, expected "
+                    f"{self._depth}"
+                )
+            entry = _Entry(
+                prediction=as_opt_int(prediction, "PHT prediction"),
+                confidence=as_int(confidence, "PHT confidence"),
+            )
+            if not 0 <= entry.confidence <= self._max_confidence:
+                raise ConfigurationError(
+                    f"PHT confidence {entry.confidence} outside "
+                    f"[0, {self._max_confidence}]"
+                )
+            pht[tag] = entry
+        if len(pht) > self._capacity:
+            raise ConfigurationError(
+                f"checkpoint holds {len(pht)} PHT entries, capacity is "
+                f"{self._capacity}"
+            )
+        raw_pending = state.get("pending_tag")
+        pending: Optional[Tuple[int, ...]] = None
+        if raw_pending is not None:
+            if not isinstance(raw_pending, (list, tuple)):
+                raise ConfigurationError(
+                    f"malformed pending_tag: {raw_pending!r}"
+                )
+            pending = tuple(as_int(v, "pending tag") for v in raw_pending)
+        self._gphr = deque(gphr, maxlen=self._depth)
+        self._pht = pht
+        self._pending_tag = pending

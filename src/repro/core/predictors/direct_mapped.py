@@ -19,7 +19,17 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
-from repro.core.predictors.base import PhaseObservation, PhasePredictor
+from repro.core.predictors._checkpoint import (
+    as_opt_int,
+    check_config,
+    check_kind,
+    int_list,
+)
+from repro.core.predictors.base import (
+    PhaseObservation,
+    PhasePredictor,
+    PredictorState,
+)
 from repro.core.predictors.gpht import EMPTY_PHASE
 from repro.errors import ConfigurationError
 
@@ -91,3 +101,51 @@ class DirectMappedGPHTPredictor(PhasePredictor):
         self._gphr = deque([EMPTY_PHASE] * self._depth, maxlen=self._depth)
         self._table = [None] * self._entries
         self._pending_index = None
+
+    # -- checkpointing ------------------------------------------------------
+
+    def export_state(self) -> PredictorState:
+        """Lossless JSON-able snapshot: GPHR, the full (untagged) table
+        and the slot pending training.
+        """
+        return {
+            "kind": "direct_mapped_gpht",
+            "gphr_depth": self._depth,
+            "table_entries": self._entries,
+            "gphr": list(self._gphr),
+            "table": list(self._table),
+            "pending_index": self._pending_index,
+        }
+
+    def restore_state(self, state: PredictorState) -> None:
+        check_kind(state, "direct_mapped_gpht")
+        check_config(
+            state,
+            (
+                ("gphr_depth", self._depth),
+                ("table_entries", self._entries),
+            ),
+        )
+        gphr = int_list(state, "gphr")
+        if len(gphr) != self._depth:
+            raise ConfigurationError(
+                f"checkpoint GPHR has {len(gphr)} entries, expected "
+                f"{self._depth}"
+            )
+        raw_table = state.get("table")
+        if not isinstance(raw_table, list):
+            raise ConfigurationError("checkpoint 'table' must be a list")
+        if len(raw_table) != self._entries:
+            raise ConfigurationError(
+                f"checkpoint table has {len(raw_table)} slots, expected "
+                f"{self._entries}"
+            )
+        table = [as_opt_int(v, "table slot") for v in raw_table]
+        pending = as_opt_int(state.get("pending_index"), "pending_index")
+        if pending is not None and not 0 <= pending < self._entries:
+            raise ConfigurationError(
+                f"pending_index {pending} outside [0, {self._entries})"
+            )
+        self._gphr = deque(gphr, maxlen=self._depth)
+        self._table = table
+        self._pending_index = pending

@@ -19,7 +19,18 @@ from collections import Counter, defaultdict
 from typing import DefaultDict, Optional
 
 from repro.analysis.durations import DurationStatistics
-from repro.core.predictors.base import PhaseObservation, PhasePredictor
+from repro.core.predictors._checkpoint import (
+    as_int,
+    as_opt_int,
+    check_config,
+    check_kind,
+    count_pairs,
+)
+from repro.core.predictors.base import (
+    PhaseObservation,
+    PhasePredictor,
+    PredictorState,
+)
 from repro.errors import ConfigurationError
 
 
@@ -95,3 +106,53 @@ class DurationPredictor(PhasePredictor):
         self._successors = defaultdict(Counter)
         self._current = None
         self._elapsed = 0
+
+    # -- checkpointing ------------------------------------------------------
+
+    def export_state(self) -> PredictorState:
+        """Lossless JSON-able snapshot: duration histograms, successor
+        counts (Counter insertion order — ``most_common`` ties break on
+        it) and the in-progress run.
+        """
+        return {
+            "kind": "duration",
+            "continuation_threshold": self._threshold,
+            "durations": self._durations.to_payload(),
+            "successors": [
+                [source, [[target, n] for target, n in counts.items()]]
+                for source, counts in self._successors.items()
+            ],
+            "current": self._current,
+            "elapsed": self._elapsed,
+        }
+
+    def restore_state(self, state: PredictorState) -> None:
+        check_kind(state, "duration")
+        check_config(
+            state, (("continuation_threshold", self._threshold),)
+        )
+        durations = DurationStatistics.from_payload(state.get("durations"))
+        raw = state.get("successors")
+        if not isinstance(raw, list):
+            raise ConfigurationError("checkpoint 'successors' must be a list")
+        successors: DefaultDict[int, "Counter[int]"] = defaultdict(Counter)
+        for entry in raw:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise ConfigurationError(
+                    f"malformed successor checkpoint entry: {entry!r}"
+                )
+            source, pairs = entry
+            if isinstance(source, bool) or not isinstance(source, int):
+                raise ConfigurationError(
+                    f"successor source must be an int, got {source!r}"
+                )
+            counts = successors[source]
+            for target, n in count_pairs(pairs, "successor"):
+                counts[target] = n
+        elapsed = as_int(state.get("elapsed"), "elapsed")
+        if elapsed < 0:
+            raise ConfigurationError(f"elapsed must be >= 0, got {elapsed}")
+        self._durations = durations
+        self._successors = successors
+        self._current = as_opt_int(state.get("current"), "current")
+        self._elapsed = elapsed

@@ -16,7 +16,17 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.predictors.base import PhaseObservation, PhasePredictor
+from repro.core.predictors._checkpoint import (
+    as_int,
+    as_opt_int,
+    check_config,
+    check_kind,
+)
+from repro.core.predictors.base import (
+    PhaseObservation,
+    PhasePredictor,
+    PredictorState,
+)
 from repro.core.predictors.gpht import GPHTPredictor
 from repro.core.predictors.last_value import LastValuePredictor
 from repro.errors import ConfigurationError
@@ -97,3 +107,55 @@ class TournamentPredictor(PhasePredictor):
         self._chooser = (self._chooser_max + 1) // 2
         self._pending_simple = None
         self._pending_pattern = None
+
+    # -- checkpointing ------------------------------------------------------
+
+    def export_state(self) -> PredictorState:
+        """Lossless JSON-able snapshot: both component states, the
+        chooser counter and the pending component predictions.
+        """
+        return {
+            "kind": "tournament",
+            "chooser_max": self._chooser_max,
+            "chooser": self._chooser,
+            "simple": self._simple.export_state(),
+            "pattern": self._pattern.export_state(),
+            "pending_simple": self._pending_simple,
+            "pending_pattern": self._pending_pattern,
+        }
+
+    def restore_state(self, state: PredictorState) -> None:
+        check_kind(state, "tournament")
+        check_config(state, (("chooser_max", self._chooser_max),))
+        chooser = as_int(state.get("chooser"), "chooser")
+        if not 0 <= chooser <= self._chooser_max:
+            raise ConfigurationError(
+                f"chooser {chooser} outside [0, {self._chooser_max}]"
+            )
+        raw_simple = state.get("simple")
+        raw_pattern = state.get("pattern")
+        if not isinstance(raw_simple, dict) or not isinstance(
+            raw_pattern, dict
+        ):
+            raise ConfigurationError(
+                "checkpoint 'simple' and 'pattern' must be dicts"
+            )
+        # Restore into freshly built components so a half-applied nested
+        # restore (e.g. a corrupt pattern payload) cannot leave this
+        # predictor with mutated component state.
+        simple = LastValuePredictor()
+        simple.restore_state(raw_simple)
+        pattern = GPHTPredictor(
+            self._pattern.gphr_depth, self._pattern.pht_capacity
+        )
+        pattern.restore_state(raw_pattern)
+        self._simple = simple
+        self._pattern = pattern
+        self._chooser_max = as_int(state.get("chooser_max"), "chooser_max")
+        self._chooser = chooser
+        self._pending_simple = as_opt_int(
+            state.get("pending_simple"), "pending_simple"
+        )
+        self._pending_pattern = as_opt_int(
+            state.get("pending_pattern"), "pending_pattern"
+        )

@@ -16,7 +16,17 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from typing import DefaultDict, Optional
 
-from repro.core.predictors.base import PhaseObservation, PhasePredictor
+from repro.core.predictors._checkpoint import (
+    as_opt_int,
+    check_kind,
+    count_pairs,
+)
+from repro.core.predictors.base import (
+    PhaseObservation,
+    PhasePredictor,
+    PredictorState,
+)
+from repro.errors import ConfigurationError
 
 
 class MarkovPredictor(PhasePredictor):
@@ -67,3 +77,43 @@ class MarkovPredictor(PhasePredictor):
     def reset(self) -> None:
         self._transitions.clear()
         self._current = None
+
+    # -- checkpointing ------------------------------------------------------
+
+    def export_state(self) -> PredictorState:
+        """Lossless JSON-able snapshot of the transition table.
+
+        Successor counts are listed in Counter insertion order — the
+        ``predict`` tie-break (``tied[0]``) depends on it, so a restore
+        must reproduce the iteration order, not just the counts.
+        """
+        return {
+            "kind": "markov1",
+            "transitions": [
+                [source, [[target, n] for target, n in counts.items()]]
+                for source, counts in self._transitions.items()
+            ],
+            "current": self._current,
+        }
+
+    def restore_state(self, state: PredictorState) -> None:
+        check_kind(state, "markov1")
+        raw = state.get("transitions")
+        if not isinstance(raw, list):
+            raise ConfigurationError("checkpoint 'transitions' must be a list")
+        transitions: DefaultDict[int, "Counter[int]"] = defaultdict(Counter)
+        for entry in raw:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                raise ConfigurationError(
+                    f"malformed transition checkpoint entry: {entry!r}"
+                )
+            source, pairs = entry
+            if isinstance(source, bool) or not isinstance(source, int):
+                raise ConfigurationError(
+                    f"transition source must be an int, got {source!r}"
+                )
+            counts = transitions[source]
+            for target, n in count_pairs(pairs, "transition"):
+                counts[target] = n
+        self._transitions = transitions
+        self._current = as_opt_int(state.get("current"), "current")

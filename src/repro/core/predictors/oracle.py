@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.predictors.base import PhaseObservation, PhasePredictor
+from repro.core.predictors._checkpoint import as_int, check_kind, int_list
+from repro.core.predictors.base import (
+    PhaseObservation,
+    PhasePredictor,
+    PredictorState,
+)
 from repro.errors import ConfigurationError
 
 
@@ -49,3 +54,24 @@ class OraclePredictor(PhasePredictor):
 
     def reset(self) -> None:
         self._position = 0
+
+    # -- checkpointing ------------------------------------------------------
+
+    def export_state(self) -> PredictorState:
+        """Snapshot of the primed sequence and the current position."""
+        return {
+            "kind": "oracle",
+            "sequence": list(self._sequence),
+            "position": self._position,
+        }
+
+    def restore_state(self, state: PredictorState) -> None:
+        check_kind(state, "oracle")
+        sequence = int_list(state, "sequence")
+        if not sequence:
+            raise ConfigurationError("oracle needs a non-empty phase sequence")
+        position = as_int(state.get("position"), "position")
+        if position < 0:
+            raise ConfigurationError(f"position must be >= 0, got {position}")
+        self._sequence = tuple(sequence)
+        self._position = position

@@ -17,7 +17,17 @@ from __future__ import annotations
 from collections import Counter, deque
 from typing import Deque, Optional
 
-from repro.core.predictors.base import PhaseObservation, PhasePredictor
+from repro.core.predictors._checkpoint import (
+    as_float,
+    check_config,
+    check_kind,
+    int_list,
+)
+from repro.core.predictors.base import (
+    PhaseObservation,
+    PhasePredictor,
+    PredictorState,
+)
 from repro.errors import ConfigurationError
 
 
@@ -79,3 +89,38 @@ class VariableWindowPredictor(PhasePredictor):
     def reset(self) -> None:
         self._window.clear()
         self._last_metric = None
+
+    # -- checkpointing ------------------------------------------------------
+
+    def export_state(self) -> PredictorState:
+        """Lossless JSON-able snapshot: window contents and the raw
+        metric the next transition test compares against.
+        """
+        return {
+            "kind": "variable_window",
+            "window_size": self._window_size,
+            "transition_threshold": self._threshold,
+            "window": list(self._window),
+            "last_metric": self._last_metric,
+        }
+
+    def restore_state(self, state: PredictorState) -> None:
+        check_kind(state, "variable_window")
+        check_config(
+            state,
+            (
+                ("window_size", self._window_size),
+                ("transition_threshold", self._threshold),
+            ),
+        )
+        window = int_list(state, "window")
+        if len(window) > self._window_size:
+            raise ConfigurationError(
+                f"checkpoint window holds {len(window)} entries, size is "
+                f"{self._window_size}"
+            )
+        raw_metric = state.get("last_metric")
+        self._window = deque(window, maxlen=self._window_size)
+        self._last_metric = (
+            None if raw_metric is None else as_float(raw_metric, "last_metric")
+        )

@@ -52,6 +52,7 @@ KNOWN_LAYERS: Tuple[str, ...] = (
     "devtools",
     "errors",
     "exec",
+    "learn",
     "numerics",
     "obs",
     "pmc",
@@ -72,6 +73,7 @@ FORBIDDEN_IMPORTS: Dict[str, Tuple[str, ...]] = {
     "system": ("serve", "cli", "devtools"),
     "analysis": ("serve", "cli", "devtools"),
     "exec": ("serve", "cli", "devtools"),
+    "learn": ("serve", "cli", "devtools"),
     "serve": ("cli", "devtools", "system"),
 }
 

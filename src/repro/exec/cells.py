@@ -311,6 +311,120 @@ def _cell_comparison(
     return value
 
 
+#: Model names the ``learned_accuracy`` cell accepts.
+LEARNED_MODELS: Tuple[str, ...] = ("tree", "markov", "gpht", "last_value")
+
+#: Default seed for the training series of a ``learned_accuracy`` cell.
+#: Deliberately distinct from the evaluation seed (``spec.seed``,
+#: default ``None`` -> the benchmark's own seed), so learned models are
+#: always scored on a held-out realisation of the workload.
+DEFAULT_TRAIN_SEED = 101
+
+
+@register_cell_kind("learned_accuracy")
+def _cell_learned_accuracy(
+    spec: ExperimentSpec, tracer: Tracer = NULL_TRACER
+) -> CellValue:
+    """Train a learned predictor, then score it on a held-out series.
+
+    Parameters (all via ``spec.param``):
+
+    * ``model`` — one of :data:`LEARNED_MODELS`; ``gpht`` and
+      ``last_value`` skip training and serve as the table-lookup
+      baselines of the accuracy-vs-overhead comparison;
+    * ``train_intervals`` / ``train_seed`` — the training series
+      (defaults: ``spec.n_intervals`` / :data:`DEFAULT_TRAIN_SEED`);
+    * ``history_length``, ``max_depth``, ``min_samples_leaf`` (tree),
+      ``order``, ``alpha`` (markov), ``gphr_depth``, ``pht_entries``
+      (gpht) — model hyperparameters.
+
+    ``overhead_units`` is the model's worst-case structure probes per
+    prediction (tree depth, markov order, one GPHT lookup, zero for
+    last-value) — a deterministic, cache-stable cost proxy that needs
+    no wall-clock timing inside the cell.
+    """
+    # Imported lazily: repro.learn sits above exec in the layer order
+    # and registers no cells of its own; only this evaluator needs it.
+    from repro.core.predictors import LastValuePredictor
+    from repro.learn.dataset import phase_dataset_from_series
+    from repro.learn.predictors import (
+        DecisionTreePhasePredictor,
+        MarkovKPredictor,
+    )
+
+    model = spec.param("model")
+    if model not in LEARNED_MODELS:
+        raise ConfigurationError(
+            f"learned_accuracy needs a 'model' in {LEARNED_MODELS}, got "
+            f"{model!r}"
+        )
+    train_intervals = int(
+        cast(int, spec.param("train_intervals", spec.n_intervals))
+    )
+    train_seed = int(cast(int, spec.param("train_seed", DEFAULT_TRAIN_SEED)))
+    table = _phase_table(spec)
+    trained = False
+    overhead_units = 0.0
+    predictor: PhasePredictor
+    if model == "tree":
+        history_length = int(cast(int, spec.param("history_length", 4)))
+        dataset = phase_dataset_from_series(
+            _mem_series(spec.benchmark, train_intervals, train_seed),
+            history_length=history_length,
+            phase_table=table,
+        )
+        tree_predictor = DecisionTreePhasePredictor(
+            history_length=history_length
+        )
+        tree = tree_predictor.fit(
+            dataset,
+            max_depth=int(cast(int, spec.param("max_depth", 8))),
+            min_samples_leaf=int(
+                cast(int, spec.param("min_samples_leaf", 2))
+            ),
+        )
+        predictor = tree_predictor
+        overhead_units = float(tree.depth)
+        trained = True
+    elif model == "markov":
+        order = int(cast(int, spec.param("order", 3)))
+        dataset = phase_dataset_from_series(
+            _mem_series(spec.benchmark, train_intervals, train_seed),
+            history_length=max(order, 1),
+            phase_table=table,
+        )
+        markov_predictor = MarkovKPredictor(
+            order=order,
+            alpha=float(cast(float, spec.param("alpha", 0.5))),
+        )
+        markov_predictor.fit(dataset)
+        predictor = markov_predictor
+        overhead_units = float(order)
+        trained = True
+    elif model == "gpht":
+        predictor = GPHTPredictor(
+            int(cast(int, spec.param("gphr_depth", 8))),
+            int(cast(int, spec.param("pht_entries", 128))),
+        )
+        overhead_units = 1.0
+    else:
+        predictor = LastValuePredictor()
+    series = _mem_series(spec.benchmark, spec.n_intervals, spec.seed)
+    result = evaluate_predictor_batch(predictor, series, table, tracer=tracer)
+    return {
+        "model": model,
+        "predictor": result.predictor_name,
+        "accuracy": result.accuracy,
+        "misprediction_rate": result.misprediction_rate,
+        "correct": result.correct,
+        "total": result.total,
+        "overhead_units": overhead_units,
+        "trained": trained,
+        "train_intervals": train_intervals,
+        "train_seed": train_seed,
+    }
+
+
 @register_cell_kind("pinned_frequency")
 def _cell_pinned_frequency(
     spec: ExperimentSpec, tracer: Tracer = NULL_TRACER

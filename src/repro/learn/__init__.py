@@ -1,0 +1,74 @@
+"""repro.learn — trainable phase predictors and a learned power model.
+
+Everything here is deterministic, pure-Python/NumPy and trained from
+either recorded :mod:`repro.obs` traces or live workload generators.
+Trained models implement the predictor zoo's ``export_state`` /
+``restore_state`` checkpoint contract, so serve checkpointing, worker
+restart, migration and replay verification work on them unchanged.
+
+See ``docs/learning.md`` for the full tour.
+"""
+
+from repro.learn.artifact import (
+    ARTIFACT_KINDS,
+    ARTIFACT_VERSION,
+    LearnedModel,
+    ModelArtifact,
+    build_model,
+    session_config_params,
+)
+from repro.learn.compare import (
+    DEFAULT_COMPARE_BENCHMARKS,
+    compare_models,
+    comparison_specs,
+)
+from repro.learn.dataset import (
+    DATASET_VERSION,
+    POWER_FEATURES,
+    PhaseWindowDataset,
+    PowerDataset,
+    phase_dataset_from_benchmark,
+    phase_dataset_from_events,
+    phase_dataset_from_series,
+    power_dataset_from_benchmark,
+    power_dataset_from_events,
+    power_dataset_from_run,
+)
+from repro.learn.power import LearnedPowerModel, PowerModelEvaluation
+from repro.learn.predictors import DecisionTreePhasePredictor, MarkovKPredictor
+from repro.learn.training import (
+    train_markov,
+    train_phase_tree,
+    train_power_model,
+)
+from repro.learn.tree import DecisionTree
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "ARTIFACT_VERSION",
+    "DATASET_VERSION",
+    "DEFAULT_COMPARE_BENCHMARKS",
+    "DecisionTree",
+    "DecisionTreePhasePredictor",
+    "LearnedModel",
+    "LearnedPowerModel",
+    "MarkovKPredictor",
+    "ModelArtifact",
+    "POWER_FEATURES",
+    "PhaseWindowDataset",
+    "PowerDataset",
+    "PowerModelEvaluation",
+    "build_model",
+    "compare_models",
+    "comparison_specs",
+    "phase_dataset_from_benchmark",
+    "phase_dataset_from_events",
+    "phase_dataset_from_series",
+    "power_dataset_from_benchmark",
+    "power_dataset_from_events",
+    "power_dataset_from_run",
+    "session_config_params",
+    "train_markov",
+    "train_phase_tree",
+    "train_power_model",
+]

@@ -1,0 +1,158 @@
+"""Accuracy-vs-overhead comparison of learned predictors vs GPHT.
+
+Drives a ``{benchmark} x {model}`` grid of ``learned_accuracy`` sweep
+cells through the :mod:`repro.exec` engine — so comparisons cache,
+parallelise and replay exactly like every other sweep — and condenses
+the grid into one deterministic JSON payload: per-cell metrics plus a
+per-model summary (mean accuracy, mean overhead, wins).
+
+The payload is a pure function of the grid parameters: running it
+serially, with ``--jobs N`` or from a warm cache yields identical
+bytes.  ``benchmarks/results/learned_accuracy.json`` wraps this payload
+with host provenance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.exec.cells import DEFAULT_TRAIN_SEED, LEARNED_MODELS
+from repro.exec.engine import ExecutionEngine, ExecutionReport
+from repro.exec.spec import ExperimentSpec
+
+#: Comparison payload format version.
+COMPARE_VERSION = 1
+
+#: Default comparison suite: a mixed int/fp SPEC2000 subset.
+DEFAULT_COMPARE_BENCHMARKS: Tuple[str, ...] = (
+    "applu_in",
+    "bzip2_program",
+    "crafty_in",
+    "equake_in",
+    "gcc_166",
+    "gzip_program",
+    "mcf_inp",
+    "mesa_ref",
+    "swim_in",
+    "twolf_ref",
+)
+
+
+def comparison_specs(
+    benchmarks: Sequence[str],
+    n_intervals: int,
+    *,
+    models: Sequence[str] = LEARNED_MODELS,
+    train_intervals: Optional[int] = None,
+    train_seed: int = DEFAULT_TRAIN_SEED,
+    seed: Optional[int] = None,
+) -> List[ExperimentSpec]:
+    """The ``learned_accuracy`` spec grid of one comparison."""
+    if not benchmarks:
+        raise ConfigurationError("comparison needs at least one benchmark")
+    unknown = [m for m in models if m not in LEARNED_MODELS]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown models {unknown}; known: {list(LEARNED_MODELS)}"
+        )
+    if not models:
+        raise ConfigurationError("comparison needs at least one model")
+    specs: List[ExperimentSpec] = []
+    for benchmark in benchmarks:
+        for model in models:
+            specs.append(
+                ExperimentSpec.create(
+                    "learned_accuracy",
+                    benchmark,
+                    n_intervals,
+                    seed=seed,
+                    model=model,
+                    train_intervals=(
+                        n_intervals
+                        if train_intervals is None
+                        else train_intervals
+                    ),
+                    train_seed=train_seed,
+                )
+            )
+    return specs
+
+
+def compare_models(
+    engine: ExecutionEngine,
+    benchmarks: Sequence[str] = DEFAULT_COMPARE_BENCHMARKS,
+    n_intervals: int = 512,
+    *,
+    models: Sequence[str] = LEARNED_MODELS,
+    train_intervals: Optional[int] = None,
+    train_seed: int = DEFAULT_TRAIN_SEED,
+    seed: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run the comparison grid and build its deterministic payload.
+
+    Returns a mapping with ``version``, ``parameters``, ``models``,
+    ``benchmarks``, per-benchmark ``cells`` and a per-model ``summary``
+    (mean accuracy/misprediction/overhead and benchmarks won, where a
+    *win* is holding the strictly highest accuracy on a benchmark).
+    """
+    specs = comparison_specs(
+        benchmarks,
+        n_intervals,
+        models=models,
+        train_intervals=train_intervals,
+        train_seed=train_seed,
+        seed=seed,
+    )
+    report: ExecutionReport = engine.run(specs)
+    cells: Dict[str, Dict[str, Dict[str, object]]] = {}
+    index = 0
+    for benchmark in benchmarks:
+        row: Dict[str, Dict[str, object]] = {}
+        for model in models:
+            value = dict(report.value(specs[index]))
+            index += 1
+            row[model] = value
+        cells[benchmark] = row
+    summary: Dict[str, Dict[str, object]] = {}
+    for model in models:
+        accuracies = [
+            float(cells[b][model]["accuracy"])  # type: ignore[arg-type]
+            for b in benchmarks
+        ]
+        overheads = [
+            float(cells[b][model]["overhead_units"])  # type: ignore[arg-type]
+            for b in benchmarks
+        ]
+        wins = 0
+        for b in benchmarks:
+            own = float(cells[b][model]["accuracy"])  # type: ignore[arg-type]
+            others = [
+                float(cells[b][m]["accuracy"])  # type: ignore[arg-type]
+                for m in models
+                if m != model
+            ]
+            if all(own > other for other in others):
+                wins += 1
+        summary[model] = {
+            "mean_accuracy": sum(accuracies) / len(accuracies),
+            "mean_misprediction_rate": 1.0
+            - sum(accuracies) / len(accuracies),
+            "mean_overhead_units": sum(overheads) / len(overheads),
+            "benchmarks_won": wins,
+        }
+    return {
+        "version": COMPARE_VERSION,
+        "parameters": {
+            "n_intervals": n_intervals,
+            "train_intervals": (
+                n_intervals if train_intervals is None else train_intervals
+            ),
+            "train_seed": train_seed,
+            "seed": seed,
+        },
+        "models": list(models),
+        "benchmarks": list(benchmarks),
+        "cells": cells,
+        "summary": summary,
+    }

@@ -1,0 +1,142 @@
+"""Seeded, bit-reproducible trainers producing versioned artifacts.
+
+Each trainer is a pure function of its dataset and hyperparameters:
+train the model, snapshot its ``export_state`` and wrap both in a
+:class:`~repro.learn.artifact.ModelArtifact` whose provenance records
+*what* was trained on (dataset digest, counts, source description) but
+never *when* — so the same call always yields the same bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.learn.artifact import ARTIFACT_VERSION, ModelArtifact
+from repro.learn.dataset import PhaseWindowDataset, PowerDataset
+from repro.learn.power import LearnedPowerModel
+from repro.learn.predictors import DecisionTreePhasePredictor, MarkovKPredictor
+
+
+def _source_meta(source: Optional[Dict[str, object]]) -> Dict[str, object]:
+    if source is None:
+        return {}
+    for key, value in source.items():
+        if value is not None and not isinstance(
+            value, (str, int, float, bool)
+        ):
+            raise ConfigurationError(
+                f"training source field {key!r} must be a JSON scalar, "
+                f"got {value!r}"
+            )
+    return dict(source)
+
+
+def train_phase_tree(
+    dataset: PhaseWindowDataset,
+    *,
+    max_depth: int = 8,
+    min_samples_leaf: int = 2,
+    source: Optional[Dict[str, object]] = None,
+) -> Tuple[DecisionTreePhasePredictor, ModelArtifact]:
+    """Train a decision-tree phase predictor and its artifact.
+
+    Args:
+        dataset: Phase-window training examples.
+        max_depth: CART depth bound.
+        min_samples_leaf: CART leaf occupancy bound.
+        source: Optional scalar-only provenance (e.g. benchmark name,
+            trace path, generation seed) merged into the artifact's
+            ``training`` block.
+    """
+    predictor = DecisionTreePhasePredictor(
+        history_length=dataset.history_length
+    )
+    tree = predictor.fit(
+        dataset, max_depth=max_depth, min_samples_leaf=min_samples_leaf
+    )
+    artifact = ModelArtifact(
+        version=ARTIFACT_VERSION,
+        kind="phase_tree",
+        name=predictor.name,
+        config={"history_length": dataset.history_length},
+        state=dict(predictor.export_state()),
+        training={
+            "examples": len(dataset),
+            "dataset_digest": dataset.digest(),
+            "max_depth": max_depth,
+            "min_samples_leaf": min_samples_leaf,
+            "tree_depth": tree.depth,
+            "tree_nodes": tree.node_count,
+            "source": _source_meta(source),
+        },
+    )
+    return predictor, artifact
+
+
+def train_markov(
+    dataset: PhaseWindowDataset,
+    *,
+    order: int = 3,
+    alpha: float = 0.5,
+    source: Optional[Dict[str, object]] = None,
+) -> Tuple[MarkovKPredictor, ModelArtifact]:
+    """Train an order-``k`` Markov phase predictor and its artifact."""
+    predictor = MarkovKPredictor(order=order, alpha=alpha)
+    predictor.fit(dataset)
+    artifact = ModelArtifact(
+        version=ARTIFACT_VERSION,
+        kind="markov_k",
+        name=predictor.name,
+        config={"order": order, "alpha": alpha},
+        state=dict(predictor.export_state()),
+        training={
+            "examples": len(dataset),
+            "dataset_digest": dataset.digest(),
+            "order": order,
+            "alpha": alpha,
+            "source": _source_meta(source),
+        },
+    )
+    return predictor, artifact
+
+
+def train_power_model(
+    dataset: PowerDataset,
+    *,
+    max_depth: int = 8,
+    min_samples_leaf: int = 4,
+    source: Optional[Dict[str, object]] = None,
+) -> Tuple[LearnedPowerModel, ModelArtifact]:
+    """Train a counter-driven power model and its artifact.
+
+    The artifact's ``training`` block includes the model's fit-set
+    evaluation (MAE/RMSE) so downstream eval runs have a recorded
+    baseline.
+    """
+    model = LearnedPowerModel(
+        max_depth=max_depth, min_samples_leaf=min_samples_leaf
+    )
+    tree = model.fit(dataset)
+    fit_quality = model.evaluate(dataset)
+    artifact = ModelArtifact(
+        version=ARTIFACT_VERSION,
+        kind="power_tree",
+        name=model.name,
+        config={
+            "max_depth": max_depth,
+            "min_samples_leaf": min_samples_leaf,
+        },
+        state=dict(model.export_state()),
+        training={
+            "examples": len(dataset),
+            "dataset_digest": dataset.digest(),
+            "max_depth": max_depth,
+            "min_samples_leaf": min_samples_leaf,
+            "tree_depth": tree.depth,
+            "tree_nodes": tree.node_count,
+            "fit": fit_quality.to_payload(),
+            "source": _source_meta(source),
+        },
+    )
+    return model, artifact

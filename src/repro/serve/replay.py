@@ -148,6 +148,7 @@ def replay_trace(
     events: Sequence[TraceEvent],
     config: Optional[SessionConfig] = None,
     snapshot_at: Optional[int] = None,
+    predictor_state: Optional[Dict[str, object]] = None,
 ) -> ReplayReport:
     """Drive a recorded trace through a session and verify equivalence.
 
@@ -157,9 +158,17 @@ def replay_trace(
     session, and the remaining samples continue there — the report then
     also certifies that the checkpoint changed nothing.
 
+    ``predictor_state`` pre-loads a trained model (a
+    :class:`repro.learn.ModelArtifact` ``state`` payload, or any
+    ``export_state`` snapshot with a clean online stratum) into *both*
+    the live session's predictor and the offline reference before the
+    first sample — this is how ``repro serve replay --model`` certifies
+    that a trained artifact behaves bit-identically online and offline.
+
     Raises:
-        ConfigurationError: On an empty trace or an out-of-range
-            ``snapshot_at``.
+        ConfigurationError: On an empty trace, an out-of-range
+            ``snapshot_at``, or a ``predictor_state`` that does not fit
+            the configured governor.
     """
     cfg = config if config is not None else SessionConfig()
     samples = extract_samples(events)
@@ -170,6 +179,8 @@ def replay_trace(
         )
 
     session = PhaseSession(cfg)
+    if predictor_state is not None:
+        session.predictor.restore_state(predictor_state)
     online_predictions: List[int] = []
     actuals: List[int] = []
     pending: Optional[int] = None
@@ -185,8 +196,15 @@ def replay_trace(
             )
             session = PhaseSession.from_snapshot(checkpoint)
 
+    reference = cfg.build_predictor()
+    if predictor_state is not None:
+        # evaluate_predictor resets the reference first; reset() keeps
+        # the trained stratum and clears only online history, so the
+        # restored model scores from the same state the session started
+        # in.
+        reference.restore_state(predictor_state)
     offline = evaluate_predictor(
-        cfg.build_predictor(),
+        reference,
         [sample.mem_per_uop for sample in samples],
         session.phase_table,
     )

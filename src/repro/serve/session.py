@@ -62,7 +62,13 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 Clock = Callable[[], float]
 
 #: Governor kinds a session can host (see :meth:`SessionConfig`).
-SESSION_GOVERNORS = ("gpht", "reactive", "fixed_window")
+SESSION_GOVERNORS = (
+    "gpht",
+    "reactive",
+    "fixed_window",
+    "learned_tree",
+    "markov",
+)
 
 #: Checkpoint / wire payload: JSON-able scalars and containers only.
 Payload = Dict[str, object]
@@ -74,12 +80,18 @@ class SessionConfig:
 
     Attributes:
         governor: ``"gpht"`` (the paper's deployed predictor),
-            ``"reactive"`` (last-value) or ``"fixed_window"``.
+            ``"reactive"`` (last-value), ``"fixed_window"``,
+            ``"learned_tree"`` (a :mod:`repro.learn` decision tree,
+            typically restored from a trained artifact) or ``"markov"``
+            (an order-``k`` smoothed Markov predictor).
         policy: Phase-to-DVFS policy registry name (see
             :func:`repro.exec.cells.build_policy`).
         gphr_depth: GPHT history depth (``gpht`` only).
         pht_entries: GPHT pattern-table capacity (``gpht`` only).
         window_size: Sliding-window length (``fixed_window`` only).
+        history_length: Feature-window length (``learned_tree`` only).
+        markov_order: Context length (``markov`` only).
+        markov_alpha: Smoothing strength (``markov`` only).
         latency_budget_s: Per-sample latency budget; ``None`` disables
             degradation (and makes the session fully deterministic).
         cooldown: Consecutive in-budget samples required to leave
@@ -91,6 +103,9 @@ class SessionConfig:
     gphr_depth: int = 8
     pht_entries: int = 128
     window_size: int = 8
+    history_length: int = 4
+    markov_order: int = 3
+    markov_alpha: float = 0.5
     latency_budget_s: Optional[float] = None
     cooldown: int = 16
 
@@ -110,11 +125,32 @@ class SessionConfig:
             )
 
     def build_predictor(self) -> PhasePredictor:
-        """A fresh predictor matching this configuration."""
+        """A fresh predictor matching this configuration.
+
+        ``learned_tree`` and ``markov`` sessions start *untrained* (the
+        tree falls back to last-value, the Markov model to its online
+        counts) — a trained model arrives via ``restore_state`` from a
+        checkpoint or a :class:`repro.learn.ModelArtifact`.
+        """
         if self.governor == "gpht":
             return GPHTPredictor(self.gphr_depth, self.pht_entries)
         if self.governor == "fixed_window":
             return FixedWindowPredictor(self.window_size)
+        if self.governor in ("learned_tree", "markov"):
+            # Function-scope import: serve must not pay repro.learn's
+            # NumPy/training import cost for the common gpht sessions.
+            from repro.learn.predictors import (
+                DecisionTreePhasePredictor,
+                MarkovKPredictor,
+            )
+
+            if self.governor == "learned_tree":
+                return DecisionTreePhasePredictor(
+                    history_length=self.history_length
+                )
+            return MarkovKPredictor(
+                order=self.markov_order, alpha=self.markov_alpha
+            )
         return LastValuePredictor()
 
     def to_payload(self) -> Payload:
@@ -125,6 +161,9 @@ class SessionConfig:
             "gphr_depth": self.gphr_depth,
             "pht_entries": self.pht_entries,
             "window_size": self.window_size,
+            "history_length": self.history_length,
+            "markov_order": self.markov_order,
+            "markov_alpha": self.markov_alpha,
             "latency_budget_s": self.latency_budget_s,
             "cooldown": self.cooldown,
         }
@@ -139,6 +178,8 @@ class SessionConfig:
             ("gphr_depth", int),
             ("pht_entries", int),
             ("window_size", int),
+            ("history_length", int),
+            ("markov_order", int),
             ("cooldown", int),
         ):
             if key in payload:
@@ -149,6 +190,13 @@ class SessionConfig:
                         f"got {value!r}"
                     )
                 kwargs[key] = value
+        if "markov_alpha" in payload:
+            alpha = payload["markov_alpha"]
+            if isinstance(alpha, bool) or not isinstance(alpha, (int, float)):
+                raise ConfigurationError(
+                    f"markov_alpha must be a number, got {alpha!r}"
+                )
+            kwargs["markov_alpha"] = float(alpha)
         if "latency_budget_s" in payload:
             budget = payload["latency_budget_s"]
             if budget is not None and not isinstance(budget, (int, float)):
@@ -164,6 +212,9 @@ class SessionConfig:
             "gphr_depth",
             "pht_entries",
             "window_size",
+            "history_length",
+            "markov_order",
+            "markov_alpha",
             "latency_budget_s",
             "cooldown",
         }

@@ -1,0 +1,60 @@
+"""The ``learned_accuracy`` sweep cell (train-then-score, in-engine)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import ExperimentSpec, make_engine
+from repro.exec.cells import DEFAULT_TRAIN_SEED, LEARNED_MODELS, evaluate_cell
+
+
+def _spec(model, **params):
+    return ExperimentSpec.create(
+        kind="learned_accuracy",
+        benchmark="applu_in",
+        n_intervals=96,
+        model=model,
+        **params,
+    )
+
+
+class TestLearnedAccuracyCell:
+    @pytest.mark.parametrize("model", LEARNED_MODELS)
+    def test_every_model_produces_a_scored_cell(self, model):
+        value = evaluate_cell(_spec(model))
+        assert value["model"] == model
+        assert 0.0 <= value["accuracy"] <= 1.0
+        assert value["total"] == 95
+        assert value["trained"] == (model in ("tree", "markov"))
+        assert value["train_seed"] == DEFAULT_TRAIN_SEED
+
+    def test_overhead_units_reflect_structure_cost(self):
+        tree = evaluate_cell(_spec("tree", max_depth=5))
+        markov = evaluate_cell(_spec("markov", order=2))
+        gpht = evaluate_cell(_spec("gpht"))
+        last = evaluate_cell(_spec("last_value"))
+        assert 0.0 < tree["overhead_units"] <= 5.0
+        assert markov["overhead_units"] == 2.0
+        assert gpht["overhead_units"] == 1.0
+        assert last["overhead_units"] == 0.0
+
+    def test_cell_is_deterministic(self):
+        assert evaluate_cell(_spec("tree")) == evaluate_cell(_spec("tree"))
+
+    def test_training_series_is_held_out(self):
+        # Training on a much shorter series must change the result via
+        # the trained stratum (and be recorded in the cell value).
+        short = evaluate_cell(_spec("markov", train_intervals=16))
+        full = evaluate_cell(_spec("markov"))
+        assert short["train_intervals"] == 16
+        assert full["train_intervals"] == 96
+
+    def test_unknown_model_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="learned_accuracy"):
+            evaluate_cell(_spec("perceptron"))
+
+    def test_engine_matches_direct_evaluation(self):
+        specs = [_spec("tree"), _spec("gpht")]
+        engine = make_engine(jobs=2, cache=None)
+        report = engine.run(specs)
+        for spec in specs:
+            assert report.value(spec) == evaluate_cell(spec)

@@ -1,0 +1,92 @@
+"""repro analyze guards the learned models' checkpoint contract.
+
+Satellite of the repro.learn PR: the ``checkpoint-completeness``
+analysis must cover the trainable predictors exactly like the
+hand-written zoo — a mutation that drops the trained-tree field from
+``export_state`` (the field a serve checkpoint cannot reconstruct) has
+to produce a finding.
+"""
+
+from pathlib import Path
+
+from repro.devtools.analyze import AnalyzeEngine
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LEARN = REPO_ROOT / "src" / "repro" / "learn"
+PREDICTORS = LEARN / "predictors.py"
+POWER = LEARN / "power.py"
+
+
+class TestLearnSourcesAreClean:
+    def test_learn_package_is_clean(self):
+        report = AnalyzeEngine().run([str(LEARN)])
+        formatted = "\n".join(f.format() for f in report.findings)
+        assert report.findings == [], f"analyze regressions:\n{formatted}"
+        assert report.errors == []
+        assert report.files_checked >= 8
+
+
+class TestMutationCatchesDroppedTreeField:
+    """Dropping the trained tree from export_state must be flagged."""
+
+    TREE_EXPORT_LINE = (
+        '            "tree": self._tree.to_payload() '
+        "if self._tree is not None else None,"
+    )
+
+    def test_pristine_copy_is_clean(self, tmp_path):
+        (tmp_path / "predictors.py").write_text(PREDICTORS.read_text())
+        report = AnalyzeEngine().run([str(tmp_path)])
+        assert report.findings == []
+
+    def test_dropped_tree_field_is_flagged(self, tmp_path):
+        source = PREDICTORS.read_text()
+        mutated = source.replace(self.TREE_EXPORT_LINE + "\n", "")
+        assert mutated != source, (
+            "predictors.py export_state no longer carries the tree line "
+            "this mutation targets"
+        )
+        (tmp_path / "predictors.py").write_text(mutated)
+        report = AnalyzeEngine().run([str(tmp_path)])
+        checkpoint = [
+            f for f in report.findings
+            if f.rule == "checkpoint-completeness"
+        ]
+        assert len(checkpoint) == 1
+        finding = checkpoint[0]
+        assert finding.path.endswith("predictors.py")
+        assert finding.line > 0
+        assert "_tree" in finding.message
+        assert report.exit_code == 1
+
+    def test_dropped_markov_counts_field_is_flagged(self, tmp_path):
+        source = PREDICTORS.read_text()
+        mutated = source.replace(
+            '            "counts": _counts_payload(self._counts),\n', ""
+        )
+        assert mutated != source
+        (tmp_path / "predictors.py").write_text(mutated)
+        report = AnalyzeEngine().run([str(tmp_path)])
+        checkpoint = [
+            f for f in report.findings
+            if f.rule == "checkpoint-completeness"
+        ]
+        assert len(checkpoint) == 1
+        assert "_counts" in checkpoint[0].message
+
+    def test_dropped_power_tree_field_is_flagged(self, tmp_path):
+        source = POWER.read_text()
+        mutated = source.replace(
+            '            "tree": self._tree.to_payload() '
+            "if self._tree is not None else None,\n",
+            "",
+        )
+        assert mutated != source
+        (tmp_path / "power.py").write_text(mutated)
+        report = AnalyzeEngine().run([str(tmp_path)])
+        checkpoint = [
+            f for f in report.findings
+            if f.rule == "checkpoint-completeness"
+        ]
+        assert len(checkpoint) == 1
+        assert "_tree" in checkpoint[0].message

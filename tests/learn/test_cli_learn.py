@@ -1,0 +1,171 @@
+"""End-to-end tests for the `repro learn` CLI group."""
+
+import json
+import pathlib
+
+from repro.cli import main
+
+FIXTURE_TRACE = str(
+    pathlib.Path(__file__).parent / "fixtures" / "tiny_trace.jsonl"
+)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestLearnTrain:
+    def test_train_tree_from_fixture_trace(self, capsys, tmp_path):
+        out = tmp_path / "tree.json"
+        code, stdout, _ = run_cli(
+            capsys, "learn", "train", "--trace", FIXTURE_TRACE,
+            "--out", str(out),
+        )
+        assert code == 0
+        assert "learn train: tree" in stdout
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["kind"] == "phase_tree"
+        assert payload["training"]["source"] == {"trace": FIXTURE_TRACE}
+
+    def test_two_train_runs_are_byte_identical(self, capsys, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        for out in (first, second):
+            code, _, _ = run_cli(
+                capsys, "learn", "train", "--trace", FIXTURE_TRACE,
+                "--out", str(out),
+            )
+            assert code == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_train_markov_from_benchmark_json(self, capsys, tmp_path):
+        out = tmp_path / "markov.json"
+        code, stdout, _ = run_cli(
+            capsys, "learn", "train", "--model", "markov",
+            "--benchmark", "applu_in", "--intervals", "128",
+            "--order", "2", "--out", str(out), "--format", "json",
+        )
+        assert code == 0
+        summary = json.loads(stdout)
+        assert summary["kind"] == "markov_k"
+        assert summary["out"] == str(out)
+        assert len(summary["digest"]) == 64
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["config"] == {"order": 2, "alpha": 0.5}
+
+    def test_train_power_from_benchmark(self, capsys, tmp_path):
+        out = tmp_path / "power.json"
+        code, _, _ = run_cli(
+            capsys, "learn", "train", "--model", "power",
+            "--benchmark", "applu_in", "--intervals", "64",
+            "--out", str(out),
+        )
+        assert code == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["kind"] == "power_tree"
+
+    def test_train_power_from_trace_refuses(self, capsys, tmp_path):
+        code, _, stderr = run_cli(
+            capsys, "learn", "train", "--model", "power",
+            "--trace", FIXTURE_TRACE, "--out", str(tmp_path / "x.json"),
+        )
+        assert code == 2
+        assert "no measured power" in stderr
+
+    def test_requires_a_source(self, capsys, tmp_path):
+        try:
+            main(["learn", "train", "--out", str(tmp_path / "x.json")])
+        except SystemExit as exc:
+            assert exc.code == 2
+        else:
+            raise AssertionError("argparse should reject a missing source")
+
+
+class TestLearnEval:
+    def _train(self, capsys, tmp_path, *extra):
+        out = tmp_path / "model.json"
+        code, _, _ = run_cli(
+            capsys, "learn", "train", "--trace", FIXTURE_TRACE,
+            "--out", str(out), *extra,
+        )
+        assert code == 0
+        return out
+
+    def test_eval_above_floor_passes(self, capsys, tmp_path):
+        artifact = self._train(capsys, tmp_path)
+        code, stdout, _ = run_cli(
+            capsys, "learn", "eval", str(artifact),
+            "--trace", FIXTURE_TRACE, "--min-accuracy", "0.5",
+            "--format", "json",
+        )
+        assert code == 0
+        payload = json.loads(stdout)
+        assert payload["passed"] is True
+        assert payload["accuracy"] >= 0.5
+
+    def test_eval_below_floor_fails(self, capsys, tmp_path):
+        artifact = self._train(capsys, tmp_path)
+        code, stdout, _ = run_cli(
+            capsys, "learn", "eval", str(artifact),
+            "--trace", FIXTURE_TRACE, "--min-accuracy", "1.01",
+        )
+        assert code == 1
+        assert "FAIL" in stdout
+
+    def test_eval_power_model_mae_ceiling(self, capsys, tmp_path):
+        out = tmp_path / "power.json"
+        code, _, _ = run_cli(
+            capsys, "learn", "train", "--model", "power",
+            "--benchmark", "applu_in", "--intervals", "64",
+            "--out", str(out),
+        )
+        assert code == 0
+        code, stdout, _ = run_cli(
+            capsys, "learn", "eval", str(out),
+            "--benchmark", "applu_in", "--intervals", "64",
+            "--max-mae-w", "2.0", "--format", "json",
+        )
+        assert code == 0
+        payload = json.loads(stdout)
+        assert payload["passed"] is True
+        assert payload["mae_w"] <= 2.0
+
+    def test_eval_missing_artifact_fails_cleanly(self, capsys, tmp_path):
+        code, _, stderr = run_cli(
+            capsys, "learn", "eval", str(tmp_path / "absent.json"),
+            "--trace", FIXTURE_TRACE,
+        )
+        assert code == 2
+        assert "cannot read artifact" in stderr
+
+
+class TestLearnCompare:
+    def test_compare_table(self, capsys):
+        code, stdout, _ = run_cli(
+            capsys, "learn", "compare",
+            "--benchmarks", "applu_in", "swim_in",
+            "--intervals", "96", "--no-cache",
+        )
+        assert code == 0
+        assert "tree" in stdout
+        assert "gpht" in stdout
+        assert "last_value" in stdout
+
+    def test_compare_json_is_jobs_invariant(self, capsys):
+        argv = (
+            "learn", "compare", "--benchmarks", "applu_in",
+            "--intervals", "96", "--models", "tree", "gpht",
+            "--no-cache", "--format", "json",
+        )
+        code, serial, _ = run_cli(capsys, *argv)
+        assert code == 0
+        code, parallel, _ = run_cli(capsys, *argv, "--jobs", "2")
+        assert code == 0
+        assert serial == parallel
+        payload = json.loads(serial)
+        assert payload["models"] == ["tree", "gpht"]
+        assert set(payload["summary"]) == {"tree", "gpht"}
+        cell = payload["cells"]["applu_in"]["tree"]
+        assert 0.0 <= cell["accuracy"] <= 1.0

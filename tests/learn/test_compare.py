@@ -1,0 +1,60 @@
+"""Unit tests for the accuracy-vs-overhead comparison grid."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import make_engine
+from repro.learn import compare_models, comparison_specs
+
+
+class TestComparisonSpecs:
+    def test_grid_covers_every_benchmark_model_pair(self):
+        specs = comparison_specs(("applu_in", "swim_in"), 64)
+        assert len(specs) == 2 * 4
+        kinds = {spec.kind for spec in specs}
+        assert kinds == {"learned_accuracy"}
+
+    def test_rejects_empty_benchmarks(self):
+        with pytest.raises(ConfigurationError):
+            comparison_specs((), 64)
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ConfigurationError, match="unknown model"):
+            comparison_specs(("applu_in",), 64, models=("svm",))
+
+
+class TestCompareModels:
+    def test_payload_shape_and_summary(self):
+        engine = make_engine(jobs=1, cache=None)
+        payload = compare_models(
+            engine,
+            benchmarks=("applu_in",),
+            n_intervals=96,
+            models=("tree", "last_value"),
+        )
+        assert payload["benchmarks"] == ["applu_in"]
+        assert payload["models"] == ["tree", "last_value"]
+        cells = payload["cells"]["applu_in"]
+        assert set(cells) == {"tree", "last_value"}
+        summary = payload["summary"]
+        for model in ("tree", "last_value"):
+            stats = summary[model]
+            assert 0.0 <= stats["mean_accuracy"] <= 1.0
+            assert stats["benchmarks_won"] in (0, 1)
+        # Exactly one strict winner on a single benchmark (or none on
+        # an exact tie).
+        assert sum(s["benchmarks_won"] for s in summary.values()) <= 1
+
+    def test_serial_and_parallel_runs_are_byte_identical(self):
+        kwargs = {
+            "benchmarks": ("applu_in",),
+            "n_intervals": 96,
+            "models": ("markov", "gpht"),
+        }
+        serial = compare_models(make_engine(jobs=1, cache=None), **kwargs)
+        parallel = compare_models(make_engine(jobs=2, cache=None), **kwargs)
+        assert json.dumps(serial, sort_keys=True) == json.dumps(
+            parallel, sort_keys=True
+        )

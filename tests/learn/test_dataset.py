@@ -1,0 +1,147 @@
+"""Unit tests for supervised dataset extraction (repro.learn.dataset)."""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core.phases import PhaseTable
+from repro.errors import ConfigurationError
+from repro.learn import (
+    POWER_FEATURES,
+    phase_dataset_from_benchmark,
+    phase_dataset_from_events,
+    phase_dataset_from_series,
+    power_dataset_from_benchmark,
+)
+from repro.learn.dataset import power_dataset_from_events
+from repro.serve.replay import load_trace
+
+FIXTURE_TRACE = (
+    pathlib.Path(__file__).parent / "fixtures" / "tiny_trace.jsonl"
+)
+
+TABLE = PhaseTable()
+
+
+def _series(n=40):
+    return [TABLE.representative_value(1 + (i * 5) % 6) for i in range(n)]
+
+
+class TestPhaseWindowLayout:
+    def test_shapes_and_label_alignment(self):
+        series = _series(40)
+        dataset = phase_dataset_from_series(series, history_length=3)
+        assert dataset.features.shape == (39, 5)
+        assert dataset.labels.shape == (39,)
+        phases = TABLE.classify_batch(series)
+        # Label t is the phase of sample t+1; the first feature column
+        # is the phase of sample t itself.
+        assert dataset.labels.tolist() == phases[1:]
+        assert dataset.features[:, 0].tolist() == [
+            float(p) for p in phases[:-1]
+        ]
+
+    def test_padding_before_stream_start(self):
+        series = _series(10)
+        dataset = phase_dataset_from_series(series, history_length=4)
+        # At t=0 only the current phase is known: lags and mem_prev pad 0.
+        first = dataset.features[0]
+        assert first[1] == 0.0 and first[2] == 0.0 and first[3] == 0.0
+        assert first[4] == series[0]
+        assert first[5] == 0.0
+        # At t=1 the previous mem sample fills in.
+        assert dataset.features[1, 5] == series[0]
+
+    def test_arrays_are_frozen(self):
+        dataset = phase_dataset_from_series(_series(), history_length=2)
+        with pytest.raises(ValueError):
+            dataset.features[0, 0] = 9.0
+        with pytest.raises(ValueError):
+            dataset.labels[0] = 9
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ConfigurationError):
+            phase_dataset_from_series([0.01], history_length=2)
+
+    def test_rejects_bad_history(self):
+        with pytest.raises(ConfigurationError):
+            phase_dataset_from_series(_series(), history_length=0)
+
+
+class TestDeterminism:
+    def test_digest_is_stable_across_extractions(self):
+        first = phase_dataset_from_series(_series(), history_length=4)
+        second = phase_dataset_from_series(_series(), history_length=4)
+        assert first.digest() == second.digest()
+        assert first.to_json() == second.to_json()
+
+    def test_benchmark_extraction_is_deterministic(self):
+        first = phase_dataset_from_benchmark("applu_in", 64, seed=7)
+        second = phase_dataset_from_benchmark("applu_in", 64, seed=7)
+        assert first.digest() == second.digest()
+
+    def test_canonical_json_round_trips(self):
+        dataset = phase_dataset_from_series(_series(), history_length=3)
+        payload = json.loads(dataset.to_json())
+        assert payload["type"] == "phase_window"
+        assert payload["history_length"] == 3
+        assert np.asarray(payload["features"]).shape == dataset.features.shape
+
+    def test_split_is_seeded_and_disjoint(self):
+        dataset = phase_dataset_from_series(_series(60), history_length=2)
+        train_a, hold_a = dataset.split(0.8, seed=13)
+        train_b, hold_b = dataset.split(0.8, seed=13)
+        assert train_a.to_json() == train_b.to_json()
+        assert hold_a.to_json() == hold_b.to_json()
+        assert len(train_a) + len(hold_a) == len(dataset)
+        # A different seed shuffles differently.
+        train_c, _ = dataset.split(0.8, seed=14)
+        assert train_c.to_json() != train_a.to_json()
+
+    def test_split_rejects_degenerate_fraction(self):
+        dataset = phase_dataset_from_series(_series(), history_length=2)
+        with pytest.raises(ConfigurationError):
+            dataset.split(1.0, seed=1)
+
+
+class TestTraceExtraction:
+    def test_fixture_trace_matches_series_extraction(self):
+        events = load_trace(FIXTURE_TRACE)
+        from_events = phase_dataset_from_events(events, history_length=4)
+        mem_values = [
+            event.mem_per_uop
+            for event in events
+            if type(event).__name__ == "IntervalSampled"
+        ]
+        from_series = phase_dataset_from_series(
+            mem_values, history_length=4
+        )
+        assert from_events.to_json() == from_series.to_json()
+        assert len(from_events) == len(mem_values) - 1
+
+    def test_empty_trace_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            phase_dataset_from_events([], history_length=4)
+
+
+class TestPowerDataset:
+    def test_benchmark_power_extraction(self):
+        dataset = power_dataset_from_benchmark("applu_in", 48, seed=3)
+        assert dataset.features.shape == (48, len(POWER_FEATURES))
+        assert dataset.power_w.shape == (48,)
+        assert (dataset.power_w > 0.0).all()
+        # The managed run must exercise more than one frequency, so the
+        # frequency feature carries signal.
+        assert len(set(dataset.features[:, 2].tolist())) > 1
+
+    def test_power_extraction_is_deterministic(self):
+        first = power_dataset_from_benchmark("applu_in", 32, seed=5)
+        second = power_dataset_from_benchmark("applu_in", 32, seed=5)
+        assert first.digest() == second.digest()
+
+    def test_trace_power_extraction_refuses_with_reason(self):
+        events = load_trace(FIXTURE_TRACE)
+        with pytest.raises(ConfigurationError, match="no measured power"):
+            power_dataset_from_events(events)

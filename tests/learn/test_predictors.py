@@ -1,0 +1,190 @@
+"""Unit tests for the trainable predictors (repro.learn.predictors)."""
+
+import pytest
+
+from repro.analysis import evaluate_predictor
+from repro.core.phases import PhaseTable
+from repro.core.predictors import PhaseObservation
+from repro.errors import ConfigurationError
+from repro.learn import (
+    DecisionTreePhasePredictor,
+    MarkovKPredictor,
+    phase_dataset_from_series,
+)
+
+TABLE = PhaseTable()
+
+
+def _series(n=200, stride=5):
+    return [
+        TABLE.representative_value(1 + (i * stride) % 6) for i in range(n)
+    ]
+
+
+def _observe(predictor, phase):
+    predictor.observe(
+        PhaseObservation(
+            phase=phase, mem_per_uop=TABLE.representative_value(phase)
+        )
+    )
+
+
+class TestDecisionTreePhasePredictor:
+    def test_fresh_predictor_predicts_default(self):
+        assert DecisionTreePhasePredictor().predict() == 1
+
+    def test_untrained_falls_back_to_last_value(self):
+        predictor = DecisionTreePhasePredictor(history_length=3)
+        _observe(predictor, 4)
+        assert predictor.predict() == 4
+        _observe(predictor, 2)
+        assert predictor.predict() == 2
+
+    def test_trained_predictor_learns_cyclic_pattern(self):
+        series = _series()
+        predictor = DecisionTreePhasePredictor(history_length=4)
+        predictor.fit(phase_dataset_from_series(series, history_length=4))
+        assert predictor.is_trained
+        result = evaluate_predictor(predictor, series, TABLE)
+        assert result.accuracy > 0.9
+
+    def test_fit_rejects_history_mismatch(self):
+        predictor = DecisionTreePhasePredictor(history_length=4)
+        dataset = phase_dataset_from_series(_series(), history_length=3)
+        with pytest.raises(ConfigurationError):
+            predictor.fit(dataset)
+
+    def test_reset_keeps_trained_stratum(self):
+        predictor = DecisionTreePhasePredictor(history_length=4)
+        tree = predictor.fit(
+            phase_dataset_from_series(_series(), history_length=4)
+        )
+        for phase in (1, 2, 3):
+            _observe(predictor, phase)
+        predictor.reset()
+        assert predictor.tree is tree
+        state = predictor.export_state()
+        assert state["history"] == []
+        assert state["seen"] == 0
+        assert state["tree"] is not None
+
+    def test_restore_rejects_regression_tree(self):
+        predictor = DecisionTreePhasePredictor(history_length=2)
+        state = predictor.export_state()
+        state["tree"] = {
+            "version": 1,
+            "task": "regression",
+            "n_features": 4,
+            "nodes": [[-1, 0.0, -1, -1, 2.5]],
+        }
+        with pytest.raises(ConfigurationError, match="classifier"):
+            predictor.restore_state(state)
+
+    def test_restore_rejects_feature_count_mismatch(self):
+        trained = DecisionTreePhasePredictor(history_length=4)
+        trained.fit(phase_dataset_from_series(_series(), history_length=4))
+        narrow = DecisionTreePhasePredictor(history_length=2)
+        state = dict(trained.export_state())
+        state["history_length"] = 2  # get past the config check
+        with pytest.raises(ConfigurationError, match="features"):
+            narrow.restore_state(state)
+
+    def test_restore_rejects_oversized_history(self):
+        predictor = DecisionTreePhasePredictor(history_length=2)
+        state = dict(predictor.export_state())
+        state["history"] = [1, 2, 3]
+        with pytest.raises(ConfigurationError, match="history"):
+            predictor.restore_state(state)
+
+    def test_rejects_bad_history_length(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTreePhasePredictor(history_length=0)
+
+
+class TestMarkovKPredictor:
+    def test_fresh_predictor_predicts_default(self):
+        assert MarkovKPredictor().predict() == 1
+
+    def test_untrained_single_observation_is_last_value(self):
+        predictor = MarkovKPredictor(order=2)
+        _observe(predictor, 5)
+        assert predictor.predict() == 5
+
+    def test_trained_predictor_learns_cyclic_pattern(self):
+        series = _series()
+        predictor = MarkovKPredictor(order=3)
+        predictor.fit(phase_dataset_from_series(series, history_length=3))
+        assert predictor.is_trained
+        result = evaluate_predictor(predictor, series, TABLE)
+        assert result.accuracy > 0.9
+
+    def test_online_learning_without_prior(self):
+        # A strictly repeating pattern becomes predictable online.
+        predictor = MarkovKPredictor(order=2, alpha=0.5)
+        pattern = [1, 2, 3] * 20
+        correct = 0
+        for i, phase in enumerate(pattern):
+            _observe(predictor, phase)
+            if i + 1 < len(pattern):
+                correct += predictor.predict() == pattern[i + 1]
+        assert correct / (len(pattern) - 1) > 0.8
+
+    def test_tie_break_prefers_current_phase(self):
+        # No counts at all beyond support: every symbol is uniform, so
+        # the argmax ties and persistence must win.
+        predictor = MarkovKPredictor(order=2, alpha=0.5)
+        state = predictor.export_state()
+        state["prior_support"] = [1, 2, 3]
+        state["history"] = [2]
+        predictor.restore_state(state)
+        assert predictor.predict() == 2
+
+    def test_reset_keeps_prior_counts(self):
+        predictor = MarkovKPredictor(order=2)
+        predictor.fit(phase_dataset_from_series(_series(), history_length=2))
+        _observe(predictor, 1)
+        _observe(predictor, 2)
+        predictor.reset()
+        state = predictor.export_state()
+        assert state["counts"] == []
+        assert state["history"] == []
+        assert state["prior"] != []
+        assert predictor.is_trained
+
+    def test_restore_rejects_long_context(self):
+        predictor = MarkovKPredictor(order=2)
+        state = dict(predictor.export_state())
+        state["counts"] = [[[1, 2, 3], [[1, 4]]]]
+        with pytest.raises(ConfigurationError, match="length"):
+            predictor.restore_state(state)
+
+    def test_restore_rejects_nonpositive_count(self):
+        predictor = MarkovKPredictor(order=2)
+        state = dict(predictor.export_state())
+        state["prior"] = [[[1], [[2, 0]]]]
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            predictor.restore_state(state)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MarkovKPredictor(order=0)
+        with pytest.raises(ConfigurationError):
+            MarkovKPredictor(alpha=0.0)
+
+    def test_fit_stops_context_at_padding(self):
+        # history [3, 0]: the padded lag must not produce a length-2
+        # context containing phase 0.
+        predictor = MarkovKPredictor(order=2)
+        predictor.fit(
+            phase_dataset_from_series(
+                [
+                    TABLE.representative_value(3),
+                    TABLE.representative_value(4),
+                ],
+                history_length=2,
+            )
+        )
+        state = predictor.export_state()
+        contexts = [tuple(context) for context, _ in state["prior"]]
+        assert all(0 not in context for context in contexts)
+        assert 0 not in state["prior_support"]

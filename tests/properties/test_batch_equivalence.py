@@ -28,13 +28,47 @@ from repro.core.predictors import (
     VariableWindowPredictor,
 )
 from repro.errors import ConfigurationError
+from repro.learn import (
+    DecisionTreePhasePredictor,
+    MarkovKPredictor,
+    phase_dataset_from_series,
+    train_markov,
+    train_phase_tree,
+)
 
 TABLE = PhaseTable()
 
 ORACLE_SCRIPT = tuple(1 + (i * 5) % 6 for i in range(200))
 
+# Learned-predictor twins restore the same trained artifact state, so
+# the batch kernels are exercised with a non-trivial trained stratum.
+_TRAIN_SERIES = [
+    TABLE.representative_value(1 + (i * 5) % 6) for i in range(120)
+]
+_TRAINED_TREE_STATE = train_phase_tree(
+    phase_dataset_from_series(_TRAIN_SERIES, history_length=3)
+)[1].state
+_TRAINED_MARKOV_STATE = train_markov(
+    phase_dataset_from_series(_TRAIN_SERIES, history_length=3), order=3
+)[1].state
+
+
+def _trained_tree():
+    predictor = DecisionTreePhasePredictor(history_length=3)
+    predictor.restore_state(_TRAINED_TREE_STATE)
+    return predictor
+
+
+def _trained_markov_k():
+    predictor = MarkovKPredictor(order=3, alpha=0.5)
+    predictor.restore_state(_TRAINED_MARKOV_STATE)
+    return predictor
+
+
 # The full zoo: the three kernelized predictors plus every scalar-loop
-# fallback (markov, hybrid, confidence, duration, variable-window, ...).
+# fallback (markov, hybrid, confidence, duration, variable-window, ...),
+# plus the repro.learn predictors (markov_k overrides the batch kernels;
+# the tree predictor rides the base-class scalar loop).
 ZOO = [
     ("last_value", LastValuePredictor),
     ("fixed_window_majority", lambda: FixedWindowPredictor(4)),
@@ -48,6 +82,13 @@ ZOO = [
     ("duration", lambda: DurationPredictor(continuation_threshold=0.5)),
     ("direct_mapped", lambda: DirectMappedGPHTPredictor(4, 16)),
     ("oracle", lambda: OraclePredictor(ORACLE_SCRIPT)),
+    ("markov_k_untrained", lambda: MarkovKPredictor(order=2, alpha=0.5)),
+    ("markov_k_trained", _trained_markov_k),
+    (
+        "learned_tree_untrained",
+        lambda: DecisionTreePhasePredictor(history_length=3),
+    ),
+    ("learned_tree_trained", _trained_tree),
 ]
 ZOO_IDS = [name for name, _ in ZOO]
 ZOO_FACTORIES = [factory for _, factory in ZOO]

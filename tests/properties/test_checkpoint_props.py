@@ -1,0 +1,157 @@
+"""Property: every zoo checkpoint is lossless, for every predictor.
+
+``export_state`` / ``restore_state`` promise that a snapshot taken after
+*any* observation prefix, serialized through JSON and restored into a
+freshly constructed twin, yields a predictor whose entire observable
+future — predictions under any continuation — is bit-identical to the
+original's.  PR by PR the zoo grew checkpointing one predictor at a
+time; this suite holds every entry (including the trained
+:mod:`repro.learn` models) to the same contract, so a predictor whose
+export forgets a mutable field fails here before it can corrupt a serve
+checkpoint.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.phases import PhaseTable
+from repro.core.predictors import (
+    ConfidenceGPHTPredictor,
+    DirectMappedGPHTPredictor,
+    DurationPredictor,
+    FixedWindowPredictor,
+    GPHTPredictor,
+    LastValuePredictor,
+    MarkovPredictor,
+    OraclePredictor,
+    PhaseObservation,
+    TournamentPredictor,
+    VariableWindowPredictor,
+)
+from repro.errors import ConfigurationError
+from repro.learn import (
+    DecisionTreePhasePredictor,
+    MarkovKPredictor,
+    phase_dataset_from_series,
+    train_markov,
+    train_phase_tree,
+)
+
+TABLE = PhaseTable()
+
+ORACLE_SCRIPT = tuple(1 + (i * 3) % 6 for i in range(300))
+
+_TRAIN_SERIES = [
+    TABLE.representative_value(1 + (i * 5) % 6) for i in range(120)
+]
+_TRAINED_TREE_STATE = train_phase_tree(
+    phase_dataset_from_series(_TRAIN_SERIES, history_length=3)
+)[1].state
+_TRAINED_MARKOV_STATE = train_markov(
+    phase_dataset_from_series(_TRAIN_SERIES, history_length=3), order=3
+)[1].state
+
+
+def _trained_tree():
+    predictor = DecisionTreePhasePredictor(history_length=3)
+    predictor.restore_state(_TRAINED_TREE_STATE)
+    return predictor
+
+
+def _trained_markov_k():
+    predictor = MarkovKPredictor(order=3, alpha=0.5)
+    predictor.restore_state(_TRAINED_MARKOV_STATE)
+    return predictor
+
+
+# (name, factory): factory() builds the restore target too, so exports
+# must be self-contained given an identically-configured fresh twin.
+CHECKPOINT_ZOO = [
+    ("last_value", LastValuePredictor),
+    ("fixed_window", lambda: FixedWindowPredictor(4)),
+    ("variable_window", lambda: VariableWindowPredictor(6, 0.005)),
+    ("gpht_lru", lambda: GPHTPredictor(4, 8)),
+    ("gpht_fifo", lambda: GPHTPredictor(3, 4, replacement="fifo")),
+    ("markov", MarkovPredictor),
+    ("tournament", lambda: TournamentPredictor(4, 16, chooser_bits=2)),
+    ("confidence", lambda: ConfidenceGPHTPredictor(4, 16, max_confidence=2)),
+    ("duration", lambda: DurationPredictor(continuation_threshold=0.5)),
+    ("direct_mapped", lambda: DirectMappedGPHTPredictor(4, 16)),
+    ("oracle", lambda: OraclePredictor(ORACLE_SCRIPT)),
+    ("markov_k", lambda: MarkovKPredictor(order=2, alpha=0.5)),
+    ("markov_k_trained", _trained_markov_k),
+    ("learned_tree", lambda: DecisionTreePhasePredictor(history_length=3)),
+    ("learned_tree_trained", _trained_tree),
+]
+ZOO_IDS = [name for name, _ in CHECKPOINT_ZOO]
+ZOO_FACTORIES = [factory for _, factory in CHECKPOINT_ZOO]
+
+observations = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=6),
+        st.floats(min_value=0.0, max_value=0.06, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def _drive(predictor, samples):
+    predictions = []
+    for phase, mem in samples:
+        predictor.observe(PhaseObservation(phase=phase, mem_per_uop=mem))
+        predictions.append(predictor.predict())
+    return predictions
+
+
+@pytest.mark.parametrize("factory", ZOO_FACTORIES, ids=ZOO_IDS)
+@given(prefix=observations, future=observations)
+@settings(max_examples=30, deadline=None)
+def test_snapshot_restore_preserves_every_future_prediction(
+    factory, prefix, future
+):
+    original = factory()
+    _drive(original, prefix)
+
+    # The checkpoint must survive a real JSON round trip (what serve's
+    # CheckpointStore and the model artifacts actually persist).
+    state = json.loads(json.dumps(original.export_state()))
+    restored = factory()
+    restored.restore_state(state)
+
+    assert restored.export_state() == original.export_state()
+    assert _drive(restored, future) == _drive(original, future)
+    assert restored.export_state() == original.export_state()
+
+
+@pytest.mark.parametrize("factory", ZOO_FACTORIES, ids=ZOO_IDS)
+def test_checkpoint_kind_mismatch_is_rejected(factory):
+    predictor = factory()
+    state = dict(predictor.export_state())
+    state["kind"] = "not-a-predictor"
+    fresh = factory()
+    with pytest.raises(ConfigurationError):
+        fresh.restore_state(state)
+
+
+@pytest.mark.parametrize("factory", ZOO_FACTORIES, ids=ZOO_IDS)
+def test_reset_then_restore_resumes_from_checkpoint(factory):
+    """A snapshot taken mid-stream survives the receiver's reset()."""
+    left = factory()
+    samples = [
+        (1 + (i % 6), TABLE.representative_value(1 + (i % 6)))
+        for i in range(25)
+    ]
+    _drive(left, samples)
+    state = left.export_state()
+
+    right = factory()
+    _drive(right, samples[:7])
+    right.reset()
+    right.restore_state(state)
+    assert right.export_state() == state
+
+    probe = [(1 + (i * 2) % 6, 0.012) for i in range(12)]
+    assert _drive(right, probe) == _drive(left, probe)

@@ -9,6 +9,7 @@ from repro.core.predictors import (
     GPHTPredictor,
     LastValuePredictor,
     PhaseObservation,
+    PhasePredictor,
     VariableWindowPredictor,
 )
 from repro.errors import ConfigurationError
@@ -71,11 +72,33 @@ class TestPredictorState:
             )
 
     def test_unsupported_predictor_raises(self):
-        predictor = VariableWindowPredictor(16, 0.005)
+        # The whole built-in zoo supports checkpointing now; the
+        # base-class default (for third-party predictors that never
+        # implement the contract) must keep raising loudly.
+        class _NoCheckpoint(PhasePredictor):
+            name = "no_checkpoint"
+
+            def observe(self, observation):
+                pass
+
+            def predict(self):
+                return 1
+
+            def reset(self):
+                pass
+
+        predictor = _NoCheckpoint()
         with pytest.raises(ConfigurationError, match="checkpointing"):
             predictor.export_state()
         with pytest.raises(ConfigurationError, match="checkpointing"):
             predictor.restore_state({})
+
+    def test_variable_window_supports_checkpointing(self):
+        trained = VariableWindowPredictor(16, 0.005)
+        _observe(trained, [1, 2, 1, 3, 2, 1, 2, 3])
+        clone = VariableWindowPredictor(16, 0.005)
+        clone.restore_state(trained.export_state())
+        assert clone.export_state() == trained.export_state()
 
 
 class TestSessionSnapshot:

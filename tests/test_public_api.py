@@ -28,6 +28,7 @@ def test_all_exports_resolve():
         "repro.system",
         "repro.analysis",
         "repro.exec",
+        "repro.learn",
         "repro.serve",
     ],
 )
