@@ -1,21 +1,41 @@
 """Shared fixtures and reporting helpers for the benchmark harness.
 
-Every bench regenerates one of the paper's tables or figures (as text
-series), saves it under ``benchmarks/results/`` and asserts the shape
-properties the paper reports.  Timings come from pytest-benchmark; the
-heavy experiment body runs once via ``benchmark.pedantic``.
+Every bench regenerates one of the paper's tables or figures, saves it
+under the results directory and asserts the shape properties the paper
+reports.  Timings come from pytest-benchmark; the heavy experiment body
+runs once via ``benchmark.pedantic``.
+
+The ``report`` fixture persists two renderings of every artifact:
+
+* ``results/<name>.txt`` — the human-readable table/figure text;
+* ``results/<name>.json`` — a schema-valid, versioned
+  :class:`repro.bench.BenchResult` with host provenance.  Deterministic
+  scalars go in ``metrics`` (gated by ``repro bench compare``),
+  wall-clock rates in ``measured`` (gated only under
+  ``REPRO_BENCH_ENFORCE=1``), free-form context in ``details``.
+
+``REPRO_BENCH_OUT`` redirects the results directory — ``repro bench
+run`` points it at a scratch dir so committed baselines are only ever
+updated deliberately.
 """
 
 from __future__ import annotations
 
-import json
+import os
 import pathlib
 
 import pytest
 
+from repro.bench import BenchResult
 from repro.system.machine import Machine
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+def results_dir() -> pathlib.Path:
+    """Where artifacts land: ``$REPRO_BENCH_OUT`` or the committed dir."""
+    override = os.environ.get("REPRO_BENCH_OUT")
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="session")
@@ -26,32 +46,33 @@ def machine():
 
 @pytest.fixture(scope="session")
 def report():
-    """Persist a reproduced artifact and echo it to stdout."""
+    """Persist a reproduced artifact (text + versioned JSON)."""
 
-    def _report(name: str, text: str) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"{name}.txt"
-        path.write_text(text + "\n", encoding="utf-8")
-        print(f"\n{text}\n[saved to {path}]")
-
-    return _report
-
-
-@pytest.fixture(scope="session")
-def report_json():
-    """Persist a machine-readable artifact as ``results/<name>.json``."""
-
-    def _report_json(name: str, payload: dict) -> pathlib.Path:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        path = RESULTS_DIR / f"{name}.json"
-        path.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
+    def _report(
+        name: str,
+        text: str,
+        *,
+        metrics=None,
+        measured=None,
+        parameters=None,
+        details=None,
+    ) -> pathlib.Path:
+        out = results_dir()
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        result = BenchResult.create(
+            name,
+            metrics=metrics,
+            measured=measured,
+            parameters=parameters,
+            details=details,
         )
-        print(f"\n[saved to {path}]")
+        path = out / f"{name}.json"
+        path.write_text(result.to_json(), encoding="utf-8")
+        print(f"\n{text}\n[saved to {path.with_suffix('')}.{{txt,json}}]")
         return path
 
-    return _report_json
+    return _report
 
 
 def run_once(benchmark, func):

@@ -57,6 +57,18 @@ def test_ablation_associativity(benchmark, report):
                 "direct-mapped table, accuracy (%)."
             ),
         ),
+        parameters={
+            "n_intervals": N_INTERVALS,
+            "n_benchmarks": len(VARIABLE_BENCHMARKS),
+        },
+        metrics={
+            f"{column}_mean_accuracy": sum(
+                results[name][column].accuracy
+                for name in VARIABLE_BENCHMARKS
+            )
+            / len(VARIABLE_BENCHMARKS)
+            for column in columns
+        },
     )
 
     for name in VARIABLE_BENCHMARKS:

@@ -47,6 +47,18 @@ def test_ablation_gphr_depth(benchmark, report):
             rows,
             title="Ablation: GPHT accuracy (%) vs GPHR depth (PHT=1024).",
         ),
+        parameters={
+            "n_intervals": N_INTERVALS,
+            "n_benchmarks": len(VARIABLE_BENCHMARKS),
+        },
+        metrics={
+            f"{column}_mean_accuracy": sum(
+                results[name][column].accuracy
+                for name in VARIABLE_BENCHMARKS
+            )
+            / len(VARIABLE_BENCHMARKS)
+            for column in columns
+        },
     )
 
     for name in VARIABLE_BENCHMARKS:

@@ -75,6 +75,17 @@ def test_ablation_granularity(benchmark, report):
             rows,
             title="Ablation: PMI sampling granularity on applu.",
         ),
+        parameters={
+            "benchmark": "applu_in",
+            "segment_uops": SEGMENT_UOPS,
+            "n_segments": N_SEGMENTS,
+        },
+        metrics={
+            f"edp_improvement_{granularity // 1_000_000}m": outcomes[
+                granularity
+            ][0].edp_improvement
+            for granularity in GRANULARITIES
+        },
     )
 
     fine, _ = outcomes[25_000_000]

@@ -80,6 +80,13 @@ def test_ablation_markov_robustness(benchmark, report):
                 "behaviour — the GPHT's worst case."
             ),
         ),
+        parameters={"n_intervals": N_INTERVALS, "n_states": len(STATES)},
+        metrics={
+            f"gpht_accuracy_p{int(stay * 100):02d}": results[stay][
+                "GPHT_8_128"
+            ].accuracy
+            for stay in STICKINESS
+        },
     )
 
     for stay in STICKINESS:

@@ -92,6 +92,25 @@ def test_ablation_model_sensitivity(benchmark, report):
                 "constants (9-point grid)."
             ),
         ),
+        parameters={
+            "n_intervals": N_INTERVALS,
+            "n_grid_points": len(outcomes),
+        },
+        metrics={
+            "min_swim_edp_improvement": min(
+                cell["swim_in"][0].edp_improvement
+                for cell in outcomes.values()
+            ),
+            "min_applu_edp_improvement": min(
+                cell["applu_in"][0].edp_improvement
+                for cell in outcomes.values()
+            ),
+            "min_gpht_vs_reactive_gap": min(
+                cell["applu_in"][0].edp_improvement
+                - cell["applu_in"][1].edp_improvement
+                for cell in outcomes.values()
+            ),
+        },
     )
 
     for (latency, leakage), cell in outcomes.items():

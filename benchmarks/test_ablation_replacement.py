@@ -51,6 +51,18 @@ def test_ablation_replacement(benchmark, report):
             rows,
             title="Ablation: PHT replacement policy, accuracy (%).",
         ),
+        parameters={
+            "n_intervals": N_INTERVALS,
+            "n_benchmarks": len(VARIABLE_BENCHMARKS),
+        },
+        metrics={
+            f"{column}_mean_accuracy": sum(
+                results[name][column].accuracy
+                for name in VARIABLE_BENCHMARKS
+            )
+            / len(VARIABLE_BENCHMARKS)
+            for column in columns
+        },
     )
 
     for name in VARIABLE_BENCHMARKS:

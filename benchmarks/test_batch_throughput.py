@@ -3,15 +3,19 @@
 The batch-first predictor API exists for one reason: a live session
 should absorb a backlog of samples far faster than replaying them one
 ``feed()`` at a time, without changing a single bit of the outcome.
-This bench pins both halves of that claim.  The scalar baseline is
-re-measured in the same run (absolute throughput varies wildly across
-hosts; the committed artifact from another machine is not a fair
-denominator), the speedup is asserted against the >= 5x target, and
-the measurement is persisted as a versioned JSON artifact.
+This bench pins both halves of that claim.  The bit-equality checks
+are unconditional; the wall-clock speedup is *recorded* into the
+artifact's ``measured`` block and gated by ``repro bench compare``
+(hard-asserted only under ``REPRO_BENCH_ENFORCE=1``) — a loaded shared
+runner must never turn a slow minute into a red build.  The scalar
+baseline is re-measured in the same run: absolute throughput varies
+wildly across hosts, so a committed number from another machine is not
+a fair denominator.
 """
 
 import time
 
+from repro.bench import check_perf, require_positive_elapsed
 from repro.serve import PhaseSession, SessionConfig
 from repro.workloads.spec2000 import benchmark as spec_benchmark
 
@@ -20,7 +24,6 @@ from .conftest import run_once
 BATCH_SIZE = 1024
 N_SAMPLES = 8192
 SPEEDUP_TARGET = 5.0
-ARTIFACT_VERSION = 1
 
 
 def _mem_series(n_intervals):
@@ -48,21 +51,38 @@ def _feed_batched(series):
     return session
 
 
-def test_batch_feed_throughput_speedup(benchmark, report, report_json):
-    """feed_batch must beat the scalar loop >= 5x, bit-identically."""
+def assess_speedup(scalar_seconds, batch_seconds, n_samples):
+    """Turn two elapsed times into rates and a speedup.
+
+    Pure (no clocks, no fixtures) so the de-flake regression tests can
+    drive it with mocked timings.  Degenerate elapsed times raise
+    :class:`repro.bench.MeasurementError` instead of short-circuiting
+    to a silent ``0.0`` speedup.
+    """
+    scalar_seconds = require_positive_elapsed(
+        scalar_seconds, "scalar feed baseline"
+    )
+    batch_seconds = require_positive_elapsed(batch_seconds, "batch feed")
+    scalar_rate = n_samples / scalar_seconds
+    batch_rate = n_samples / batch_seconds
+    return scalar_rate, batch_rate, batch_rate / scalar_rate
+
+
+def test_batch_feed_throughput_speedup(benchmark, report):
+    """feed_batch matches the scalar loop bit-for-bit; speedup recorded."""
     series = _mem_series(N_SAMPLES)
 
     scalar_seconds, scalar_session = _scalar_seconds(series)
     batch_session = run_once(benchmark, lambda: _feed_batched(series))
 
-    # Identical outcomes are a precondition for the speedup to count.
+    # Identical outcomes are a precondition for the speedup to count —
+    # these stay unconditional.
     assert batch_session.samples == scalar_session.samples == len(series)
     assert batch_session.snapshot() == scalar_session.snapshot()
 
-    batch_seconds = benchmark.stats.stats.min
-    scalar_rate = len(series) / scalar_seconds
-    batch_rate = len(series) / batch_seconds
-    speedup = scalar_rate and batch_rate / scalar_rate
+    scalar_rate, batch_rate, speedup = assess_speedup(
+        scalar_seconds, benchmark.stats.stats.min, len(series)
+    )
 
     report(
         "batch_feed_throughput",
@@ -71,23 +91,22 @@ def test_batch_feed_throughput_speedup(benchmark, report, report_json):
         f"{scalar_rate:,.0f} samples/sec -> {speedup:.1f}x speedup "
         f"(batch size {BATCH_SIZE}, applu_in Mem/Uop series, "
         "GPHT 8x128, table2 policy).",
-    )
-    report_json(
-        "batch_feed_throughput",
-        {
-            "version": ARTIFACT_VERSION,
+        parameters={
             "benchmark": "applu_in",
             "samples": len(series),
             "batch_size": BATCH_SIZE,
+            "speedup_target": SPEEDUP_TARGET,
+        },
+        measured={
             "scalar_samples_per_s": round(scalar_rate, 1),
             "batch_samples_per_s": round(batch_rate, 1),
             "speedup": round(speedup, 2),
-            "speedup_target": SPEEDUP_TARGET,
         },
     )
-    assert speedup >= SPEEDUP_TARGET, (
+    check_perf(
+        speedup >= SPEEDUP_TARGET,
         f"batch fast path only {speedup:.1f}x over scalar feed "
-        f"(target {SPEEDUP_TARGET}x)"
+        f"(target {SPEEDUP_TARGET}x)",
     )
 
 
@@ -109,14 +128,33 @@ def test_batch_evaluator_matches_and_outruns_scalar(benchmark, report):
     batch_result = run_once(
         benchmark, lambda: evaluate_predictor_batch(predictor, series)
     )
+    # Unconditional: the batch evaluator must be bit-identical.
     assert batch_result == scalar_result
 
-    batch_seconds = benchmark.stats.stats.min
+    scalar_rate, batch_rate, speedup = assess_speedup(
+        scalar_seconds, benchmark.stats.stats.min, len(series)
+    )
     report(
         "batch_evaluator_throughput",
         "Analysis layer. evaluate_predictor_batch(GPHT 8x128): "
-        f"{len(series) / batch_seconds:,.0f} samples/sec vs scalar "
-        f"{len(series) / scalar_seconds:,.0f} samples/sec "
-        f"({scalar_seconds / batch_seconds:.1f}x) on applu_in.",
+        f"{batch_rate:,.0f} samples/sec vs scalar "
+        f"{scalar_rate:,.0f} samples/sec "
+        f"({speedup:.1f}x) on applu_in.",
+        parameters={
+            "benchmark": "applu_in",
+            "samples": len(series),
+            "predictor": "GPHT_8_128",
+        },
+        metrics={
+            "accuracy": batch_result.accuracy,
+        },
+        measured={
+            "scalar_samples_per_s": round(scalar_rate, 1),
+            "batch_samples_per_s": round(batch_rate, 1),
+            "speedup": round(speedup, 2),
+        },
     )
-    assert batch_seconds < scalar_seconds
+    check_perf(
+        speedup >= 1.0,
+        f"batch evaluator slower than the scalar path ({speedup:.2f}x)",
+    )

@@ -73,6 +73,16 @@ def test_ext_multiprogram(benchmark, report):
                 f"(quantum {QUANTUM_UOPS // 1_000_000}M uops)."
             ),
         ),
+        parameters={
+            "n_intervals": N_INTERVALS,
+            "quantum_uops": QUANTUM_UOPS,
+        },
+        metrics={
+            "gpht_prediction_accuracy": gpht.prediction_accuracy(),
+            "reactive_prediction_accuracy": reactive.prediction_accuracy(),
+            "gpht_edp_improvement": gpht_cmp.edp_improvement,
+            "reactive_edp_improvement": reactive_cmp.edp_improvement,
+        },
     )
 
     # The quantum alternation defeats reactive prediction almost

@@ -61,6 +61,7 @@ def test_ext_oracle_bound(benchmark, report):
     outcomes = run_once(benchmark, run_bound)
 
     rows = []
+    captured_by_name = {}
     for name, per in outcomes.items():
         oracle = per["Oracle"].edp_improvement
         gpht = per["GPHT"].edp_improvement
@@ -70,6 +71,7 @@ def test_ext_oracle_bound(benchmark, report):
             if oracle > reactive
             else 1.0
         )
+        captured_by_name[name] = captured
         rows.append(
             (
                 name,
@@ -95,6 +97,20 @@ def test_ext_oracle_bound(benchmark, report):
                 "management."
             ),
         ),
+        parameters={
+            "n_intervals": N_INTERVALS,
+            "n_benchmarks": len(WORKLOADS),
+        },
+        metrics={
+            "mean_gap_captured": sum(captured_by_name.values())
+            / len(captured_by_name),
+            **{
+                f"{name}_gpht_edp_improvement": outcomes[name][
+                    "GPHT"
+                ].edp_improvement
+                for name in WORKLOADS
+            },
+        },
     )
 
     for name, per in outcomes.items():

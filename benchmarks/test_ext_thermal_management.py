@@ -79,6 +79,12 @@ def test_ext_thermal_management(benchmark, report):
                 f"(trip {TRIP_C:g} degC) on a CPU-bound workload."
             ),
         ),
+        parameters={"n_intervals": N_INTERVALS, "trip_c": TRIP_C},
+        metrics={
+            "unmanaged_peak_temperature_c": outcomes["unmanaged"][1],
+            "dtm_peak_temperature_c": outcomes["GPHT + DTM"][1],
+            "dtm_slowdown": baseline.bips / outcomes["GPHT + DTM"][0].bips,
+        },
     )
 
     unmanaged_peak = outcomes["unmanaged"][1]

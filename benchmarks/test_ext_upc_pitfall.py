@@ -95,6 +95,7 @@ def test_ext_upc_pitfall(benchmark, report):
     from repro.system.metrics import ComparisonMetrics
 
     rows = []
+    summary = {}
     for name, runs in outcomes.items():
         mem_divergence = divergence(runs["baseline"], runs["mem_managed"])
         upc_divergence = divergence(runs["upc_baseline"], runs["upc_managed"])
@@ -104,6 +105,10 @@ def test_ext_upc_pitfall(benchmark, report):
         upc_edp = ComparisonMetrics(
             baseline=runs["baseline"], managed=runs["upc_managed"]
         ).edp_improvement
+        summary[f"{name}_mem_divergence"] = mem_divergence
+        summary[f"{name}_upc_divergence"] = upc_divergence
+        summary[f"{name}_mem_edp_improvement"] = mem_edp
+        summary[f"{name}_upc_edp_improvement"] = upc_edp
         rows.append(
             (
                 name,
@@ -130,6 +135,8 @@ def test_ext_upc_pitfall(benchmark, report):
                 "(paper Section 4)."
             ),
         ),
+        parameters={"n_intervals": N_INTERVALS},
+        metrics=summary,
     )
 
     for name, runs in outcomes.items():

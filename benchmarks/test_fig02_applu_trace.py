@@ -46,15 +46,28 @@ def test_fig02_applu_trace(benchmark, report):
         f"GPHT accuracy      : {format_percent(gpht.accuracy)}",
         f"LastValue accuracy : {format_percent(last.accuracy)}",
     ]
-    report("fig02_applu_trace", "\n".join(lines))
+    # The trained window itself is predicted near-perfectly by GPHT.
+    window_hits = sum(
+        1 for p, a in zip(gpht_window, actual_window) if p == a
+    )
+    report(
+        "fig02_applu_trace",
+        "\n".join(lines),
+        parameters={
+            "benchmark": "applu_in",
+            "n_intervals": N_INTERVALS,
+            "window_start": WINDOW.start,
+            "window_stop": WINDOW.stop,
+        },
+        metrics={
+            "gpht_accuracy": gpht.accuracy,
+            "last_value_accuracy": last.accuracy,
+            "window_accuracy": window_hits / len(actual_window),
+        },
+    )
 
     # Paper: applu is highly variable, last value mispredicts more than
     # a third of the phases; GPHT matches almost perfectly.
     assert last.misprediction_rate > 1 / 3
     assert gpht.accuracy > 0.88
-
-    # The trained window itself is predicted near-perfectly by GPHT.
-    window_hits = sum(
-        1 for p, a in zip(gpht_window, actual_window) if p == a
-    )
     assert window_hits / len(actual_window) > 0.85

@@ -48,6 +48,7 @@ def test_fig03_quadrants(benchmark, report):
         )
         for p in ordered
     ]
+    q1 = [p for p in placements.values() if p.quadrant == Quadrant.Q1]
     report(
         "fig03_quadrants",
         format_table(
@@ -58,13 +59,25 @@ def test_fig03_quadrants(benchmark, report):
                 "power saving potentials."
             ),
         ),
+        parameters={"n_intervals": N_INTERVALS},
+        metrics={
+            "n_benchmarks": len(placements),
+            "q1_count": len(q1),
+            "paper_quadrants_matched": sum(
+                1
+                for name, expected in PAPER_QUADRANTS.items()
+                if placements[name].quadrant == expected
+            ),
+            "mcf_savings_potential": placements[
+                "mcf_inp"
+            ].savings_potential,
+        },
     )
 
     for name, expected in PAPER_QUADRANTS.items():
         assert placements[name].quadrant == expected, name
 
     # 'Many of the SPEC applications lie very close to the origin.'
-    q1 = [p for p in placements.values() if p.quadrant == Quadrant.Q1]
     assert len(q1) >= 20
 
     # mcf is the far-right outlier of the figure (x ~ 0.10-0.12).

@@ -61,6 +61,19 @@ def test_fig04_prediction_accuracy(benchmark, report):
             [name]
             + [round(per[column].accuracy * 100, 1) for column in COLUMNS]
         )
+    accuracy = {
+        name: {column: results[name][column].accuracy for column in COLUMNS}
+        for name in FIG4_BENCHMARK_ORDER
+    }
+    metrics = {
+        f"{column}_mean_accuracy": sum(
+            accuracy[name][column] for name in FIG4_BENCHMARK_ORDER
+        )
+        / len(FIG4_BENCHMARK_ORDER)
+        for column in COLUMNS
+    }
+    metrics["applu_gpht_accuracy"] = accuracy["applu_in"]["GPHT_8_1024"]
+    metrics["applu_last_value_accuracy"] = accuracy["applu_in"]["LastValue"]
     report(
         "fig04_prediction_accuracy",
         format_table(
@@ -71,12 +84,17 @@ def test_fig04_prediction_accuracy(benchmark, report):
                 "experimented prediction techniques."
             ),
         ),
+        parameters={
+            "n_intervals": N_INTERVALS,
+            "n_benchmarks": len(FIG4_BENCHMARK_ORDER),
+        },
+        metrics=metrics,
+        details={
+            "accuracy": {
+                name: accuracy[name] for name in FIG4_BENCHMARK_ORDER
+            }
+        },
     )
-
-    accuracy = {
-        name: {column: results[name][column].accuracy for column in COLUMNS}
-        for name in FIG4_BENCHMARK_ORDER
-    }
 
     # Stable benchmarks: 'almost all approaches perform very well,
     # achieving above 80% prediction accuracies'; last value and GPHT

@@ -49,6 +49,17 @@ def test_fig05_pht_sweep(benchmark, report):
                 "number of PHT entries."
             ),
         ),
+        parameters={
+            "n_intervals": N_INTERVALS,
+            "n_benchmarks": len(FIG5_BENCHMARKS),
+        },
+        metrics={
+            f"{column}_mean_accuracy": sum(
+                results[name][column].accuracy for name in FIG5_BENCHMARKS
+            )
+            / len(FIG5_BENCHMARKS)
+            for column in columns
+        },
     )
 
     for name in FIG5_BENCHMARKS:

@@ -79,6 +79,13 @@ def test_fig07_dvfs_invariance(benchmark, report):
             [label] + [round(per_frequency[f][1], 4) for f in frequencies]
         )
     headers = ["configuration"] + [f"{f}MHz" for f in frequencies]
+    max_mem_spread = max(
+        max(per[f][1] for f in frequencies)
+        - min(per[f][1] for f in frequencies)
+        for per in results.values()
+    )
+    heavy_per_frequency = results[(0.1, 0.0475)]
+    heavy_upcs = [heavy_per_frequency[f][0] for f in frequencies]
     report(
         "fig07_dvfs_invariance",
         format_table(
@@ -90,6 +97,15 @@ def test_fig07_dvfs_invariance(benchmark, report):
             headers, mem_rows,
             title="Figure 7 (right): observed Mem/Uop vs frequency.",
         ),
+        parameters={
+            "n_configurations": len(LEGEND_CONFIGS),
+            "n_frequencies": len(frequencies),
+        },
+        metrics={
+            "max_mem_per_uop_spread": max_mem_spread,
+            "heavy_config_upc_change": max(heavy_upcs) / min(heavy_upcs)
+            - 1.0,
+        },
     )
 
     for (target_upc, target_mem), per_frequency in results.items():

@@ -13,6 +13,7 @@ overhead fraction on a full machine run.
 
 from benchmarks.conftest import run_once
 from repro.analysis.reporting import format_percent
+from repro.bench.gate import check_perf
 from repro.core.governor import IntervalCounters, PhasePredictionGovernor
 from repro.core.predictors import GPHTPredictor
 from repro.system.machine import Machine
@@ -35,10 +36,16 @@ def test_fig08_handler_decision_latency(benchmark, report):
         "Figure 8. PMI handler decision path latency: "
         f"mean {mean_us:.2f} us per invocation "
         "(paper budget: 10-100 us against ~100 ms intervals).",
+        parameters={"gphr_depth": 8, "pht_entries": 128},
+        measured={"mean_us_per_decision": mean_us},
     )
     # One decision must fit comfortably inside the paper's overhead
-    # budget; even a slow interpreter run is far below 1 ms.
-    assert stats.mean < 1e-3
+    # budget; even a slow interpreter run is far below 1 ms.  Wall-clock
+    # threshold — gated via the compare/enforce contract, not pytest.
+    check_perf(
+        stats.mean < 1e-3,
+        f"handler decision latency {mean_us:.2f} us exceeds 1 ms budget",
+    )
 
 
 def test_fig08_end_to_end_overhead_fraction(benchmark, report):
@@ -57,5 +64,7 @@ def test_fig08_end_to_end_overhead_fraction(benchmark, report):
         "Figure 8 (end to end). Handler time fraction of execution: "
         f"{format_percent(fraction, 4)} over {len(result.intervals)} "
         "intervals including DVFS transitions.",
+        parameters={"benchmark": "applu_in", "n_intervals": len(result.intervals)},
+        metrics={"handler_overhead_fraction": fraction},
     )
     assert fraction < 1e-3

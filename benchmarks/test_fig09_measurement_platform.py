@@ -63,6 +63,16 @@ def test_fig09_measurement_platform(benchmark, report):
                 f"({daq.sample_count} samples total)."
             ),
         ),
+        parameters={"benchmark": "applu_in", "n_intervals": N_INTERVALS},
+        metrics={
+            "n_windows": len(windows),
+            "daq_sample_count": daq.sample_count,
+            "max_power_error_w": max(
+                abs(window.mean_power_w - interval.power_w)
+                for interval, window in zip(result.intervals, windows)
+            ),
+            "min_window_samples": min(w.sample_count for w in windows),
+        },
     )
 
     # One attributed window per sampling interval — the parallel-port

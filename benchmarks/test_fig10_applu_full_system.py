@@ -77,7 +77,20 @@ def test_fig10_applu_full_system(benchmark, report):
         f"online prediction acc. : "
         f"{format_percent(managed.prediction_accuracy())}",
     ]
-    report("fig10_applu_full_system", "\n".join(lines))
+    report(
+        "fig10_applu_full_system",
+        "\n".join(lines),
+        parameters={"benchmark": "applu_in", "n_intervals": N_INTERVALS},
+        metrics={
+            "power_savings": comparison.power_savings,
+            "performance_degradation": comparison.performance_degradation,
+            "edp_improvement": comparison.edp_improvement,
+            "prediction_accuracy": managed.prediction_accuracy(),
+            "managed_frequency_levels": len(
+                set(managed.frequency_series())
+            ),
+        },
+    )
 
     # (i) Mem/Uop is DVFS invariant: the two traces are identical.
     for b, m in zip(

@@ -67,6 +67,20 @@ def test_fig12_gpht_vs_reactive(benchmark, report):
                 "GPHT vs last-value reactive management."
             ),
         ),
+        parameters={
+            "n_intervals": N_INTERVALS,
+            "n_benchmarks": len(FIG12_BENCHMARKS),
+        },
+        metrics={
+            "gpht_mean_edp_improvement": gpht.mean("edp_improvement"),
+            "reactive_mean_edp_improvement": reactive.mean(
+                "edp_improvement"
+            ),
+            "gpht_mean_degradation": gpht.mean("performance_degradation"),
+            "reactive_mean_degradation": reactive.mean(
+                "performance_degradation"
+            ),
+        },
     )
 
     # (a) Variable benchmarks: GPHT-based proactive management achieves

@@ -86,6 +86,36 @@ def test_fig13_bounded_degradation(benchmark, report, machine):
                 f"Derived policy: {mapping}"
             ),
         ),
+        parameters={
+            "n_intervals": N_INTERVALS,
+            "degradation_target": TARGET,
+        },
+        metrics={
+            "max_degradation": max(
+                bounded[n].comparison.performance_degradation
+                for n in FIG13_BENCHMARKS
+            ),
+            "min_power_savings": min(
+                bounded[n].comparison.power_savings
+                for n in FIG13_BENCHMARKS
+            ),
+            "bounded_mean_edp_improvement": sum(
+                bounded[n].comparison.edp_improvement
+                for n in FIG13_BENCHMARKS
+            )
+            / len(FIG13_BENCHMARKS),
+            "aggressive_mean_edp_improvement": sum(
+                aggressive[n].comparison.edp_improvement
+                for n in FIG13_BENCHMARKS
+            )
+            / len(FIG13_BENCHMARKS),
+            "policy_frequency_levels": len(
+                {
+                    policy.setting_for(p).frequency_mhz
+                    for p in policy.phase_table.phase_ids
+                }
+            ),
+        },
     )
 
     for name in FIG13_BENCHMARKS:

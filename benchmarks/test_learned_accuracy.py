@@ -6,36 +6,26 @@ workloads better than — the hand-designed GPHT at comparable or lower
 per-prediction structure cost, and everything beats last-value.  This
 bench runs the full ``learned_accuracy`` comparison grid over the
 entire SPEC2000 registry through the execution engine and persists the
-grid (with host provenance) as a versioned JSON artifact.
+grid as a versioned artifact (suite means in ``metrics``, the full
+per-benchmark grid in ``details``).
 
 The grid itself is byte-reproducible: ``repro learn compare
 --benchmarks <all> --intervals 512 --format json`` regenerates the
 ``comparison`` block exactly, at any ``--jobs`` level.
 """
 
-import os
-import platform
-
+from repro.analysis.reporting import format_table
 from repro.exec import make_engine
 from repro.learn import compare_models
 from repro.workloads import SPEC2000_BENCHMARKS
 
 from .conftest import run_once
 
-ARTIFACT_VERSION = 1
 N_INTERVALS = 512
+MODELS = ("tree", "markov", "gpht", "last_value")
 
 
-def _host_provenance():
-    """Where the artifact was produced (informational, not asserted)."""
-    return {
-        "platform": platform.platform(),
-        "python_version": platform.python_version(),
-        "cpu_count": os.cpu_count(),
-    }
-
-
-def test_learned_models_beat_baselines(benchmark, report_json):
+def test_learned_models_beat_baselines(benchmark, report):
     """Trained models must beat last-value everywhere that matters."""
     engine = make_engine(jobs=2, cache=None)
     comparison = run_once(
@@ -78,12 +68,36 @@ def test_learned_models_beat_baselines(benchmark, report_json):
     for name in SPEC2000_BENCHMARKS:
         assert set(cells[name]) == {"tree", "markov", "gpht", "last_value"}
 
-    report_json(
+    rows = [
+        (
+            model,
+            f"{summary[model]['mean_accuracy']:.1%}",
+            f"{summary[model]['mean_overhead_units']:.1f}",
+            summary[model]["benchmarks_won"],
+        )
+        for model in MODELS
+    ]
+    metrics = {}
+    for model in MODELS:
+        metrics[f"{model}_mean_accuracy"] = summary[model]["mean_accuracy"]
+        metrics[f"{model}_mean_overhead_units"] = summary[model][
+            "mean_overhead_units"
+        ]
+    report(
         "learned_accuracy",
-        {
-            "version": ARTIFACT_VERSION,
+        format_table(
+            ["model", "mean accuracy", "mean overhead units", "wins"],
+            rows,
+            title=(
+                "Learned predictors vs table-lookup baselines over "
+                f"{len(SPEC2000_BENCHMARKS)} SPEC2000 benchmarks "
+                f"({N_INTERVALS} intervals, held-out eval series)."
+            ),
+        ),
+        parameters={
             "n_benchmarks": len(SPEC2000_BENCHMARKS),
-            "host": _host_provenance(),
-            "comparison": comparison,
+            "n_intervals": N_INTERVALS,
         },
+        metrics=metrics,
+        details={"comparison": comparison},
     )

@@ -44,6 +44,13 @@ def test_table1_phase_definitions(benchmark, report):
             rows,
             title="Table 1. Definition of phases based on Mem/Uop rates.",
         ),
+        parameters={"source": "paper_table_1"},
+        metrics={
+            "n_phases": len(rows),
+            "paper_rows_matched": sum(
+                1 for row in rows if row in PAPER_TABLE_1
+            ),
+        },
     )
 
     assert rows == PAPER_TABLE_1

@@ -41,6 +41,20 @@ def test_table2_dvfs_settings(benchmark, report):
             rows,
             title="Table 2. Translation of phases to DVFS settings.",
         ),
+        parameters={"source": "paper_table_2"},
+        metrics={
+            "n_settings": len(rows),
+            "paper_settings_matched": sum(
+                1
+                for phase_id, (mhz, mv) in PAPER_TABLE_2.items()
+                if (
+                    policy.setting_for(phase_id).frequency_mhz,
+                    policy.setting_for(phase_id).voltage_mv,
+                )
+                == (mhz, mv)
+            ),
+            "monotonic": int(policy.is_monotonic()),
+        },
     )
 
     for phase_id, (mhz, mv) in PAPER_TABLE_2.items():

@@ -1,0 +1,68 @@
+"""Opt-in perf enforcement and measurement sanity checks.
+
+Wall-clock performance thresholds do not belong in pytest assertions:
+on a loaded shared runner they fail spuriously, and a flaky gate is a
+gate people stop reading.  Benches therefore *record* their rates
+(``measured`` block of the artifact) and route threshold checks through
+:func:`check_perf`, which only raises under ``REPRO_BENCH_ENFORCE=1`` —
+the contract for dedicated perf hosts.  Correctness and bit-equality
+assertions stay unconditional in the benches themselves.
+
+:func:`require_positive_elapsed` guards the other failure mode: a
+degenerate elapsed time (timer resolution, empty series) silently
+producing a zero rate instead of an error.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from repro.errors import ReproError
+
+#: Environment variable that switches perf thresholds to hard failures.
+ENFORCE_ENV = "REPRO_BENCH_ENFORCE"
+
+
+class MeasurementError(ReproError):
+    """A timing measurement was degenerate (non-positive or non-finite)."""
+
+
+class PerfRegressionError(ReproError):
+    """An enforced performance threshold was missed."""
+
+
+def perf_enforced() -> bool:
+    """Whether perf thresholds are hard failures in this environment.
+
+    True when :data:`ENFORCE_ENV` is set to anything but empty/``0``.
+    """
+    return os.environ.get(ENFORCE_ENV, "").strip() not in ("", "0")
+
+
+def check_perf(condition: bool, message: str) -> bool:
+    """Gate one perf threshold on the enforce contract.
+
+    Returns the condition so callers can record the outcome either way;
+    raises :class:`PerfRegressionError` only when enforcement is on.
+    """
+    if not condition and perf_enforced():
+        raise PerfRegressionError(message)
+    return condition
+
+
+def require_positive_elapsed(seconds: float, label: str) -> float:
+    """Validate an elapsed-time measurement before dividing by it.
+
+    A zero or negative elapsed time means the timer resolution was too
+    coarse for the measured body (or the body never ran); turning that
+    into a rate would silently report ``0.0`` or infinity instead of
+    failing.  Raises :class:`MeasurementError` with the offending label.
+    """
+    if not math.isfinite(seconds) or seconds <= 0.0:
+        raise MeasurementError(
+            f"{label}: elapsed time {seconds!r} is not a positive finite "
+            "number; the timer resolution is too coarse for the measured "
+            "body or the measurement never ran"
+        )
+    return float(seconds)

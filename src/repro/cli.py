@@ -1171,6 +1171,145 @@ def _cmd_quadrants(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# bench — benchmark registry + regression gate
+# ---------------------------------------------------------------------------
+
+
+def _cmd_bench_list(args: argparse.Namespace) -> int:
+    from repro.bench import BENCHES, all_tags
+
+    if args.format == "json":
+        payload = {
+            "tags": all_tags(),
+            "benches": [
+                {
+                    "name": spec.name,
+                    "module": spec.module,
+                    "tags": list(spec.tags),
+                    "artifacts": list(spec.artifacts),
+                }
+                for spec in BENCHES
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        (spec.name, ", ".join(spec.tags), ", ".join(spec.artifacts))
+        for spec in BENCHES
+    ]
+    print(
+        format_table(
+            ["bench", "tags", "artifacts"],
+            rows,
+            title=f"benchmark registry ({len(BENCHES)} benches; "
+            f"tags: {', '.join(all_tags())})",
+        )
+    )
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import default_bench_dir, run_benches, select_benches
+
+    tags = list(args.tag or [])
+    if args.smoke and "smoke" not in tags:
+        tags.append("smoke")
+    benches = select_benches(names=args.benches, tags=tags)
+    if not benches:
+        raise ConfigurationError(
+            "the selection matched no registered benches"
+        )
+    bench_dir = (
+        Path(args.bench_dir) if args.bench_dir else default_bench_dir()
+    )
+    out_dir = Path(args.out)
+    engine, _, tracer = _cli_engine(args)
+    records = run_benches(engine, benches, bench_dir, out_dir)
+    _write_trace(tracer, args)
+    failed = [r for r in records if not r.get("passed")]
+    if args.format == "json":
+        payload = {
+            "out": str(out_dir),
+            "passed": len(records) - len(failed),
+            "failed": len(failed),
+            "benches": records,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        rows = [
+            (
+                str(record["bench"]),
+                "ok" if record.get("passed") else "FAIL",
+                ", ".join(str(tag) for tag in record.get("tags", [])),
+            )
+            for record in records
+        ]
+        print(
+            format_table(
+                ["bench", "status", "tags"],
+                rows,
+                title=f"bench run -> {out_dir} "
+                f"({len(records) - len(failed)}/{len(records)} passed)",
+            )
+        )
+        for record in failed:
+            tail = str(record.get("output_tail", ""))
+            if tail:
+                print(f"\n--- {record['bench']} output tail ---\n{tail}")
+    return 1 if failed else 0
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.bench import load_results_dir
+
+    payloads = load_results_dir(Path(args.results))
+    if args.format == "json":
+        print(json.dumps(payloads, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for name in sorted(payloads):
+        payload = payloads[name]
+        host = payload.get("host", {})
+        rows.append(
+            (
+                name,
+                payload.get("version"),
+                len(payload.get("metrics", {})),
+                len(payload.get("measured", {})),
+                f"{host.get('platform', 'unknown')[:28]}",
+            )
+        )
+    print(
+        format_table(
+            ["artifact", "version", "metrics", "measured", "host"],
+            rows,
+            title=f"bench report: {args.results} "
+            f"({len(payloads)} artifacts)",
+        )
+    )
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import compare_results, load_results_dir
+
+    current = load_results_dir(Path(args.results))
+    baseline = load_results_dir(Path(args.baseline))
+    enforce = True if args.enforce else None
+    report = compare_results(
+        current,
+        baseline,
+        tolerance=args.tolerance / 100.0,
+        enforce=enforce,
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_payload(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return report.exit_code()
+
+
+# ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
 
@@ -1775,6 +1914,112 @@ def build_parser() -> argparse.ArgumentParser:
         help="training workload seed (default: 101)",
     )
     learn_compare.set_defaults(func=_cmd_learn_compare)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help=(
+            "benchmark registry: run suites, render results, gate "
+            "regressions against committed baselines"
+        ),
+    )
+    bench_subparsers = bench_parser.add_subparsers(
+        dest="bench_command", required=True
+    )
+
+    bench_list = bench_subparsers.add_parser(
+        "list",
+        parents=[_format_parent()],
+        help="list registered benches, their tags and artifacts",
+    )
+    bench_list.set_defaults(func=_cmd_bench_list)
+
+    bench_run = bench_subparsers.add_parser(
+        "run",
+        parents=[_engine_parent(), _format_parent()],
+        help="execute a bench subset, writing artifacts to --out",
+    )
+    bench_run.add_argument(
+        "benches",
+        nargs="*",
+        metavar="NAME",
+        help="bench names to run (default: selection by tag, or all)",
+    )
+    bench_run.add_argument(
+        "--tag",
+        action="append",
+        metavar="TAG",
+        help="select every bench carrying TAG (repeatable)",
+    )
+    bench_run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shorthand for --tag smoke (the fast CI subset)",
+    )
+    bench_run.add_argument(
+        "--out",
+        default="bench-results",
+        metavar="DIR",
+        help="artifact output directory (default: bench-results)",
+    )
+    bench_run.add_argument(
+        "--bench-dir",
+        default=None,
+        metavar="DIR",
+        help="benchmarks/ tree to execute (default: ./benchmarks)",
+    )
+    bench_run.set_defaults(func=_cmd_bench_run)
+
+    bench_report = bench_subparsers.add_parser(
+        "report",
+        parents=[_format_parent()],
+        help=(
+            "render a results directory (legacy artifacts are upgraded "
+            "to the current schema on the fly)"
+        ),
+    )
+    bench_report.add_argument(
+        "results",
+        metavar="DIR",
+        help="results directory to render",
+    )
+    bench_report.set_defaults(func=_cmd_bench_report)
+
+    bench_compare = bench_subparsers.add_parser(
+        "compare",
+        parents=[_format_parent()],
+        help=(
+            "diff a results directory against committed baselines; "
+            "exits 1 on any gated regression"
+        ),
+    )
+    bench_compare.add_argument(
+        "results",
+        metavar="DIR",
+        help="current results directory",
+    )
+    bench_compare.add_argument(
+        "--baseline",
+        required=True,
+        metavar="DIR",
+        help="baseline results directory (e.g. benchmarks/results)",
+    )
+    bench_compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="relative regression tolerance in percent (default: 10)",
+    )
+    bench_compare.add_argument(
+        "--enforce",
+        action="store_true",
+        help=(
+            "gate wall-clock 'measured' values too (otherwise only "
+            "deterministic metrics are gated; REPRO_BENCH_ENFORCE=1 "
+            "has the same effect)"
+        ),
+    )
+    bench_compare.set_defaults(func=_cmd_bench_compare)
 
     lint_parser = subparsers.add_parser(
         "lint",

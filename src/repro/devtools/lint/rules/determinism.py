@@ -79,10 +79,13 @@ class DeterminismRule(LintRule):
     name = "determinism"
     description = (
         "no time.time()/datetime.now()/unseeded random calls in "
-        "core/, power/, workloads/, obs/ or serve/ (simulation, its "
-        "traces and the serving layer must be replayable)"
+        "core/, power/, workloads/, obs/, serve/ or bench/ (simulation, "
+        "its traces, the serving layer and the benchmark registry must "
+        "be replayable; benchmark timing lives in benchmarks/)"
     )
-    packages: Tuple[str, ...] = ("core", "power", "workloads", "obs", "serve")
+    packages: Tuple[str, ...] = (
+        "core", "power", "workloads", "obs", "serve", "bench",
+    )
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:
         for node in ast.walk(module.tree):

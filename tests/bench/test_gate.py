@@ -1,0 +1,102 @@
+"""Tests for the opt-in perf gate and measurement sanity checks.
+
+Includes the regression tests for the two CI-flake bugs this subsystem
+replaces: wall-clock threshold assertions failing on loaded runners,
+and degenerate elapsed times silently producing zero rates.
+"""
+
+import pytest
+
+from repro.bench.gate import (
+    ENFORCE_ENV,
+    MeasurementError,
+    PerfRegressionError,
+    check_perf,
+    perf_enforced,
+    require_positive_elapsed,
+)
+
+
+class TestPerfEnforced:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENFORCE_ENV, raising=False)
+        assert not perf_enforced()
+
+    def test_zero_and_empty_mean_off(self, monkeypatch):
+        for value in ("", "0", " 0 "):
+            monkeypatch.setenv(ENFORCE_ENV, value)
+            assert not perf_enforced()
+
+    def test_any_other_value_means_on(self, monkeypatch):
+        for value in ("1", "true", "yes"):
+            monkeypatch.setenv(ENFORCE_ENV, value)
+            assert perf_enforced()
+
+
+class TestCheckPerf:
+    def test_failed_threshold_is_soft_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENFORCE_ENV, raising=False)
+        assert check_perf(False, "too slow") is False
+
+    def test_failed_threshold_raises_under_enforce(self, monkeypatch):
+        monkeypatch.setenv(ENFORCE_ENV, "1")
+        with pytest.raises(PerfRegressionError, match="too slow"):
+            check_perf(False, "too slow")
+
+    def test_met_threshold_passes_either_way(self, monkeypatch):
+        monkeypatch.setenv(ENFORCE_ENV, "1")
+        assert check_perf(True, "fine") is True
+
+
+class TestRequirePositiveElapsed:
+    def test_accepts_positive(self):
+        assert require_positive_elapsed(0.25, "x") == 0.25
+
+    @pytest.mark.parametrize(
+        "bad", [0.0, -1.0, float("nan"), float("inf")]
+    )
+    def test_rejects_degenerate(self, bad):
+        with pytest.raises(MeasurementError, match="scalar feed"):
+            require_positive_elapsed(bad, "scalar feed")
+
+
+class TestBatchThroughputDeflake:
+    """The de-flaked speedup assessment from the batch-throughput bench.
+
+    Reproduces the CI flake with a mocked slow clock: a loaded runner
+    where the batch path timed *slower* than the scalar path must not
+    fail the bench by default, and must fail it under enforce.
+    """
+
+    def _assess(self, scalar_seconds, batch_seconds):
+        from benchmarks.test_batch_throughput import assess_speedup
+
+        return assess_speedup(scalar_seconds, batch_seconds, 20_000)
+
+    def test_slow_clock_passes_without_enforce(self, monkeypatch):
+        monkeypatch.delenv(ENFORCE_ENV, raising=False)
+        # Batch measured 3x SLOWER than scalar — a preempted runner.
+        scalar_rate, batch_rate, speedup = self._assess(0.1, 0.3)
+        assert speedup == pytest.approx(1.0 / 3.0)
+        # The threshold is recorded, not asserted.
+        assert check_perf(speedup >= 6.0, "below target") is False
+
+    def test_slow_clock_fails_under_enforce(self, monkeypatch):
+        monkeypatch.setenv(ENFORCE_ENV, "1")
+        _, _, speedup = self._assess(0.1, 0.3)
+        with pytest.raises(PerfRegressionError):
+            check_perf(speedup >= 6.0, "below target")
+
+    def test_zero_elapsed_is_an_error_not_a_zero_rate(self):
+        # The silent-zero bug: `scalar_rate and batch_rate / scalar_rate`
+        # used to short-circuit a 0.0 rate into speedup 0.0.
+        with pytest.raises(MeasurementError):
+            self._assess(0.0, 0.3)
+        with pytest.raises(MeasurementError):
+            self._assess(0.1, 0.0)
+
+    def test_rates_are_derived_from_sample_count(self):
+        scalar_rate, batch_rate, speedup = self._assess(2.0, 0.5)
+        assert scalar_rate == pytest.approx(10_000.0)
+        assert batch_rate == pytest.approx(40_000.0)
+        assert speedup == pytest.approx(4.0)

@@ -1,0 +1,195 @@
+"""Tests for the versioned benchmark-result schema and legacy upgraders."""
+
+import json
+
+import pytest
+
+from repro.bench.schema import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    BenchFormatError,
+    BenchResult,
+    HostProvenance,
+    upgrade_payload,
+    validate_payload,
+)
+
+
+def sample_result():
+    return BenchResult.create(
+        "sample_bench",
+        parameters={"n_intervals": 100, "benchmark": "applu_in"},
+        metrics={"accuracy": 0.92, "edp_improvement": 0.18},
+        measured={"samples_per_s": 125_000.0},
+        details={"grid": [[1, 2], [3, 4]]},
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_lossless(self):
+        result = sample_result()
+        restored = BenchResult.from_payload(json.loads(result.to_json()))
+        assert restored == result
+
+    def test_payload_round_trip_is_lossless(self):
+        result = sample_result()
+        assert BenchResult.from_payload(result.to_payload()) == result
+
+    def test_payload_carries_schema_discriminator_and_version(self):
+        payload = sample_result().to_payload()
+        assert payload["schema"] == SCHEMA_NAME
+        assert payload["version"] == SCHEMA_VERSION
+
+    def test_host_provenance_collected(self):
+        host = sample_result().host
+        assert host.platform
+        assert host.python_version
+        assert host.cpu_count >= 1
+        assert host.code_version
+
+    def test_comparable_payload_excludes_measured_host_details(self):
+        comparable = sample_result().comparable_payload()
+        assert set(comparable) == {
+            "schema", "version", "name", "parameters", "metrics"
+        }
+
+    def test_comparable_json_is_canonical(self):
+        result = sample_result()
+        assert result.comparable_json() == json.dumps(
+            result.comparable_payload(),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+class TestValidatorRejections:
+    def test_rejects_wrong_schema_discriminator(self):
+        payload = sample_result().to_payload()
+        payload["schema"] = "something.else"
+        with pytest.raises(BenchFormatError):
+            validate_payload(payload)
+
+    def test_rejects_future_version(self):
+        payload = sample_result().to_payload()
+        payload["version"] = SCHEMA_VERSION + 1
+        with pytest.raises(BenchFormatError):
+            validate_payload(payload)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(BenchFormatError):
+            BenchResult.create("", metrics={"x": 1.0})
+
+    def test_rejects_non_finite_metric(self):
+        with pytest.raises(BenchFormatError):
+            BenchResult.create("b", metrics={"x": float("nan")})
+
+    def test_rejects_bool_metric(self):
+        with pytest.raises(BenchFormatError):
+            BenchResult.create("b", metrics={"x": True})
+
+    def test_rejects_non_scalar_parameter(self):
+        with pytest.raises(BenchFormatError):
+            BenchResult.create("b", parameters={"grid": [1, 2]})
+
+    def test_rejects_wall_clock_keys_in_comparable_portion(self):
+        for key in ("timestamp", "start_datetime", "walltime_s"):
+            with pytest.raises(BenchFormatError):
+                BenchResult.create("b", metrics={key: 1.0})
+            with pytest.raises(BenchFormatError):
+                BenchResult.create("b", parameters={key: 1.0})
+
+    def test_wall_clock_keys_allowed_in_measured(self):
+        # The measured block is host-varying by contract.
+        result = BenchResult.create("b", measured={"elapsed_seconds": 1.5})
+        validate_payload(result.to_payload())
+
+    def test_rejects_missing_host(self):
+        payload = sample_result().to_payload()
+        del payload["host"]
+        with pytest.raises(BenchFormatError):
+            validate_payload(payload)
+
+
+class TestLegacyUpgraders:
+    def test_current_payload_passes_through(self):
+        payload = sample_result().to_payload()
+        assert upgrade_payload(payload) == payload
+
+    def test_batch_feed_throughput_legacy_shape(self):
+        legacy = {
+            "benchmark": "applu_in",
+            "samples": 20000,
+            "batch_size": 20000,
+            "scalar_samples_per_s": 100000.0,
+            "batch_samples_per_s": 900000.0,
+            "speedup": 9.0,
+            "speedup_target": 6.0,
+        }
+        payload = upgrade_payload(legacy)
+        validate_payload(payload)
+        assert payload["name"] == "batch_feed_throughput"
+        assert payload["measured"]["speedup"] == 9.0
+        assert payload["host"] == HostProvenance.unknown().to_dict()
+
+    def test_learned_accuracy_legacy_shape(self):
+        legacy = {
+            "n_benchmarks": 4,
+            "version": 1,
+            "comparison": {
+                "summary": {
+                    "tree": {
+                        "mean_accuracy": 0.91,
+                        "mean_overhead_units": 3.0,
+                    },
+                    "gpht": {
+                        "mean_accuracy": 0.89,
+                        "mean_overhead_units": 4.0,
+                    },
+                },
+            },
+        }
+        payload = upgrade_payload(legacy)
+        validate_payload(payload)
+        assert payload["name"] == "learned_accuracy"
+        assert payload["metrics"]["tree_mean_accuracy"] == 0.91
+        assert payload["metrics"]["gpht_mean_overhead_units"] == 4.0
+
+    def test_serve_scaleout_legacy_shape(self):
+        legacy = {
+            "sessions": 32,
+            "samples_per_session": 400,
+            "wire_baseline_samples_per_s": 5000.0,
+            "best_samples_per_s": 21000.0,
+            "speedup_vs_wire_baseline": 4.2,
+            "grid": [{"workers": 4, "samples_per_s": 21000.0}],
+        }
+        payload = upgrade_payload(legacy)
+        validate_payload(payload)
+        assert payload["name"] == "serve_scaleout"
+        assert payload["measured"]["speedup_vs_wire_baseline"] == 4.2
+        assert payload["details"]["grid"]
+
+    def test_unrecognized_shape_raises(self):
+        with pytest.raises(BenchFormatError):
+            upgrade_payload({"mystery": 1})
+
+    def test_committed_legacy_baselines_upgrade(self, tmp_path):
+        # The three shapes exactly as they were committed pre-schema.
+        for name, legacy in {
+            "batch_feed_throughput": {
+                "benchmark": "applu_in",
+                "scalar_samples_per_s": 1.0,
+                "batch_samples_per_s": 2.0,
+            },
+            "learned_accuracy": {
+                "n_benchmarks": 2,
+                "comparison": {"summary": {"tree": {"mean_accuracy": 0.5}}},
+            },
+            "serve_scaleout": {
+                "wire_baseline_samples_per_s": 1.0,
+                "grid": [],
+            },
+        }.items():
+            payload = upgrade_payload(legacy)
+            assert payload["name"] == name
+            validate_payload(payload)
